@@ -1,0 +1,59 @@
+#ifndef INVERDA_BENCH_BENCH_UTIL_H_
+#define INVERDA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace inverda {
+namespace bench {
+
+/// Aborts the benchmark with a message when a Status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Wall-clock milliseconds of `fn()` averaged over `reps` runs.
+inline double TimeMs(int reps, const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         static_cast<double>(reps);
+}
+
+/// Reads an integer scale factor from the environment so the harness can be
+/// run small (CI) or at paper scale.
+inline int ScaledInt(const char* env, int dflt) {
+  const char* value = std::getenv(env);
+  if (value == nullptr) return dflt;
+  return std::atoi(value);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace inverda
+
+#endif  // INVERDA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,123 @@
+// Figure 10 reproduction: the workload shifts from Do! to TasKy2; compared
+// are the three fixed materializations (Do!, TasKy, TasKy2) and the
+// flexible strategy that moves Do! -> TasKy -> TasKy2 as adoption grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "inverda/inverda.h"
+#include "workload/driver.h"
+#include "workload/tasky.h"
+
+using inverda::Value;
+using inverda::bench::CheckOk;
+using inverda::bench::ScaledInt;
+
+namespace {
+
+std::vector<double> RunCurve(const std::string& strategy, int tasks,
+                             int slices, int ops_per_slice) {
+  inverda::TaskyOptions options;
+  options.num_tasks = tasks;
+  inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
+  inverda::Inverda& db = *scenario.db;
+  if (strategy == "do") CheckOk(db.Materialize({"Do!"}), "mat Do!");
+  if (strategy == "tasky2") CheckOk(db.Materialize({"TasKy2"}), "mat TasKy2");
+
+  inverda::Random rng(29);
+  std::vector<int64_t> keys = scenario.task_keys;
+
+  inverda::WorkloadTarget do_target{
+      "Do!", "Todo", [](inverda::Random* r) {
+        inverda::Row t = RandomTaskRow(r, 50);
+        return inverda::Row{t[0], t[1]};
+      }};
+  inverda::WorkloadTarget new_target{
+      "TasKy2", "Task", [&db](inverda::Random* r) {
+        std::vector<inverda::KeyedRow> authors =
+            *db.Select("TasKy2", "Author");
+        int64_t fk = authors[r->NextUint64(authors.size())].key;
+        inverda::Row t = RandomTaskRow(r, 50);
+        return inverda::Row{t[1], t[2], Value::Int(fk)};
+      }};
+
+  std::vector<double> accumulated;
+  double total = 0;
+  int flex_stage = 0;  // 0 = Do!, 1 = TasKy, 2 = TasKy2
+  if (strategy == "flex") {
+    CheckOk(db.Materialize({"Do!"}), "flex start at Do!");
+  }
+  for (int slice = 0; slice < slices; ++slice) {
+    double new_fraction = inverda::AdoptionFraction(slice, slices);
+    if (strategy == "flex") {
+      if (flex_stage == 0 && new_fraction > 0.35) {
+        total += inverda::bench::TimeMs(1, [&] {
+          CheckOk(db.Materialize({"TasKy"}), "flex -> TasKy");
+        }) / 1000.0;
+        flex_stage = 1;
+      } else if (flex_stage == 1 && new_fraction > 0.85) {
+        total += inverda::bench::TimeMs(1, [&] {
+          CheckOk(db.Materialize({"TasKy2"}), "flex -> TasKy2");
+        }) / 1000.0;
+        flex_stage = 2;
+      }
+    }
+    int new_ops = static_cast<int>(new_fraction * ops_per_slice);
+    int old_ops = ops_per_slice - new_ops;
+    if (old_ops > 0) {
+      total += CheckOk(RunWorkload(&db, do_target, inverda::OpMix::Standard(),
+                                   old_ops, &rng, &keys),
+                       "Do! workload");
+    }
+    if (new_ops > 0) {
+      total += CheckOk(RunWorkload(&db, new_target, inverda::OpMix::Standard(),
+                                   new_ops, &rng, &keys),
+                       "TasKy2 workload");
+    }
+    accumulated.push_back(total);
+  }
+  return accumulated;
+}
+
+}  // namespace
+
+int main() {
+  int tasks = ScaledInt("INVERDA_FIG10_TASKS", 2000);
+  int slices = ScaledInt("INVERDA_FIG10_SLICES", 24);
+  int ops = ScaledInt("INVERDA_FIG10_OPS", 20);
+
+  inverda::bench::PrintHeader(
+      "Figure 10: flexible materialization along Do! -> TasKy2 adoption");
+  std::printf("%d tasks, %d time slices, %d ops/slice\n\n", tasks, slices,
+              ops);
+
+  std::vector<double> fixed_do = RunCurve("do", tasks, slices, ops);
+  std::vector<double> fixed_tasky = RunCurve("tasky", tasks, slices, ops);
+  std::vector<double> fixed_tasky2 = RunCurve("tasky2", tasks, slices, ops);
+  std::vector<double> flexible = RunCurve("flex", tasks, slices, ops);
+
+  std::printf("%-6s %-10s %-16s %-16s %-16s %-16s\n", "slice", "share",
+              "Do! mat. [s]", "TasKy mat. [s]", "TasKy2 mat. [s]",
+              "flexible [s]");
+  for (int i = 0; i < slices; ++i) {
+    std::printf("%-6d %-10.2f %-16.3f %-16.3f %-16.3f %-16.3f\n", i,
+                inverda::AdoptionFraction(i, slices), fixed_do[i],
+                fixed_tasky[i], fixed_tasky2[i], flexible[i]);
+  }
+  double best_fixed = std::min(
+      {fixed_do.back(), fixed_tasky.back(), fixed_tasky2.back()});
+  std::printf("\ntotals: Do! %.3f s, TasKy %.3f s, TasKy2 %.3f s, flexible "
+              "%.3f s\n",
+              fixed_do.back(), fixed_tasky.back(), fixed_tasky2.back(),
+              flexible.back());
+  double worst_fixed = std::max(
+      {fixed_do.back(), fixed_tasky.back(), fixed_tasky2.back()});
+  std::printf("shape check (flexible close to the best fixed choice and far "
+              "from the worst): %s\n",
+              (flexible.back() <= 1.3 * best_fixed &&
+               flexible.back() * 2 < worst_fixed)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 11 reproduction: data access performance of the three TasKy
+// schema versions under each of the five valid materialization schemas,
+// for three workloads (the standard mix, 100% reads, 100% inserts).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "inverda/inverda.h"
+#include "util/strings.h"
+#include "workload/driver.h"
+#include "workload/tasky.h"
+
+using inverda::Value;
+using inverda::bench::CheckOk;
+using inverda::bench::ScaledInt;
+
+namespace {
+
+struct VersionTarget {
+  const char* label;
+  const char* version;
+  const char* table;
+};
+
+double MeasureCell(const std::set<inverda::SmoId>& mat,
+                   const VersionTarget& target, const inverda::OpMix& mix,
+                   int tasks, int ops) {
+  inverda::TaskyOptions options;
+  options.num_tasks = tasks;
+  inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
+  inverda::Inverda& db = *scenario.db;
+  CheckOk(db.MaterializeSchema(mat), "materialize");
+
+  inverda::Random rng(17);
+  std::vector<int64_t> keys = scenario.task_keys;
+  inverda::WorkloadTarget workload{target.version, target.table, nullptr};
+  if (std::string(target.version) == "TasKy2") {
+    workload.make_row = [&db](inverda::Random* r) {
+      std::vector<inverda::KeyedRow> authors = *db.Select("TasKy2", "Author");
+      int64_t fk = authors[r->NextUint64(authors.size())].key;
+      inverda::Row t = RandomTaskRow(r, 50);
+      return inverda::Row{t[1], t[2], Value::Int(fk)};
+    };
+  } else if (std::string(target.version) == "Do!") {
+    workload.make_row = [](inverda::Random* r) {
+      inverda::Row t = RandomTaskRow(r, 50);
+      return inverda::Row{t[0], t[1]};
+    };
+  } else {
+    workload.make_row = [](inverda::Random* r) {
+      return RandomTaskRow(r, 50);
+    };
+  }
+  return 1000.0 * CheckOk(RunWorkload(&db, workload, mix, ops, &rng, &keys),
+                          "workload");
+}
+
+// A short label for a materialization: the abbreviated SMO kinds, matching
+// the paper's [S,DC] / [D,RC] axis labels.
+std::string MatLabel(const inverda::VersionCatalog& catalog,
+                     const std::set<inverda::SmoId>& m) {
+  std::vector<std::string> parts;
+  for (inverda::SmoId id : m) {
+    switch (catalog.smo(id).smo->kind()) {
+      case inverda::SmoKind::kSplit:
+        parts.push_back("S");
+        break;
+      case inverda::SmoKind::kDropColumn:
+        parts.push_back("DC");
+        break;
+      case inverda::SmoKind::kDecompose:
+        parts.push_back("D");
+        break;
+      case inverda::SmoKind::kRenameColumn:
+        parts.push_back("RC");
+        break;
+      default:
+        parts.push_back("?");
+        break;
+    }
+  }
+  if (parts.empty()) return "[initial]";
+  return "[" + inverda::Join(parts, ",") + "]";
+}
+
+}  // namespace
+
+int main() {
+  int tasks = ScaledInt("INVERDA_FIG11_TASKS", 2000);
+  int ops = ScaledInt("INVERDA_FIG11_OPS", 40);
+
+  // Enumerate the five valid materializations on a throwaway instance.
+  inverda::TaskyOptions probe_options;
+  probe_options.num_tasks = 0;
+  inverda::TaskyScenario probe = CheckOk(BuildTasky(probe_options), "probe");
+  std::vector<std::set<inverda::SmoId>> materializations = CheckOk(
+      probe.db->catalog().EnumerateValidMaterializations(), "enumerate");
+
+  const VersionTarget targets[] = {{"TasKy", "TasKy", "Task"},
+                                   {"Do!", "Do!", "Todo"},
+                                   {"TasKy2", "TasKy2", "Task"}};
+  const struct {
+    const char* label;
+    inverda::OpMix mix;
+  } workloads[] = {{"mix 50r/20i/20u/10d", inverda::OpMix::Standard()},
+                   {"100% reads", inverda::OpMix::ReadOnly()},
+                   {"100% inserts", inverda::OpMix::InsertOnly()}};
+
+  inverda::bench::PrintHeader(
+      "Figure 11: workload time [ms] per schema version x materialization "
+      "(TasKy example, all 5 valid materializations)");
+  std::printf("%d tasks, %d ops per cell\n", tasks, ops);
+
+  for (const auto& workload : workloads) {
+    std::printf("\n--- %s ---\n%-12s", workload.label, "version");
+    for (const std::set<inverda::SmoId>& m : materializations) {
+      std::printf(" %14s", MatLabel(probe.db->catalog(), m).c_str());
+    }
+    std::printf("\n");
+    for (const VersionTarget& target : targets) {
+      std::printf("%-12s", target.label);
+      for (const std::set<inverda::SmoId>& m : materializations) {
+        double ms = MeasureCell(m, target, workload.mix, tasks, ops);
+        std::printf(" %14.2f", ms);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(expected shape: each version is fastest when its own "
+              "table versions are materialized)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 12 reproduction: optimization potential on the Wikimedia-like
+// history. Data lives at the 109th version; queries on the 28th and the
+// 171st version are measured under materializations matching the 1st, the
+// 109th, and the 171st version.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/wikimedia.h"
+
+using inverda::bench::CheckOk;
+using inverda::bench::ScaledInt;
+using inverda::bench::TimeMs;
+
+int main() {
+  int pages = ScaledInt("INVERDA_FIG12_PAGES", 400);
+  int links = ScaledInt("INVERDA_FIG12_LINKS", 600);
+
+  inverda::WikimediaOptions options;
+  inverda::WikimediaScenario scenario =
+      CheckOk(BuildWikimedia(options), "build");
+  CheckOk(LoadWikimediaData(&scenario, /*version_index=*/108, pages, links,
+                            /*seed=*/3),
+          "load");
+  inverda::Inverda& db = *scenario.db;
+
+  const int query_versions[] = {27, 170};   // v04619 / v25635 stand-ins
+  const int mat_versions[] = {0, 108, 170};  // v01284 / v16524 / v25636
+
+  inverda::bench::PrintHeader(
+      "Figure 12: Wikimedia optimization potential (QET in ms)");
+  std::printf("%d pages, %d links loaded at %s\n\n", pages, links,
+              scenario.versions[108].c_str());
+  std::printf("%-22s", "queries on \\ mat.");
+  for (int mv : mat_versions) {
+    std::printf(" %12s", scenario.versions[static_cast<size_t>(mv)].c_str());
+  }
+  std::printf("\n");
+
+  double local_28 = 0, far_28 = 0, local_171 = 0, far_171 = 0;
+  for (int qv : query_versions) {
+    // Re-materialize per row (migrating back between measurements).
+    std::printf("%-22s", scenario.versions[static_cast<size_t>(qv)].c_str());
+    for (int mv : mat_versions) {
+      CheckOk(db.Materialize({scenario.versions[static_cast<size_t>(mv)]}),
+              "materialize");
+      const std::string& version =
+          scenario.versions[static_cast<size_t>(qv)];
+      const std::string& table =
+          scenario.page_table[static_cast<size_t>(qv)];
+      double ms = TimeMs(3, [&] {
+        CheckOk(db.Select(version, table), "query");
+      });
+      std::printf(" %12.2f", ms);
+      if (qv == 27 && mv == 0) local_28 = ms;
+      if (qv == 27 && mv == 170) far_28 = ms;
+      if (qv == 170 && mv == 170) local_171 = ms;
+      if (qv == 170 && mv == 0) far_171 = ms;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nspeedup of matching the materialization to the queried "
+              "version: v028 %.1fx, v171 %.1fx\n",
+              far_28 / std::max(local_28, 1e-9),
+              far_171 / std::max(local_171, 1e-9));
+  std::printf("(expected shape: large gains for queries on the far end of "
+              "the genealogy)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 13 reproduction: scaling behaviour of two-SMO chains with ADD
+// COLUMN as the second SMO. For every first-SMO kind and growing table
+// sizes we measure reading the 3rd version under materializations matching
+// the 1st, 2nd and 3rd version, and compare the measured two-SMO cost with
+// the "calculated" combination of the two individual overheads.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/smo_pairs.h"
+
+using inverda::bench::CheckOk;
+using inverda::bench::ScaledInt;
+using inverda::bench::TimeMs;
+
+namespace {
+
+struct Measurement {
+  double local_v2 = 0;     // read v2 under mat(v2): no propagation
+  double one_smo_a = 0;    // read v2 under mat(v1): through SMO1
+  double one_smo_b = 0;    // read v3 under mat(v2): through SMO2
+  double two_smos = 0;     // read v3 under mat(v1): through both
+};
+
+Measurement Measure(const std::string& first_kind,
+                    const std::string& second_kind, int rows) {
+  inverda::SmoPairScenario scenario = CheckOk(
+      inverda::BuildSmoPair(first_kind, second_kind, rows, /*seed=*/21),
+      "build");
+  inverda::Inverda& db = *scenario.db;
+  int reps = 5;
+  Measurement m;
+  CheckOk(db.Materialize({"v2"}), "mat v2");
+  CheckOk(db.Select("v2", "R"), "warmup");  // id memos, allocator warmup
+  m.local_v2 = TimeMs(reps, [&] { CheckOk(db.Select("v2", "R"), "read"); });
+  m.one_smo_b = TimeMs(reps, [&] {
+    CheckOk(db.Select("v3", scenario.v3_table), "read");
+  });
+  CheckOk(db.Materialize({"v1"}), "mat v1");
+  CheckOk(db.Select("v2", "R"), "warmup");
+  m.one_smo_a = TimeMs(reps, [&] { CheckOk(db.Select("v2", "R"), "read"); });
+  m.two_smos = TimeMs(reps, [&] {
+    CheckOk(db.Select("v3", scenario.v3_table), "read");
+  });
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<int> sizes = {500, 2000, ScaledInt("INVERDA_FIG13_MAX", 8000)};
+
+  inverda::bench::PrintHeader(
+      "Figure 13: two-SMO chains with ADD COLUMN as the 2nd SMO "
+      "(read QET in ms)");
+  std::printf("calculated = one-SMO(a) + one-SMO(b) - local read "
+              "(the paper's combination model)\n\n");
+  std::printf("%-14s %-7s %10s %10s %10s %10s %12s %8s\n", "1st SMO", "rows",
+              "local", "1 SMO(a)", "1 SMO(b)", "2 SMOs", "calculated",
+              "dev");
+
+  double total_dev = 0;
+  int cells = 0;
+  double speedup_sum = 0;
+  for (const std::string& kind : inverda::FirstSmoKinds()) {
+    for (int rows : sizes) {
+      Measurement m = Measure(kind, "add_column", rows);
+      double calculated = m.one_smo_a + m.one_smo_b - m.local_v2;
+      double dev = calculated > 0
+                       ? (m.two_smos - calculated) / calculated * 100.0
+                       : 0.0;
+      total_dev += std::abs(dev);
+      speedup_sum += m.two_smos / std::max(m.local_v2, 1e-9);
+      ++cells;
+      std::printf("%-14s %-7d %10.2f %10.2f %10.2f %10.2f %12.2f %7.1f%%\n",
+                  kind.c_str(), rows, m.local_v2, m.one_smo_a, m.one_smo_b,
+                  m.two_smos, calculated, dev);
+    }
+  }
+  std::printf("\naverage |deviation| of measured vs calculated: %.1f%% "
+              "(paper: 6.3%%)\n",
+              total_dev / cells);
+  std::printf("average slowdown of 2-SMO access vs local: %.1fx "
+              "(paper: avg speedup potential 2.1x)\n",
+              speedup_sum / cells);
+
+  // The paper's closing claim: "this holds for all pairs of SMOs". Sweep
+  // the full cross product of first x second kinds at one size.
+  int pair_rows = ScaledInt("INVERDA_FIG13_PAIR_ROWS", 2000);
+  std::printf("\n--- all SMO pairs at %d rows: measured vs calculated ---\n",
+              pair_rows);
+  std::printf("%-14s", "1st \\ 2nd");
+  for (const std::string& second : inverda::SecondSmoKinds()) {
+    std::printf(" %16s", second.c_str());
+  }
+  std::printf("\n");
+  double pair_dev = 0;
+  int pair_cells = 0;
+  for (const std::string& first : inverda::FirstSmoKinds()) {
+    std::printf("%-14s", first.c_str());
+    for (const std::string& second : inverda::SecondSmoKinds()) {
+      Measurement m = Measure(first, second, pair_rows);
+      double calculated = m.one_smo_a + m.one_smo_b - m.local_v2;
+      double dev = calculated > 0
+                       ? (m.two_smos - calculated) / calculated * 100.0
+                       : 0.0;
+      pair_dev += std::abs(dev);
+      ++pair_cells;
+      std::printf("   %6.2f/%6.2f", m.two_smos, calculated);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nall-pairs average |deviation|: %.1f%% (paper: 6.3%% across "
+              "all pairs)\n",
+              pair_dev / pair_cells);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9 reproduction: accumulated propagation overhead over a workload
+// that shifts from TasKy to TasKy2 along the Technology Adoption Life
+// Cycle, for the two fixed materializations versus InVerDa's flexible one
+// (which migrates once the evolved layout wins).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "inverda/inverda.h"
+#include "workload/driver.h"
+#include "workload/tasky.h"
+
+using inverda::Value;
+using inverda::bench::CheckOk;
+using inverda::bench::ScaledInt;
+
+namespace {
+
+// Runs the adoption curve against a fresh scenario. `strategy` is "old",
+// "new" (fixed materializations) or "flex" (migrate at the crossover).
+// Returns the accumulated seconds per time slice.
+std::vector<double> RunCurve(const std::string& strategy, int tasks,
+                             int slices, int ops_per_slice) {
+  inverda::TaskyOptions options;
+  options.num_tasks = tasks;
+  options.create_do = false;
+  inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
+  inverda::Inverda& db = *scenario.db;
+  if (strategy == "new") CheckOk(db.Materialize({"TasKy2"}), "materialize");
+
+  inverda::Random rng(13);
+  std::vector<int64_t> keys = scenario.task_keys;
+
+  inverda::WorkloadTarget old_target{
+      "TasKy", "Task", [](inverda::Random* r) { return RandomTaskRow(r, 50); }};
+  inverda::WorkloadTarget new_target{
+      "TasKy2", "Task", [&db](inverda::Random* r) {
+        std::vector<inverda::KeyedRow> authors =
+            *db.Select("TasKy2", "Author");
+        int64_t fk = authors[r->NextUint64(authors.size())].key;
+        inverda::Row t = RandomTaskRow(r, 50);
+        return inverda::Row{t[1], t[2], Value::Int(fk)};
+      }};
+
+  std::vector<double> accumulated;
+  double total = 0;
+  bool migrated = (strategy == "new");
+  for (int slice = 0; slice < slices; ++slice) {
+    double new_fraction = inverda::AdoptionFraction(slice, slices);
+    if (strategy == "flex" && !migrated && new_fraction > 0.5) {
+      // The DBA's one line; migration cost counts into the total.
+      double migration_cost = inverda::bench::TimeMs(1, [&] {
+        CheckOk(db.Materialize({"TasKy2"}), "flex materialize");
+      });
+      total += migration_cost / 1000.0;
+      migrated = true;
+    }
+    int new_ops = static_cast<int>(new_fraction * ops_per_slice);
+    int old_ops = ops_per_slice - new_ops;
+    if (old_ops > 0) {
+      total += CheckOk(RunWorkload(&db, old_target, inverda::OpMix::Standard(),
+                                   old_ops, &rng, &keys),
+                       "old workload");
+    }
+    if (new_ops > 0) {
+      total += CheckOk(RunWorkload(&db, new_target, inverda::OpMix::Standard(),
+                                   new_ops, &rng, &keys),
+                       "new workload");
+    }
+    accumulated.push_back(total);
+  }
+  return accumulated;
+}
+
+}  // namespace
+
+int main() {
+  int tasks = ScaledInt("INVERDA_FIG9_TASKS", 2000);
+  int slices = ScaledInt("INVERDA_FIG9_SLICES", 24);
+  int ops = ScaledInt("INVERDA_FIG9_OPS", 20);
+
+  inverda::bench::PrintHeader(
+      "Figure 9: flexible vs fixed materialization (TasKy -> TasKy2 "
+      "adoption)");
+  std::printf("%d tasks, %d time slices, %d ops/slice, mix 50r/20i/20u/10d\n\n",
+              tasks, slices, ops);
+
+  std::vector<double> fixed_old = RunCurve("old", tasks, slices, ops);
+  std::vector<double> fixed_new = RunCurve("new", tasks, slices, ops);
+  std::vector<double> flexible = RunCurve("flex", tasks, slices, ops);
+
+  std::printf("%-6s %-12s %-22s %-22s %-22s\n", "slice", "TasKy2-share",
+              "fixed initial mat. [s]", "fixed evolved mat. [s]",
+              "flexible (InVerDa) [s]");
+  for (int i = 0; i < slices; ++i) {
+    std::printf("%-6d %-12.2f %-22.3f %-22.3f %-22.3f\n", i,
+                inverda::AdoptionFraction(i, slices), fixed_old[i],
+                fixed_new[i], flexible[i]);
+  }
+  double best_fixed = std::min(fixed_old.back(), fixed_new.back());
+  std::printf("\ntotals: fixed-initial %.3f s, fixed-evolved %.3f s, "
+              "flexible %.3f s\n",
+              fixed_old.back(), fixed_new.back(), flexible.back());
+  std::printf("shape check (flexible <= 1.15 * best fixed): %s\n",
+              flexible.back() <= 1.15 * best_fixed ? "PASS" : "FAIL");
+  return 0;
+}

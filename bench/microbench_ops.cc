@@ -1,0 +1,111 @@
+// Google-benchmark micro benchmarks of the hot operations: point reads and
+// writes through virtual schema versions at increasing propagation
+// distances, and the raw storage substrate for reference.
+
+#include <benchmark/benchmark.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+#include "workload/tasky.h"
+
+namespace inverda {
+namespace {
+
+std::unique_ptr<TaskyScenario> MakeScenario(int tasks) {
+  TaskyOptions options;
+  options.num_tasks = tasks;
+  Result<TaskyScenario> scenario = BuildTasky(options);
+  if (!scenario.ok()) std::abort();
+  return std::make_unique<TaskyScenario>(std::move(*scenario));
+}
+
+void BM_RawTableInsert(benchmark::State& state) {
+  Database db;
+  (void)db.CreateTable(TableSchema(
+      "t", {{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  Table* table = *db.GetTable("t");
+  for (auto _ : state) {
+    (void)table->Insert(db.sequence().Next(),
+                        {Value::Int(1), Value::String("x")});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawTableInsert);
+
+void BM_PointGet_Local(benchmark::State& state) {
+  auto scenario = MakeScenario(1000);
+  int64_t key = scenario->task_keys[500];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario->db->Get("TasKy", "Task", key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointGet_Local);
+
+void BM_PointGet_OneSmoAway(benchmark::State& state) {
+  auto scenario = MakeScenario(1000);
+  int64_t key = scenario->task_keys[500];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario->db->Get("TasKy2", "Task", key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointGet_OneSmoAway);
+
+void BM_PointGet_TwoSmosAway(benchmark::State& state) {
+  auto scenario = MakeScenario(1000);
+  // Find an urgent task visible in Do! (two SMOs from the data).
+  std::vector<KeyedRow> todos = *scenario->db->Select("Do!", "Todo");
+  int64_t key = todos.front().key;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario->db->Get("Do!", "Todo", key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointGet_TwoSmosAway);
+
+void BM_Insert_Local(benchmark::State& state) {
+  auto scenario = MakeScenario(100);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scenario->db->Insert("TasKy", "Task", RandomTaskRow(&rng, 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert_Local);
+
+void BM_Insert_ThroughSplitAndDropColumn(benchmark::State& state) {
+  auto scenario = MakeScenario(100);
+  Random rng(1);
+  for (auto _ : state) {
+    Row t = RandomTaskRow(&rng, 20);
+    benchmark::DoNotOptimize(
+        scenario->db->Insert("Do!", "Todo", {t[0], t[1]}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert_ThroughSplitAndDropColumn);
+
+void BM_Scan_PerRow(benchmark::State& state) {
+  auto scenario = MakeScenario(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario->db->Select("TasKy2", "Task"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Scan_PerRow)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_EvolutionOperation(benchmark::State& state) {
+  for (auto _ : state) {
+    Inverda db;
+    (void)db.Execute(BidelInitialScript());
+    (void)db.Execute(BidelDoScript());
+    (void)db.Execute(BidelEvolutionScript());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EvolutionOperation);
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,51 @@
+// Table 4 reproduction: the SMO histogram of the (synthetic) Wikimedia
+// database evolution — 171 schema versions connected by 211 SMO instances.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/wikimedia.h"
+
+using inverda::bench::CheckOk;
+
+int main() {
+  inverda::WikimediaOptions options;
+  double build_ms = 0;
+  inverda::WikimediaScenario scenario;
+  build_ms = inverda::bench::TimeMs(1, [&] {
+    scenario = CheckOk(BuildWikimedia(options), "build");
+  });
+
+  inverda::bench::PrintHeader(
+      "Table 4: SMOs used in the Wikimedia database evolution (synthetic "
+      "history with the paper's histogram)");
+  const struct {
+    inverda::SmoKind kind;
+    int paper;
+  } rows[] = {
+      {inverda::SmoKind::kCreateTable, 42},
+      {inverda::SmoKind::kDropTable, 10},
+      {inverda::SmoKind::kRenameTable, 1},
+      {inverda::SmoKind::kAddColumn, 95},
+      {inverda::SmoKind::kDropColumn, 21},
+      {inverda::SmoKind::kRenameColumn, 36},
+      {inverda::SmoKind::kJoin, 0},
+      {inverda::SmoKind::kDecompose, 4},
+      {inverda::SmoKind::kMerge, 2},
+      {inverda::SmoKind::kSplit, 0},
+  };
+  int total = 0;
+  bool match = true;
+  for (const auto& row : rows) {
+    auto it = scenario.histogram.find(row.kind);
+    int count = it == scenario.histogram.end() ? 0 : it->second;
+    total += count;
+    match = match && (count == row.paper);
+    std::printf("%-14s %4d   (paper: %d)\n", inverda::SmoKindName(row.kind),
+                count, row.paper);
+  }
+  std::printf("%-14s %4d   (paper: 211)\n", "total", total);
+  std::printf("\n%zu schema versions built and registered in %.0f ms\n",
+              scenario.versions.size(), build_ms);
+  return (match && total == 211 && scenario.versions.size() == 171) ? 0 : 1;
+}

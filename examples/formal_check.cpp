@@ -1,0 +1,84 @@
+// The mechanized Section 5: prints the gamma rule sets of an SMO in the
+// paper's Datalog notation, composes them symbolically, simplifies with
+// Lemmas 1-5, and reports whether the bidirectionality conditions
+// (Equations 26/27) reduce to the identity.
+//
+// Usage: example_formal_check ["<SMO statement>"]
+// Default: the SPLIT SMO used throughout Section 4/5.
+
+#include <cstdio>
+#include <string>
+
+#include "bidel/parser.h"
+#include "bidel/rules.h"
+#include "datalog/print.h"
+#include "datalog/simplify.h"
+
+int main(int argc, char** argv) {
+  std::string smo_text =
+      argc > 1 ? argv[1]
+               : "SPLIT TABLE T INTO R WITH prio = 1, S WITH prio >= 2";
+
+  inverda::Result<inverda::SmoPtr> smo = inverda::ParseSmo(smo_text);
+  if (!smo.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 smo.status().ToString().c_str());
+    return 1;
+  }
+  inverda::Result<inverda::SmoRules> rules = inverda::RulesForSmo(**smo);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("SMO: %s\n\n", (*smo)->ToString().c_str());
+  std::printf("gamma_tgt (maps the source side to the target side):\n%s\n",
+              inverda::datalog::ToString(rules->gamma_tgt).c_str());
+  std::printf("gamma_src (maps the target side to the source side):\n%s\n",
+              inverda::datalog::ToString(rules->gamma_src).c_str());
+
+  if (rules->uses_id_generation) {
+    std::printf(
+        "This SMO generates identifiers (idS/idT/idR); the symbolic checker "
+        "skips it — its bidirectionality is covered by the runtime "
+        "round-trip property tests.\n");
+    return 0;
+  }
+  if (rules->gamma_tgt.rules.empty()) {
+    std::printf("Catalog-only SMO: no data evolution to verify.\n");
+    return 0;
+  }
+
+  // Condition 27: Dsrc = gamma_src^data(gamma_tgt(Dsrc)).
+  inverda::Result<inverda::datalog::RoundTripReport> cond27 =
+      inverda::datalog::CheckRoundTrip(rules->gamma_tgt, rules->gamma_src,
+                                       rules->source_relations,
+                                       rules->source_aux, rules->source_aux);
+  // Condition 26: Dtgt = gamma_tgt^data(gamma_src(Dtgt)).
+  inverda::Result<inverda::datalog::RoundTripReport> cond26 =
+      inverda::datalog::CheckRoundTrip(rules->gamma_src, rules->gamma_tgt,
+                                       rules->target_relations,
+                                       rules->target_aux, rules->target_aux);
+  if (!cond26.ok() || !cond27.ok()) {
+    std::fprintf(stderr, "checker error\n");
+    return 1;
+  }
+
+  std::printf("Condition 27 (write source->target, read back): %s\n",
+              cond27->holds ? "IDENTITY — holds" : "VIOLATED");
+  std::printf("  residual rule set after Lemmas 1-5:\n%s\n",
+              inverda::datalog::ToString(cond27->residual).c_str());
+  std::printf("Condition 26 (write target->source, read back): %s\n",
+              cond26->holds ? "IDENTITY — holds" : "VIOLATED");
+  std::printf("  residual rule set after Lemmas 1-5:\n%s\n",
+              inverda::datalog::ToString(cond26->residual).c_str());
+
+  if (cond26->holds && cond27->holds) {
+    std::printf("==> the SMO is bidirectional: both sides behave like "
+                "full-fledged single-schema databases.\n");
+    return 0;
+  }
+  std::printf("==> bidirectionality VIOLATED:\n%s\n%s\n",
+              cond27->detail.c_str(), cond26->detail.c_str());
+  return 1;
+}

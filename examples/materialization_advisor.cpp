@@ -1,0 +1,66 @@
+// The materialization advisor (the paper's future-work item (3)): given a
+// workload distribution over schema versions, enumerate all valid
+// materialization schemas, score them, and apply the best one.
+
+#include <cstdio>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+#include "workload/advisor.h"
+
+int main() {
+  using inverda::Value;
+  inverda::Inverda db;
+  for (const std::string& script :
+       {inverda::BidelInitialScript(), inverda::BidelDoScript(),
+        inverda::BidelEvolutionScript()}) {
+    inverda::Status s = db.Execute(script);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    db.Insert("TasKy", "Task",
+              {Value::String("author" + std::to_string(i % 7)),
+               Value::String("task " + std::to_string(i)),
+               Value::Int(1 + i % 3)});
+  }
+
+  struct Phase {
+    const char* label;
+    std::map<std::string, double> weights;
+  };
+  const Phase phases[] = {
+      {"launch day: everyone on TasKy", {{"TasKy", 1.0}}},
+      {"Do! catches on", {{"TasKy", 0.5}, {"Do!", 0.5}}},
+      {"TasKy2 rollout", {{"TasKy", 0.2}, {"Do!", 0.2}, {"TasKy2", 0.6}}},
+      {"legacy sunset", {{"TasKy2", 1.0}}},
+  };
+
+  for (const Phase& phase : phases) {
+    std::printf("== %s ==\n", phase.label);
+    inverda::Result<inverda::AdvisorRecommendation> rec =
+        inverda::RecommendMaterialization(db.catalog(), phase.weights);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [label, cost] : rec->candidate_costs) {
+      std::printf("  cost %.2f  %s\n", cost, label.c_str());
+    }
+    inverda::Status s = db.MaterializeSchema(rec->materialization);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  -> applied; physical tables:");
+    for (inverda::TvId tv : db.catalog().PhysicalTables(
+             db.catalog().CurrentMaterialization())) {
+      std::printf(" %s", db.catalog().TvLabel(tv).c_str());
+    }
+    std::printf("; TasKy still sees %zu tasks\n\n",
+                db.Select("TasKy", "Task")->size());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The full TasKy walk-through of the paper's Figure 1, narrated: the
+// developer evolves the schema twice (Do! and TasKy2), users keep writing
+// through every version, and the DBA re-materializes with one line.
+
+#include <cstdio>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace {
+
+void PrintTable(inverda::Inverda* db, const char* version,
+                const char* table) {
+  inverda::Result<std::vector<inverda::KeyedRow>> rows =
+      db->Select(version, table);
+  if (!rows.ok()) {
+    std::printf("  <error: %s>\n", rows.status().ToString().c_str());
+    return;
+  }
+  inverda::Result<inverda::TableSchema> schema = db->GetSchema(version, table);
+  std::printf("%s.%s  -- %s\n", version, table,
+              schema.ok() ? schema->ToString().c_str() : "?");
+  for (const inverda::KeyedRow& kr : *rows) {
+    std::printf("  p=%-3lld %s\n", static_cast<long long>(kr.key),
+                inverda::RowToString(kr.row).c_str());
+  }
+}
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    inverda::Status _s = (expr);                                  \
+    if (!_s.ok()) {                                               \
+      std::fprintf(stderr, "FAILED: %s\n", _s.ToString().c_str()); \
+      return 1;                                                   \
+    }                                                             \
+  } while (false)
+
+}  // namespace
+
+int main() {
+  using inverda::Value;
+  inverda::Inverda db;
+
+  std::printf("== Release 1: TasKy goes live ==\n");
+  CHECK_OK(db.Execute(inverda::BidelInitialScript()));
+  db.Insert("TasKy", "Task",
+            {Value::String("Ann"), Value::String("Organize party"),
+             Value::Int(3)});
+  db.Insert("TasKy", "Task",
+            {Value::String("Ben"), Value::String("Learn for exam"),
+             Value::Int(2)});
+  db.Insert("TasKy", "Task",
+            {Value::String("Ann"), Value::String("Write paper"),
+             Value::Int(1)});
+  db.Insert("TasKy", "Task",
+            {Value::String("Ben"), Value::String("Clean room"),
+             Value::Int(1)});
+  PrintTable(&db, "TasKy", "Task");
+
+  std::printf("\n== The Do! phone app needs its own schema version ==\n");
+  std::printf("%s\n", inverda::BidelDoScript().c_str());
+  CHECK_OK(db.Execute(inverda::BidelDoScript()));
+  PrintTable(&db, "Do!", "Todo");
+
+  std::printf("\n== Release 2: TasKy2 normalizes authors ==\n");
+  std::printf("%s\n", inverda::BidelEvolutionScript().c_str());
+  CHECK_OK(db.Execute(inverda::BidelEvolutionScript()));
+  PrintTable(&db, "TasKy2", "Task");
+  PrintTable(&db, "TasKy2", "Author");
+
+  std::printf("\n== A write through Do! is visible everywhere ==\n");
+  db.Insert("Do!", "Todo",
+            {Value::String("Cleo"), Value::String("Call grandma")});
+  PrintTable(&db, "TasKy", "Task");
+  PrintTable(&db, "TasKy2", "Author");
+
+  std::printf("\n== The DBA migrates with one line: %s ==\n",
+              inverda::BidelMigrationScript().c_str());
+  CHECK_OK(db.Execute(inverda::BidelMigrationScript()));
+  std::printf("physical tables now: ");
+  for (const std::string& name : db.db().TableNames()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n\nAll versions still answer:\n");
+  PrintTable(&db, "TasKy", "Task");
+  PrintTable(&db, "Do!", "Todo");
+  PrintTable(&db, "TasKy2", "Task");
+  return 0;
+}

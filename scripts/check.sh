@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification of the repository: configure, build, run the test
+# suite, run every benchmark/experiment binary, and run the examples.
+# Usage: scripts/check.sh [--asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD=build-asan
+  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+else
+  cmake -B "$BUILD" -G Ninja
+fi
+
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+echo "== examples =="
+for e in "$BUILD"/examples/example_*; do
+  echo "--- $e"
+  "$e" > /dev/null
+done
+
+echo "== benchmarks =="
+for b in "$BUILD"/bench/*; do
+  echo "--- $b"
+  "$b"
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,591 @@
+#include "bidel/parser.h"
+
+#include <cctype>
+
+#include "expr/parser.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+enum class TokKind { kWord, kNumber, kString, kSymbol, kEnd };
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  size_t begin = 0;  // offset into the script
+  size_t end = 0;
+};
+
+Result<std::vector<Tok>> TokenizeScript(const std::string& script) {
+  std::vector<Tok> toks;
+  size_t pos = 0;
+  while (pos < script.size()) {
+    char c = script[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '-' && pos + 1 < script.size() && script[pos + 1] == '-') {
+      while (pos < script.size() && script[pos] != '\n') ++pos;
+      continue;
+    }
+    size_t begin = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // '!' is allowed inside identifiers ("Do!") unless it starts a '!='.
+      while (pos < script.size() &&
+             (std::isalnum(static_cast<unsigned char>(script[pos])) ||
+              script[pos] == '_' ||
+              (script[pos] == '!' &&
+               (pos + 1 >= script.size() || script[pos + 1] != '=')))) {
+        ++pos;
+      }
+      toks.push_back(
+          {TokKind::kWord, script.substr(begin, pos - begin), begin, pos});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos < script.size() &&
+             (std::isdigit(static_cast<unsigned char>(script[pos])) ||
+              script[pos] == '.')) {
+        ++pos;
+      }
+      toks.push_back(
+          {TokKind::kNumber, script.substr(begin, pos - begin), begin, pos});
+      continue;
+    }
+    if (c == '\'') {
+      ++pos;
+      std::string value;
+      bool closed = false;
+      while (pos < script.size()) {
+        if (script[pos] == '\'') {
+          if (pos + 1 < script.size() && script[pos + 1] == '\'') {
+            value += '\'';
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          closed = true;
+          break;
+        }
+        value += script[pos++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      toks.push_back({TokKind::kString, std::move(value), begin, pos});
+      continue;
+    }
+    // Multi-char operators that may appear inside embedded expressions.
+    static const char* kTwoChar[] = {"<>", "!=", "<=", ">=", "||"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (script.compare(pos, 2, op) == 0) {
+        toks.push_back({TokKind::kSymbol, op, begin, pos + 2});
+        pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSymbols = "(),;=<>+-*/%.";
+    if (kSymbols.find(c) != std::string::npos) {
+      toks.push_back({TokKind::kSymbol, std::string(1, c), begin, pos + 1});
+      ++pos;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in BiDEL script");
+  }
+  toks.push_back({TokKind::kEnd, "", script.size(), script.size()});
+  return toks;
+}
+
+std::optional<DataType> ParseTypeName(const std::string& word) {
+  if (EqualsIgnoreCase(word, "INT") || EqualsIgnoreCase(word, "INTEGER")) {
+    return DataType::kInt64;
+  }
+  if (EqualsIgnoreCase(word, "TEXT") || EqualsIgnoreCase(word, "STRING") ||
+      EqualsIgnoreCase(word, "VARCHAR")) {
+    return DataType::kString;
+  }
+  if (EqualsIgnoreCase(word, "DOUBLE") || EqualsIgnoreCase(word, "FLOAT") ||
+      EqualsIgnoreCase(word, "REAL")) {
+    return DataType::kDouble;
+  }
+  if (EqualsIgnoreCase(word, "BOOL") || EqualsIgnoreCase(word, "BOOLEAN")) {
+    return DataType::kBool;
+  }
+  return std::nullopt;
+}
+
+class BidelParser {
+ public:
+  BidelParser(const std::string& script, std::vector<Tok> toks)
+      : script_(script), toks_(std::move(toks)) {}
+
+  Result<std::vector<BidelStatement>> ParseScript() {
+    std::vector<BidelStatement> out;
+    while (!AtEnd()) {
+      if (MatchSymbol(";")) continue;
+      INVERDA_ASSIGN_OR_RETURN(BidelStatement stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+    }
+    return out;
+  }
+
+  Result<SmoPtr> ParseSingleSmo() {
+    INVERDA_ASSIGN_OR_RETURN(SmoPtr smo, ParseSmoStatement());
+    MatchSymbol(";");
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after SMO: " +
+                                     Peek().text);
+    }
+    return smo;
+  }
+
+ private:
+  bool AtEnd() const { return toks_[pos_].kind == TokKind::kEnd; }
+  const Tok& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Tok Advance() { return toks_[pos_++]; }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    const Tok& t = Peek(ahead);
+    return t.kind == TokKind::kWord && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " but found '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' but found '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokKind::kWord) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " but found '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // True when the token sequence at `ahead` starts a new top-level
+  // statement; used to find the end of an SMO list.
+  bool AtTopLevelStatement() const {
+    if (PeekKeyword("MATERIALIZE")) return true;
+    if (PeekKeyword("CREATE") && PeekKeyword("SCHEMA", 1)) return true;
+    if (PeekKeyword("DROP") && PeekKeyword("SCHEMA", 1)) return true;
+    return false;
+  }
+
+  Result<BidelStatement> ParseStatement() {
+    if (PeekKeyword("MATERIALIZE")) return ParseMaterialize();
+    if (PeekKeyword("CREATE") && PeekKeyword("SCHEMA", 1)) {
+      return ParseCreateVersion();
+    }
+    if (PeekKeyword("DROP") && PeekKeyword("SCHEMA", 1)) {
+      return ParseDropVersion();
+    }
+    return Status::InvalidArgument(
+        "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE "
+        "but found '" +
+        Peek().text + "'");
+  }
+
+  Result<BidelStatement> ParseMaterialize() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("MATERIALIZE"));
+    MaterializeStatement stmt;
+    while (true) {
+      std::string target;
+      if (Peek().kind == TokKind::kString) {
+        // Quoted: 'TasKy2' or 'TasKy2.task'.
+        target = Advance().text;
+      } else {
+        INVERDA_ASSIGN_OR_RETURN(target,
+                                 ExpectIdentifier("materialization target"));
+        if (MatchSymbol(".")) {
+          INVERDA_ASSIGN_OR_RETURN(std::string table,
+                                   ExpectIdentifier("table name"));
+          target += "." + table;
+        }
+      }
+      stmt.targets.push_back(std::move(target));
+      if (!MatchSymbol(",")) break;
+    }
+    return BidelStatement(std::move(stmt));
+  }
+
+  Result<BidelStatement> ParseCreateVersion() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("SCHEMA"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("VERSION"));
+    EvolutionStatement stmt;
+    INVERDA_ASSIGN_OR_RETURN(stmt.new_version,
+                             ExpectIdentifier("schema version name"));
+    if (MatchKeyword("FROM")) {
+      INVERDA_ASSIGN_OR_RETURN(std::string from,
+                               ExpectIdentifier("source schema version"));
+      stmt.from_version = std::move(from);
+    }
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    while (true) {
+      INVERDA_ASSIGN_OR_RETURN(SmoPtr smo, ParseSmoStatement());
+      stmt.smos.push_back(std::move(smo));
+      MatchSymbol(";");
+      if (AtEnd() || AtTopLevelStatement()) break;
+    }
+    return BidelStatement(std::move(stmt));
+  }
+
+  Result<BidelStatement> ParseDropVersion() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("SCHEMA"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("VERSION"));
+    DropVersionStatement stmt;
+    if (Peek().kind == TokKind::kString) {
+      stmt.version = Advance().text;
+    } else {
+      INVERDA_ASSIGN_OR_RETURN(stmt.version,
+                               ExpectIdentifier("schema version name"));
+    }
+    return BidelStatement(std::move(stmt));
+  }
+
+  // --- SMO statements ------------------------------------------------------
+
+  Result<SmoPtr> ParseSmoStatement() {
+    if (MatchKeyword("CREATE")) return ParseCreateTable();
+    if (PeekKeyword("DROP") && PeekKeyword("TABLE", 1)) {
+      pos_ += 2;
+      INVERDA_ASSIGN_OR_RETURN(std::string name,
+                               ExpectIdentifier("table name"));
+      return SmoPtr(std::make_shared<DropTableSmo>(std::move(name)));
+    }
+    if (PeekKeyword("RENAME") && PeekKeyword("TABLE", 1)) {
+      pos_ += 2;
+      INVERDA_ASSIGN_OR_RETURN(std::string from,
+                               ExpectIdentifier("table name"));
+      INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+      INVERDA_ASSIGN_OR_RETURN(std::string to, ExpectIdentifier("table name"));
+      return SmoPtr(
+          std::make_shared<RenameTableSmo>(std::move(from), std::move(to)));
+    }
+    if (PeekKeyword("RENAME") && PeekKeyword("COLUMN", 1)) {
+      pos_ += 2;
+      INVERDA_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+      INVERDA_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      INVERDA_ASSIGN_OR_RETURN(std::string table,
+                               ExpectIdentifier("table name"));
+      INVERDA_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      INVERDA_ASSIGN_OR_RETURN(std::string to,
+                               ExpectIdentifier("column name"));
+      return SmoPtr(std::make_shared<RenameColumnSmo>(
+          std::move(table), std::move(col), std::move(to)));
+    }
+    if (PeekKeyword("ADD") && PeekKeyword("COLUMN", 1)) {
+      return ParseAddColumn();
+    }
+    if (PeekKeyword("DROP") && PeekKeyword("COLUMN", 1)) {
+      return ParseDropColumn();
+    }
+    if (PeekKeyword("DECOMPOSE")) return ParseDecompose();
+    if (PeekKeyword("JOIN") || PeekKeyword("OUTER")) return ParseJoin();
+    if (PeekKeyword("SPLIT")) return ParseSplit();
+    if (PeekKeyword("MERGE")) return ParseMerge();
+    return Status::InvalidArgument("expected an SMO but found '" +
+                                   Peek().text + "'");
+  }
+
+  Result<SmoPtr> ParseCreateTable() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    INVERDA_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Column> columns;
+    while (true) {
+      INVERDA_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+      DataType type = DataType::kString;
+      if (Peek().kind == TokKind::kWord) {
+        if (std::optional<DataType> t = ParseTypeName(Peek().text)) {
+          type = *t;
+          ++pos_;
+        }
+      }
+      columns.push_back({std::move(col), type});
+      if (MatchSymbol(")")) break;
+      INVERDA_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+    return SmoPtr(std::make_shared<CreateTableSmo>(
+        TableSchema(std::move(name), std::move(columns))));
+  }
+
+  Result<SmoPtr> ParseAddColumn() {
+    pos_ += 2;  // ADD COLUMN
+    INVERDA_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    std::optional<DataType> type;
+    if (Peek().kind == TokKind::kWord && !PeekKeyword("AS")) {
+      if (std::optional<DataType> t = ParseTypeName(Peek().text)) {
+        type = *t;
+        ++pos_;
+      }
+    }
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr fn, ParseEmbeddedExpr({"INTO"}));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    INVERDA_ASSIGN_OR_RETURN(std::string table,
+                             ExpectIdentifier("table name"));
+    return SmoPtr(std::make_shared<AddColumnSmo>(std::move(table),
+                                                 std::move(col), type,
+                                                 std::move(fn)));
+  }
+
+  Result<SmoPtr> ParseDropColumn() {
+    pos_ += 2;  // DROP COLUMN
+    INVERDA_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    INVERDA_ASSIGN_OR_RETURN(std::string table,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("DEFAULT"));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr fn, ParseEmbeddedExpr({}));
+    return SmoPtr(std::make_shared<DropColumnSmo>(
+        std::move(table), std::move(col), std::move(fn)));
+  }
+
+  Result<SmoPtr> ParseSplit() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("SPLIT"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    INVERDA_ASSIGN_OR_RETURN(std::string table,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    INVERDA_ASSIGN_OR_RETURN(std::string r_name,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr r_cond, ParseEmbeddedExpr({}));
+    std::optional<std::string> s_name;
+    ExprPtr s_cond;
+    if (MatchSymbol(",")) {
+      INVERDA_ASSIGN_OR_RETURN(std::string s, ExpectIdentifier("table name"));
+      s_name = std::move(s);
+      INVERDA_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+      INVERDA_ASSIGN_OR_RETURN(s_cond, ParseEmbeddedExpr({}));
+    }
+    return SmoPtr(std::make_shared<SplitSmo>(std::move(table),
+                                             std::move(r_name),
+                                             std::move(r_cond), s_name,
+                                             std::move(s_cond)));
+  }
+
+  Result<SmoPtr> ParseMerge() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("MERGE"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    INVERDA_ASSIGN_OR_RETURN(std::string r_name,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol("("));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr r_cond, ParseParenExpr());
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol(","));
+    INVERDA_ASSIGN_OR_RETURN(std::string s_name,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol("("));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr s_cond, ParseParenExpr());
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    INVERDA_ASSIGN_OR_RETURN(std::string target,
+                             ExpectIdentifier("table name"));
+    return SmoPtr(std::make_shared<MergeSmo>(
+        std::move(r_name), std::move(r_cond), std::move(s_name),
+        std::move(s_cond), std::move(target)));
+  }
+
+  Result<SmoPtr> ParseDecompose() {
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("DECOMPOSE"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    INVERDA_ASSIGN_OR_RETURN(std::string table,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    INVERDA_ASSIGN_OR_RETURN(std::string s_name,
+                             ExpectIdentifier("table name"));
+    INVERDA_ASSIGN_OR_RETURN(std::vector<std::string> s_columns,
+                             ParseNameList());
+    std::optional<std::string> t_name;
+    std::vector<std::string> t_columns;
+    if (MatchSymbol(",")) {
+      INVERDA_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier("table name"));
+      t_name = std::move(t);
+      INVERDA_ASSIGN_OR_RETURN(t_columns, ParseNameList());
+    }
+    VerticalMethod method = VerticalMethod::kPk;
+    std::string fk_column;
+    ExprPtr condition;
+    if (MatchKeyword("ON")) {
+      Result<VerticalSpec> spec = ParseVerticalMethod();
+      if (!spec.ok()) return spec.status();
+      std::tie(method, fk_column, condition) = std::move(spec).value();
+    }
+    return SmoPtr(std::make_shared<DecomposeSmo>(
+        std::move(table), std::move(s_name), std::move(s_columns), t_name,
+        std::move(t_columns), method, std::move(fk_column),
+        std::move(condition)));
+  }
+
+  Result<SmoPtr> ParseJoin() {
+    bool outer = MatchKeyword("OUTER");
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    INVERDA_ASSIGN_OR_RETURN(std::string left, ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol(","));
+    INVERDA_ASSIGN_OR_RETURN(std::string right,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    INVERDA_ASSIGN_OR_RETURN(std::string target,
+                             ExpectIdentifier("table name"));
+    INVERDA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    VerticalMethod method;
+    std::string fk_column;
+    ExprPtr condition;
+    Result<VerticalSpec> spec = ParseVerticalMethod();
+    if (!spec.ok()) return spec.status();
+    std::tie(method, fk_column, condition) = std::move(spec).value();
+    return SmoPtr(std::make_shared<JoinSmo>(
+        std::move(left), std::move(right), std::move(target), outer, method,
+        std::move(fk_column), std::move(condition)));
+  }
+
+  using VerticalSpec = std::tuple<VerticalMethod, std::string, ExprPtr>;
+
+  Result<VerticalSpec> ParseVerticalMethod() {
+    if (MatchKeyword("PK")) {
+      return VerticalSpec{VerticalMethod::kPk, "", nullptr};
+    }
+    bool fk = false;
+    if (MatchKeyword("FK")) {
+      fk = true;
+    } else if (PeekKeyword("FOREIGN") && PeekKeyword("KEY", 1)) {
+      pos_ += 2;
+      fk = true;
+    }
+    if (fk) {
+      INVERDA_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("foreign key column"));
+      return VerticalSpec{VerticalMethod::kFk, std::move(col), nullptr};
+    }
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr cond, ParseEmbeddedExpr({}));
+    return VerticalSpec{VerticalMethod::kCondition, "", std::move(cond)};
+  }
+
+  Result<std::vector<std::string>> ParseNameList() {
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> names;
+    while (true) {
+      INVERDA_ASSIGN_OR_RETURN(std::string name,
+                               ExpectIdentifier("column name"));
+      names.push_back(std::move(name));
+      if (MatchSymbol(")")) break;
+      INVERDA_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+    return names;
+  }
+
+  // Collects tokens until a terminating keyword (from `stop_keywords`), a
+  // top-level ',' or ';', a new top-level statement, or end of input, then
+  // parses the covered script slice as a scalar expression. Parentheses are
+  // tracked so commas inside function calls do not terminate.
+  Result<ExprPtr> ParseEmbeddedExpr(
+      const std::vector<std::string>& stop_keywords) {
+    size_t start_tok = pos_;
+    int depth = 0;
+    while (!AtEnd()) {
+      const Tok& t = Peek();
+      if (t.kind == TokKind::kSymbol) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (depth == 0 && (t.text == "," || t.text == ";")) break;
+      }
+      if (depth == 0 && t.kind == TokKind::kWord) {
+        bool stop = false;
+        for (const std::string& kw : stop_keywords) {
+          if (EqualsIgnoreCase(t.text, kw)) stop = true;
+        }
+        if (stop || AtTopLevelStatement()) break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start_tok) {
+      return Status::InvalidArgument("expected an expression before '" +
+                                     Peek().text + "'");
+    }
+    size_t begin = toks_[start_tok].begin;
+    size_t end = toks_[pos_ - 1].end;
+    return ParseExpression(script_.substr(begin, end - begin));
+  }
+
+  // Parses a parenthesized expression; the opening '(' is already consumed.
+  Result<ExprPtr> ParseParenExpr() {
+    size_t start_tok = pos_;
+    int depth = 0;
+    while (!AtEnd()) {
+      const Tok& t = Peek();
+      if (t.kind == TokKind::kSymbol) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") {
+          if (depth == 0) break;
+          --depth;
+        }
+      }
+      ++pos_;
+    }
+    if (AtEnd() || pos_ == start_tok) {
+      return Status::InvalidArgument("expected a parenthesized expression");
+    }
+    size_t begin = toks_[start_tok].begin;
+    size_t end = toks_[pos_ - 1].end;
+    INVERDA_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ParseExpression(script_.substr(begin, end - begin));
+  }
+
+  const std::string& script_;
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<BidelStatement>> ParseBidel(const std::string& script) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<Tok> toks, TokenizeScript(script));
+  BidelParser parser(script, std::move(toks));
+  return parser.ParseScript();
+}
+
+Result<SmoPtr> ParseSmo(const std::string& text) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<Tok> toks, TokenizeScript(text));
+  BidelParser parser(text, std::move(toks));
+  return parser.ParseSingleSmo();
+}
+
+}  // namespace inverda

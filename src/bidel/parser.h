@@ -1,0 +1,46 @@
+#ifndef INVERDA_BIDEL_PARSER_H_
+#define INVERDA_BIDEL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bidel/smo.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// CREATE SCHEMA VERSION <name> [FROM <name>] WITH <smo>; ...; <smo>;
+struct EvolutionStatement {
+  std::string new_version;
+  std::optional<std::string> from_version;
+  std::vector<SmoPtr> smos;
+};
+
+/// DROP SCHEMA VERSION <name>;
+struct DropVersionStatement {
+  std::string version;
+};
+
+/// MATERIALIZE '<version>' or MATERIALIZE '<version>.<table>', ...;
+struct MaterializeStatement {
+  std::vector<std::string> targets;
+};
+
+using BidelStatement =
+    std::variant<EvolutionStatement, DropVersionStatement,
+                 MaterializeStatement>;
+
+/// Parses a BiDEL script (Figure 2 syntax plus the MATERIALIZE migration
+/// command) into statements. Keywords are case-insensitive; `--` starts a
+/// line comment. The SMO list of a CREATE SCHEMA VERSION statement extends
+/// until the next top-level statement or the end of the script.
+Result<std::vector<BidelStatement>> ParseBidel(const std::string& script);
+
+/// Parses a single SMO statement (no CREATE SCHEMA VERSION wrapper).
+Result<SmoPtr> ParseSmo(const std::string& text);
+
+}  // namespace inverda
+
+#endif  // INVERDA_BIDEL_PARSER_H_

@@ -1,0 +1,464 @@
+#include "bidel/rules.h"
+
+namespace inverda {
+
+using datalog::Literal;
+using datalog::Rule;
+using datalog::RuleSet;
+using datalog::Term;
+
+namespace {
+
+Term V(const char* name) { return Term::Var(name); }
+Term W() { return Term::Wildcard(); }
+
+Rule MakeRule(std::string head_pred, std::vector<Term> head_args,
+              std::vector<Literal> body) {
+  Rule r;
+  r.head.predicate = std::move(head_pred);
+  r.head.args = std::move(head_args);
+  r.body = std::move(body);
+  return r;
+}
+
+// The SPLIT rule sets of Section 4 (rules 12-25), parameterized by the
+// relation names. MERGE reuses them with the gamma directions swapped.
+void BuildPartitionRules(const std::string& t, const std::string& r,
+                         const std::string& s, bool has_s,
+                         RuleSet* to_partition, RuleSet* to_union) {
+  // gamma toward the partition side (rules 12-17). Lost twins (R-) can only
+  // arise when a second partition S exists.
+  {
+    std::vector<Literal> body = {Literal::Relation(t, {V("p"), V("A")}),
+                                 Literal::Condition("cR", {V("A")})};
+    if (has_s) {
+      body.push_back(Literal::Relation("R_minus", {V("p")}, /*negated=*/true));
+    }
+    to_partition->rules.push_back(
+        MakeRule(r, {V("p"), V("A")}, std::move(body)));
+  }
+  to_partition->rules.push_back(
+      MakeRule(r, {V("p"), V("A")},
+               {Literal::Relation(t, {V("p"), V("A")}),
+                Literal::Relation("R_star", {V("p")})}));
+  if (has_s) {
+    to_partition->rules.push_back(MakeRule(
+        s, {V("p"), V("A")},
+        {Literal::Relation(t, {V("p"), V("A")}),
+         Literal::Condition("cS", {V("A")}),
+         Literal::Relation("S_minus", {V("p")}, true),
+         Literal::Relation("S_plus", {V("p"), W()}, true)}));
+    to_partition->rules.push_back(
+        MakeRule(s, {V("p"), V("A")},
+                 {Literal::Relation("S_plus", {V("p"), V("A")})}));
+    to_partition->rules.push_back(MakeRule(
+        s, {V("p"), V("A")},
+        {Literal::Relation(t, {V("p"), V("A")}),
+         Literal::Relation("S_star", {V("p")}),
+         Literal::Relation("S_plus", {V("p"), W()}, true)}));
+  }
+  {
+    std::vector<Literal> body = {
+        Literal::Relation(t, {V("p"), V("A")}),
+        Literal::Condition("cR", {V("A")}, true)};
+    if (has_s) body.push_back(Literal::Condition("cS", {V("A")}, true));
+    body.push_back(Literal::Relation("R_star", {V("p")}, true));
+    if (has_s) body.push_back(Literal::Relation("S_star", {V("p")}, true));
+    to_partition->rules.push_back(
+        MakeRule("T_prime", {V("p"), V("A")}, std::move(body)));
+  }
+
+  // gamma toward the union side (rules 18-25).
+  to_union->rules.push_back(MakeRule(
+      t, {V("p"), V("A")}, {Literal::Relation(r, {V("p"), V("A")})}));
+  if (has_s) {
+    to_union->rules.push_back(
+        MakeRule(t, {V("p"), V("A")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Relation(r, {V("p"), W()}, true)}));
+  }
+  to_union->rules.push_back(MakeRule(
+      t, {V("p"), V("A")}, {Literal::Relation("T_prime", {V("p"), V("A")})}));
+  if (has_s) {
+    to_union->rules.push_back(
+        MakeRule("R_minus", {V("p")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Relation(r, {V("p"), W()}, true),
+                  Literal::Condition("cR", {V("A")})}));
+  }
+  to_union->rules.push_back(
+      MakeRule("R_star", {V("p")},
+               {Literal::Relation(r, {V("p"), V("A")}),
+                Literal::Condition("cR", {V("A")}, true)}));
+  if (has_s) {
+    to_union->rules.push_back(
+        MakeRule("S_plus", {V("p"), V("A")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Relation(r, {V("p"), V("A'")}),
+                  Literal::NotEqual(V("A"), V("A'"))}));
+    to_union->rules.push_back(
+        MakeRule("S_minus", {V("p")},
+                 {Literal::Relation(r, {V("p"), V("A")}),
+                  Literal::Relation(s, {V("p"), W()}, true),
+                  Literal::Condition("cS", {V("A")})}));
+    to_union->rules.push_back(
+        MakeRule("S_star", {V("p")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Condition("cS", {V("A")}, true)}));
+  }
+}
+
+// ADD COLUMN rules (B.1, rules 126-129): wide side carries column b.
+void BuildColumnRules(const std::string& narrow, const std::string& wide,
+                      RuleSet* to_wide, RuleSet* to_narrow) {
+  to_wide->rules.push_back(
+      MakeRule(wide, {V("p"), V("A"), V("b")},
+               {Literal::Relation(narrow, {V("p"), V("A")}),
+                Literal::Function(V("b"), "f", {V("A")}),
+                Literal::Relation("B", {V("p"), W()}, true)}));
+  to_wide->rules.push_back(
+      MakeRule(wide, {V("p"), V("A"), V("b")},
+               {Literal::Relation(narrow, {V("p"), V("A")}),
+                Literal::Relation("B", {V("p"), V("b")})}));
+  to_narrow->rules.push_back(MakeRule(
+      narrow, {V("p"), V("A")}, {Literal::Relation(wide, {V("p"), V("A"), W()})}));
+  to_narrow->rules.push_back(MakeRule(
+      "B", {V("p"), V("b")}, {Literal::Relation(wide, {V("p"), W(), V("b")})}));
+}
+
+// DECOMPOSE ON PK rules (B.2, rules 133-137).
+void BuildVerticalPkRules(const std::string& combined, const std::string& s,
+                          const std::string& t, bool has_t, RuleSet* to_split,
+                          RuleSet* to_combined) {
+  if (has_t) {
+    to_split->rules.push_back(
+        MakeRule(s, {V("p"), V("A")},
+                 {Literal::Relation(combined, {V("p"), V("A"), W()}),
+                  Literal::NotEqual(V("A"), V("omega"))}));
+    to_split->rules.push_back(
+        MakeRule(t, {V("p"), V("B")},
+                 {Literal::Relation(combined, {V("p"), W(), V("B")}),
+                  Literal::NotEqual(V("B"), V("omega"))}));
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("p"), V("A"), V("B")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Relation(t, {V("p"), V("B")})}));
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("p"), V("A"), V("omega")},
+                 {Literal::Relation(s, {V("p"), V("A")}),
+                  Literal::Relation(t, {V("p"), W()}, true)}));
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("p"), V("omega"), V("B")},
+                 {Literal::Relation(s, {V("p"), W()}, true),
+                  Literal::Relation(t, {V("p"), V("B")})}));
+  } else {
+    to_split->rules.push_back(
+        MakeRule(s, {V("p"), V("A")},
+                 {Literal::Relation(combined, {V("p"), V("A"), W()})}));
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("p"), V("A"), V("omega")},
+                 {Literal::Relation(s, {V("p"), V("A")})}));
+  }
+}
+
+// Inner JOIN ON PK rules (B.5, rules 177-183).
+void BuildJoinPkRules(const std::string& left, const std::string& right,
+                      const std::string& joined, RuleSet* to_joined,
+                      RuleSet* to_split) {
+  to_joined->rules.push_back(
+      MakeRule(joined, {V("p"), V("A"), V("B")},
+               {Literal::Relation(left, {V("p"), V("A")}),
+                Literal::Relation(right, {V("p"), V("B")})}));
+  to_joined->rules.push_back(
+      MakeRule("L_plus", {V("p"), V("A")},
+               {Literal::Relation(left, {V("p"), V("A")}),
+                Literal::Relation(right, {V("p"), W()}, true)}));
+  to_joined->rules.push_back(
+      MakeRule("R_plus", {V("p"), V("B")},
+               {Literal::Relation(left, {V("p"), W()}, true),
+                Literal::Relation(right, {V("p"), V("B")})}));
+  to_split->rules.push_back(MakeRule(
+      left, {V("p"), V("A")},
+      {Literal::Relation(joined, {V("p"), V("A"), W()})}));
+  to_split->rules.push_back(
+      MakeRule(left, {V("p"), V("A")},
+               {Literal::Relation("L_plus", {V("p"), V("A")})}));
+  to_split->rules.push_back(MakeRule(
+      right, {V("p"), V("B")},
+      {Literal::Relation(joined, {V("p"), W(), V("B")})}));
+  to_split->rules.push_back(
+      MakeRule(right, {V("p"), V("B")},
+               {Literal::Relation("R_plus", {V("p"), V("B")})}));
+}
+
+// DECOMPOSE ON FK rules (B.3, rules 141-152), with the id generation
+// rendered as a function literal (the staged old/new variants are documented
+// in the paper; the simplifier does not verify these).
+void BuildFkRules(const std::string& combined, const std::string& s,
+                  const std::string& t, RuleSet* to_split,
+                  RuleSet* to_combined) {
+  to_split->rules.push_back(
+      MakeRule(t, {V("t"), V("B")},
+               {Literal::Relation(combined, {V("p"), W(), V("B")}),
+                Literal::Relation("IDR", {V("p"), V("t")})}));
+  to_split->rules.push_back(
+      MakeRule(t, {V("t"), V("B")},
+               {Literal::Relation(combined, {V("p"), W(), V("B")}),
+                Literal::Relation("IDR", {V("p"), W()}, true),
+                Literal::Function(V("t"), "idT", {V("B")})}));
+  to_split->rules.push_back(
+      MakeRule(s, {V("p"), V("A"), V("t")},
+               {Literal::Relation(combined, {V("p"), V("A"), W()}),
+                Literal::Relation("IDR", {V("p"), V("t")})}));
+  to_combined->rules.push_back(
+      MakeRule(combined, {V("p"), V("A"), V("B")},
+               {Literal::Relation(s, {V("p"), V("A"), V("t")}),
+                Literal::Relation(t, {V("t"), V("B")})}));
+  to_combined->rules.push_back(
+      MakeRule(combined, {V("p"), V("A"), V("omega")},
+               {Literal::Relation(s, {V("p"), V("A"), V("omega")})}));
+  to_combined->rules.push_back(
+      MakeRule(combined, {V("t"), V("omega"), V("B")},
+               {Literal::Relation(s, {W(), W(), V("t")}, true),
+                Literal::Relation(t, {V("t"), V("B")})}));
+  to_combined->rules.push_back(
+      MakeRule("IDR", {V("p"), V("t")},
+               {Literal::Relation(s, {V("p"), W(), V("t")}),
+                Literal::Relation(t, {V("t"), W()})}));
+  to_combined->rules.push_back(
+      MakeRule("IDR", {V("t"), V("t")},
+               {Literal::Relation(s, {W(), W(), V("t")}, true),
+                Literal::Relation(t, {V("t"), W()})}));
+}
+
+// [OUTER] JOIN / DECOMPOSE ON condition rules (B.4/B.6), rendered with id
+// functions; documentation + SQL generation only.
+void BuildCondRules(const std::string& combined, const std::string& s,
+                    const std::string& t, bool outer, RuleSet* to_combined,
+                    RuleSet* to_split) {
+  to_combined->rules.push_back(
+      MakeRule(combined, {V("r"), V("A"), V("B")},
+               {Literal::Relation(s, {V("s"), V("A")}),
+                Literal::Relation(t, {V("t"), V("B")}),
+                Literal::Relation("ID", {V("r"), V("s"), V("t")})}));
+  to_combined->rules.push_back(
+      MakeRule(combined, {V("r"), V("A"), V("B")},
+               {Literal::Relation(s, {V("s"), V("A")}),
+                Literal::Relation(t, {V("t"), V("B")}),
+                Literal::Condition("c", {V("A"), V("B")}),
+                Literal::Relation("R_minus", {V("s"), V("t")}, true),
+                Literal::Relation("ID", {W(), V("s"), V("t")}, true),
+                Literal::Function(V("r"), "idR", {V("A"), V("B")})}));
+  to_combined->rules.push_back(
+      MakeRule("ID", {V("r"), V("s"), V("t")},
+               {Literal::Relation(s, {V("s"), V("A")}),
+                Literal::Relation(t, {V("t"), V("B")}),
+                Literal::Condition("c", {V("A"), V("B")}),
+                Literal::Relation(combined, {V("r"), V("A"), V("B")})}));
+  if (outer) {
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("s"), V("A"), V("omega")},
+                 {Literal::Relation(s, {V("s"), V("A")}),
+                  Literal::Relation("ID", {W(), V("s"), W()}, true)}));
+    to_combined->rules.push_back(
+        MakeRule(combined, {V("t"), V("omega"), V("B")},
+                 {Literal::Relation(t, {V("t"), V("B")}),
+                  Literal::Relation("ID", {W(), W(), V("t")}, true)}));
+  } else {
+    to_combined->rules.push_back(
+        MakeRule("L_plus", {V("s"), V("A")},
+                 {Literal::Relation(s, {V("s"), V("A")}),
+                  Literal::Relation("ID", {W(), V("s"), W()}, true)}));
+    to_combined->rules.push_back(
+        MakeRule("R_plus", {V("t"), V("B")},
+                 {Literal::Relation(t, {V("t"), V("B")}),
+                  Literal::Relation("ID", {W(), W(), V("t")}, true)}));
+  }
+  to_split->rules.push_back(
+      MakeRule(s, {V("s"), V("A")},
+               {Literal::Relation(combined, {V("r"), V("A"), W()}),
+                Literal::Relation("ID", {V("r"), V("s"), W()})}));
+  to_split->rules.push_back(
+      MakeRule(s, {V("s"), V("A")},
+               {Literal::Relation(combined, {V("s"), V("A"), V("omega")}),
+                Literal::Relation("ID", {V("s"), W(), W()}, true)}));
+  to_split->rules.push_back(
+      MakeRule(t, {V("t"), V("B")},
+               {Literal::Relation(combined, {V("r"), W(), V("B")}),
+                Literal::Relation("ID", {V("r"), W(), V("t")})}));
+  to_split->rules.push_back(
+      MakeRule(t, {V("t"), V("B")},
+               {Literal::Relation(combined, {V("t"), V("omega"), V("B")}),
+                Literal::Relation("ID", {V("t"), W(), W()}, true)}));
+  to_split->rules.push_back(
+      MakeRule("R_minus", {V("s"), V("t")},
+               {Literal::Relation(combined, {W(), V("A"), V("B")}, true),
+                Literal::Relation(s, {V("s"), V("A")}),
+                Literal::Relation(t, {V("t"), V("B")}),
+                Literal::Condition("c", {V("A"), V("B")})}));
+  if (!outer) {
+    to_split->rules.push_back(
+        MakeRule(s, {V("s"), V("A")},
+                 {Literal::Relation("L_plus", {V("s"), V("A")})}));
+    to_split->rules.push_back(
+        MakeRule(t, {V("t"), V("B")},
+                 {Literal::Relation("R_plus", {V("t"), V("B")})}));
+  }
+}
+
+}  // namespace
+
+Result<SmoRules> RulesForSmo(const Smo& smo) {
+  SmoRules rules;
+  switch (smo.kind()) {
+    case SmoKind::kCreateTable:
+    case SmoKind::kDropTable:
+      return rules;  // catalog-only, no data evolution
+    case SmoKind::kRenameTable: {
+      const auto& r = static_cast<const RenameTableSmo&>(smo);
+      rules.source_relations = {r.from()};
+      rules.target_relations = {r.to()};
+      rules.gamma_tgt.rules.push_back(
+          MakeRule(r.to(), {V("p"), V("A")},
+                   {Literal::Relation(r.from(), {V("p"), V("A")})}));
+      rules.gamma_src.rules.push_back(
+          MakeRule(r.from(), {V("p"), V("A")},
+                   {Literal::Relation(r.to(), {V("p"), V("A")})}));
+      return rules;
+    }
+    case SmoKind::kRenameColumn: {
+      const auto& r = static_cast<const RenameColumnSmo&>(smo);
+      std::string target = r.table() + "'";
+      rules.source_relations = {r.table()};
+      rules.target_relations = {target};
+      rules.gamma_tgt.rules.push_back(
+          MakeRule(target, {V("p"), V("A")},
+                   {Literal::Relation(r.table(), {V("p"), V("A")})}));
+      rules.gamma_src.rules.push_back(
+          MakeRule(r.table(), {V("p"), V("A")},
+                   {Literal::Relation(target, {V("p"), V("A")})}));
+      return rules;
+    }
+    case SmoKind::kAddColumn: {
+      const auto& a = static_cast<const AddColumnSmo&>(smo);
+      std::string target = a.table() + "'";
+      rules.source_relations = {a.table()};
+      rules.target_relations = {target};
+      rules.source_aux = {"B"};
+      BuildColumnRules(a.table(), target, &rules.gamma_tgt,
+                       &rules.gamma_src);
+      rules.grounding.function_sql["f"] = a.fn()->ToString();
+      return rules;
+    }
+    case SmoKind::kDropColumn: {
+      const auto& d = static_cast<const DropColumnSmo&>(smo);
+      std::string target = d.table() + "'";
+      rules.source_relations = {d.table()};
+      rules.target_relations = {target};
+      rules.target_aux = {"B"};
+      // DROP COLUMN is the inverse of ADD COLUMN: the wide side is the
+      // source, so the column rule sets swap directions.
+      BuildColumnRules(target, d.table(), &rules.gamma_src,
+                       &rules.gamma_tgt);
+      rules.grounding.function_sql["f"] = d.default_fn()->ToString();
+      return rules;
+    }
+    case SmoKind::kSplit: {
+      const auto& s = static_cast<const SplitSmo&>(smo);
+      rules.source_relations = {s.table()};
+      rules.target_relations = s.TargetTables();
+      rules.source_aux = s.has_s()
+                             ? std::vector<std::string>{"R_minus", "R_star",
+                                                        "S_plus", "S_minus",
+                                                        "S_star"}
+                             : std::vector<std::string>{"R_star"};
+      rules.target_aux = {"T_prime"};
+      BuildPartitionRules(s.table(), s.r_name(),
+                          s.has_s() ? s.s_name() : "", s.has_s(),
+                          &rules.gamma_tgt, &rules.gamma_src);
+      rules.grounding.condition_sql["cR"] = s.r_cond()->ToString();
+      if (s.has_s()) {
+        rules.grounding.condition_sql["cS"] = s.s_cond()->ToString();
+      }
+      return rules;
+    }
+    case SmoKind::kMerge: {
+      const auto& m = static_cast<const MergeSmo&>(smo);
+      rules.source_relations = {m.r_name(), m.s_name()};
+      rules.target_relations = {m.target()};
+      rules.source_aux = {"T_prime"};
+      rules.target_aux = {"R_minus", "R_star", "S_plus", "S_minus", "S_star"};
+      // MERGE runs the SPLIT mapping in the opposite direction.
+      BuildPartitionRules(m.target(), m.r_name(), m.s_name(), true,
+                          &rules.gamma_src, &rules.gamma_tgt);
+      rules.grounding.condition_sql["cR"] = m.r_cond()->ToString();
+      rules.grounding.condition_sql["cS"] = m.s_cond()->ToString();
+      return rules;
+    }
+    case SmoKind::kDecompose: {
+      const auto& d = static_cast<const DecomposeSmo&>(smo);
+      rules.source_relations = {d.table()};
+      rules.target_relations = d.TargetTables();
+      switch (d.method()) {
+        case VerticalMethod::kPk:
+          BuildVerticalPkRules(d.table(), d.s_name(),
+                               d.has_t() ? d.t_name() : "", d.has_t(),
+                               &rules.gamma_tgt, &rules.gamma_src);
+          return rules;
+        case VerticalMethod::kFk:
+          rules.source_aux = {"IDR"};
+          rules.uses_id_generation = true;
+          BuildFkRules(d.table(), d.s_name(), d.t_name(), &rules.gamma_tgt,
+                       &rules.gamma_src);
+          return rules;
+        case VerticalMethod::kCondition:
+          rules.source_aux = {"ID"};
+          rules.target_aux = {"ID", "R_minus"};
+          rules.uses_id_generation = true;
+          BuildCondRules(d.table(), d.s_name(), d.t_name(), /*outer=*/true,
+                         &rules.gamma_src, &rules.gamma_tgt);
+          rules.grounding.condition_sql["c"] = d.condition()->ToString();
+          return rules;
+      }
+      return Status::Internal("unknown decompose method");
+    }
+    case SmoKind::kJoin: {
+      const auto& j = static_cast<const JoinSmo&>(smo);
+      rules.source_relations = {j.left(), j.right()};
+      rules.target_relations = {j.target()};
+      switch (j.method()) {
+        case VerticalMethod::kPk:
+          if (j.outer()) {
+            BuildVerticalPkRules(j.target(), j.left(), j.right(), true,
+                                 &rules.gamma_src, &rules.gamma_tgt);
+          } else {
+            rules.target_aux = {"L_plus", "R_plus"};
+            BuildJoinPkRules(j.left(), j.right(), j.target(),
+                             &rules.gamma_tgt, &rules.gamma_src);
+          }
+          return rules;
+        case VerticalMethod::kFk:
+          rules.target_aux = {"IDR"};
+          rules.uses_id_generation = true;
+          BuildFkRules(j.target(), j.left(), j.right(), &rules.gamma_src,
+                       &rules.gamma_tgt);
+          return rules;
+        case VerticalMethod::kCondition:
+          rules.source_aux = {"ID", "R_minus"};
+          rules.target_aux = j.outer()
+                                 ? std::vector<std::string>{"ID"}
+                                 : std::vector<std::string>{"ID", "L_plus",
+                                                            "R_plus"};
+          rules.uses_id_generation = true;
+          BuildCondRules(j.target(), j.left(), j.right(), j.outer(),
+                         &rules.gamma_tgt, &rules.gamma_src);
+          rules.grounding.condition_sql["c"] = j.condition()->ToString();
+          return rules;
+      }
+      return Status::Internal("unknown join method");
+    }
+  }
+  return Status::Internal("unknown SMO kind");
+}
+
+}  // namespace inverda

@@ -1,0 +1,63 @@
+#ifndef INVERDA_BIDEL_RULES_H_
+#define INVERDA_BIDEL_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bidel/smo.h"
+#include "datalog/rule.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// How a relation symbol of a rule set is grounded: its argument signature
+/// (a key variable followed by payload segments) and the concrete columns
+/// each attribute-list variable stands for. Used by the SQL generator.
+struct RuleGrounding {
+  /// Attribute-list variable -> concrete column names ("A" -> author, task).
+  std::map<std::string, std::vector<std::string>> list_vars;
+
+  /// Relation symbol -> SQL-visible table name.
+  std::map<std::string, std::string> relation_tables;
+
+  /// Condition symbol -> SQL text of the condition ("cR" -> "prio = 1").
+  std::map<std::string, std::string> condition_sql;
+
+  /// Function symbol -> SQL text of the computation ("f" -> "prio * 2").
+  std::map<std::string, std::string> function_sql;
+};
+
+/// The declarative semantics of one SMO instance: the γtgt / γsrc Datalog
+/// rule sets of Section 4 / Appendix B, plus enough structure for the
+/// formal bidirectionality evaluation and for SQL generation.
+struct SmoRules {
+  datalog::RuleSet gamma_tgt;  ///< derives the target-side relations
+  datalog::RuleSet gamma_src;  ///< derives the source-side relations
+
+  /// Data relation symbols per side (order matches the SMO's table lists).
+  std::vector<std::string> source_relations;
+  std::vector<std::string> target_relations;
+
+  /// Auxiliary relation symbols per side.
+  std::vector<std::string> source_aux;
+  std::vector<std::string> target_aux;
+
+  /// True when the rule sets use identifier-generating functions (idT,
+  /// ...); the automated lemma-based verification skips those (the paper
+  /// verifies them with staged old/new literals, which our simplifier does
+  /// not model) — they are covered by the runtime round-trip property
+  /// tests instead.
+  bool uses_id_generation = false;
+
+  RuleGrounding grounding;
+};
+
+/// Builds the rule sets for `smo`. Catalog-only SMOs (CREATE/DROP/RENAME
+/// TABLE, RENAME COLUMN) have no data-evolution rules and yield empty rule
+/// sets (or a trivial identity for renames).
+Result<SmoRules> RulesForSmo(const Smo& smo);
+
+}  // namespace inverda
+
+#endif  // INVERDA_BIDEL_RULES_H_

@@ -1,0 +1,33 @@
+#include "bidel/smo.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+
+const char* SmoKindName(SmoKind kind) {
+  switch (kind) {
+    case SmoKind::kCreateTable:
+      return "CREATE TABLE";
+    case SmoKind::kDropTable:
+      return "DROP TABLE";
+    case SmoKind::kRenameTable:
+      return "RENAME TABLE";
+    case SmoKind::kRenameColumn:
+      return "RENAME COLUMN";
+    case SmoKind::kAddColumn:
+      return "ADD COLUMN";
+    case SmoKind::kDropColumn:
+      return "DROP COLUMN";
+    case SmoKind::kDecompose:
+      return "DECOMPOSE";
+    case SmoKind::kJoin:
+      return "JOIN";
+    case SmoKind::kSplit:
+      return "SPLIT";
+    case SmoKind::kMerge:
+      return "MERGE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace inverda

@@ -1,0 +1,66 @@
+#include "bidel/smo.h"
+
+namespace inverda {
+
+DataType AddColumnSmo::ColumnType(const TableSchema& source) const {
+  if (declared_type_) return *declared_type_;
+  return fn_->InferType(source);
+}
+
+Result<std::vector<TableSchema>> AddColumnSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("ADD COLUMN expects one source table");
+  }
+  INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*fn_, sources[0]));
+  TableSchema out = sources[0];
+  INVERDA_RETURN_IF_ERROR(out.AddColumn({column_, ColumnType(sources[0])}));
+  return std::vector<TableSchema>{std::move(out)};
+}
+
+std::vector<AuxDef> AddColumnSmo::AuxTables(
+    const std::vector<TableSchema>& sources) const {
+  // B(p, b): b-values written through the target version while the data
+  // lives on the source side (which lacks the column).
+  DataType type =
+      sources.empty() ? DataType::kString : ColumnType(sources[0]);
+  return {AuxDef{"B", {Column{column_, type}}, SmoSide::kSource, false}};
+}
+
+std::string AddColumnSmo::ToString() const {
+  return "ADD COLUMN " + column_ + " AS " + fn_->ToString() + " INTO " +
+         table_;
+}
+
+Result<std::vector<TableSchema>> DropColumnSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("DROP COLUMN expects one source table");
+  }
+  TableSchema out = sources[0];
+  INVERDA_RETURN_IF_ERROR(out.DropColumn(column_));
+  // The default function may only reference the *remaining* columns: it is
+  // evaluated for tuples written through the target version.
+  INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*default_fn_, out));
+  return std::vector<TableSchema>{std::move(out)};
+}
+
+std::vector<AuxDef> DropColumnSmo::AuxTables(
+    const std::vector<TableSchema>& sources) const {
+  // B(p, b): surviving values of the dropped column while the data lives on
+  // the target side (which lacks the column).
+  DataType type = DataType::kString;
+  if (!sources.empty()) {
+    if (std::optional<int> idx = sources[0].FindColumn(column_)) {
+      type = sources[0].columns()[static_cast<size_t>(*idx)].type;
+    }
+  }
+  return {AuxDef{"B", {Column{column_, type}}, SmoSide::kTarget, false}};
+}
+
+std::string DropColumnSmo::ToString() const {
+  return "DROP COLUMN " + column_ + " FROM " + table_ + " DEFAULT " +
+         default_fn_->ToString();
+}
+
+}  // namespace inverda

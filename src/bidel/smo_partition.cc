@@ -1,0 +1,103 @@
+#include "bidel/smo.h"
+
+namespace inverda {
+namespace {
+
+// The auxiliary tables shared by SPLIT and MERGE (the same mapping, run in
+// opposite directions). `partition_side` is the side holding the two
+// partition tables R/S; `union_side` the side holding the unified table T.
+// Aux on the union side remember target-side divergence of the partitions:
+//   R-(p), S-(p)  — lost twins (deleted in one partition only)
+//   S+(p, A)      — separated twin payloads (updated independently)
+//   R*(p), S*(p)  — tuples kept in a partition despite violating its cond
+// Aux on the partition side:
+//   T'(p, A)      — tuples of T matching neither condition.
+std::vector<AuxDef> PartitionAux(const TableSchema& payload,
+                                 SmoSide union_side, SmoSide partition_side,
+                                 bool has_s) {
+  std::vector<AuxDef> aux;
+  aux.push_back(AuxDef{"R_star", {}, union_side, false});
+  if (has_s) {
+    // Lost twins (R-) can only arise when the sibling partition exists.
+    aux.push_back(AuxDef{"R_minus", {}, union_side, false});
+    aux.push_back(AuxDef{"S_plus", payload.columns(), union_side, false});
+    aux.push_back(AuxDef{"S_minus", {}, union_side, false});
+    aux.push_back(AuxDef{"S_star", {}, union_side, false});
+  }
+  aux.push_back(AuxDef{"T_prime", payload.columns(), partition_side, false});
+  return aux;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSmo::TargetTables() const {
+  if (s_name_) return {r_name_, *s_name_};
+  return {r_name_};
+}
+
+Result<std::vector<TableSchema>> SplitSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("SPLIT expects one source table");
+  }
+  INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*r_cond_, sources[0]));
+  std::vector<TableSchema> out;
+  TableSchema r = sources[0];
+  r.set_name(r_name_);
+  out.push_back(std::move(r));
+  if (s_name_) {
+    INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*s_cond_, sources[0]));
+    TableSchema s = sources[0];
+    s.set_name(*s_name_);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<AuxDef> SplitSmo::AuxTables(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.empty()) return {};
+  // SPLIT: source = union side, target = partition side.
+  return PartitionAux(sources[0], SmoSide::kSource, SmoSide::kTarget,
+                      has_s());
+}
+
+std::string SplitSmo::ToString() const {
+  std::string out =
+      "SPLIT TABLE " + table_ + " INTO " + r_name_ + " WITH " +
+      r_cond_->ToString();
+  if (s_name_) out += ", " + *s_name_ + " WITH " + s_cond_->ToString();
+  return out;
+}
+
+Result<std::vector<TableSchema>> MergeSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 2) {
+    return Status::InvalidArgument("MERGE expects two source tables");
+  }
+  if (sources[0].columns() != sources[1].columns()) {
+    return Status::InvalidArgument(
+        "MERGE requires union-compatible tables: " + sources[0].ToString() +
+        " vs " + sources[1].ToString());
+  }
+  INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*r_cond_, sources[0]));
+  INVERDA_RETURN_IF_ERROR(CheckColumnsResolve(*s_cond_, sources[1]));
+  TableSchema t = sources[0];
+  t.set_name(target_);
+  return std::vector<TableSchema>{std::move(t)};
+}
+
+std::vector<AuxDef> MergeSmo::AuxTables(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.empty()) return {};
+  // MERGE: source = partition side, target = union side.
+  return PartitionAux(sources[0], SmoSide::kTarget, SmoSide::kSource,
+                      /*has_s=*/true);
+}
+
+std::string MergeSmo::ToString() const {
+  return "MERGE TABLE " + r_name_ + " (" + r_cond_->ToString() + "), " +
+         s_name_ + " (" + s_cond_->ToString() + ") INTO " + target_;
+}
+
+}  // namespace inverda

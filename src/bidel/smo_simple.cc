@@ -1,0 +1,45 @@
+#include "bidel/smo.h"
+#include "util/strings.h"
+
+namespace inverda {
+
+std::string CreateTableSmo::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(schema_.columns().size());
+  for (const Column& c : schema_.columns()) {
+    cols.push_back(c.name + " " + DataTypeName(c.type));
+  }
+  return "CREATE TABLE " + schema_.name() + "(" + Join(cols, ", ") + ")";
+}
+
+std::string DropTableSmo::ToString() const { return "DROP TABLE " + table_; }
+
+Result<std::vector<TableSchema>> RenameTableSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("RENAME TABLE expects one source table");
+  }
+  TableSchema out = sources[0];
+  out.set_name(to_);
+  return std::vector<TableSchema>{std::move(out)};
+}
+
+std::string RenameTableSmo::ToString() const {
+  return "RENAME TABLE " + from_ + " INTO " + to_;
+}
+
+Result<std::vector<TableSchema>> RenameColumnSmo::DeriveTargetSchemas(
+    const std::vector<TableSchema>& sources) const {
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("RENAME COLUMN expects one source table");
+  }
+  TableSchema out = sources[0];
+  INVERDA_RETURN_IF_ERROR(out.RenameColumn(from_, to_));
+  return std::vector<TableSchema>{std::move(out)};
+}
+
+std::string RenameColumnSmo::ToString() const {
+  return "RENAME COLUMN " + from_ + " IN " + table_ + " TO " + to_;
+}
+
+}  // namespace inverda

@@ -1,0 +1,317 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace inverda {
+
+namespace {
+
+// Schema-version table maps use lower-cased keys so names are
+// case-insensitive, matching SQL identifier behaviour.
+std::string Key(const std::string& name) { return ToLower(name); }
+
+}  // namespace
+
+Result<TvId> VersionCatalog::NewTableVersion(std::string name,
+                                             TableSchema schema,
+                                             SmoId incoming) {
+  TvId id = next_tv_id_++;
+  TableVersion tv;
+  tv.id = id;
+  tv.name = std::move(name);
+  tv.schema = std::move(schema);
+  tv.incoming = incoming;
+  tvs_.emplace(id, std::move(tv));
+  return id;
+}
+
+Result<std::vector<SmoId>> VersionCatalog::ApplyEvolution(
+    const EvolutionStatement& stmt) {
+  if (versions_.count(Key(stmt.new_version))) {
+    return Status::AlreadyExists("schema version " + stmt.new_version);
+  }
+  std::map<std::string, TvId> tables;
+  if (stmt.from_version) {
+    INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* parent,
+                             FindVersion(*stmt.from_version));
+    tables = parent->tables;
+  }
+
+  // Stage everything; only commit to the catalog maps at the end so a
+  // failing SMO leaves the catalog untouched.
+  std::map<TvId, TableVersion> staged_tvs;
+  std::map<SmoId, SmoInstance> staged_smos;
+  std::vector<SmoId> new_smo_ids;
+  int tv_counter = next_tv_id_;
+  int smo_counter = next_smo_id_;
+
+  auto lookup_schema = [&](TvId id) -> const TableSchema& {
+    auto it = staged_tvs.find(id);
+    if (it != staged_tvs.end()) return it->second.schema;
+    return tvs_.at(id).schema;
+  };
+
+  for (const SmoPtr& smo : stmt.smos) {
+    SmoInstance inst;
+    inst.id = smo_counter++;
+    inst.smo = smo;
+
+    // Resolve source tables against the evolving table map.
+    std::vector<TableSchema> source_schemas;
+    for (const std::string& src : smo->SourceTables()) {
+      auto it = tables.find(Key(src));
+      if (it == tables.end()) {
+        return Status::NotFound("table " + src + " not in schema version " +
+                                (stmt.from_version ? *stmt.from_version
+                                                   : stmt.new_version) +
+                                " while applying: " + smo->ToString());
+      }
+      inst.sources.push_back(it->second);
+      source_schemas.push_back(lookup_schema(it->second));
+    }
+
+    INVERDA_ASSIGN_OR_RETURN(std::vector<TableSchema> target_schemas,
+                             smo->DeriveTargetSchemas(source_schemas));
+    inst.aux_defs = smo->AuxTables(source_schemas);
+    inst.materialized = smo->kind() == SmoKind::kCreateTable;
+
+    // Remove the source names, then add the targets.
+    for (const std::string& src : smo->SourceTables()) {
+      tables.erase(Key(src));
+    }
+    std::vector<std::string> target_names = smo->TargetTables();
+    for (size_t i = 0; i < target_names.size(); ++i) {
+      if (tables.count(Key(target_names[i]))) {
+        return Status::AlreadyExists("table " + target_names[i] +
+                                     " already exists while applying: " +
+                                     smo->ToString());
+      }
+      TvId tv_id = tv_counter++;
+      TableVersion tv;
+      tv.id = tv_id;
+      tv.name = target_names[i];
+      tv.schema = target_schemas[i];
+      tv.incoming = inst.id;
+      staged_tvs.emplace(tv_id, std::move(tv));
+      inst.targets.push_back(tv_id);
+      tables.emplace(Key(target_names[i]), tv_id);
+    }
+    new_smo_ids.push_back(inst.id);
+    staged_smos.emplace(inst.id, std::move(inst));
+  }
+
+  // Commit.
+  for (auto& [id, inst] : staged_smos) {
+    for (TvId src : inst.sources) {
+      auto it = staged_tvs.find(src);
+      TableVersion& tv = it != staged_tvs.end() ? it->second : tvs_.at(src);
+      tv.outgoing.push_back(id);
+    }
+  }
+  for (auto& [id, tv] : staged_tvs) tvs_.emplace(id, std::move(tv));
+  for (auto& [id, inst] : staged_smos) smos_.emplace(id, std::move(inst));
+  next_tv_id_ = tv_counter;
+  next_smo_id_ = smo_counter;
+
+  SchemaVersionInfo info;
+  info.name = stmt.new_version;
+  info.tables = std::move(tables);
+  info.parent = stmt.from_version;
+  info.order = next_version_order_++;
+  info.smos = new_smo_ids;
+  versions_.emplace(Key(stmt.new_version), std::move(info));
+  return new_smo_ids;
+}
+
+Result<DropResult> VersionCatalog::DropVersion(const std::string& name) {
+  auto it = versions_.find(Key(name));
+  if (it == versions_.end()) {
+    return Status::NotFound("schema version " + name);
+  }
+  SchemaVersionInfo dropped = it->second;
+
+  // Which table versions survive in other schema versions?
+  auto in_surviving_version = [&](TvId id) {
+    for (const auto& [vname, info] : versions_) {
+      if (vname == Key(name)) continue;
+      for (const auto& [tname, tv] : info.tables) {
+        (void)tname;
+        if (tv == id) return true;
+      }
+    }
+    return false;
+  };
+
+  // Iteratively peel dead leaves: table versions in no surviving schema
+  // version with no outgoing SMOs, and SMO instances whose targets are all
+  // dead. A materialized SMO with dead targets would strand data.
+  DropResult result;
+  std::set<TvId> dead_tvs;
+  std::set<SmoId> dead_smos;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [tv_id, tv] : tvs_) {
+      if (dead_tvs.count(tv_id)) continue;
+      if (in_surviving_version(tv_id)) continue;
+      bool leaf = true;
+      for (SmoId out : tv.outgoing) {
+        if (!dead_smos.count(out)) leaf = false;
+      }
+      if (!leaf) continue;
+      // The table version is only reachable through the dropped version.
+      // It can go once its incoming SMO's other targets can go too; we
+      // remove the tv now and consider the SMO below.
+      dead_tvs.insert(tv_id);
+      changed = true;
+    }
+    for (const auto& [smo_id, inst] : smos_) {
+      if (dead_smos.count(smo_id)) continue;
+      if (inst.targets.empty() && inst.smo->kind() != SmoKind::kDropTable) {
+        continue;
+      }
+      bool all_targets_dead = true;
+      for (TvId t : inst.targets) {
+        if (!dead_tvs.count(t)) all_targets_dead = false;
+      }
+      if (inst.smo->kind() == SmoKind::kDropTable) {
+        // DROP TABLE has no targets; it dies with the dropped version iff
+        // the version introduced it. Approximation: it dies when its source
+        // survives but the drop is no longer referenced — we keep it unless
+        // its source is dead too (conservative and safe).
+        all_targets_dead = false;
+        for (TvId s : inst.sources) {
+          if (dead_tvs.count(s)) all_targets_dead = true;
+        }
+      }
+      if (!all_targets_dead) continue;
+      if (inst.materialized && inst.smo->kind() != SmoKind::kCreateTable) {
+        return Status::InvalidState(
+            "cannot drop schema version " + name + ": data is materialized " +
+            "in its table versions (SMO: " + inst.smo->ToString() +
+            "); MATERIALIZE a surviving schema version first");
+      }
+      dead_smos.insert(smo_id);
+      changed = true;
+    }
+  }
+
+  for (TvId id : dead_tvs) {
+    for (SmoId smo_id : std::vector<SmoId>(tvs_.at(id).outgoing)) {
+      if (!dead_smos.count(smo_id)) {
+        return Status::Internal("GC invariant violated: live outgoing SMO");
+      }
+    }
+    result.removed_tables.push_back(id);
+  }
+  for (SmoId id : dead_smos) result.removed_smos.push_back(id);
+
+  // Commit: unlink and erase.
+  versions_.erase(Key(name));
+  for (SmoId id : dead_smos) {
+    const SmoInstance& inst = smos_.at(id);
+    for (TvId src : inst.sources) {
+      if (dead_tvs.count(src)) continue;
+      auto& out = tvs_.at(src).outgoing;
+      out.erase(std::remove(out.begin(), out.end(), id), out.end());
+    }
+  }
+  for (TvId id : dead_tvs) tvs_.erase(id);
+  for (SmoId id : dead_smos) smos_.erase(id);
+  return result;
+}
+
+bool VersionCatalog::HasVersion(const std::string& name) const {
+  return versions_.count(Key(name)) > 0;
+}
+
+Result<const SchemaVersionInfo*> VersionCatalog::FindVersion(
+    const std::string& name) const {
+  auto it = versions_.find(Key(name));
+  if (it == versions_.end()) {
+    return Status::NotFound("schema version " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> VersionCatalog::VersionNames() const {
+  std::vector<std::string> out;
+  out.reserve(versions_.size());
+  for (const auto& [key, info] : versions_) {
+    (void)key;
+    out.push_back(info.name);
+  }
+  return out;
+}
+
+std::vector<std::string> VersionCatalog::VersionNamesInOrder() const {
+  std::vector<const SchemaVersionInfo*> infos;
+  infos.reserve(versions_.size());
+  for (const auto& [key, info] : versions_) {
+    (void)key;
+    infos.push_back(&info);
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const SchemaVersionInfo* a, const SchemaVersionInfo* b) {
+              return a->order < b->order;
+            });
+  std::vector<std::string> out;
+  out.reserve(infos.size());
+  for (const SchemaVersionInfo* info : infos) out.push_back(info->name);
+  return out;
+}
+
+Result<TvId> VersionCatalog::ResolveTable(const std::string& version,
+                                          const std::string& table) const {
+  INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                           FindVersion(version));
+  auto it = info->tables.find(Key(table));
+  if (it == info->tables.end()) {
+    return Status::NotFound("table " + table + " not in schema version " +
+                            version);
+  }
+  return it->second;
+}
+
+std::vector<TvId> VersionCatalog::AllTableVersions() const {
+  std::vector<TvId> out;
+  out.reserve(tvs_.size());
+  for (const auto& [id, tv] : tvs_) {
+    (void)tv;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<SmoId> VersionCatalog::AllSmos() const {
+  std::vector<SmoId> out;
+  out.reserve(smos_.size());
+  for (const auto& [id, inst] : smos_) {
+    (void)inst;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::string VersionCatalog::TvLabel(TvId id) const {
+  const TableVersion& tv = tvs_.at(id);
+  // Count same-named predecessors to produce "Task-0", "Task-1", ...
+  int generation = 0;
+  for (const auto& [other_id, other] : tvs_) {
+    if (other_id < id && EqualsIgnoreCase(other.name, tv.name)) ++generation;
+  }
+  return tv.name + "-" + std::to_string(generation);
+}
+
+std::string VersionCatalog::DataTableName(TvId id) const {
+  return "d" + std::to_string(id) + "_" + ToLower(tvs_.at(id).name);
+}
+
+std::string VersionCatalog::AuxTableName(SmoId id,
+                                         const std::string& short_name) const {
+  return "a" + std::to_string(id) + "_" + short_name;
+}
+
+}  // namespace inverda

@@ -1,0 +1,106 @@
+#include "catalog/describe.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+
+Result<std::string> DescribeVersion(const VersionCatalog& catalog,
+                                    const std::string& version) {
+  INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                           catalog.FindVersion(version));
+  std::string out = "schema version " + info->name;
+  if (info->parent) out += " (from " + *info->parent + ")";
+  out += "\n";
+  for (const auto& [name, tv_id] : info->tables) {
+    (void)name;
+    const TableVersion& tv = catalog.table_version(tv_id);
+    out += "  " + tv.schema.ToString();
+    if (catalog.IsPhysical(tv_id)) {
+      out += "  [physical: " + catalog.DataTableName(tv_id) + "]";
+    } else {
+      out += "  [virtual]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DescribeCatalog(const VersionCatalog& catalog) {
+  std::string out = "=== schema version catalog ===\n";
+  for (const std::string& version : catalog.VersionNames()) {
+    Result<std::string> desc = DescribeVersion(catalog, version);
+    if (desc.ok()) out += *desc;
+  }
+  out += "--- SMO instances ---\n";
+  for (SmoId id : catalog.AllSmos()) {
+    const SmoInstance& inst = catalog.smo(id);
+    out += "  #" + std::to_string(id) + " " + inst.smo->ToString();
+    out += inst.materialized ? "  [materialized]" : "  [virtualized]";
+    std::vector<std::string> sources, targets;
+    for (TvId tv : inst.sources) sources.push_back(catalog.TvLabel(tv));
+    for (TvId tv : inst.targets) targets.push_back(catalog.TvLabel(tv));
+    out += "  {" + Join(sources, ", ") + "} -> {" + Join(targets, ", ") +
+           "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CatalogToDot(const VersionCatalog& catalog) {
+  std::string out = "digraph genealogy {\n  rankdir=LR;\n";
+  // Table versions.
+  for (TvId id : catalog.AllTableVersions()) {
+    const TableVersion& tv = catalog.table_version(id);
+    (void)tv;
+    out += "  tv" + std::to_string(id) + " [shape=box, label=\"" +
+           Escape(catalog.TvLabel(id)) + "\"";
+    if (catalog.IsPhysical(id)) {
+      out += ", style=filled, fillcolor=lightblue";
+    }
+    out += "];\n";
+  }
+  // SMO instances as hyperedges.
+  for (SmoId id : catalog.AllSmos()) {
+    const SmoInstance& inst = catalog.smo(id);
+    std::string node = "smo" + std::to_string(id);
+    out += "  " + node + " [shape=ellipse, label=\"" +
+           Escape(SmoKindName(inst.smo->kind())) + "\"";
+    if (inst.materialized) out += ", style=filled, fillcolor=lightyellow";
+    out += "];\n";
+    for (TvId src : inst.sources) {
+      out += "  tv" + std::to_string(src) + " -> " + node + ";\n";
+    }
+    for (TvId tgt : inst.targets) {
+      out += "  " + node + " -> tv" + std::to_string(tgt) + ";\n";
+    }
+  }
+  // Schema versions as dashed clusters.
+  int cluster = 0;
+  for (const std::string& version : catalog.VersionNames()) {
+    Result<const SchemaVersionInfo*> info = catalog.FindVersion(version);
+    if (!info.ok()) continue;
+    out += "  subgraph cluster_" + std::to_string(cluster++) + " {\n";
+    out += "    label=\"" + Escape(version) + "\"; style=dashed;\n   ";
+    for (const auto& [name, tv] : (*info)->tables) {
+      (void)name;
+      out += " tv" + std::to_string(tv) + ";";
+    }
+    out += "\n  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace inverda

@@ -1,0 +1,28 @@
+#ifndef INVERDA_CATALOG_DESCRIBE_H_
+#define INVERDA_CATALOG_DESCRIBE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace inverda {
+
+/// Human-readable description of one schema version: its tables with
+/// schemas and, per table, where its data physically lives (the propagation
+/// distance through the genealogy).
+Result<std::string> DescribeVersion(const VersionCatalog& catalog,
+                                    const std::string& version);
+
+/// Multi-line dump of the whole schema version catalog: versions, table
+/// versions, SMO instances with materialization states — the textual
+/// equivalent of the paper's Figure 4.
+std::string DescribeCatalog(const VersionCatalog& catalog);
+
+/// GraphViz dot rendering of the genealogy hypergraph: table versions as
+/// boxes (physical ones filled), SMO instances as ellipses, schema versions
+/// as dashed clusters.
+std::string CatalogToDot(const VersionCatalog& catalog);
+
+}  // namespace inverda
+
+#endif  // INVERDA_CATALOG_DESCRIBE_H_

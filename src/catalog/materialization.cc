@@ -1,0 +1,167 @@
+#include "catalog/catalog.h"
+
+namespace inverda {
+
+namespace {
+
+// SMO instances that can appear in a materialization schema: everything
+// that has both sources and targets. CREATE TABLE is implicitly always
+// materialized; DROP TABLE is never.
+bool IsCandidate(const SmoInstance& inst) {
+  return inst.smo->kind() != SmoKind::kCreateTable &&
+         inst.smo->kind() != SmoKind::kDropTable;
+}
+
+bool InSchema(const VersionCatalog& catalog, const std::set<SmoId>& m,
+              SmoId id) {
+  const SmoInstance& inst = catalog.smo(id);
+  if (inst.smo->kind() == SmoKind::kCreateTable) return true;
+  if (inst.smo->kind() == SmoKind::kDropTable) return false;
+  return m.count(id) > 0;
+}
+
+}  // namespace
+
+std::set<SmoId> VersionCatalog::CurrentMaterialization() const {
+  std::set<SmoId> m;
+  for (const auto& [id, inst] : smos_) {
+    if (IsCandidate(inst) && inst.materialized) m.insert(id);
+  }
+  return m;
+}
+
+Status VersionCatalog::CheckValidMaterialization(
+    const std::set<SmoId>& m) const {
+  for (SmoId id : m) {
+    auto it = smos_.find(id);
+    if (it == smos_.end()) {
+      return Status::NotFound("SMO instance " + std::to_string(id));
+    }
+    const SmoInstance& inst = it->second;
+    if (!IsCandidate(inst)) {
+      return Status::InvalidArgument(
+          "SMO " + inst.smo->ToString() +
+          " cannot appear in a materialization schema");
+    }
+    for (TvId src : inst.sources) {
+      const TableVersion& tv = tvs_.at(src);
+      // Condition (55): the source's data must have arrived at the source
+      // table version.
+      if (!InSchema(*this, m, tv.incoming)) {
+        return Status::InvalidArgument(
+            "invalid materialization: source " + TvLabel(src) + " of " +
+            inst.smo->ToString() + " is not materialized (condition 55)");
+      }
+      // Condition (56): no sibling SMO may also claim the source's data.
+      for (SmoId other : tv.outgoing) {
+        if (other != id && m.count(other)) {
+          return Status::InvalidArgument(
+              "invalid materialization: " + TvLabel(src) +
+              " is claimed by two materialized SMOs (condition 56)");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool VersionCatalog::IsPhysical(TvId id) const {
+  const TableVersion& tv = tvs_.at(id);
+  const SmoInstance& in = smos_.at(tv.incoming);
+  bool incoming_mat =
+      in.smo->kind() == SmoKind::kCreateTable || in.materialized;
+  if (!incoming_mat) return false;
+  for (SmoId out : tv.outgoing) {
+    const SmoInstance& o = smos_.at(out);
+    if (o.smo->kind() != SmoKind::kDropTable && o.materialized) return false;
+  }
+  return true;
+}
+
+std::vector<TvId> VersionCatalog::PhysicalTables(
+    const std::set<SmoId>& m) const {
+  std::vector<TvId> out;
+  for (const auto& [id, tv] : tvs_) {
+    if (!InSchema(*this, m, tv.incoming)) continue;
+    bool claimed = false;
+    for (SmoId o : tv.outgoing) {
+      if (InSchema(*this, m, o)) claimed = true;
+    }
+    if (!claimed) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::set<SmoId>> VersionCatalog::MaterializationForTables(
+    const std::vector<TvId>& tables) const {
+  // Materialize the incoming SMO of every ancestor-or-self of the listed
+  // table versions, then validate.
+  std::set<SmoId> m;
+  std::vector<TvId> frontier = tables;
+  while (!frontier.empty()) {
+    TvId id = frontier.back();
+    frontier.pop_back();
+    auto it = tvs_.find(id);
+    if (it == tvs_.end()) {
+      return Status::NotFound("table version " + std::to_string(id));
+    }
+    const SmoInstance& in = smos_.at(it->second.incoming);
+    if (in.smo->kind() == SmoKind::kCreateTable) continue;
+    if (m.count(in.id)) continue;
+    m.insert(in.id);
+    for (TvId src : in.sources) frontier.push_back(src);
+  }
+  INVERDA_RETURN_IF_ERROR(CheckValidMaterialization(m));
+  // Every listed table version must actually be physical under m.
+  std::vector<TvId> physical = PhysicalTables(m);
+  for (TvId t : tables) {
+    bool found = false;
+    for (TvId p : physical) {
+      if (p == t) found = true;
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "table version " + TvLabel(t) +
+          " cannot be materialized together with the other targets");
+    }
+  }
+  return m;
+}
+
+Result<std::vector<std::set<SmoId>>>
+VersionCatalog::EnumerateValidMaterializations(int limit) const {
+  std::vector<SmoId> candidates;
+  for (const auto& [id, inst] : smos_) {
+    if (IsCandidate(inst)) candidates.push_back(id);
+  }
+  if (static_cast<int>(candidates.size()) > limit) {
+    return Status::InvalidArgument(
+        "too many SMO instances (" + std::to_string(candidates.size()) +
+        ") to enumerate materialization schemas");
+  }
+  std::vector<std::set<SmoId>> valid;
+  uint64_t combinations = 1ULL << candidates.size();
+  for (uint64_t bits = 0; bits < combinations; ++bits) {
+    std::set<SmoId> m;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (bits & (1ULL << i)) m.insert(candidates[i]);
+    }
+    if (CheckValidMaterialization(m).ok()) valid.push_back(std::move(m));
+  }
+  return valid;
+}
+
+std::vector<std::string> VersionCatalog::PhysicalAuxNames(
+    SmoId id, bool materialized) const {
+  const SmoInstance& inst = smos_.at(id);
+  std::vector<std::string> out;
+  for (const AuxDef& aux : inst.aux_defs) {
+    bool present = aux.both_sides ||
+                   (materialized ? aux.side == SmoSide::kTarget
+                                 : aux.side == SmoSide::kSource);
+    if (present) out.push_back(aux.short_name);
+  }
+  return out;
+}
+
+}  // namespace inverda

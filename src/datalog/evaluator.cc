@@ -1,0 +1,326 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace inverda {
+namespace datalog {
+namespace {
+
+// Variable bindings: every variable binds to a value vector (width 1 for
+// single variables).
+using Bindings = std::map<std::string, std::vector<Value>>;
+
+// Splits a keyed row into the per-argument segments of a relation atom:
+// segment 0 is the key, segments 1..n follow relation_widths.
+std::vector<std::vector<Value>> SegmentRow(int64_t key, const Row& row,
+                                           const std::vector<int>& widths) {
+  std::vector<std::vector<Value>> segments;
+  segments.push_back({Value::Int(key)});
+  size_t pos = 0;
+  for (int w : widths) {
+    std::vector<Value> seg;
+    for (int i = 0; i < w && pos < row.size(); ++i) seg.push_back(row[pos++]);
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+bool SegmentsEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+// Tries to unify the atom's argument terms against the row segments,
+// extending `bindings`. Returns false on mismatch.
+bool UnifyAtom(const Literal& atom, int64_t key, const Row& row,
+               const std::vector<int>& widths, Bindings* bindings) {
+  std::vector<std::vector<Value>> segments = SegmentRow(key, row, widths);
+  if (segments.size() != atom.args.size()) return false;
+  Bindings added;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& term = atom.args[i];
+    if (term.is_wildcard()) continue;
+    auto bound = bindings->find(term.name);
+    if (bound != bindings->end()) {
+      if (!SegmentsEqual(bound->second, segments[i])) return false;
+      continue;
+    }
+    auto staged = added.find(term.name);
+    if (staged != added.end()) {
+      if (!SegmentsEqual(staged->second, segments[i])) return false;
+      continue;
+    }
+    added.emplace(term.name, segments[i]);
+  }
+  for (auto& [name, value] : added) bindings->emplace(name, std::move(value));
+  return true;
+}
+
+// Resolves the relation for a symbol: derived first, then base.
+const Table* LookupRelation(
+    const std::string& symbol, const EvalInput& input,
+    const std::map<std::string, Table>& derived) {
+  auto it = derived.find(symbol);
+  if (it != derived.end()) return &it->second;
+  auto jt = input.relations.find(symbol);
+  if (jt != input.relations.end()) return jt->second;
+  return nullptr;
+}
+
+const std::vector<int>* LookupWidths(const std::string& symbol,
+                                     const EvalInput& input) {
+  auto it = input.relation_widths.find(symbol);
+  if (it == input.relation_widths.end()) return nullptr;
+  return &it->second;
+}
+
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const EvalInput& input,
+                const std::map<std::string, Table>& derived,
+                std::map<std::string, Table>* out)
+      : input_(input), derived_(derived), out_(out) {}
+
+  Status EvaluateRule(const Rule& rule) {
+    // Partition the body: positive relation atoms drive the search; the
+    // rest are checked/computed once their variables are bound.
+    std::vector<const Literal*> positives, others;
+    for (const Literal& l : rule.body) {
+      if (l.kind == LiteralKind::kRelation && !l.negated) {
+        positives.push_back(&l);
+      } else {
+        others.push_back(&l);
+      }
+    }
+    Bindings bindings;
+    return Search(rule, positives, others, 0, &bindings);
+  }
+
+ private:
+  Status Search(const Rule& rule, const std::vector<const Literal*>& positives,
+                const std::vector<const Literal*>& others, size_t depth,
+                Bindings* bindings) {
+    if (depth == positives.size()) {
+      return FinishRule(rule, others, *bindings);
+    }
+    const Literal& atom = *positives[depth];
+    const Table* table = LookupRelation(atom.symbol, input_, derived_);
+    const std::vector<int>* widths = LookupWidths(atom.symbol, input_);
+    if (table == nullptr || widths == nullptr) {
+      return Status::NotFound("relation " + atom.symbol + " unbound");
+    }
+    Status status = Status::OK();
+    table->Scan([&](int64_t key, const Row& row) {
+      if (!status.ok()) return;
+      Bindings extended = *bindings;
+      if (!UnifyAtom(atom, key, row, *widths, &extended)) return;
+      status = Search(rule, positives, others, depth + 1, &extended);
+    });
+    return status;
+  }
+
+  Result<std::vector<Value>> ResolveTerm(const Term& term,
+                                         const Bindings& bindings) {
+    if (term.is_wildcard()) {
+      return Status::InvalidArgument("wildcard in a computed position");
+    }
+    auto it = bindings.find(term.name);
+    if (it == bindings.end()) {
+      return Status::InvalidArgument("unbound variable " + term.name);
+    }
+    return it->second;
+  }
+
+  Status FinishRule(const Rule& rule, std::vector<const Literal*> pending,
+                    Bindings bindings) {
+    // Repeatedly evaluate whatever literal has its inputs bound; function
+    // literals may bind their output variable.
+    bool progress = true;
+    while (!pending.empty() && progress) {
+      progress = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        INVERDA_ASSIGN_OR_RETURN(int verdict, TryLiteral(**it, &bindings));
+        if (verdict == 0) {
+          ++it;  // not yet evaluable
+          continue;
+        }
+        if (verdict < 0) return Status::OK();  // literal failed: no tuple
+        it = pending.erase(it);
+        progress = true;
+      }
+    }
+    if (!pending.empty()) {
+      return Status::InvalidArgument("rule not evaluable: unbound literals");
+    }
+    // Emit the head tuple.
+    if (rule.head.args.empty()) {
+      return Status::InvalidArgument("head without key argument");
+    }
+    INVERDA_ASSIGN_OR_RETURN(std::vector<Value> key_seg,
+                             ResolveTerm(rule.head.args[0], bindings));
+    if (key_seg.size() != 1 || !key_seg[0].is_int()) {
+      return Status::InvalidArgument("head key is not a single integer");
+    }
+    Row payload;
+    for (size_t i = 1; i < rule.head.args.size(); ++i) {
+      INVERDA_ASSIGN_OR_RETURN(std::vector<Value> seg,
+                               ResolveTerm(rule.head.args[i], bindings));
+      payload.insert(payload.end(), seg.begin(), seg.end());
+    }
+    Table& result = out_->at(rule.head.predicate);
+    if (const Row* existing = result.Find(key_seg[0].AsInt())) {
+      if (!RowsEqual(*existing, payload)) {
+        return Status::Internal(
+            "conflicting derivations for key " +
+            std::to_string(key_seg[0].AsInt()) + " of " +
+            rule.head.predicate);
+      }
+      return Status::OK();
+    }
+    return result.Insert(key_seg[0].AsInt(), std::move(payload));
+  }
+
+  // Returns 1 when the literal succeeded, -1 when it failed (rule yields
+  // no tuple for these bindings), 0 when inputs are still unbound.
+  Result<int> TryLiteral(const Literal& literal, Bindings* bindings) {
+    switch (literal.kind) {
+      case LiteralKind::kRelation: {
+        // Negative literal: every non-wildcard argument must be bound.
+        for (const Term& t : literal.args) {
+          if (!t.is_wildcard() && !bindings->count(t.name)) return 0;
+        }
+        const Table* table = LookupRelation(literal.symbol, input_, derived_);
+        const std::vector<int>* widths = LookupWidths(literal.symbol, input_);
+        if (table == nullptr || widths == nullptr) {
+          return Status::NotFound("relation " + literal.symbol + " unbound");
+        }
+        bool exists = false;
+        table->Scan([&](int64_t key, const Row& row) {
+          if (exists) return;
+          Bindings probe = *bindings;
+          if (UnifyAtom(literal, key, row, *widths, &probe)) exists = true;
+        });
+        return exists ? -1 : 1;  // negated: match means failure
+      }
+      case LiteralKind::kCondition: {
+        const Term& arg0 = literal.args[0];
+        std::vector<Value> values;
+        for (const Term& t : literal.args) {
+          if (t.is_wildcard() || !bindings->count(t.name)) return 0;
+          const std::vector<Value>& seg = bindings->at(t.name);
+          values.insert(values.end(), seg.begin(), seg.end());
+        }
+        (void)arg0;
+        auto it = input_.conditions.find(literal.symbol);
+        if (it == input_.conditions.end()) {
+          return Status::NotFound("condition " + literal.symbol + " unbound");
+        }
+        INVERDA_ASSIGN_OR_RETURN(bool match,
+                                 it->second.expr->EvalBool(it->second.schema,
+                                                           values));
+        return (match != literal.negated) ? 1 : -1;
+      }
+      case LiteralKind::kFunction: {
+        std::vector<Value> args;
+        for (const Term& t : literal.args) {
+          if (t.is_wildcard() || !bindings->count(t.name)) return 0;
+          const std::vector<Value>& seg = bindings->at(t.name);
+          args.insert(args.end(), seg.begin(), seg.end());
+        }
+        auto it = input_.functions.find(literal.symbol);
+        if (it == input_.functions.end()) {
+          return Status::NotFound("function " + literal.symbol + " unbound");
+        }
+        INVERDA_ASSIGN_OR_RETURN(Value value, it->second(args));
+        auto bound = bindings->find(literal.out.name);
+        if (bound != bindings->end()) {
+          return SegmentsEqual(bound->second, {value}) ? 1 : -1;
+        }
+        bindings->emplace(literal.out.name, std::vector<Value>{value});
+        return 1;
+      }
+      case LiteralKind::kCompare: {
+        const Term& a = literal.args[0];
+        const Term& b = literal.args[1];
+        if (!bindings->count(a.name) || !bindings->count(b.name)) return 0;
+        bool equal = SegmentsEqual(bindings->at(a.name), bindings->at(b.name));
+        return (equal == literal.compare_equal) ? 1 : -1;
+      }
+    }
+    return Status::Internal("unknown literal kind");
+  }
+
+  const EvalInput& input_;
+  const std::map<std::string, Table>& derived_;
+  std::map<std::string, Table>* out_;
+};
+
+}  // namespace
+
+Result<std::map<std::string, Table>> Evaluate(const RuleSet& rules,
+                                              const EvalInput& input) {
+  // Order head predicates so each is fully evaluated before rules that
+  // reference it (non-recursive stratification).
+  std::set<std::string> heads = rules.HeadPredicates();
+  std::map<std::string, std::set<std::string>> deps;
+  for (const Rule& r : rules.rules) {
+    for (const Literal& l : r.body) {
+      if (l.kind == LiteralKind::kRelation && heads.count(l.symbol) &&
+          l.symbol != r.head.predicate) {
+        deps[r.head.predicate].insert(l.symbol);
+      }
+    }
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  while (order.size() < heads.size()) {
+    bool progress = false;
+    for (const std::string& h : heads) {
+      if (done.count(h)) continue;
+      bool ready = true;
+      for (const std::string& d : deps[h]) {
+        if (!done.count(d)) ready = false;
+      }
+      if (!ready) continue;
+      order.push_back(h);
+      done.insert(h);
+      progress = true;
+    }
+    if (!progress) {
+      return Status::InvalidArgument("rule set is recursive");
+    }
+  }
+
+  std::map<std::string, Table> derived;
+  std::map<std::string, Table> current;
+  for (const std::string& h : order) {
+    // Result schema: synthesized from the declared widths (types are
+    // advisory in this engine).
+    auto widths = input.relation_widths.find(h);
+    if (widths == input.relation_widths.end()) {
+      return Status::NotFound("relation widths for " + h + " unbound");
+    }
+    int total = 0;
+    for (int w : widths->second) total += w;
+    std::vector<Column> columns;
+    for (int i = 0; i < total; ++i) {
+      columns.push_back({"c" + std::to_string(i), DataType::kString});
+    }
+    current.clear();
+    current.emplace(h, Table(TableSchema(h, std::move(columns))));
+    RuleEvaluator evaluator(input, derived, &current);
+    for (const Rule& r : rules.rules) {
+      if (r.head.predicate != h) continue;
+      INVERDA_RETURN_IF_ERROR(evaluator.EvaluateRule(r));
+    }
+    derived.emplace(h, std::move(current.at(h)));
+  }
+  return derived;
+}
+
+}  // namespace datalog
+}  // namespace inverda

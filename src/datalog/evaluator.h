@@ -1,0 +1,55 @@
+#ifndef INVERDA_DATALOG_EVALUATOR_H_
+#define INVERDA_DATALOG_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "expr/expression.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace inverda {
+namespace datalog {
+
+/// Grounding and input data for evaluating a (non-recursive) rule set.
+///
+/// Relations are keyed Tables: the first argument of every atom binds the
+/// key, the remaining arguments bind consecutive payload segments whose
+/// widths are given by `relation_widths`. Attribute-list variables bind to
+/// value vectors, single variables to single values.
+struct EvalInput {
+  /// Base relation contents by symbol.
+  std::map<std::string, const Table*> relations;
+
+  /// Payload segment widths per relation symbol (excluding the key).
+  std::map<std::string, std::vector<int>> relation_widths;
+
+  /// Condition symbol -> (expression, schema it is evaluated against).
+  /// The condition's argument list variables are concatenated into one row
+  /// matching the schema.
+  struct Condition {
+    ExprPtr expr;
+    TableSchema schema;
+  };
+  std::map<std::string, Condition> conditions;
+
+  /// Function symbol -> computation over the concatenated argument values.
+  std::map<std::string,
+           std::function<Result<Value>(const std::vector<Value>&)>>
+      functions;
+};
+
+/// Evaluates a non-recursive rule set bottom-up (stratified by head
+/// predicate) and returns the derived relations by symbol. Used by tests to
+/// cross-validate the native mapping kernels against the paper's rule sets
+/// on small universes.
+Result<std::map<std::string, Table>> Evaluate(const RuleSet& rules,
+                                              const EvalInput& input);
+
+}  // namespace datalog
+}  // namespace inverda
+
+#endif  // INVERDA_DATALOG_EVALUATOR_H_

@@ -1,0 +1,58 @@
+#include "datalog/print.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+namespace datalog {
+
+std::string ToString(const Term& term) { return term.name; }
+
+namespace {
+
+std::string ArgsToString(const std::vector<Term>& args) {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(ToString(t));
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string ToString(const Literal& literal) {
+  switch (literal.kind) {
+    case LiteralKind::kRelation:
+    case LiteralKind::kCondition: {
+      std::string out = literal.negated ? "not " : "";
+      out += literal.symbol + "(" + ArgsToString(literal.args) + ")";
+      return out;
+    }
+    case LiteralKind::kFunction:
+      return ToString(literal.out) + " = " + literal.symbol + "(" +
+             ArgsToString(literal.args) + ")";
+    case LiteralKind::kCompare:
+      return ToString(literal.args[0]) +
+             (literal.compare_equal ? " = " : " != ") +
+             ToString(literal.args[1]);
+  }
+  return "?";
+}
+
+std::string ToString(const Rule& rule) {
+  std::vector<std::string> parts;
+  parts.reserve(rule.body.size());
+  for (const Literal& l : rule.body) parts.push_back(ToString(l));
+  return rule.head.predicate + "(" + ArgsToString(rule.head.args) + ") <- " +
+         Join(parts, ", ");
+}
+
+std::string ToString(const RuleSet& rules) {
+  std::string out;
+  for (const Rule& r : rules.rules) {
+    out += ToString(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace inverda

@@ -1,0 +1,21 @@
+#ifndef INVERDA_DATALOG_PRINT_H_
+#define INVERDA_DATALOG_PRINT_H_
+
+#include <string>
+
+#include "datalog/rule.h"
+
+namespace inverda {
+namespace datalog {
+
+/// Renders a literal / rule / rule set in the paper's notation, e.g.
+/// "R(p, A) <- T(p, A), cR(A), not R-(p)".
+std::string ToString(const Term& term);
+std::string ToString(const Literal& literal);
+std::string ToString(const Rule& rule);
+std::string ToString(const RuleSet& rules);
+
+}  // namespace datalog
+}  // namespace inverda
+
+#endif  // INVERDA_DATALOG_PRINT_H_

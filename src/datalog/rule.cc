@@ -1,0 +1,160 @@
+#include "datalog/rule.h"
+
+namespace inverda {
+namespace datalog {
+
+Literal Literal::Relation(std::string predicate, std::vector<Term> args,
+                          bool negated) {
+  Literal l;
+  l.kind = LiteralKind::kRelation;
+  l.negated = negated;
+  l.symbol = std::move(predicate);
+  l.args = std::move(args);
+  return l;
+}
+
+Literal Literal::Condition(std::string condition, std::vector<Term> args,
+                           bool negated) {
+  Literal l;
+  l.kind = LiteralKind::kCondition;
+  l.negated = negated;
+  l.symbol = std::move(condition);
+  l.args = std::move(args);
+  return l;
+}
+
+Literal Literal::Function(Term out, std::string function,
+                          std::vector<Term> args) {
+  Literal l;
+  l.kind = LiteralKind::kFunction;
+  l.symbol = std::move(function);
+  l.args = std::move(args);
+  l.out = std::move(out);
+  return l;
+}
+
+Literal Literal::Equal(Term lhs, Term rhs) {
+  Literal l;
+  l.kind = LiteralKind::kCompare;
+  l.compare_equal = true;
+  l.args = {std::move(lhs), std::move(rhs)};
+  return l;
+}
+
+Literal Literal::NotEqual(Term lhs, Term rhs) {
+  Literal l;
+  l.kind = LiteralKind::kCompare;
+  l.compare_equal = false;
+  l.args = {std::move(lhs), std::move(rhs)};
+  return l;
+}
+
+Literal Literal::Negated() const {
+  Literal l = *this;
+  switch (kind) {
+    case LiteralKind::kRelation:
+    case LiteralKind::kCondition:
+      l.negated = !l.negated;
+      break;
+    case LiteralKind::kCompare:
+      l.compare_equal = !l.compare_equal;
+      break;
+    case LiteralKind::kFunction:
+      break;  // Functions are not negatable; callers must not negate them.
+  }
+  return l;
+}
+
+bool Literal::operator==(const Literal& other) const {
+  return kind == other.kind && negated == other.negated &&
+         symbol == other.symbol && args == other.args && out == other.out &&
+         compare_equal == other.compare_equal;
+}
+
+void Literal::CollectVars(std::set<std::string>* out_vars) const {
+  for (const Term& t : args) {
+    if (!t.is_wildcard()) out_vars->insert(t.name);
+  }
+  if (kind == LiteralKind::kFunction && !out.is_wildcard()) {
+    out_vars->insert(out.name);
+  }
+}
+
+std::set<std::string> Rule::Vars() const {
+  std::set<std::string> vars;
+  for (const Term& t : head.args) {
+    if (!t.is_wildcard()) vars.insert(t.name);
+  }
+  for (const Literal& l : body) l.CollectVars(&vars);
+  return vars;
+}
+
+std::set<std::string> RuleSet::HeadPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules) out.insert(r.head.predicate);
+  return out;
+}
+
+std::set<std::string> RuleSet::BodyPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (l.kind == LiteralKind::kRelation) out.insert(l.symbol);
+    }
+  }
+  return out;
+}
+
+std::vector<const Rule*> RuleSet::RulesFor(const std::string& predicate) const {
+  std::vector<const Rule*> out;
+  for (const Rule& r : rules) {
+    if (r.head.predicate == predicate) out.push_back(&r);
+  }
+  return out;
+}
+
+namespace {
+
+Term RenameTerm(const Term& t, const std::string& prefix) {
+  if (t.is_wildcard()) return t;
+  return Term::Var(prefix + t.name);
+}
+
+}  // namespace
+
+Rule RenameVarsApart(const Rule& rule, const std::string& prefix) {
+  Rule out = rule;
+  for (Term& t : out.head.args) t = RenameTerm(t, prefix);
+  for (Literal& l : out.body) {
+    for (Term& t : l.args) t = RenameTerm(t, prefix);
+    if (l.kind == LiteralKind::kFunction) l.out = RenameTerm(l.out, prefix);
+  }
+  return out;
+}
+
+Literal SubstituteVarInLiteral(const Literal& literal, const std::string& from,
+                               const std::string& to) {
+  Literal out = literal;
+  for (Term& t : out.args) {
+    if (t.name == from) t.name = to;
+  }
+  if (out.kind == LiteralKind::kFunction && out.out.name == from) {
+    out.out.name = to;
+  }
+  return out;
+}
+
+Rule SubstituteVar(const Rule& rule, const std::string& from,
+                   const std::string& to) {
+  Rule out = rule;
+  for (Term& t : out.head.args) {
+    if (t.name == from) t.name = to;
+  }
+  for (Literal& l : out.body) {
+    l = SubstituteVarInLiteral(l, from, to);
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace inverda

@@ -1,0 +1,126 @@
+#ifndef INVERDA_DATALOG_RULE_H_
+#define INVERDA_DATALOG_RULE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace inverda {
+namespace datalog {
+
+/// A term in an atom: a named variable or the anonymous wildcard `_`.
+///
+/// Following the paper's notation, lowercase variables stand for single
+/// attributes (p, t, b, ...) and uppercase variables for attribute lists
+/// (A, B, A'). The symbolic machinery (composition, Lemmas 1-5) treats both
+/// uniformly; widths only matter when rules are grounded against concrete
+/// schemas (evaluation and SQL generation).
+struct Term {
+  std::string name;
+
+  static Term Var(std::string name) { return Term{std::move(name)}; }
+  static Term Wildcard() { return Term{"_"}; }
+
+  bool is_wildcard() const { return name == "_"; }
+  bool operator==(const Term& other) const { return name == other.name; }
+  bool operator<(const Term& other) const { return name < other.name; }
+};
+
+/// The kinds of body literals appearing in the gamma rule sets.
+enum class LiteralKind {
+  kRelation,   ///< [¬] R(p, A, ...)
+  kCondition,  ///< [¬] cR(A)
+  kFunction,   ///< b = f(A)        (never negated)
+  kCompare,    ///< A = A' or A ≠ A'
+};
+
+/// One literal. The representation is a tagged union flattened into one
+/// struct; unused fields are empty.
+struct Literal {
+  LiteralKind kind = LiteralKind::kRelation;
+  bool negated = false;
+
+  /// kRelation: predicate symbol; kCondition: condition symbol;
+  /// kFunction: function symbol.
+  std::string symbol;
+
+  /// kRelation/kCondition: the argument terms. kFunction: the function's
+  /// input terms. kCompare: exactly two terms.
+  std::vector<Term> args;
+
+  /// kFunction only: the output term (lhs of `out = f(args)`).
+  Term out = Term::Wildcard();
+
+  /// kCompare only: true for equality (=), false for inequality (≠).
+  bool compare_equal = true;
+
+  static Literal Relation(std::string predicate, std::vector<Term> args,
+                          bool negated = false);
+  static Literal Condition(std::string condition, std::vector<Term> args,
+                           bool negated = false);
+  static Literal Function(Term out, std::string function,
+                          std::vector<Term> args);
+  static Literal Equal(Term lhs, Term rhs);
+  static Literal NotEqual(Term lhs, Term rhs);
+
+  /// The same literal with flipped polarity (kRelation/kCondition flip
+  /// `negated`; kCompare flips =/≠; kFunction is not negatable).
+  Literal Negated() const;
+
+  bool operator==(const Literal& other) const;
+
+  /// Adds all variable names (excluding wildcards) to `out_vars`.
+  void CollectVars(std::set<std::string>* out_vars) const;
+};
+
+/// The head of a rule: always a positive relation atom q(p, Y...).
+struct Head {
+  std::string predicate;
+  std::vector<Term> args;
+
+  bool operator==(const Head& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+};
+
+/// A Datalog rule H ← L1, ..., Ln.
+struct Rule {
+  Head head;
+  std::vector<Literal> body;
+
+  /// All variable names of head and body.
+  std::set<std::string> Vars() const;
+
+  bool operator==(const Rule& other) const {
+    return head == other.head && body == other.body;
+  }
+};
+
+/// An ordered set of rules defining one mapping function (γsrc or γtgt).
+struct RuleSet {
+  std::vector<Rule> rules;
+
+  /// Predicates defined (appearing in some head).
+  std::set<std::string> HeadPredicates() const;
+
+  /// Relation predicates referenced in bodies.
+  std::set<std::string> BodyPredicates() const;
+
+  /// All rules whose head predicate is `predicate`.
+  std::vector<const Rule*> RulesFor(const std::string& predicate) const;
+};
+
+/// Renames every variable `v` of `rule` to `prefix + v` (wildcards are left
+/// alone). Used to rename rules apart before composition.
+Rule RenameVarsApart(const Rule& rule, const std::string& prefix);
+
+/// Applies the substitution `from -> to` to every term of the rule.
+Rule SubstituteVar(const Rule& rule, const std::string& from,
+                   const std::string& to);
+Literal SubstituteVarInLiteral(const Literal& literal, const std::string& from,
+                               const std::string& to);
+
+}  // namespace datalog
+}  // namespace inverda
+
+#endif  // INVERDA_DATALOG_RULE_H_

@@ -1,0 +1,674 @@
+#include "datalog/simplify.h"
+
+#include <algorithm>
+#include <map>
+
+#include "datalog/print.h"
+
+namespace inverda {
+namespace datalog {
+namespace {
+
+bool IsRelation(const Literal& l) { return l.kind == LiteralKind::kRelation; }
+
+// Renames every variable of `rule` apart with a numbered prefix.
+Rule FreshRename(const Rule& rule, int* counter) {
+  return RenameVarsApart(rule, "u" + std::to_string((*counter)++) + "_");
+}
+
+// Unifies the head of a (freshly renamed) defining rule with the argument
+// terms of a body literal: head variables at non-wildcard positions are
+// substituted by the literal's terms; wildcard positions leave the defining
+// rule's variable free (existential). Returns the substituted body.
+Result<std::vector<Literal>> UnifyHead(const Rule& defining,
+                                       const Literal& literal) {
+  if (defining.head.args.size() != literal.args.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch unfolding " + literal.symbol + ": " +
+        ToString(defining) + " vs " + ToString(literal));
+  }
+  std::vector<Literal> body = defining.body;
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    const Term& call = literal.args[i];
+    const Term& formal = defining.head.args[i];
+    if (call.is_wildcard()) continue;
+    if (formal.is_wildcard()) {
+      // The defining rule ignores this position; the caller's term is
+      // unconstrained by the body.
+      continue;
+    }
+    for (Literal& l : body) {
+      l = SubstituteVarInLiteral(l, formal.name, call.name);
+    }
+  }
+  return body;
+}
+
+// Variables of a literal that do not occur in `bound`.
+std::set<std::string> PrivateVars(const Literal& literal,
+                                  const std::set<std::string>& bound) {
+  std::set<std::string> vars;
+  literal.CollectVars(&vars);
+  std::set<std::string> out;
+  for (const std::string& v : vars) {
+    if (!bound.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+// Replaces occurrences of `vars` in the literal with wildcards.
+Literal WildcardVars(const Literal& literal, const std::set<std::string>& vars) {
+  Literal out = literal;
+  for (Term& t : out.args) {
+    if (vars.count(t.name)) t = Term::Wildcard();
+  }
+  return out;
+}
+
+// One negation choice: the literals standing for the failure of one body
+// literal of a defining rule (Lemma 1, case 2).
+Result<std::vector<std::vector<Literal>>> NegationChoices(
+    const std::vector<Literal>& defining_body,
+    const std::set<std::string>& head_vars) {
+  std::vector<std::vector<Literal>> choices;
+  for (const Literal& k : defining_body) {
+    std::set<std::string> private_vars = PrivateVars(k, head_vars);
+    if (k.kind == LiteralKind::kRelation) {
+      // Failure of q(...) is ¬q(... with private vars wildcarded); failure
+      // of ¬q(...) is q(...).
+      choices.push_back({WildcardVars(k.Negated(), private_vars)});
+      continue;
+    }
+    if (k.kind == LiteralKind::kFunction) {
+      return Status::InvalidArgument(
+          "cannot negate a rule with function literals");
+    }
+    // Condition / comparison: include the positive relation literals of the
+    // defining body that bind the private variables, plus the negated
+    // condition.
+    std::vector<Literal> choice;
+    for (const Literal& binder : defining_body) {
+      if (!IsRelation(binder) || binder.negated) continue;
+      std::set<std::string> binder_vars;
+      binder.CollectVars(&binder_vars);
+      bool binds = false;
+      for (const std::string& v : private_vars) {
+        if (binder_vars.count(v)) binds = true;
+      }
+      if (binds) choice.push_back(binder);
+    }
+    choice.push_back(k.Negated());
+    choices.push_back(std::move(choice));
+  }
+  return choices;
+}
+
+}  // namespace
+
+RuleSet RenameBodyRelations(const RuleSet& rules,
+                            const std::set<std::string>& from,
+                            const std::string& suffix) {
+  RuleSet out = rules;
+  for (Rule& r : out.rules) {
+    for (Literal& l : r.body) {
+      if (IsRelation(l) && from.count(l.symbol)) l.symbol += suffix;
+    }
+  }
+  return out;
+}
+
+RuleSet ApplyEmptyRelations(const RuleSet& rules,
+                            const std::set<std::string>& empty) {
+  RuleSet out;
+  for (const Rule& r : rules.rules) {
+    bool dropped = false;
+    Rule kept;
+    kept.head = r.head;
+    for (const Literal& l : r.body) {
+      if (IsRelation(l) && empty.count(l.symbol)) {
+        if (!l.negated) {
+          dropped = true;  // positive literal on an empty relation
+          break;
+        }
+        continue;  // negative literal on an empty relation: trivially true
+      }
+      kept.body.push_back(l);
+    }
+    if (!dropped) out.rules.push_back(std::move(kept));
+  }
+  return out;
+}
+
+Result<RuleSet> Unfold(const RuleSet& outer, const RuleSet& inner,
+                       const std::set<std::string>& base) {
+  std::set<std::string> defined = inner.HeadPredicates();
+  // Work list: rules that may still contain unfoldable literals.
+  std::vector<Rule> pending = outer.rules;
+  RuleSet done;
+  int counter = 0;
+  int guard = 0;
+  while (!pending.empty()) {
+    if (++guard > 100000) {
+      return Status::Internal("unfolding diverged");
+    }
+    Rule rule = std::move(pending.back());
+    pending.pop_back();
+
+    // Find the first unfoldable literal.
+    int target = -1;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& l = rule.body[i];
+      if (IsRelation(l) && !base.count(l.symbol) && defined.count(l.symbol)) {
+        target = static_cast<int>(i);
+        break;
+      }
+    }
+    if (target < 0) {
+      done.rules.push_back(std::move(rule));
+      continue;
+    }
+    Literal literal = rule.body[static_cast<size_t>(target)];
+    std::vector<Literal> rest(rule.body.begin(),
+                              rule.body.begin() + target);
+    rest.insert(rest.end(), rule.body.begin() + target + 1, rule.body.end());
+
+    std::vector<const Rule*> defs = inner.RulesFor(literal.symbol);
+    if (!literal.negated) {
+      // Lemma 1, case 1: one new rule per defining rule.
+      for (const Rule* def : defs) {
+        Rule fresh = FreshRename(*def, &counter);
+        INVERDA_ASSIGN_OR_RETURN(std::vector<Literal> body,
+                                 UnifyHead(fresh, literal));
+        Rule composed;
+        composed.head = rule.head;
+        composed.body = rest;
+        composed.body.insert(composed.body.end(), body.begin(), body.end());
+        pending.push_back(std::move(composed));
+      }
+      continue;
+    }
+    // Lemma 1, case 2: every defining rule must fail; one new rule per
+    // combination of per-rule failure choices.
+    std::vector<std::vector<std::vector<Literal>>> per_rule_choices;
+    for (const Rule* def : defs) {
+      Rule fresh = FreshRename(*def, &counter);
+      Literal positive = literal;
+      positive.negated = false;
+      INVERDA_ASSIGN_OR_RETURN(std::vector<Literal> body,
+                               UnifyHead(fresh, positive));
+      // The head-bound variables are the caller's terms.
+      std::set<std::string> bound;
+      for (const Term& t : literal.args) {
+        if (!t.is_wildcard()) bound.insert(t.name);
+      }
+      INVERDA_ASSIGN_OR_RETURN(std::vector<std::vector<Literal>> choices,
+                               NegationChoices(body, bound));
+      per_rule_choices.push_back(std::move(choices));
+    }
+    // Cross product across defining rules.
+    std::vector<std::vector<Literal>> combos = {{}};
+    for (const auto& choices : per_rule_choices) {
+      std::vector<std::vector<Literal>> next;
+      for (const auto& combo : combos) {
+        for (const auto& choice : choices) {
+          std::vector<Literal> merged = combo;
+          merged.insert(merged.end(), choice.begin(), choice.end());
+          next.push_back(std::move(merged));
+        }
+      }
+      combos = std::move(next);
+    }
+    for (const auto& combo : combos) {
+      Rule composed;
+      composed.head = rule.head;
+      composed.body = rest;
+      composed.body.insert(composed.body.end(), combo.begin(), combo.end());
+      pending.push_back(std::move(composed));
+    }
+  }
+  return done;
+}
+
+namespace {
+
+// Returns true when the negative literal `neg` directly contradicts the
+// positive literal `pos`: same symbol, and every non-wildcard argument of
+// `neg` is syntactically equal to the corresponding argument of `pos`.
+bool Contradicts(const Literal& pos, const Literal& neg) {
+  if (pos.kind != neg.kind || pos.symbol != neg.symbol) return false;
+  if (pos.args.size() != neg.args.size()) return false;
+  for (size_t i = 0; i < pos.args.size(); ++i) {
+    if (neg.args[i].is_wildcard()) continue;
+    if (pos.args[i].is_wildcard()) return false;
+    if (!(pos.args[i] == neg.args[i])) return false;
+  }
+  return true;
+}
+
+// Lemma 5 within one rule: merges positive relation literals sharing symbol
+// and key term; var-var mismatches become substitutions, wildcards adopt
+// the partner's term. Returns true if anything changed.
+bool ApplyUniqueKey(Rule* rule) {
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    Literal& a = rule->body[i];
+    if (!IsRelation(a) || a.negated || a.args.empty() ||
+        a.args[0].is_wildcard()) {
+      continue;
+    }
+    for (size_t j = i + 1; j < rule->body.size(); ++j) {
+      Literal& b = rule->body[j];
+      if (!IsRelation(b) || b.negated || b.symbol != a.symbol) continue;
+      if (b.args.empty() || !(b.args[0] == a.args[0])) continue;
+      if (a.args.size() != b.args.size()) continue;
+      // Merge b into a.
+      std::vector<std::pair<std::string, std::string>> substitutions;
+      Literal merged = a;
+      bool ok = true;
+      for (size_t k = 1; k < a.args.size(); ++k) {
+        const Term& ta = a.args[k];
+        const Term& tb = b.args[k];
+        if (ta == tb) continue;
+        if (ta.is_wildcard()) {
+          merged.args[k] = tb;
+        } else if (tb.is_wildcard()) {
+          // keep ta
+        } else {
+          substitutions.emplace_back(tb.name, ta.name);
+        }
+      }
+      if (!ok) continue;
+      rule->body[i] = merged;
+      rule->body.erase(rule->body.begin() + static_cast<long>(j));
+      for (const auto& [from, to] : substitutions) {
+        *rule = SubstituteVar(*rule, from, to);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Removes duplicate literals and trivially-true comparisons; applies
+// equality substitutions (A = B -> B := A). Returns true on change;
+// sets *contradiction when the rule can never fire.
+bool NormalizeRule(Rule* rule, bool* contradiction) {
+  *contradiction = false;
+  bool changed = false;
+  // Equality substitution.
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    const Literal& l = rule->body[i];
+    if (l.kind != LiteralKind::kCompare) continue;
+    const Term& a = l.args[0];
+    const Term& b = l.args[1];
+    if (l.compare_equal) {
+      if (a == b) {  // trivially true
+        rule->body.erase(rule->body.begin() + static_cast<long>(i));
+        return true;
+      }
+      if (!a.is_wildcard() && !b.is_wildcard()) {
+        std::string from = b.name, to = a.name;
+        rule->body.erase(rule->body.begin() + static_cast<long>(i));
+        *rule = SubstituteVar(*rule, from, to);
+        return true;
+      }
+    } else if (a == b && !a.is_wildcard()) {
+      *contradiction = true;  // A != A
+      return true;
+    }
+  }
+  // Duplicate literals.
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    for (size_t j = i + 1; j < rule->body.size(); ++j) {
+      if (rule->body[i] == rule->body[j]) {
+        rule->body.erase(rule->body.begin() + static_cast<long>(j));
+        return true;
+      }
+    }
+  }
+  // Contradictions (Lemma 4).
+  for (const Literal& pos : rule->body) {
+    if (pos.negated) continue;
+    if (pos.kind != LiteralKind::kRelation &&
+        pos.kind != LiteralKind::kCondition) {
+      continue;
+    }
+    for (const Literal& neg : rule->body) {
+      if (!neg.negated) continue;
+      if (Contradicts(pos, neg)) {
+        *contradiction = true;
+        return true;
+      }
+    }
+  }
+  // Variables occurring exactly once in the whole rule (and not in the
+  // head) are existential: replace them with wildcards so the structural
+  // lemmas can match rules that differ only in such names.
+  {
+    std::map<std::string, int> counts;
+    auto count_term = [&counts](const Term& t) {
+      if (!t.is_wildcard()) ++counts[t.name];
+    };
+    for (const Term& t : rule->head.args) count_term(t);
+    for (const Literal& l : rule->body) {
+      for (const Term& t : l.args) count_term(t);
+      if (l.kind == LiteralKind::kFunction) count_term(l.out);
+    }
+    std::set<std::string> head_vars;
+    for (const Term& t : rule->head.args) {
+      if (!t.is_wildcard()) head_vars.insert(t.name);
+    }
+    for (Literal& l : rule->body) {
+      if (l.kind == LiteralKind::kFunction || l.kind == LiteralKind::kCompare) {
+        continue;  // handled by their own rules
+      }
+      for (Term& t : l.args) {
+        if (!t.is_wildcard() && counts[t.name] == 1 &&
+            !head_vars.count(t.name)) {
+          t = Term::Wildcard();
+          return true;
+        }
+      }
+    }
+  }
+  // Unused function outputs: functions are total, so a function literal
+  // whose output variable appears nowhere else can be dropped.
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    const Literal& l = rule->body[i];
+    if (l.kind != LiteralKind::kFunction || l.out.is_wildcard()) continue;
+    int uses = 0;
+    for (const Term& t : rule->head.args) {
+      if (t == l.out) ++uses;
+    }
+    for (size_t j = 0; j < rule->body.size(); ++j) {
+      if (j == i) continue;
+      std::set<std::string> vars;
+      rule->body[j].CollectVars(&vars);
+      if (vars.count(l.out.name)) ++uses;
+    }
+    if (uses == 0) {
+      rule->body.erase(rule->body.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  (void)changed;
+  return false;
+}
+
+// Attempts to find a variable bijection (fixing `fixed` variables) mapping
+// the literals of `a` one-to-one onto the literals of `b`.
+bool MatchLiteral(const Literal& a, const Literal& b,
+                  std::map<std::string, std::string>* mapping) {
+  if (a.kind != b.kind || a.negated != b.negated || a.symbol != b.symbol ||
+      a.compare_equal != b.compare_equal ||
+      a.args.size() != b.args.size()) {
+    return false;
+  }
+  std::map<std::string, std::string> attempt = *mapping;
+  auto match_term = [&attempt](const Term& x, const Term& y) {
+    if (x.is_wildcard() || y.is_wildcard()) return x.is_wildcard() == y.is_wildcard();
+    auto it = attempt.find(x.name);
+    if (it != attempt.end()) return it->second == y.name;
+    for (const auto& [from, to] : attempt) {
+      (void)from;
+      if (to == y.name) return false;  // injective
+    }
+    attempt.emplace(x.name, y.name);
+    return true;
+  };
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!match_term(a.args[i], b.args[i])) return false;
+  }
+  if (a.kind == LiteralKind::kFunction && !match_term(a.out, b.out)) {
+    return false;
+  }
+  *mapping = std::move(attempt);
+  return true;
+}
+
+bool MatchBodies(const std::vector<Literal>& a, const std::vector<Literal>& b,
+                 std::map<std::string, std::string> mapping,
+                 std::vector<bool> used, size_t index, bool subset_only) {
+  if (index == a.size()) return true;
+  for (size_t j = 0; j < b.size(); ++j) {
+    if (used[j]) continue;
+    std::map<std::string, std::string> next = mapping;
+    if (!MatchLiteral(a[index], b[j], &next)) continue;
+    used[j] = true;
+    if (MatchBodies(a, b, std::move(next), used, index + 1, subset_only)) {
+      return true;
+    }
+    used[j] = false;
+  }
+  return false;
+}
+
+// True if rule `a`'s body maps onto (a subset of) rule `b`'s body under a
+// variable bijection that identifies the head arguments.
+bool RuleCovers(const Rule& a, const Rule& b, bool subset_only) {
+  if (a.head.predicate != b.head.predicate ||
+      a.head.args.size() != b.head.args.size()) {
+    return false;
+  }
+  if (!subset_only && a.body.size() != b.body.size()) return false;
+  if (subset_only && a.body.size() > b.body.size()) return false;
+  std::map<std::string, std::string> mapping;
+  for (size_t i = 0; i < a.head.args.size(); ++i) {
+    const Term& x = a.head.args[i];
+    const Term& y = b.head.args[i];
+    if (x.is_wildcard() != y.is_wildcard()) return false;
+    if (!x.is_wildcard()) mapping[x.name] = y.name;
+  }
+  return MatchBodies(a.body, b.body, std::move(mapping),
+                     std::vector<bool>(b.body.size(), false), 0, subset_only);
+}
+
+// Lemma 3: if two rules are identical except one literal L vs ¬L, merge
+// them into one rule without that literal. Returns true on change.
+bool ApplyTautology(RuleSet* rules) {
+  for (size_t i = 0; i < rules->rules.size(); ++i) {
+    for (size_t j = 0; j < rules->rules.size(); ++j) {
+      if (i == j) continue;
+      const Rule& r = rules->rules[i];
+      const Rule& s = rules->rules[j];
+      if (r.head.predicate != s.head.predicate ||
+          r.body.size() != s.body.size()) {
+        continue;
+      }
+      // Try removing each literal of r and its negation in s.
+      for (size_t li = 0; li < r.body.size(); ++li) {
+        Rule r_less = r;
+        Literal removed = r.body[li];
+        r_less.body.erase(r_less.body.begin() + static_cast<long>(li));
+        Rule s_expected = r_less;
+        s_expected.body.push_back(removed.Negated());
+        if (RuleCovers(s_expected, s, /*subset_only=*/false)) {
+          rules->rules[i] = r_less;
+          rules->rules.erase(rules->rules.begin() + static_cast<long>(j));
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// Equality splitting (the rules 118-123 step of the paper's appendix): a
+// pair of rules
+//     r: H <- B, q(..., u, ...)
+//     s: H <- B, q(..., w, ...), u != w     (w occurring nowhere else)
+// jointly covers every value of the q position, so the pair merges into
+//     H <- B, q(..., w, ...)                (w free).
+// Returns true on change.
+bool ApplyEqualitySplit(RuleSet* rules) {
+  for (size_t si = 0; si < rules->rules.size(); ++si) {
+    const Rule& s = rules->rules[si];
+    for (size_t ne_i = 0; ne_i < s.body.size(); ++ne_i) {
+      const Literal& ne = s.body[ne_i];
+      if (ne.kind != LiteralKind::kCompare || ne.compare_equal) continue;
+      for (int orientation = 0; orientation < 2; ++orientation) {
+        const Term& u = ne.args[orientation];
+        const Term& w = ne.args[1 - orientation];
+        if (u.is_wildcard() || w.is_wildcard()) continue;
+        // w must occur in exactly one body literal besides the comparison
+        // and not in the head.
+        bool in_head = false;
+        for (const Term& t : s.head.args) {
+          if (t == w) in_head = true;
+        }
+        if (in_head) continue;
+        int occurrences = 0;
+        for (size_t li = 0; li < s.body.size(); ++li) {
+          if (li == ne_i) continue;
+          std::set<std::string> vars;
+          s.body[li].CollectVars(&vars);
+          if (vars.count(w.name)) ++occurrences;
+        }
+        if (occurrences != 1) continue;
+        // Substitute w := u and drop the comparison.
+        Rule substituted = s;
+        substituted.body.erase(substituted.body.begin() +
+                               static_cast<long>(ne_i));
+        substituted = SubstituteVar(substituted, w.name, u.name);
+        for (size_t ri = 0; ri < rules->rules.size(); ++ri) {
+          if (ri == si) continue;
+          const Rule& r = rules->rules[ri];
+          if (r.body.size() != substituted.body.size()) continue;
+          if (!RuleCovers(substituted, r, /*subset_only=*/false)) continue;
+          // Merge: s without the comparison, w left free.
+          Rule merged = s;
+          merged.body.erase(merged.body.begin() + static_cast<long>(ne_i));
+          rules->rules[ri] = std::move(merged);
+          rules->rules.erase(rules->rules.begin() + static_cast<long>(si));
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// Subsumption + duplicate removal: drop rule j when some rule i's body is a
+// subset of j's (same head). Returns true on change.
+bool ApplySubsumption(RuleSet* rules) {
+  for (size_t i = 0; i < rules->rules.size(); ++i) {
+    for (size_t j = 0; j < rules->rules.size(); ++j) {
+      if (i == j) continue;
+      if (RuleCovers(rules->rules[i], rules->rules[j], /*subset_only=*/true)) {
+        rules->rules.erase(rules->rules.begin() + static_cast<long>(j));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RuleSet Simplify(RuleSet rules) {
+  bool changed = true;
+  int guard = 0;
+  while (changed && ++guard < 10000) {
+    changed = false;
+    // Per-rule normalization + Lemma 5 + Lemma 4.
+    for (size_t i = 0; i < rules.rules.size();) {
+      bool contradiction = false;
+      if (NormalizeRule(&rules.rules[i], &contradiction)) {
+        changed = true;
+        if (contradiction) {
+          rules.rules.erase(rules.rules.begin() + static_cast<long>(i));
+        }
+        continue;  // revisit the same index
+      }
+      if (ApplyUniqueKey(&rules.rules[i])) {
+        changed = true;
+        continue;
+      }
+      ++i;
+    }
+    if (ApplyTautology(&rules)) changed = true;
+    if (ApplyEqualitySplit(&rules)) changed = true;
+    if (ApplySubsumption(&rules)) changed = true;
+  }
+  return rules;
+}
+
+bool IsIdentityMapping(const RuleSet& rules, const std::string& head,
+                       const std::string& base) {
+  std::vector<const Rule*> defs = rules.RulesFor(head);
+  if (defs.size() != 1) return false;
+  const Rule& r = *defs[0];
+  if (r.body.size() != 1) return false;
+  const Literal& l = r.body[0];
+  if (l.kind != LiteralKind::kRelation || l.negated || l.symbol != base) {
+    return false;
+  }
+  // Every head argument must appear at the same relative position of the
+  // body literal (the body may carry extra projected-away positions only
+  // as wildcards).
+  if (l.args.size() < r.head.args.size()) return false;
+  size_t li = 0;
+  for (const Term& h : r.head.args) {
+    // Find h in the remaining body args.
+    bool found = false;
+    while (li < l.args.size()) {
+      const Term& b = l.args[li++];
+      if (b == h) {
+        found = true;
+        break;
+      }
+      if (!b.is_wildcard()) return false;  // non-projected mismatch
+    }
+    if (!found) return false;
+  }
+  for (; li < l.args.size(); ++li) {
+    if (!l.args[li].is_wildcard()) return false;
+  }
+  return true;
+}
+
+Result<RoundTripReport> CheckRoundTrip(
+    const RuleSet& write, const RuleSet& read,
+    const std::vector<std::string>& data_relations,
+    const std::vector<std::string>& start_aux,
+    const std::vector<std::string>& result_aux) {
+  RoundTripReport report;
+
+  // Label the original data relations.
+  std::set<std::string> data(data_relations.begin(), data_relations.end());
+  RuleSet write_on_base = RenameBodyRelations(write, data, "_D");
+  std::set<std::string> empty(start_aux.begin(), start_aux.end());
+  write_on_base = ApplyEmptyRelations(write_on_base, empty);
+
+  std::set<std::string> base;
+  for (const std::string& d : data_relations) base.insert(d + "_D");
+
+  INVERDA_ASSIGN_OR_RETURN(RuleSet composed,
+                           Unfold(read, write_on_base, base));
+  report.residual = Simplify(std::move(composed));
+
+  std::set<std::string> aux_ok(result_aux.begin(), result_aux.end());
+  for (const std::string& d : data_relations) {
+    if (!IsIdentityMapping(report.residual, d, d + "_D")) {
+      report.holds = false;
+      report.detail = "relation " + d +
+                      " does not reduce to the identity; residual rules:\n" +
+                      ToString(report.residual);
+      return report;
+    }
+  }
+  // No residual rule may derive anything but the data identities and the
+  // tolerated aux relations.
+  for (const Rule& r : report.residual.rules) {
+    if (data.count(r.head.predicate)) continue;
+    if (aux_ok.count(r.head.predicate)) continue;
+    report.holds = false;
+    report.detail = "unexpected residual derivation: " + ToString(r);
+    return report;
+  }
+  report.holds = true;
+  report.detail = "identity";
+  return report;
+}
+
+}  // namespace datalog
+}  // namespace inverda

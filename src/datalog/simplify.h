@@ -1,0 +1,72 @@
+#ifndef INVERDA_DATALOG_SIMPLIFY_H_
+#define INVERDA_DATALOG_SIMPLIFY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "util/status.h"
+
+namespace inverda {
+namespace datalog {
+
+/// Symbolic composition and simplification of gamma rule sets, mechanizing
+/// the formal bidirectionality evaluation of Section 5 of the paper
+/// (Lemmas 1-5: deduction, empty predicate, tautology, contradiction,
+/// unique key).
+
+/// Replaces every body literal referencing `from` with the same literal on
+/// `to` (used to label the original relations, e.g. T -> T_D).
+RuleSet RenameBodyRelations(const RuleSet& rules,
+                            const std::set<std::string>& from,
+                            const std::string& suffix);
+
+/// Lemma 2: drops rules with a positive literal on an empty relation and
+/// removes negative literals on empty relations.
+RuleSet ApplyEmptyRelations(const RuleSet& rules,
+                            const std::set<std::string>& empty);
+
+/// Lemma 1 (deduction): unfolds every body literal of `outer` whose
+/// predicate is defined by `inner`, both positively (rule composition) and
+/// negatively (negation pushed through the defining rules, producing one
+/// rule per choice combination). Predicates in `base` are never unfolded.
+Result<RuleSet> Unfold(const RuleSet& outer, const RuleSet& inner,
+                       const std::set<std::string>& base);
+
+/// Lemmas 3-5 plus cleanups, iterated to a fixpoint: duplicate-literal
+/// removal, unique-key merging (Lemma 5), contradiction removal (Lemma 4),
+/// equality substitution, unused-function removal, tautology merging
+/// (Lemma 3), subsumption, and duplicate-rule removal.
+RuleSet Simplify(RuleSet rules);
+
+/// True if `rules` derives `head` exactly as the identity of `base`:
+/// a single rule head(p, X...) <- base(p, X...) with matching argument
+/// lists (wildcards in projected positions allowed).
+bool IsIdentityMapping(const RuleSet& rules, const std::string& head,
+                       const std::string& base);
+
+/// Result of mechanically checking one bidirectionality condition
+/// (Equation 26 or 27 of the paper) for one SMO.
+struct RoundTripReport {
+  bool holds = false;
+  bool skipped = false;       ///< id-generating / ω-based rules: not checked
+  std::string detail;         ///< human-readable explanation
+  RuleSet residual;           ///< the simplified composed rule set
+};
+
+/// Checks D = gamma_read^data(gamma_write(D)): renames the starting side's
+/// data relations to their _D labels, empties the starting side's aux
+/// relations, unfolds `read` over `write`, simplifies, and verifies that
+/// every data relation maps to the identity. `result_aux` relations may
+/// retain residual derivations (the data projection ignores them).
+Result<RoundTripReport> CheckRoundTrip(
+    const RuleSet& write, const RuleSet& read,
+    const std::vector<std::string>& data_relations,
+    const std::vector<std::string>& start_aux,
+    const std::vector<std::string>& result_aux);
+
+}  // namespace datalog
+}  // namespace inverda
+
+#endif  // INVERDA_DATALOG_SIMPLIFY_H_

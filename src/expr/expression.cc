@@ -1,0 +1,509 @@
+#include "expr/expression.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace inverda {
+
+Result<bool> Expression::EvalBool(const TableSchema& schema,
+                                  const Row& row) const {
+  INVERDA_ASSIGN_OR_RETURN(Value v, Eval(schema, row));
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.AsBool();
+  return Status::InvalidArgument("condition did not evaluate to a boolean: " +
+                                 ToString());
+}
+
+namespace {
+
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  Result<Value> Eval(const TableSchema&, const Row&) const override {
+    return value_;
+  }
+  std::string ToString() const override { return value_.ToString(); }
+  void CollectColumns(std::set<std::string>*) const override {}
+  DataType InferType(const TableSchema&) const override {
+    if (value_.is_int()) return DataType::kInt64;
+    if (value_.is_double()) return DataType::kDouble;
+    if (value_.is_bool()) return DataType::kBool;
+    return DataType::kString;
+  }
+
+ private:
+  Value value_;
+};
+
+class ColumnRefExpr : public Expression {
+ public:
+  explicit ColumnRefExpr(std::string column) : column_(std::move(column)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    // Cache the resolved index per schema identity; expressions are
+    // evaluated row-by-row against one schema in hot loops.
+    if (cached_schema_ != &schema) {
+      std::optional<int> idx = schema.FindColumn(column_);
+      if (!idx) {
+        return Status::NotFound("column " + column_ + " not in " +
+                                schema.name());
+      }
+      cached_schema_ = &schema;
+      cached_index_ = *idx;
+    }
+    return row[static_cast<size_t>(cached_index_)];
+  }
+  std::string ToString() const override { return column_; }
+  void CollectColumns(std::set<std::string>* out) const override {
+    out->insert(column_);
+  }
+  DataType InferType(const TableSchema& schema) const override {
+    std::optional<int> idx = schema.FindColumn(column_);
+    if (!idx) return DataType::kString;
+    return schema.columns()[static_cast<size_t>(*idx)].type;
+  }
+
+ private:
+  std::string column_;
+  mutable const TableSchema* cached_schema_ = nullptr;
+  mutable int cached_index_ = 0;
+};
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+class ComparisonExpr : public Expression {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    INVERDA_ASSIGN_OR_RETURN(Value a, lhs_->Eval(schema, row));
+    INVERDA_ASSIGN_OR_RETURN(Value b, rhs_->Eval(schema, row));
+    switch (op_) {
+      case CompareOp::kEq:
+        return Value::Bool(ValuesEqual(a, b));
+      case CompareOp::kNe:
+        return Value::Bool(!ValuesEqual(a, b));
+      default:
+        break;
+    }
+    // Ordering comparisons with NULL are false (unknown collapsed to false).
+    if (a.is_null() || b.is_null()) return Value::Bool(false);
+    int cmp = Compare(a, b);
+    switch (op_) {
+      case CompareOp::kLt:
+        return Value::Bool(cmp < 0);
+      case CompareOp::kLe:
+        return Value::Bool(cmp <= 0);
+      case CompareOp::kGt:
+        return Value::Bool(cmp > 0);
+      case CompareOp::kGe:
+        return Value::Bool(cmp >= 0);
+      default:
+        return Status::Internal("unreachable comparison op");
+    }
+  }
+
+  std::string ToString() const override {
+    return lhs_->ToString() + " " + CompareOpName(op_) + " " +
+           rhs_->ToString();
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema&) const override {
+    return DataType::kBool;
+  }
+
+ private:
+  static bool ValuesEqual(const Value& a, const Value& b) {
+    // Numeric values compare by value across int64/double.
+    if ((a.is_int() || a.is_double()) && (b.is_int() || b.is_double())) {
+      return a.AsNumeric() == b.AsNumeric();
+    }
+    return a == b;
+  }
+  static int Compare(const Value& a, const Value& b) {
+    if (ValuesEqual(a, b)) return 0;
+    return a < b ? -1 : 1;
+  }
+
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class BoolBinaryExpr : public Expression {
+ public:
+  BoolBinaryExpr(bool is_and, ExprPtr lhs, ExprPtr rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    INVERDA_ASSIGN_OR_RETURN(bool a, lhs_->EvalBool(schema, row));
+    if (is_and_ && !a) return Value::Bool(false);
+    if (!is_and_ && a) return Value::Bool(true);
+    INVERDA_ASSIGN_OR_RETURN(bool b, rhs_->EvalBool(schema, row));
+    return Value::Bool(b);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + (is_and_ ? " AND " : " OR ") +
+           rhs_->ToString() + ")";
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema&) const override {
+    return DataType::kBool;
+  }
+
+ private:
+  bool is_and_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr : public Expression {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    INVERDA_ASSIGN_OR_RETURN(bool v, operand_->EvalBool(schema, row));
+    return Value::Bool(!v);
+  }
+  std::string ToString() const override {
+    return "NOT (" + operand_->ToString() + ")";
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    operand_->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema&) const override {
+    return DataType::kBool;
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+    case ArithOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+class ArithExpr : public Expression {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    INVERDA_ASSIGN_OR_RETURN(Value a, lhs_->Eval(schema, row));
+    INVERDA_ASSIGN_OR_RETURN(Value b, rhs_->Eval(schema, row));
+    if (a.is_null() || b.is_null()) return Value::Null();
+    if (op_ == ArithOp::kConcat) {
+      return Value::String(AsText(a) + AsText(b));
+    }
+    if (!(a.is_int() || a.is_double()) || !(b.is_int() || b.is_double())) {
+      return Status::InvalidArgument("arithmetic on non-numeric values in " +
+                                     ToString());
+    }
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::Int(x + y);
+        case ArithOp::kSub:
+          return Value::Int(x - y);
+        case ArithOp::kMul:
+          return Value::Int(x * y);
+        case ArithOp::kDiv:
+          if (y == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int(x / y);
+        case ArithOp::kMod:
+          if (y == 0) return Status::InvalidArgument("modulo by zero");
+          return Value::Int(x % y);
+        default:
+          break;
+      }
+    }
+    double x = a.AsNumeric(), y = b.AsNumeric();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Double(x + y);
+      case ArithOp::kSub:
+        return Value::Double(x - y);
+      case ArithOp::kMul:
+        return Value::Double(x * y);
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value::Double(x / y);
+      case ArithOp::kMod:
+        if (y == 0) return Status::InvalidArgument("modulo by zero");
+        return Value::Double(std::fmod(x, y));
+      default:
+        return Status::Internal("unreachable arithmetic op");
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + ArithOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema& schema) const override {
+    if (op_ == ArithOp::kConcat) return DataType::kString;
+    DataType a = lhs_->InferType(schema);
+    DataType b = rhs_->InferType(schema);
+    if (a == DataType::kDouble || b == DataType::kDouble) {
+      return DataType::kDouble;
+    }
+    return DataType::kInt64;
+  }
+
+ private:
+  static std::string AsText(const Value& v) {
+    if (v.is_string()) return v.AsString();
+    if (v.is_int()) return std::to_string(v.AsInt());
+    if (v.is_double()) return std::to_string(v.AsDouble());
+    if (v.is_bool()) return v.AsBool() ? "true" : "false";
+    return "";
+  }
+
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class IsNullExpr : public Expression {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    INVERDA_ASSIGN_OR_RETURN(Value v, operand_->Eval(schema, row));
+    return Value::Bool(v.is_null() != negated_);
+  }
+  std::string ToString() const override {
+    return operand_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    operand_->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema&) const override {
+    return DataType::kBool;
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+enum class Builtin { kUpper, kLower, kLength, kAbs, kCoalesce, kConcat };
+
+class FunctionExpr : public Expression {
+ public:
+  FunctionExpr(Builtin builtin, std::string name, std::vector<ExprPtr> args)
+      : builtin_(builtin), name_(std::move(name)), args_(std::move(args)) {}
+
+  Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
+    std::vector<Value> values;
+    values.reserve(args_.size());
+    for (const ExprPtr& arg : args_) {
+      INVERDA_ASSIGN_OR_RETURN(Value v, arg->Eval(schema, row));
+      values.push_back(std::move(v));
+    }
+    switch (builtin_) {
+      case Builtin::kUpper:
+      case Builtin::kLower: {
+        if (values[0].is_null()) return Value::Null();
+        if (!values[0].is_string()) {
+          return Status::InvalidArgument(name_ + " expects a string");
+        }
+        std::string s = values[0].AsString();
+        for (char& c : s) {
+          c = builtin_ == Builtin::kUpper
+                  ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                  : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        return Value::String(std::move(s));
+      }
+      case Builtin::kLength:
+        if (values[0].is_null()) return Value::Null();
+        if (!values[0].is_string()) {
+          return Status::InvalidArgument("LENGTH expects a string");
+        }
+        return Value::Int(static_cast<int64_t>(values[0].AsString().size()));
+      case Builtin::kAbs:
+        if (values[0].is_null()) return Value::Null();
+        if (values[0].is_int()) return Value::Int(std::abs(values[0].AsInt()));
+        if (values[0].is_double()) {
+          return Value::Double(std::fabs(values[0].AsDouble()));
+        }
+        return Status::InvalidArgument("ABS expects a number");
+      case Builtin::kCoalesce:
+        for (const Value& v : values) {
+          if (!v.is_null()) return v;
+        }
+        return Value::Null();
+      case Builtin::kConcat: {
+        std::string out;
+        for (const Value& v : values) {
+          if (v.is_null()) continue;
+          if (v.is_string()) {
+            out += v.AsString();
+          } else if (v.is_int()) {
+            out += std::to_string(v.AsInt());
+          } else if (v.is_double()) {
+            out += std::to_string(v.AsDouble());
+          } else {
+            out += v.AsBool() ? "true" : "false";
+          }
+        }
+        return Value::String(std::move(out));
+      }
+    }
+    return Status::Internal("unreachable builtin");
+  }
+
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    parts.reserve(args_.size());
+    for (const ExprPtr& a : args_) parts.push_back(a->ToString());
+    return name_ + "(" + Join(parts, ", ") + ")";
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    for (const ExprPtr& a : args_) a->CollectColumns(out);
+  }
+  DataType InferType(const TableSchema& schema) const override {
+    switch (builtin_) {
+      case Builtin::kUpper:
+      case Builtin::kLower:
+      case Builtin::kConcat:
+        return DataType::kString;
+      case Builtin::kLength:
+        return DataType::kInt64;
+      case Builtin::kAbs:
+        return args_[0]->InferType(schema);
+      case Builtin::kCoalesce:
+        return args_[0]->InferType(schema);
+    }
+    return DataType::kString;
+  }
+
+ private:
+  Builtin builtin_;
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr MakeLiteral(Value value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+
+ExprPtr MakeColumnRef(std::string column) {
+  return std::make_shared<ColumnRefExpr>(std::move(column));
+}
+
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ComparisonExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BoolBinaryExpr>(true, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BoolBinaryExpr>(false, std::move(lhs),
+                                          std::move(rhs));
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  return std::make_shared<IsNullExpr>(std::move(operand), negated);
+}
+
+Result<ExprPtr> MakeFunctionCall(const std::string& name,
+                                 std::vector<ExprPtr> args) {
+  struct Entry {
+    const char* name;
+    Builtin builtin;
+    int min_args;
+    int max_args;  // -1 = unbounded
+  };
+  static constexpr Entry kBuiltins[] = {
+      {"UPPER", Builtin::kUpper, 1, 1},   {"LOWER", Builtin::kLower, 1, 1},
+      {"LENGTH", Builtin::kLength, 1, 1}, {"ABS", Builtin::kAbs, 1, 1},
+      {"COALESCE", Builtin::kCoalesce, 1, -1},
+      {"CONCAT", Builtin::kConcat, 1, -1},
+  };
+  for (const Entry& e : kBuiltins) {
+    if (EqualsIgnoreCase(name, e.name)) {
+      int n = static_cast<int>(args.size());
+      if (n < e.min_args || (e.max_args >= 0 && n > e.max_args)) {
+        return Status::InvalidArgument("wrong argument count for " + name);
+      }
+      return ExprPtr(std::make_shared<FunctionExpr>(e.builtin, ToLower(name),
+                                                    std::move(args)));
+    }
+  }
+  return Status::NotFound("unknown function " + name);
+}
+
+Status CheckColumnsResolve(const Expression& expr, const TableSchema& schema) {
+  std::set<std::string> columns;
+  expr.CollectColumns(&columns);
+  for (const std::string& c : columns) {
+    if (!schema.FindColumn(c)) {
+      return Status::NotFound("column " + c + " referenced by '" +
+                              expr.ToString() + "' not in " +
+                              schema.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace inverda

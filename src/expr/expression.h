@@ -1,0 +1,80 @@
+#ifndef INVERDA_EXPR_EXPRESSION_H_
+#define INVERDA_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace inverda {
+
+class Expression;
+
+/// Expressions are immutable and shared; SMO instances hold them by pointer.
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Scalar expression over the columns of one tuple. Used for the SMO
+/// parameters of BiDEL: the split/merge/join/decompose conditions c(A) and
+/// the value functions f(r1,...,rn) of ADD/DROP COLUMN.
+///
+/// Evaluation is two-valued: conditions treat NULL (the ω marker) as equal
+/// to NULL and distinct from every other value, which mirrors how the
+/// paper's Datalog rules handle attribute-list equality.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates against one payload row described by `schema`.
+  virtual Result<Value> Eval(const TableSchema& schema,
+                             const Row& row) const = 0;
+
+  /// SQL-ish rendering (also used by the SQL delta-code generator).
+  virtual std::string ToString() const = 0;
+
+  /// Adds the names of all referenced columns to `out`.
+  virtual void CollectColumns(std::set<std::string>* out) const = 0;
+
+  /// Best-effort static type of the expression under `schema`. Schema types
+  /// are advisory in this engine (BiDEL itself is untyped); this is used to
+  /// pick a column type for ADD COLUMN when none is declared.
+  virtual DataType InferType(const TableSchema& schema) const = 0;
+
+  /// Convenience: evaluates and coerces to a condition truth value.
+  /// NULL and FALSE are false; TRUE is true; any other type is an error.
+  Result<bool> EvalBool(const TableSchema& schema, const Row& row) const;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions. These are the public construction API; concrete node
+// classes are implementation details of expression.cc.
+// ---------------------------------------------------------------------------
+
+ExprPtr MakeLiteral(Value value);
+ExprPtr MakeColumnRef(std::string column);
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kConcat };
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+
+/// Built-in functions: UPPER, LOWER, LENGTH, ABS, COALESCE, CONCAT.
+Result<ExprPtr> MakeFunctionCall(const std::string& name,
+                                 std::vector<ExprPtr> args);
+
+/// Validates that every column referenced by `expr` exists in `schema`.
+Status CheckColumnsResolve(const Expression& expr, const TableSchema& schema);
+
+}  // namespace inverda
+
+#endif  // INVERDA_EXPR_EXPRESSION_H_

@@ -1,0 +1,314 @@
+#include "expr/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kOperator,  // = <> != <= >= < > + - * / % || ( ) ,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdent, text_.substr(start, pos_ - start)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        bool is_double = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          if (text_[pos_] == '.') is_double = true;
+          ++pos_;
+        }
+        (void)is_double;
+        tokens.push_back(
+            {TokenKind::kNumber, text_.substr(start, pos_ - start)});
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        std::string value;
+        bool closed = false;
+        while (pos_ < text_.size()) {
+          if (text_[pos_] == '\'') {
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+              value += '\'';
+              pos_ += 2;
+              continue;
+            }
+            ++pos_;
+            closed = true;
+            break;
+          }
+          value += text_[pos_++];
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string literal in: " +
+                                         text_);
+        }
+        tokens.push_back({TokenKind::kString, std::move(value)});
+        continue;
+      }
+      // Two-character operators first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">=", "||"};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (text_.compare(pos_, 2, op) == 0) {
+          tokens.push_back({TokenKind::kOperator, op});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kOneChar = "=<>+-*/%(),";
+      if (kOneChar.find(c) != std::string::npos) {
+        tokens.push_back({TokenKind::kOperator, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in: " + text_);
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input after expression: " +
+                                     Peek().text);
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().kind == TokenKind::kIdent && EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchOperator(const char* op) {
+    if (Peek().kind == TokenKind::kOperator && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeNot(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      if (!MatchKeyword("NULL")) {
+        return Status::InvalidArgument("expected NULL after IS");
+      }
+      return MakeIsNull(std::move(lhs), negated);
+    }
+    struct OpEntry {
+      const char* text;
+      CompareOp op;
+    };
+    static constexpr OpEntry kOps[] = {
+        {"=", CompareOp::kEq},  {"<>", CompareOp::kNe}, {"!=", CompareOp::kNe},
+        {"<=", CompareOp::kLe}, {">=", CompareOp::kGe}, {"<", CompareOp::kLt},
+        {">", CompareOp::kGt},
+    };
+    for (const OpEntry& e : kOps) {
+      if (MatchOperator(e.text)) {
+        INVERDA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeComparison(e.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      ArithOp op;
+      if (MatchOperator("+")) {
+        op = ArithOp::kAdd;
+      } else if (MatchOperator("-")) {
+        op = ArithOp::kSub;
+      } else if (MatchOperator("||")) {
+        op = ArithOp::kConcat;
+      } else {
+        break;
+      }
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      ArithOp op;
+      if (MatchOperator("*")) {
+        op = ArithOp::kMul;
+      } else if (MatchOperator("/")) {
+        op = ArithOp::kDiv;
+      } else if (MatchOperator("%")) {
+        op = ArithOp::kMod;
+      } else {
+        break;
+      }
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchOperator("-")) {
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeArith(ArithOp::kSub, MakeLiteral(Value::Int(0)),
+                       std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token token = Advance();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        if (token.text.find('.') != std::string::npos) {
+          return MakeLiteral(Value::Double(std::stod(token.text)));
+        }
+        return MakeLiteral(Value::Int(std::stoll(token.text)));
+      }
+      case TokenKind::kString:
+        return MakeLiteral(Value::String(token.text));
+      case TokenKind::kIdent: {
+        if (EqualsIgnoreCase(token.text, "NULL")) {
+          return MakeLiteral(Value::Null());
+        }
+        if (EqualsIgnoreCase(token.text, "TRUE")) {
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (EqualsIgnoreCase(token.text, "FALSE")) {
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (MatchOperator("(")) {
+          std::vector<ExprPtr> args;
+          if (!MatchOperator(")")) {
+            while (true) {
+              INVERDA_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(std::move(arg));
+              if (MatchOperator(")")) break;
+              if (!MatchOperator(",")) {
+                return Status::InvalidArgument(
+                    "expected ',' or ')' in argument list of " + token.text);
+              }
+            }
+          }
+          return MakeFunctionCall(token.text, std::move(args));
+        }
+        return MakeColumnRef(token.text);
+      }
+      case TokenKind::kOperator:
+        if (token.text == "(") {
+          INVERDA_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+          if (!MatchOperator(")")) {
+            return Status::InvalidArgument("missing closing parenthesis");
+          }
+          return inner;
+        }
+        return Status::InvalidArgument("unexpected operator '" + token.text +
+                                       "'");
+      case TokenKind::kEnd:
+        return Status::InvalidArgument("unexpected end of expression");
+    }
+    return Status::Internal("unreachable token kind");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  Lexer lexer(text);
+  INVERDA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace inverda

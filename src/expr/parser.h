@@ -1,0 +1,21 @@
+#ifndef INVERDA_EXPR_PARSER_H_
+#define INVERDA_EXPR_PARSER_H_
+
+#include <string>
+
+#include "expr/expression.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// Parses a scalar expression / condition in the small SQL-like language
+/// used inside BiDEL SMOs, e.g. "prio = 1", "a < 5 AND b = 'x'",
+/// "author || '!'", "COALESCE(nick, name)".
+///
+/// Grammar (precedence low to high): OR, AND, NOT, comparison / IS [NOT]
+/// NULL, additive (+ - ||), multiplicative (* / %), unary minus, primary.
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace inverda
+
+#endif  // INVERDA_EXPR_PARSER_H_

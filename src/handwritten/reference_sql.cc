@@ -1,0 +1,377 @@
+#include "handwritten/reference_sql.h"
+
+namespace inverda {
+
+// All scripts below are written for this repository as the "handwritten
+// delta code" baseline of the Table 3 experiment: the code a developer
+// would have to write and maintain by hand to keep TasKy, Do! and TasKy2
+// co-existing on one data set without InVerDa.
+
+const std::string& HandwrittenInitialSql() {
+  static const std::string* sql = new std::string(R"SQL(
+CREATE TABLE task(p BIGSERIAL PRIMARY KEY, author TEXT, task TEXT, prio INT);
+)SQL");
+  return *sql;
+}
+
+const std::string& HandwrittenEvolutionSql() {
+  static const std::string* sql = new std::string(R"SQL(
+-- =========================================================================
+-- Handwritten delta code: expose TasKy2 (task2 / author2) and Do! (todo)
+-- on top of the physically stored TasKy table task(p, author, task, prio).
+-- =========================================================================
+
+-- Auxiliary state ---------------------------------------------------------
+-- Assigned author ids for the decomposition (must stay stable so that the
+-- TasKy2 schema sees repeatable author keys).
+CREATE SEQUENCE author_id_seq START 1000000;
+CREATE TABLE aux_author_ids(
+  p BIGINT PRIMARY KEY,
+  author_id BIGINT NOT NULL
+);
+-- Explicit priorities written through Do! after the prio column was
+-- dropped there (default is 1).
+CREATE TABLE aux_todo_prio(
+  p BIGINT PRIMARY KEY,
+  prio INT NOT NULL
+);
+
+-- Helper: stable author id per author name -------------------------------
+CREATE OR REPLACE FUNCTION author_id_for(name TEXT) RETURNS BIGINT AS $$
+DECLARE
+  result BIGINT;
+BEGIN
+  SELECT a.author_id INTO result
+  FROM aux_author_ids a JOIN task t ON t.p = a.p
+  WHERE t.author = name
+  LIMIT 1;
+  IF result IS NULL THEN
+    result := nextval('author_id_seq');
+  END IF;
+  RETURN result;
+END;
+$$ LANGUAGE plpgsql;
+
+-- TasKy2 views ------------------------------------------------------------
+CREATE OR REPLACE VIEW author2 AS
+  SELECT DISTINCT a.author_id AS p, t.author AS name
+  FROM task t JOIN aux_author_ids a ON a.p = t.p;
+
+CREATE OR REPLACE VIEW task2 AS
+  SELECT t.p, t.task, t.prio, a.author_id AS author
+  FROM task t JOIN aux_author_ids a ON a.p = t.p;
+
+-- Do! view ------------------------------------------------------------------
+CREATE OR REPLACE VIEW todo AS
+  SELECT t.p, t.author, t.task
+  FROM task t
+  WHERE t.prio = 1;
+
+-- Keep aux_author_ids complete for every physical row ----------------------
+CREATE OR REPLACE FUNCTION task_assign_author_id() RETURNS trigger AS $$
+BEGIN
+  INSERT INTO aux_author_ids(p, author_id)
+  VALUES (NEW.p, author_id_for(NEW.author))
+  ON CONFLICT (p) DO UPDATE SET author_id = author_id_for(NEW.author);
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task_author_id AFTER INSERT OR UPDATE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_assign_author_id();
+CREATE OR REPLACE FUNCTION task_drop_author_id() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM aux_author_ids WHERE p = OLD.p;
+  DELETE FROM aux_todo_prio WHERE p = OLD.p;
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task_author_id_gc AFTER DELETE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_drop_author_id();
+
+-- Write propagation: TasKy2.task2 -> task -----------------------------------
+CREATE OR REPLACE FUNCTION task2_insert() RETURNS trigger AS $$
+DECLARE
+  author_name TEXT;
+BEGIN
+  SELECT name INTO author_name FROM author2 WHERE p = NEW.author;
+  IF author_name IS NULL THEN
+    RAISE EXCEPTION 'dangling author id %', NEW.author;
+  END IF;
+  INSERT INTO task(p, author, task, prio)
+  VALUES (NEW.p, author_name, NEW.task, NEW.prio);
+  INSERT INTO aux_author_ids(p, author_id) VALUES (NEW.p, NEW.author)
+  ON CONFLICT (p) DO UPDATE SET author_id = NEW.author;
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task2_ins INSTEAD OF INSERT ON task2
+  FOR EACH ROW EXECUTE FUNCTION task2_insert();
+
+CREATE OR REPLACE FUNCTION task2_update() RETURNS trigger AS $$
+DECLARE
+  author_name TEXT;
+BEGIN
+  SELECT name INTO author_name FROM author2 WHERE p = NEW.author;
+  UPDATE task
+  SET author = author_name, task = NEW.task, prio = NEW.prio
+  WHERE p = OLD.p;
+  UPDATE aux_author_ids SET author_id = NEW.author WHERE p = OLD.p;
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task2_upd INSTEAD OF UPDATE ON task2
+  FOR EACH ROW EXECUTE FUNCTION task2_update();
+
+CREATE OR REPLACE FUNCTION task2_delete() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task WHERE p = OLD.p;
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task2_del INSTEAD OF DELETE ON task2
+  FOR EACH ROW EXECUTE FUNCTION task2_delete();
+
+-- Write propagation: TasKy2.author2 -> task ----------------------------------
+CREATE OR REPLACE FUNCTION author2_update() RETURNS trigger AS $$
+BEGIN
+  UPDATE task t
+  SET author = NEW.name
+  FROM aux_author_ids a
+  WHERE a.p = t.p AND a.author_id = OLD.p;
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER author2_upd INSTEAD OF UPDATE ON author2
+  FOR EACH ROW EXECUTE FUNCTION author2_update();
+
+CREATE OR REPLACE FUNCTION author2_delete() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task t
+  USING aux_author_ids a
+  WHERE a.p = t.p AND a.author_id = OLD.p;
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER author2_del INSTEAD OF DELETE ON author2
+  FOR EACH ROW EXECUTE FUNCTION author2_delete();
+
+-- Write propagation: Do!.todo -> task -----------------------------------------
+CREATE OR REPLACE FUNCTION todo_insert() RETURNS trigger AS $$
+BEGIN
+  INSERT INTO task(p, author, task, prio)
+  VALUES (NEW.p, NEW.author, NEW.task,
+          COALESCE((SELECT prio FROM aux_todo_prio WHERE p = NEW.p), 1));
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_ins INSTEAD OF INSERT ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_insert();
+
+CREATE OR REPLACE FUNCTION todo_update() RETURNS trigger AS $$
+BEGIN
+  UPDATE task SET author = NEW.author, task = NEW.task WHERE p = OLD.p;
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_upd INSTEAD OF UPDATE ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_update();
+
+CREATE OR REPLACE FUNCTION todo_delete() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task WHERE p = OLD.p;
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_del INSTEAD OF DELETE ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_delete();
+
+-- Populate the author id assignment for pre-existing rows --------------------
+INSERT INTO aux_author_ids(p, author_id)
+SELECT t.p, author_id_for(t.author) FROM task t
+ON CONFLICT (p) DO NOTHING;
+)SQL");
+  return *sql;
+}
+
+const std::string& HandwrittenMigrationSql() {
+  static const std::string* sql = new std::string(R"SQL(
+-- =========================================================================
+-- Handwritten migration: physically move the data to the TasKy2 schema
+-- (task2d / author2d) and rewrite ALL delta code so TasKy and Do! keep
+-- working on top of the new physical tables.
+-- =========================================================================
+
+BEGIN;
+
+-- New physical tables ---------------------------------------------------------
+CREATE TABLE author2d(p BIGINT PRIMARY KEY, name TEXT);
+CREATE TABLE task2d(
+  p BIGINT PRIMARY KEY,
+  task TEXT,
+  prio INT,
+  author BIGINT REFERENCES author2d(p)
+);
+
+-- Move the data ---------------------------------------------------------------
+INSERT INTO author2d(p, name)
+SELECT DISTINCT a.author_id, t.author
+FROM task t JOIN aux_author_ids a ON a.p = t.p;
+
+INSERT INTO task2d(p, task, prio, author)
+SELECT t.p, t.task, t.prio, a.author_id
+FROM task t JOIN aux_author_ids a ON a.p = t.p;
+
+-- Tear down the old delta code --------------------------------------------------
+DROP TRIGGER task2_ins ON task2;  DROP FUNCTION task2_insert();
+DROP TRIGGER task2_upd ON task2;  DROP FUNCTION task2_update();
+DROP TRIGGER task2_del ON task2;  DROP FUNCTION task2_delete();
+DROP TRIGGER author2_upd ON author2;  DROP FUNCTION author2_update();
+DROP TRIGGER author2_del ON author2;  DROP FUNCTION author2_delete();
+DROP TRIGGER todo_ins ON todo;  DROP FUNCTION todo_insert();
+DROP TRIGGER todo_upd ON todo;  DROP FUNCTION todo_update();
+DROP TRIGGER todo_del ON todo;  DROP FUNCTION todo_delete();
+DROP TRIGGER task_author_id ON task;  DROP FUNCTION task_assign_author_id();
+DROP TRIGGER task_author_id_gc ON task;  DROP FUNCTION task_drop_author_id();
+DROP VIEW task2;  DROP VIEW author2;  DROP VIEW todo;
+DROP TABLE task;  DROP TABLE aux_author_ids;
+
+-- New views: TasKy2 is physical now -------------------------------------------
+CREATE OR REPLACE VIEW task2 AS SELECT p, task, prio, author FROM task2d;
+CREATE OR REPLACE VIEW author2 AS SELECT p, name FROM author2d;
+
+CREATE OR REPLACE VIEW task AS
+  SELECT t.p, a.name AS author, t.task, t.prio
+  FROM task2d t JOIN author2d a ON a.p = t.author;
+
+CREATE OR REPLACE VIEW todo AS
+  SELECT t.p, a.name AS author, t.task
+  FROM task2d t JOIN author2d a ON a.p = t.author
+  WHERE t.prio = 1;
+
+-- Rewritten write propagation: TasKy.task -> task2d/author2d -------------------
+CREATE OR REPLACE FUNCTION task_v1_insert() RETURNS trigger AS $$
+DECLARE
+  aid BIGINT;
+BEGIN
+  SELECT p INTO aid FROM author2d WHERE name = NEW.author LIMIT 1;
+  IF aid IS NULL THEN
+    aid := nextval('author_id_seq');
+    INSERT INTO author2d(p, name) VALUES (aid, NEW.author);
+  END IF;
+  INSERT INTO task2d(p, task, prio, author)
+  VALUES (NEW.p, NEW.task, NEW.prio, aid);
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task_v1_ins INSTEAD OF INSERT ON task
+  FOR EACH ROW EXECUTE FUNCTION task_v1_insert();
+
+CREATE OR REPLACE FUNCTION task_v1_update() RETURNS trigger AS $$
+DECLARE
+  aid BIGINT;
+BEGIN
+  SELECT p INTO aid FROM author2d WHERE name = NEW.author LIMIT 1;
+  IF aid IS NULL THEN
+    aid := nextval('author_id_seq');
+    INSERT INTO author2d(p, name) VALUES (aid, NEW.author);
+  END IF;
+  UPDATE task2d SET task = NEW.task, prio = NEW.prio, author = aid
+  WHERE p = OLD.p;
+  DELETE FROM author2d a
+  WHERE NOT EXISTS (SELECT 1 FROM task2d t WHERE t.author = a.p);
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task_v1_upd INSTEAD OF UPDATE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_v1_update();
+
+CREATE OR REPLACE FUNCTION task_v1_delete() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task2d WHERE p = OLD.p;
+  DELETE FROM author2d a
+  WHERE NOT EXISTS (SELECT 1 FROM task2d t WHERE t.author = a.p);
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER task_v1_del INSTEAD OF DELETE ON task
+  FOR EACH ROW EXECUTE FUNCTION task_v1_delete();
+
+-- Rewritten write propagation: Do!.todo -> task2d/author2d ----------------------
+CREATE OR REPLACE FUNCTION todo_v2_insert() RETURNS trigger AS $$
+DECLARE
+  aid BIGINT;
+BEGIN
+  SELECT p INTO aid FROM author2d WHERE name = NEW.author LIMIT 1;
+  IF aid IS NULL THEN
+    aid := nextval('author_id_seq');
+    INSERT INTO author2d(p, name) VALUES (aid, NEW.author);
+  END IF;
+  INSERT INTO task2d(p, task, prio, author)
+  VALUES (NEW.p, NEW.task,
+          COALESCE((SELECT prio FROM aux_todo_prio WHERE p = NEW.p), 1), aid);
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_v2_ins INSTEAD OF INSERT ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_v2_insert();
+
+CREATE OR REPLACE FUNCTION todo_v2_update() RETURNS trigger AS $$
+DECLARE
+  aid BIGINT;
+BEGIN
+  SELECT p INTO aid FROM author2d WHERE name = NEW.author LIMIT 1;
+  IF aid IS NULL THEN
+    aid := nextval('author_id_seq');
+    INSERT INTO author2d(p, name) VALUES (aid, NEW.author);
+  END IF;
+  UPDATE task2d SET task = NEW.task, author = aid WHERE p = OLD.p;
+  RETURN NEW;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_v2_upd INSTEAD OF UPDATE ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_v2_update();
+
+CREATE OR REPLACE FUNCTION todo_v2_delete() RETURNS trigger AS $$
+BEGIN
+  DELETE FROM task2d WHERE p = OLD.p;
+  RETURN OLD;
+END;
+$$ LANGUAGE plpgsql;
+CREATE TRIGGER todo_v2_del INSTEAD OF DELETE ON todo
+  FOR EACH ROW EXECUTE FUNCTION todo_v2_delete();
+
+COMMIT;
+)SQL");
+  return *sql;
+}
+
+const std::string& BidelInitialScript() {
+  static const std::string* s = new std::string(
+      "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author TEXT, task "
+      "TEXT, prio INT);");
+  return *s;
+}
+
+const std::string& BidelEvolutionScript() {
+  static const std::string* s = new std::string(
+      "CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH\n"
+      "DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN "
+      "KEY author;\n"
+      "RENAME COLUMN author IN Author TO name;");
+  return *s;
+}
+
+const std::string& BidelMigrationScript() {
+  static const std::string* s = new std::string("MATERIALIZE 'TasKy2';");
+  return *s;
+}
+
+const std::string& BidelDoScript() {
+  static const std::string* s = new std::string(
+      "CREATE SCHEMA VERSION Do! FROM TasKy WITH\n"
+      "SPLIT TABLE Task INTO Todo WITH prio = 1;\n"
+      "DROP COLUMN prio FROM Todo DEFAULT 1;");
+  return *s;
+}
+
+}  // namespace inverda

@@ -1,0 +1,32 @@
+#ifndef INVERDA_HANDWRITTEN_REFERENCE_SQL_H_
+#define INVERDA_HANDWRITTEN_REFERENCE_SQL_H_
+
+#include <string>
+
+namespace inverda {
+
+/// The handwritten SQL scripts a developer would write to keep the TasKy
+/// and TasKy2 schema versions co-existing without InVerDa, and the BiDEL
+/// scripts that achieve the same. Used by the Table 3 code-size experiment
+/// and as documentation of what InVerDa automates.
+
+/// CREATE TABLE Task(...) — identical effort in both worlds.
+const std::string& HandwrittenInitialSql();
+
+/// Views + triggers implementing TasKy2 on top of the TasKy physical
+/// schema (forward and backward write propagation, auxiliary bookkeeping).
+const std::string& HandwrittenEvolutionSql();
+
+/// Physical migration of the data to the TasKy2 table schema plus the
+/// rewritten delta code that re-exposes TasKy afterwards.
+const std::string& HandwrittenMigrationSql();
+
+/// BiDEL equivalents (Figure 1 of the paper).
+const std::string& BidelInitialScript();
+const std::string& BidelEvolutionScript();
+const std::string& BidelMigrationScript();
+const std::string& BidelDoScript();
+
+}  // namespace inverda
+
+#endif  // INVERDA_HANDWRITTEN_REFERENCE_SQL_H_

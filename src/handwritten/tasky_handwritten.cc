@@ -1,0 +1,244 @@
+#include "handwritten/tasky_handwritten.h"
+
+namespace inverda {
+namespace {
+
+TableSchema TaskSchema() {
+  return TableSchema("task", {{"author", DataType::kString},
+                              {"task", DataType::kString},
+                              {"prio", DataType::kInt64}});
+}
+
+TableSchema Task2Schema() {
+  return TableSchema("task2", {{"task", DataType::kString},
+                               {"prio", DataType::kInt64},
+                               {"author", DataType::kInt64}});
+}
+
+TableSchema Author2Schema() {
+  return TableSchema("author2", {{"name", DataType::kString}});
+}
+
+}  // namespace
+
+HandwrittenTasky::HandwrittenTasky(Materialization materialization)
+    : materialization_(materialization) {
+  if (materialization_ == Materialization::kTasKy) {
+    (void)db_.CreateTable(TaskSchema());
+  } else {
+    (void)db_.CreateTable(Task2Schema());
+    (void)db_.CreateTable(Author2Schema());
+  }
+}
+
+Result<int64_t> HandwrittenTasky::AuthorIdFor(const std::string& name) {
+  INVERDA_ASSIGN_OR_RETURN(Table * authors, db_.GetTable("author2"));
+  int64_t found = -1;
+  authors->Scan([&](int64_t key, const Row& row) {
+    if (found < 0 && row[0].is_string() && row[0].AsString() == name) {
+      found = key;
+    }
+  });
+  if (found >= 0) return found;
+  int64_t id = db_.sequence().Next();
+  INVERDA_RETURN_IF_ERROR(authors->Insert(id, {Value::String(name)}));
+  return id;
+}
+
+Status HandwrittenTasky::Load(const std::vector<TaskRow>& rows) {
+  for (const TaskRow& row : rows) {
+    INVERDA_ASSIGN_OR_RETURN(int64_t key,
+                             InsertTasKy(row.author, row.task, row.prio));
+    (void)key;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<HandwrittenTasky::TaskRow>> HandwrittenTasky::ReadTasKy()
+    const {
+  std::vector<TaskRow> out;
+  if (materialization_ == Materialization::kTasKy) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* task, db_.GetTableConst("task"));
+    out.reserve(static_cast<size_t>(task->size()));
+    task->Scan([&](int64_t key, const Row& row) {
+      out.push_back({key, row[0].AsString(), row[1].AsString(),
+                     row[2].AsInt()});
+    });
+    return out;
+  }
+  // Evolved materialization: join task2 with author2 by hand.
+  INVERDA_ASSIGN_OR_RETURN(const Table* task2, db_.GetTableConst("task2"));
+  INVERDA_ASSIGN_OR_RETURN(const Table* author2, db_.GetTableConst("author2"));
+  std::map<int64_t, std::string> names;
+  author2->Scan([&](int64_t key, const Row& row) {
+    names[key] = row[0].AsString();
+  });
+  out.reserve(static_cast<size_t>(task2->size()));
+  task2->Scan([&](int64_t key, const Row& row) {
+    auto it = names.find(row[2].AsInt());
+    out.push_back({key, it == names.end() ? std::string() : it->second,
+                   row[0].AsString(), row[1].AsInt()});
+  });
+  return out;
+}
+
+Result<std::vector<HandwrittenTasky::TaskRow>> HandwrittenTasky::ReadTasKy2()
+    const {
+  std::vector<TaskRow> out;
+  if (materialization_ == Materialization::kTasKy2) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* task2, db_.GetTableConst("task2"));
+    INVERDA_ASSIGN_OR_RETURN(const Table* author2,
+                             db_.GetTableConst("author2"));
+    std::map<int64_t, std::string> names;
+    author2->Scan([&](int64_t key, const Row& row) {
+      names[key] = row[0].AsString();
+    });
+    out.reserve(static_cast<size_t>(task2->size()));
+    task2->Scan([&](int64_t key, const Row& row) {
+      auto it = names.find(row[2].AsInt());
+      out.push_back({key, it == names.end() ? std::string() : it->second,
+                     row[0].AsString(), row[1].AsInt()});
+    });
+    return out;
+  }
+  // Initial materialization: derive the decomposition from task on the fly,
+  // with stable author ids assigned by name order (the handwritten
+  // equivalent of the aux id table).
+  INVERDA_ASSIGN_OR_RETURN(const Table* task, db_.GetTableConst("task"));
+  std::map<std::string, int64_t> author_ids;
+  task->Scan([&](int64_t key, const Row& row) {
+    (void)key;
+    author_ids.emplace(row[0].AsString(), 0);
+  });
+  int64_t next = 1;
+  for (auto& [name, id] : author_ids) {
+    (void)name;
+    id = next++;
+  }
+  out.reserve(static_cast<size_t>(task->size()));
+  task->Scan([&](int64_t key, const Row& row) {
+    out.push_back({key, row[0].AsString(), row[1].AsString(),
+                   row[2].AsInt()});
+  });
+  return out;
+}
+
+Result<std::vector<HandwrittenTasky::TaskRow>> HandwrittenTasky::ReadDo()
+    const {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<TaskRow> all, ReadTasKy());
+  std::vector<TaskRow> out;
+  for (TaskRow& row : all) {
+    if (row.prio == 1) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<int64_t> HandwrittenTasky::InsertTasKy(const std::string& author,
+                                              const std::string& task,
+                                              int64_t prio) {
+  int64_t key = db_.sequence().Next();
+  if (materialization_ == Materialization::kTasKy) {
+    INVERDA_ASSIGN_OR_RETURN(Table * t, db_.GetTable("task"));
+    INVERDA_RETURN_IF_ERROR(t->Insert(
+        key,
+        {Value::String(author), Value::String(task), Value::Int(prio)}));
+    return key;
+  }
+  INVERDA_ASSIGN_OR_RETURN(int64_t author_id, AuthorIdFor(author));
+  INVERDA_ASSIGN_OR_RETURN(Table * t2, db_.GetTable("task2"));
+  INVERDA_RETURN_IF_ERROR(t2->Insert(
+      key, {Value::String(task), Value::Int(prio), Value::Int(author_id)}));
+  return key;
+}
+
+Result<int64_t> HandwrittenTasky::InsertTasKy2(const std::string& task,
+                                               int64_t prio,
+                                               const std::string& author_name) {
+  return InsertTasKy(author_name, task, prio);
+}
+
+Result<int64_t> HandwrittenTasky::InsertDo(const std::string& author,
+                                           const std::string& task) {
+  return InsertTasKy(author, task, /*prio=*/1);
+}
+
+Status HandwrittenTasky::UpdateTasKyPrio(int64_t p, int64_t prio) {
+  if (materialization_ == Materialization::kTasKy) {
+    INVERDA_ASSIGN_OR_RETURN(Table * t, db_.GetTable("task"));
+    const Row* row = t->Find(p);
+    if (row == nullptr) return Status::OK();
+    Row updated = *row;
+    updated[2] = Value::Int(prio);
+    return t->Update(p, std::move(updated));
+  }
+  INVERDA_ASSIGN_OR_RETURN(Table * t2, db_.GetTable("task2"));
+  const Row* row = t2->Find(p);
+  if (row == nullptr) return Status::OK();
+  Row updated = *row;
+  updated[1] = Value::Int(prio);
+  return t2->Update(p, std::move(updated));
+}
+
+Status HandwrittenTasky::DeleteTasKy(int64_t p) {
+  if (materialization_ == Materialization::kTasKy) {
+    INVERDA_ASSIGN_OR_RETURN(Table * t, db_.GetTable("task"));
+    t->Erase(p);
+    return Status::OK();
+  }
+  INVERDA_ASSIGN_OR_RETURN(Table * t2, db_.GetTable("task2"));
+  const Row* row = t2->Find(p);
+  if (row == nullptr) return Status::OK();
+  int64_t author_id = (*row)[2].AsInt();
+  t2->Erase(p);
+  // Garbage-collect authors without tasks, as the handwritten trigger does.
+  bool referenced = false;
+  t2->Scan([&](int64_t key, const Row& r) {
+    (void)key;
+    if (r[2].AsInt() == author_id) referenced = true;
+  });
+  if (!referenced) {
+    INVERDA_ASSIGN_OR_RETURN(Table * authors, db_.GetTable("author2"));
+    authors->Erase(author_id);
+  }
+  return Status::OK();
+}
+
+Status HandwrittenTasky::MigrateTo(Materialization target) {
+  if (target == materialization_) return Status::OK();
+  INVERDA_ASSIGN_OR_RETURN(std::vector<TaskRow> rows, ReadTasKy());
+  if (target == Materialization::kTasKy) {
+    INVERDA_RETURN_IF_ERROR(db_.DropTable("task2"));
+    INVERDA_RETURN_IF_ERROR(db_.DropTable("author2"));
+    INVERDA_RETURN_IF_ERROR(db_.CreateTable(TaskSchema()));
+    materialization_ = target;
+    INVERDA_ASSIGN_OR_RETURN(Table * t, db_.GetTable("task"));
+    for (const TaskRow& row : rows) {
+      INVERDA_RETURN_IF_ERROR(
+          t->Insert(row.p, {Value::String(row.author), Value::String(row.task),
+                            Value::Int(row.prio)}));
+    }
+    return Status::OK();
+  }
+  INVERDA_RETURN_IF_ERROR(db_.DropTable("task"));
+  INVERDA_RETURN_IF_ERROR(db_.CreateTable(Task2Schema()));
+  INVERDA_RETURN_IF_ERROR(db_.CreateTable(Author2Schema()));
+  materialization_ = target;
+  for (const TaskRow& row : rows) {
+    INVERDA_ASSIGN_OR_RETURN(int64_t author_id, AuthorIdFor(row.author));
+    INVERDA_ASSIGN_OR_RETURN(Table * t2, db_.GetTable("task2"));
+    INVERDA_RETURN_IF_ERROR(
+        t2->Insert(row.p, {Value::String(row.task), Value::Int(row.prio),
+                           Value::Int(author_id)}));
+  }
+  return Status::OK();
+}
+
+int64_t HandwrittenTasky::TaskCount() const {
+  Result<const Table*> t =
+      db_.GetTableConst(materialization_ == Materialization::kTasKy
+                            ? "task"
+                            : "task2");
+  return t.ok() ? (*t)->size() : 0;
+}
+
+}  // namespace inverda

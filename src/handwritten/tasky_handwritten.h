@@ -1,0 +1,75 @@
+#ifndef INVERDA_HANDWRITTEN_TASKY_HANDWRITTEN_H_
+#define INVERDA_HANDWRITTEN_TASKY_HANDWRITTEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// The hand-optimized delta-code baseline of the Figure 8 experiment: a
+/// developer-written implementation of the co-existing TasKy / TasKy2 / Do!
+/// schema versions, specialized to one fixed materialization. It plays the
+/// role of the handwritten SQL views/triggers the paper compares against;
+/// here it is hand-coded C++ against the same storage substrate.
+class HandwrittenTasky {
+ public:
+  enum class Materialization { kTasKy, kTasKy2 };
+
+  /// One row as seen through the TasKy schema: Task(author, task, prio).
+  struct TaskRow {
+    int64_t p = 0;
+    std::string author;
+    std::string task;
+    int64_t prio = 0;
+  };
+
+  explicit HandwrittenTasky(Materialization materialization);
+
+  Materialization materialization() const { return materialization_; }
+
+  /// Bulk load through the TasKy schema.
+  Status Load(const std::vector<TaskRow>& rows);
+
+  // --- reads -----------------------------------------------------------------
+
+  /// SELECT * through TasKy: Task(author, task, prio).
+  Result<std::vector<TaskRow>> ReadTasKy() const;
+
+  /// SELECT * through TasKy2: Task(task, prio, author-fk) joined flat for
+  /// comparison purposes (task, prio, author name).
+  Result<std::vector<TaskRow>> ReadTasKy2() const;
+
+  /// SELECT * through Do!: Todo(author, task), prio = 1 only.
+  Result<std::vector<TaskRow>> ReadDo() const;
+
+  // --- writes ----------------------------------------------------------------
+
+  Result<int64_t> InsertTasKy(const std::string& author,
+                              const std::string& task, int64_t prio);
+  Result<int64_t> InsertTasKy2(const std::string& task, int64_t prio,
+                               const std::string& author_name);
+  Result<int64_t> InsertDo(const std::string& author, const std::string& task);
+
+  Status UpdateTasKyPrio(int64_t p, int64_t prio);
+  Status DeleteTasKy(int64_t p);
+
+  /// Hand-written equivalent of MATERIALIZE 'TasKy2' (and back): moves the
+  /// data between the two physical layouts.
+  Status MigrateTo(Materialization target);
+
+  int64_t TaskCount() const;
+
+ private:
+  Result<int64_t> AuthorIdFor(const std::string& name);
+
+  Materialization materialization_;
+  Database db_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_HANDWRITTEN_TASKY_HANDWRITTEN_H_

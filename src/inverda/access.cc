@@ -1,0 +1,166 @@
+#include "inverda/inverda.h"
+
+namespace inverda {
+
+Result<std::optional<AccessLayer::Route>> AccessLayer::ResolveRoute(TvId tv) {
+  if (catalog_->IsPhysical(tv)) return std::optional<Route>();
+  const TableVersion& info = catalog_->table_version(tv);
+  // Case 2 (forwards): one outgoing SMO is materialized; the data is on its
+  // target side, so tv is accessed as a source of that SMO.
+  for (SmoId out : info.outgoing) {
+    const SmoInstance& inst = catalog_->smo(out);
+    if (inst.smo->kind() == SmoKind::kDropTable) continue;
+    if (!inst.materialized) continue;
+    Route route;
+    route.smo = out;
+    route.side = SmoSide::kSource;
+    for (size_t i = 0; i < inst.sources.size(); ++i) {
+      if (inst.sources[i] == tv) route.index = static_cast<int>(i);
+    }
+    return std::optional<Route>(route);
+  }
+  // Case 3 (backwards): the incoming SMO is virtualized; the data is on its
+  // source side, so tv is accessed as a target of that SMO.
+  const SmoInstance& in = catalog_->smo(info.incoming);
+  if (in.smo->kind() == SmoKind::kCreateTable) {
+    return Status::Internal("table version " + catalog_->TvLabel(tv) +
+                            " has no data route");
+  }
+  Route route;
+  route.smo = info.incoming;
+  route.side = SmoSide::kTarget;
+  for (size_t i = 0; i < in.targets.size(); ++i) {
+    if (in.targets[i] == tv) route.index = static_cast<int>(i);
+  }
+  return std::optional<Route>(route);
+}
+
+Result<SmoContext> AccessLayer::BuildContext(SmoId id) {
+  const SmoInstance& inst = catalog_->smo(id);
+  SmoContext ctx;
+  ctx.smo = inst.smo.get();
+  ctx.materialized = inst.materialized;
+  ctx.backend = this;
+  ctx.memo = inst.memo.get();
+  for (TvId src : inst.sources) {
+    const TableVersion& tv = catalog_->table_version(src);
+    ctx.sources.push_back(TvRef{src, &tv.schema});
+  }
+  for (TvId tgt : inst.targets) {
+    const TableVersion& tv = catalog_->table_version(tgt);
+    ctx.targets.push_back(TvRef{tgt, &tv.schema});
+  }
+  for (const std::string& aux :
+       catalog_->PhysicalAuxNames(id, inst.materialized)) {
+    ctx.aux_names[aux] = catalog_->AuxTableName(id, aux);
+  }
+  return ctx;
+}
+
+Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
+  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
+  if (!route) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* table,
+                             db_->GetTableConst(catalog_->DataTableName(tv)));
+    table->Scan(fn);
+    return Status::OK();
+  }
+  if (cache_enabled_) {
+    auto it = cache_.find(tv);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      it->second.Scan(fn);
+      return Status::OK();
+    }
+  }
+  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
+  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
+  Table tmp(catalog_->table_version(tv).schema);
+  INVERDA_RETURN_IF_ERROR(
+      kernel->Derive(ctx, route->side, route->index, std::nullopt, &tmp));
+  tmp.Scan(fn);
+  if (cache_enabled_) {
+    ++cache_misses_;
+    cache_.emplace(tv, std::move(tmp));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
+  if (cache_enabled_) {
+    auto it = cache_.find(tv);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      const Row* row = it->second.Find(key);
+      if (row == nullptr) return std::optional<Row>();
+      return std::optional<Row>(*row);
+    }
+  }
+  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
+  if (!route) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* table,
+                             db_->GetTableConst(catalog_->DataTableName(tv)));
+    const Row* row = table->Find(key);
+    if (row == nullptr) return std::optional<Row>();
+    return std::optional<Row>(*row);
+  }
+  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
+  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
+  Table tmp(catalog_->table_version(tv).schema);
+  INVERDA_RETURN_IF_ERROR(
+      kernel->Derive(ctx, route->side, route->index, key, &tmp));
+  const Row* row = tmp.Find(key);
+  if (row == nullptr) return std::optional<Row>();
+  return std::optional<Row>(*row);
+}
+
+Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
+  if (writes.empty()) return Status::OK();
+  // Any write may affect any derived view along the genealogy; drop the
+  // memoized scans (coarse but safe invalidation).
+  if (cache_enabled_) InvalidateCache();
+  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
+  if (!route) {
+    INVERDA_ASSIGN_OR_RETURN(Table * table,
+                             db_->GetTable(catalog_->DataTableName(tv)));
+    for (const WriteOp& op : writes.ops) {
+      switch (op.kind) {
+        case WriteOp::Kind::kInsert:
+          INVERDA_RETURN_IF_ERROR(table->Insert(op.key, op.row));
+          break;
+        case WriteOp::Kind::kUpdate:
+          INVERDA_RETURN_IF_ERROR(table->Update(op.key, op.row));
+          break;
+        case WriteOp::Kind::kDelete:
+          table->Erase(op.key);
+          break;
+      }
+    }
+    return Status::OK();
+  }
+  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
+  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
+  return kernel->Propagate(ctx, route->side, route->index, writes);
+}
+
+Result<int> AccessLayer::PropagationDistance(TvId tv) {
+  int distance = 0;
+  TvId current = tv;
+  while (true) {
+    INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route,
+                             ResolveRoute(current));
+    if (!route) return distance;
+    ++distance;
+    // Follow the route to a table version on the data side of the SMO.
+    const SmoInstance& inst = catalog_->smo(route->smo);
+    const std::vector<TvId>& next_side =
+        route->side == SmoSide::kSource ? inst.targets : inst.sources;
+    if (next_side.empty()) return distance;
+    current = next_side[0];
+    if (distance > 1000) {
+      return Status::Internal("propagation distance diverged");
+    }
+  }
+}
+
+}  // namespace inverda

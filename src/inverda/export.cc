@@ -1,0 +1,58 @@
+#include "inverda/export.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+
+Result<std::string> ExportBidel(const VersionCatalog& catalog) {
+  std::string out;
+  for (const std::string& name : catalog.VersionNamesInOrder()) {
+    INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                             catalog.FindVersion(name));
+    out += "CREATE SCHEMA VERSION " + info->name;
+    if (info->parent) out += " FROM " + *info->parent;
+    out += " WITH\n";
+    for (SmoId id : info->smos) {
+      if (!catalog.HasSmo(id)) continue;  // GC'd by a dropped sibling
+      out += "  " + catalog.smo(id).smo->ToString() + ";\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExportData(Inverda* db, const std::string& version) {
+  INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                           db->catalog().FindVersion(version));
+  std::string out;
+  for (const auto& [table, tv] : info->tables) {
+    (void)tv;
+    const std::string& table_name =
+        db->catalog().table_version(info->tables.at(table)).name;
+    INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> rows,
+                             db->Select(version, table_name));
+    for (const KeyedRow& kr : rows) {
+      std::vector<std::string> literals;
+      literals.reserve(kr.row.size());
+      for (const Value& v : kr.row) {
+        literals.push_back(v.ToString());
+      }
+      out += "INSERT INTO " + info->name + "." + table_name + " VALUES (" +
+             Join(literals, ", ") + ");\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExportSession(Inverda* db) {
+  INVERDA_ASSIGN_OR_RETURN(std::string out, ExportBidel(db->catalog()));
+  for (const std::string& name : db->catalog().VersionNamesInOrder()) {
+    INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                             db->catalog().FindVersion(name));
+    if (info->parent) continue;  // data entered at the roots
+    INVERDA_ASSIGN_OR_RETURN(std::string data, ExportData(db, name));
+    out += data;
+  }
+  return out;
+}
+
+}  // namespace inverda

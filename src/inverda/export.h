@@ -1,0 +1,31 @@
+#ifndef INVERDA_INVERDA_EXPORT_H_
+#define INVERDA_INVERDA_EXPORT_H_
+
+#include <string>
+
+#include "inverda/inverda.h"
+
+namespace inverda {
+
+/// Logical export of an InVerDa instance as a replayable shell script.
+///
+/// `ExportBidel` reconstructs the BiDEL script that recreates the whole
+/// schema genealogy (every CREATE SCHEMA VERSION statement in creation
+/// order). `ExportData` renders one version's visible rows as INSERT
+/// statements in inverda_shell syntax. `ExportSession` combines both: the
+/// genealogy plus the data of every *root* version (versions without a
+/// parent), which is where data entry started.
+///
+/// This is a logical dump: replaying it reproduces every version's visible
+/// data for histories whose writes all went through the dumped versions.
+/// Divergence held in auxiliary tables (independently updated twins,
+/// pinned computed columns) is flattened to the exported versions' views.
+Result<std::string> ExportBidel(const VersionCatalog& catalog);
+
+Result<std::string> ExportData(Inverda* db, const std::string& version);
+
+Result<std::string> ExportSession(Inverda* db);
+
+}  // namespace inverda
+
+#endif  // INVERDA_INVERDA_EXPORT_H_

@@ -1,0 +1,207 @@
+#include "inverda/inverda.h"
+
+#include "bidel/parser.h"
+
+namespace inverda {
+
+Inverda::Inverda() : access_(&catalog_, &db_) {}
+
+Status Inverda::Execute(const std::string& bidel_script) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<BidelStatement> statements,
+                           ParseBidel(bidel_script));
+  for (const BidelStatement& stmt : statements) {
+    if (const auto* evolution = std::get_if<EvolutionStatement>(&stmt)) {
+      INVERDA_RETURN_IF_ERROR(CreateSchemaVersion(*evolution));
+    } else if (const auto* drop = std::get_if<DropVersionStatement>(&stmt)) {
+      INVERDA_RETURN_IF_ERROR(DropSchemaVersion(drop->version));
+    } else if (const auto* mat = std::get_if<MaterializeStatement>(&stmt)) {
+      INVERDA_RETURN_IF_ERROR(Materialize(mat->targets));
+    }
+  }
+  return Status::OK();
+}
+
+Status Inverda::ProvisionSmo(SmoId id) {
+  const SmoInstance& inst = catalog_.smo(id);
+  // Data tables of targets that are physically stored right away (only
+  // CREATE TABLE targets: all other new SMOs start virtualized, so the data
+  // stays where it was).
+  for (TvId tgt : inst.targets) {
+    if (catalog_.IsPhysical(tgt)) {
+      TableSchema schema = catalog_.table_version(tgt).schema;
+      schema.set_name(catalog_.DataTableName(tgt));
+      INVERDA_RETURN_IF_ERROR(db_.CreateTable(std::move(schema)));
+    }
+  }
+  // Aux tables of the initial materialization state.
+  for (const std::string& aux :
+       catalog_.PhysicalAuxNames(id, inst.materialized)) {
+    for (const AuxDef& def : inst.aux_defs) {
+      if (def.short_name != aux) continue;
+      TableSchema schema(catalog_.AuxTableName(id, aux), def.payload);
+      INVERDA_RETURN_IF_ERROR(db_.CreateTable(std::move(schema)));
+    }
+  }
+  return Status::OK();
+}
+
+Status Inverda::CreateSchemaVersion(const EvolutionStatement& stmt) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<SmoId> new_smos,
+                           catalog_.ApplyEvolution(stmt));
+  for (SmoId id : new_smos) {
+    INVERDA_RETURN_IF_ERROR(ProvisionSmo(id));
+  }
+  return Status::OK();
+}
+
+Status Inverda::DropSchemaVersion(const std::string& name) {
+  access_.InvalidateCache();
+  INVERDA_ASSIGN_OR_RETURN(DropResult result, catalog_.DropVersion(name));
+  // Physical cleanup: aux tables of removed SMO instances. Removed table
+  // versions are never physical (the catalog refuses otherwise), but their
+  // data tables may linger from earlier materializations.
+  std::vector<std::string> names = db_.TableNames();
+  for (SmoId id : result.removed_smos) {
+    std::string prefix = "a" + std::to_string(id) + "_";
+    for (const std::string& table : names) {
+      if (table.rfind(prefix, 0) == 0) {
+        INVERDA_RETURN_IF_ERROR(db_.DropTable(table));
+      }
+    }
+  }
+  for (TvId id : result.removed_tables) {
+    std::string data = "d" + std::to_string(id) + "_";
+    for (const std::string& table : names) {
+      if (table.rfind(data, 0) == 0) {
+        INVERDA_RETURN_IF_ERROR(db_.DropTable(table));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TvId> Inverda::Resolve(const std::string& version,
+                              const std::string& table) {
+  return catalog_.ResolveTable(version, table);
+}
+
+Result<std::vector<KeyedRow>> Inverda::Select(const std::string& version,
+                                              const std::string& table) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  std::vector<KeyedRow> rows;
+  INVERDA_RETURN_IF_ERROR(access_.ScanVersion(
+      tv, [&rows](int64_t key, const Row& row) {
+        rows.push_back({key, row});
+      }));
+  return rows;
+}
+
+Result<std::vector<KeyedRow>> Inverda::SelectWhere(
+    const std::string& version, const std::string& table,
+    const Expression& predicate) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  const TableSchema& schema = catalog_.table_version(tv).schema;
+  std::vector<KeyedRow> rows;
+  Status status = Status::OK();
+  INVERDA_RETURN_IF_ERROR(
+      access_.ScanVersion(tv, [&](int64_t key, const Row& row) {
+        if (!status.ok()) return;
+        Result<bool> match = predicate.EvalBool(schema, row);
+        if (!match.ok()) {
+          status = match.status();
+          return;
+        }
+        if (*match) rows.push_back({key, row});
+      }));
+  INVERDA_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+Result<std::optional<Row>> Inverda::Get(const std::string& version,
+                                        const std::string& table,
+                                        int64_t key) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  return access_.FindVersion(tv, key);
+}
+
+Result<int64_t> Inverda::Insert(const std::string& version,
+                                const std::string& table, Row row) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  const TableSchema& schema = catalog_.table_version(tv).schema;
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("row width does not match " +
+                                   schema.ToString());
+  }
+  // Entirely-ω tuples are not representable across vertical SMOs (the
+  // paper's rules use all-ω parts as the "absent" marker); reject them
+  // uniformly so no version can create a tuple another SMO would lose.
+  if (!row.empty() && AllNull(row)) {
+    return Status::InvalidArgument("cannot insert an all-NULL tuple");
+  }
+  int64_t key = db_.sequence().Next();
+  WriteSet ws;
+  ws.Add(WriteOp::Insert(key, std::move(row)));
+  INVERDA_RETURN_IF_ERROR(access_.ApplyToVersion(tv, ws));
+  return key;
+}
+
+Status Inverda::Update(const std::string& version, const std::string& table,
+                       int64_t key, Row row) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  const TableSchema& schema = catalog_.table_version(tv).schema;
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("row width does not match " +
+                                   schema.ToString());
+  }
+  if (!row.empty() && AllNull(row)) {
+    return Status::InvalidArgument("cannot update a tuple to all-NULL");
+  }
+  WriteSet ws;
+  ws.Add(WriteOp::Update(key, std::move(row)));
+  return access_.ApplyToVersion(tv, ws);
+}
+
+Status Inverda::Delete(const std::string& version, const std::string& table,
+                       int64_t key) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  WriteSet ws;
+  ws.Add(WriteOp::Delete(key));
+  return access_.ApplyToVersion(tv, ws);
+}
+
+Result<int64_t> Inverda::UpdateWhere(
+    const std::string& version, const std::string& table,
+    const Expression& predicate,
+    const std::function<Row(const Row&)>& make_row) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
+                           SelectWhere(version, table, predicate));
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  WriteSet ws;
+  for (const KeyedRow& kr : matches) {
+    ws.Add(WriteOp::Update(kr.key, make_row(kr.row)));
+  }
+  INVERDA_RETURN_IF_ERROR(access_.ApplyToVersion(tv, ws));
+  return static_cast<int64_t>(matches.size());
+}
+
+Result<int64_t> Inverda::DeleteWhere(const std::string& version,
+                                     const std::string& table,
+                                     const Expression& predicate) {
+  INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
+                           SelectWhere(version, table, predicate));
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  WriteSet ws;
+  for (const KeyedRow& kr : matches) {
+    ws.Add(WriteOp::Delete(kr.key));
+  }
+  INVERDA_RETURN_IF_ERROR(access_.ApplyToVersion(tv, ws));
+  return static_cast<int64_t>(matches.size());
+}
+
+Result<TableSchema> Inverda::GetSchema(const std::string& version,
+                                       const std::string& table) {
+  INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
+  return catalog_.table_version(tv).schema;
+}
+
+}  // namespace inverda

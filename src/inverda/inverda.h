@@ -1,0 +1,176 @@
+#ifndef INVERDA_INVERDA_INVERDA_H_
+#define INVERDA_INVERDA_INVERDA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/expression.h"
+#include "mapping/side.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace inverda {
+
+class Inverda;
+
+/// Implements AccessBackend on top of the catalog and physical storage: it
+/// is the executable form of the generated delta code. Reads resolve along
+/// the schema genealogy (Figure 6's three cases); writes are propagated
+/// SMO-by-SMO toward the physical side by the mapping kernels.
+class AccessLayer : public AccessBackend {
+ public:
+  AccessLayer(VersionCatalog* catalog, Database* db)
+      : catalog_(catalog), db_(db) {}
+
+  Status ScanVersion(TvId tv, const RowCallback& fn) override;
+  Result<std::optional<Row>> FindVersion(TvId tv, int64_t key) override;
+  Status ApplyToVersion(TvId tv, const WriteSet& writes) override;
+  Database& db() override { return *db_; }
+
+  /// Builds the execution context of one SMO instance under the current
+  /// materialization.
+  Result<SmoContext> BuildContext(SmoId id);
+
+  /// Number of SMO instances a read/write of `tv` is propagated through
+  /// before reaching physical data (0 when physical).
+  Result<int> PropagationDistance(TvId tv);
+
+  /// Optional derived-view cache — the paper's future-work item (4),
+  /// "optimized delta code": full scans of virtual table versions are
+  /// memoized and invalidated on any write or migration. Off by default
+  /// (the paper's prototype recomputes views per query, which is what the
+  /// figures measure); see bench/ablation_view_cache.
+  void set_cache_enabled(bool enabled) {
+    cache_enabled_ = enabled;
+    cache_.clear();
+  }
+  bool cache_enabled() const { return cache_enabled_; }
+
+  /// Drops all cached derived views (called on every write and migration).
+  void InvalidateCache() { cache_.clear(); }
+
+  /// Cache statistics for the ablation benchmark.
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  // How accesses to a non-physical table version reach the data:
+  // kForward through an outgoing materialized SMO, kBackward through the
+  // (virtualized) incoming SMO.
+  struct Route {
+    SmoId smo = -1;
+    SmoSide side = SmoSide::kSource;  // the side `tv` is on for that SMO
+    int index = 0;                    // position of tv within that side
+  };
+  Result<std::optional<Route>> ResolveRoute(TvId tv);
+
+  VersionCatalog* catalog_;
+  Database* db_;
+
+  bool cache_enabled_ = false;
+  std::map<TvId, Table> cache_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+};
+
+/// The InVerDa facade: schema evolution (BiDEL), migration (MATERIALIZE),
+/// and per-version data access against a single shared data set.
+class Inverda {
+ public:
+  Inverda();
+
+  Inverda(const Inverda&) = delete;
+  Inverda& operator=(const Inverda&) = delete;
+
+  // --- developer interface --------------------------------------------------
+
+  /// Parses and executes a BiDEL script: any number of CREATE SCHEMA
+  /// VERSION / DROP SCHEMA VERSION / MATERIALIZE statements.
+  Status Execute(const std::string& bidel_script);
+
+  /// The Database Evolution Operation: registers the evolution and creates
+  /// all physical tables and delta code state. The new schema version is
+  /// immediately readable and writable.
+  Status CreateSchemaVersion(const EvolutionStatement& stmt);
+
+  Status DropSchemaVersion(const std::string& name);
+
+  // --- DBA interface ---------------------------------------------------------
+
+  /// The Database Migration Operation: moves the physical data so that the
+  /// listed targets ("Version" or "Version.table") are physically stored,
+  /// migrates data and auxiliary state, and drops stale physical tables.
+  /// All-or-nothing: restores the previous state on failure.
+  Status Materialize(const std::vector<std::string>& targets);
+
+  /// Applies an explicit materialization schema (by SMO instance ids).
+  Status MaterializeSchema(const std::set<SmoId>& m);
+
+  // --- data access -----------------------------------------------------------
+
+  /// Full scan of `table` as visible in schema version `version`.
+  Result<std::vector<KeyedRow>> Select(const std::string& version,
+                                       const std::string& table);
+
+  /// Scan with a predicate over the version's payload columns.
+  Result<std::vector<KeyedRow>> SelectWhere(const std::string& version,
+                                            const std::string& table,
+                                            const Expression& predicate);
+
+  /// Point lookup by the InVerDa-managed key.
+  Result<std::optional<Row>> Get(const std::string& version,
+                                 const std::string& table, int64_t key);
+
+  /// Inserts a row; the key is drawn from the global sequence and returned.
+  Result<int64_t> Insert(const std::string& version, const std::string& table,
+                         Row row);
+
+  Status Update(const std::string& version, const std::string& table,
+                int64_t key, Row row);
+  Status Delete(const std::string& version, const std::string& table,
+                int64_t key);
+
+  /// Updates all rows matching `predicate` with `make_row(old)`; returns the
+  /// number of affected rows.
+  Result<int64_t> UpdateWhere(const std::string& version,
+                              const std::string& table,
+                              const Expression& predicate,
+                              const std::function<Row(const Row&)>& make_row);
+
+  /// Deletes all rows matching `predicate`; returns the number deleted.
+  Result<int64_t> DeleteWhere(const std::string& version,
+                              const std::string& table,
+                              const Expression& predicate);
+
+  // --- introspection ----------------------------------------------------------
+
+  const VersionCatalog& catalog() const { return catalog_; }
+  VersionCatalog& catalog() { return catalog_; }
+  Database& db() { return db_; }
+  AccessLayer& access() { return access_; }
+
+  /// The payload schema of `table` in `version`.
+  Result<TableSchema> GetSchema(const std::string& version,
+                                const std::string& table);
+
+ private:
+  friend class AccessLayer;
+
+  // Creates the physical tables required by a freshly registered SMO
+  // instance (data tables of physically-stored targets + aux tables of the
+  // initial state).
+  Status ProvisionSmo(SmoId id);
+
+  Result<TvId> Resolve(const std::string& version, const std::string& table);
+
+  VersionCatalog catalog_;
+  Database db_;
+  AccessLayer access_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_INVERDA_INVERDA_H_

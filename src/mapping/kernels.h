@@ -1,0 +1,102 @@
+#ifndef INVERDA_MAPPING_KERNELS_H_
+#define INVERDA_MAPPING_KERNELS_H_
+
+#include "mapping/side.h"
+
+namespace inverda {
+
+/// RENAME TABLE / RENAME COLUMN: identity on payloads (positions are
+/// preserved; only names differ between the sides).
+class IdentityKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// ADD COLUMN / DROP COLUMN (B.1). One side ("wide") carries the extra
+/// column b, the other ("narrow") does not. The auxiliary table B(p, b)
+/// lives on the narrow side and keeps b-values written through the wide
+/// side while the narrow side holds the data.
+class ColumnKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
+                   Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// SPLIT / MERGE (Section 4). One side ("union") holds the unified table T,
+/// the other ("partition") holds R and optionally S selected by conditions
+/// cR / cS. Auxiliary tables on the union side track divergence of twins
+/// (R-, S-, S+, R*, S*); T' on the partition side keeps tuples matching
+/// neither condition.
+class PartitionKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
+                   Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// DECOMPOSE ON PK / OUTER JOIN ON PK (B.2): the combined table R(p, A, B)
+/// versus S(p, A), T(p, B) sharing the key. No auxiliary tables; missing
+/// partners are padded with ω (NULL).
+class VerticalPkKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// Inner JOIN ON PK (B.5): like VerticalPkKernel but unmatched tuples are
+/// invisible in the join result and preserved in the target-side aux tables
+/// L+ / R+.
+class JoinPkKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
+                   Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// DECOMPOSE ON FK / [OUTER] JOIN ON FK (B.3): the combined table
+/// R(p, A, B) versus S(p, A, fk) and a deduplicated T(t, B). Fresh t ids
+/// are drawn from the global sequence and memoized per payload; IDR(p, t)
+/// keeps the assignment while the combined side holds the data.
+class FkKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
+                   Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+/// DECOMPOSE ON condition / [OUTER] JOIN ON condition (B.4/B.6): S(s, A)
+/// and T(t, B) related by an arbitrary condition c(A, B) versus the joined
+/// R(r, A, B). ID(r, s, t) keeps the generated ids of visible combinations
+/// on both sides; R-(s, t) suppresses combinations deleted in the combined
+/// version.
+class CondKernel : public Kernel {
+ public:
+  Status Derive(const SmoContext& ctx, SmoSide side, int which,
+                std::optional<int64_t> key, Table* out) const override;
+  Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
+                   Table* out) const override;
+  Status Propagate(const SmoContext& ctx, SmoSide side, int which,
+                   const WriteSet& writes) const override;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_MAPPING_KERNELS_H_

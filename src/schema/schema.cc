@@ -1,0 +1,82 @@
+#include "schema/schema.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+
+std::optional<int> TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TableSchema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+Status TableSchema::AddColumn(Column column) {
+  if (FindColumn(column.name)) {
+    return Status::AlreadyExists("column " + column.name + " already exists in " +
+                                 name_);
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status TableSchema::DropColumn(const std::string& name) {
+  std::optional<int> idx = FindColumn(name);
+  if (!idx) return Status::NotFound("column " + name + " not in " + name_);
+  columns_.erase(columns_.begin() + *idx);
+  return Status::OK();
+}
+
+Status TableSchema::RenameColumn(const std::string& from,
+                                 const std::string& to) {
+  std::optional<int> idx = FindColumn(from);
+  if (!idx) return Status::NotFound("column " + from + " not in " + name_);
+  if (FindColumn(to)) {
+    return Status::AlreadyExists("column " + to + " already exists in " +
+                                 name_);
+  }
+  columns_[static_cast<size_t>(*idx)].name = to;
+  return Status::OK();
+}
+
+Result<std::vector<Column>> TableSchema::SelectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<Column> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    std::optional<int> idx = FindColumn(n);
+    if (!idx) return Status::NotFound("column " + n + " not in " + name_);
+    out.push_back(columns_[static_cast<size_t>(*idx)]);
+  }
+  return out;
+}
+
+Result<std::vector<int>> TableSchema::ColumnIndexes(
+    const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    std::optional<int> idx = FindColumn(n);
+    if (!idx) return Status::NotFound("column " + n + " not in " + name_);
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+std::string TableSchema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    cols.push_back(c.name + " " + DataTypeName(c.type));
+  }
+  return name_ + "(" + Join(cols, ", ") + ")";
+}
+
+}  // namespace inverda

@@ -1,0 +1,328 @@
+#include "sqlgen/sqlgen.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+using datalog::Literal;
+using datalog::LiteralKind;
+using datalog::Rule;
+using datalog::RuleSet;
+using datalog::Term;
+
+// Where a variable's value comes from in the FROM clause: a list of
+// alias-qualified column expressions.
+using VarColumns = std::vector<std::string>;
+
+struct SubqueryBuilder {
+  const SqlGrounding& grounding;
+  std::vector<std::string> from;       // "table alias"
+  std::vector<std::string> where;      // conjuncts
+  std::map<std::string, VarColumns> bindings;
+  int alias_counter = 0;
+  Status status = Status::OK();
+
+  explicit SubqueryBuilder(const SqlGrounding& g) : grounding(g) {}
+
+  const SqlRelation* Relation(const std::string& symbol) {
+    auto it = grounding.relations.find(symbol);
+    if (it == grounding.relations.end()) {
+      status = Status::NotFound("no SQL grounding for relation " + symbol);
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  // Column expressions of argument `i` of `rel` qualified with `alias`.
+  VarColumns ArgColumns(const SqlRelation& rel, const std::string& alias,
+                        size_t i) {
+    VarColumns out;
+    if (i == 0) {
+      out.push_back(alias + ".p");
+      return out;
+    }
+    if (i - 1 < rel.arg_columns.size()) {
+      for (const std::string& col : rel.arg_columns[i - 1]) {
+        out.push_back(alias + "." + col);
+      }
+    }
+    return out;
+  }
+
+  void BindOrJoin(const Term& term, VarColumns columns) {
+    if (term.is_wildcard()) return;
+    auto it = bindings.find(term.name);
+    if (it == bindings.end()) {
+      bindings.emplace(term.name, std::move(columns));
+      return;
+    }
+    // Repeated variable: equate column-wise (the Figure 7 join condition).
+    const VarColumns& bound = it->second;
+    for (size_t i = 0; i < bound.size() && i < columns.size(); ++i) {
+      where.push_back(bound[i] + " = " + columns[i]);
+    }
+  }
+
+  void AddPositive(const Literal& literal) {
+    const SqlRelation* rel = Relation(literal.symbol);
+    if (rel == nullptr) return;
+    std::string alias = "t" + std::to_string(alias_counter++);
+    from.push_back(rel->table + " " + alias);
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      BindOrJoin(literal.args[i], ArgColumns(*rel, alias, i));
+    }
+  }
+
+  void AddNegative(const Literal& literal) {
+    const SqlRelation* rel = Relation(literal.symbol);
+    if (rel == nullptr) return;
+    std::string alias = "n" + std::to_string(alias_counter++);
+    std::vector<std::string> correlation;
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      const Term& term = literal.args[i];
+      if (term.is_wildcard()) continue;
+      auto bound = bindings.find(term.name);
+      if (bound == bindings.end()) continue;  // existential inside NOT EXISTS
+      VarColumns inner = ArgColumns(*rel, alias, i);
+      for (size_t c = 0; c < inner.size() && c < bound->second.size(); ++c) {
+        correlation.push_back(inner[c] + " = " + bound->second[c]);
+      }
+    }
+    std::string sub = "NOT EXISTS (SELECT 1 FROM " + rel->table + " " + alias;
+    if (!correlation.empty()) sub += " WHERE " + Join(correlation, " AND ");
+    sub += ")";
+    where.push_back(std::move(sub));
+  }
+
+  void AddCondition(const Literal& literal) {
+    auto it = grounding.condition_sql.find(literal.symbol);
+    if (it == grounding.condition_sql.end()) {
+      status = Status::NotFound("no SQL for condition " + literal.symbol);
+      return;
+    }
+    if (literal.negated) {
+      where.push_back("NOT (" + it->second + ")");
+    } else {
+      where.push_back("(" + it->second + ")");
+    }
+  }
+
+  void AddFunction(const Literal& literal) {
+    auto it = grounding.function_sql.find(literal.symbol);
+    std::string expr =
+        it != grounding.function_sql.end() ? it->second : literal.symbol + "()";
+    if (literal.out.is_wildcard()) return;
+    bindings[literal.out.name] = {"(" + expr + ")"};
+  }
+
+  void AddCompare(const Literal& literal) {
+    const Term& a = literal.args[0];
+    const Term& b = literal.args[1];
+    // The ω marker renders as SQL NULL tests: A != omega -> IS NOT NULL on
+    // every column, A = omega -> IS NULL.
+    bool a_omega = a.name == "omega";
+    bool b_omega = b.name == "omega";
+    if (a_omega || b_omega) {
+      const Term& var = a_omega ? b : a;
+      auto bound = bindings.find(var.name);
+      if (bound == bindings.end()) {
+        status = Status::InvalidArgument("comparison over unbound variables");
+        return;
+      }
+      std::vector<std::string> tests;
+      for (const std::string& col : bound->second) {
+        tests.push_back(col + (literal.compare_equal ? " IS NULL"
+                                                     : " IS NOT NULL"));
+      }
+      if (!tests.empty()) {
+        where.push_back(
+            "(" + Join(tests, literal.compare_equal ? " AND " : " OR ") +
+            ")");
+      }
+      return;
+    }
+    auto ba = bindings.find(a.name);
+    auto bb = bindings.find(b.name);
+    if (ba == bindings.end() || bb == bindings.end()) {
+      status = Status::InvalidArgument("comparison over unbound variables");
+      return;
+    }
+    std::vector<std::string> pairs;
+    for (size_t i = 0; i < ba->second.size() && i < bb->second.size(); ++i) {
+      pairs.push_back(ba->second[i] +
+                      (literal.compare_equal ? " = " : " <> ") +
+                      bb->second[i]);
+    }
+    if (pairs.empty()) return;
+    where.push_back("(" + Join(pairs, literal.compare_equal ? " AND " : " OR ") +
+                    ")");
+  }
+};
+
+Result<std::string> RuleToSelect(const Rule& rule,
+                                 const SqlGrounding& grounding) {
+  SubqueryBuilder b(grounding);
+  // Positive relation literals first so variables are bound.
+  for (const Literal& l : rule.body) {
+    if (l.kind == LiteralKind::kRelation && !l.negated) b.AddPositive(l);
+  }
+  for (const Literal& l : rule.body) {
+    if (l.kind == LiteralKind::kFunction) b.AddFunction(l);
+  }
+  for (const Literal& l : rule.body) {
+    switch (l.kind) {
+      case LiteralKind::kRelation:
+        if (l.negated) b.AddNegative(l);
+        break;
+      case LiteralKind::kCondition:
+        b.AddCondition(l);
+        break;
+      case LiteralKind::kCompare:
+        b.AddCompare(l);
+        break;
+      case LiteralKind::kFunction:
+        break;
+    }
+  }
+  INVERDA_RETURN_IF_ERROR(b.status);
+
+  // SELECT list: output column names come from the head relation's
+  // grounding, value expressions from the variable bindings.
+  const SqlRelation* head_rel = b.Relation(rule.head.predicate);
+  INVERDA_RETURN_IF_ERROR(b.status);
+  std::vector<std::string> select;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& term = rule.head.args[i];
+    std::vector<std::string> out_names;
+    if (i == 0) {
+      out_names.push_back("p");
+    } else if (i - 1 < head_rel->arg_columns.size()) {
+      out_names = head_rel->arg_columns[i - 1];
+    }
+    VarColumns values;
+    if (!term.is_wildcard()) {
+      auto it = b.bindings.find(term.name);
+      if (it != b.bindings.end()) values = it->second;
+    }
+    for (size_t c = 0; c < out_names.size(); ++c) {
+      std::string value = c < values.size() ? values[c] : "NULL";
+      select.push_back(value + " AS " + out_names[c]);
+    }
+  }
+
+  std::string sql = "  SELECT " + Join(select, ", ") + "\n  FROM " +
+                    (b.from.empty() ? "(VALUES (1)) one(x)"
+                                    : Join(b.from, ", "));
+  if (!b.where.empty()) {
+    sql += "\n  WHERE " + Join(b.where, "\n    AND ");
+  }
+  return sql;
+}
+
+}  // namespace
+
+Result<std::string> GenerateViewSql(const RuleSet& rules,
+                                    const std::string& head,
+                                    const SqlGrounding& grounding) {
+  std::vector<std::string> branches;
+  for (const Rule& rule : rules.rules) {
+    if (rule.head.predicate != head) continue;
+    INVERDA_ASSIGN_OR_RETURN(std::string select,
+                             RuleToSelect(rule, grounding));
+    branches.push_back(std::move(select));
+  }
+  if (branches.empty()) {
+    return Status::NotFound("no rules derive " + head);
+  }
+  auto it = grounding.relations.find(head);
+  std::string view_name = it != grounding.relations.end() ? it->second.table
+                                                          : head;
+  return "CREATE OR REPLACE VIEW " + view_name + " AS\n" +
+         Join(branches, "\nUNION\n") + ";\n";
+}
+
+Result<std::string> GenerateAllViews(const RuleSet& rules,
+                                     const SqlGrounding& grounding) {
+  std::string out;
+  for (const std::string& head : rules.HeadPredicates()) {
+    INVERDA_ASSIGN_OR_RETURN(std::string view,
+                             GenerateViewSql(rules, head, grounding));
+    out += view;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<SqlGrounding> GroundingForSmo(const VersionCatalog& catalog, SmoId id,
+                                     const SmoRules& rules) {
+  const SmoInstance& inst = catalog.smo(id);
+  SqlGrounding grounding;
+  grounding.condition_sql = rules.grounding.condition_sql;
+  grounding.function_sql = rules.grounding.function_sql;
+
+  auto add_data_relation = [&](const std::string& symbol, TvId tv) {
+    const TableVersion& info = catalog.table_version(tv);
+    SqlRelation rel;
+    rel.table = catalog.IsPhysical(tv) ? catalog.DataTableName(tv)
+                                       : ToLower(info.name) + "_v" +
+                                             std::to_string(tv);
+    // One payload segment covering all columns: the rule templates use a
+    // single attribute-list variable per data relation argument (vertical
+    // SMOs split it into two segments).
+    rel.arg_columns = {info.schema.ColumnNames()};
+    grounding.relations[symbol] = std::move(rel);
+  };
+
+  for (size_t i = 0; i < rules.source_relations.size() && i < inst.sources.size();
+       ++i) {
+    add_data_relation(rules.source_relations[i], inst.sources[i]);
+  }
+  for (size_t i = 0; i < rules.target_relations.size() && i < inst.targets.size();
+       ++i) {
+    add_data_relation(rules.target_relations[i], inst.targets[i]);
+  }
+
+  // Vertical SMOs use (A, B) segments; adjust the combined relation's
+  // grounding so its two payload arguments split the columns.
+  if (inst.smo->kind() == SmoKind::kDecompose && !inst.sources.empty() &&
+      inst.targets.size() >= 1) {
+    const auto& d = static_cast<const DecomposeSmo&>(*inst.smo);
+    auto it = grounding.relations.find(rules.source_relations[0]);
+    if (it != grounding.relations.end()) {
+      it->second.arg_columns = {d.s_columns(), d.t_columns()};
+    }
+  }
+  if (inst.smo->kind() == SmoKind::kJoin && inst.sources.size() == 2) {
+    auto it = grounding.relations.find(rules.target_relations[0]);
+    if (it != grounding.relations.end()) {
+      const TableVersion& l = catalog.table_version(inst.sources[0]);
+      const TableVersion& r = catalog.table_version(inst.sources[1]);
+      it->second.arg_columns = {l.schema.ColumnNames(),
+                                r.schema.ColumnNames()};
+    }
+  }
+
+  // Aux relations.
+  for (const AuxDef& aux : inst.aux_defs) {
+    SqlRelation rel;
+    rel.table = catalog.AuxTableName(id, aux.short_name);
+    std::vector<std::string> cols;
+    for (const Column& c : aux.payload) cols.push_back(c.name);
+    // Key-only aux tables (R-, R*, ...) have no payload argument; payload
+    // aux tables carry one list segment.
+    if (aux.short_name == "S_plus" || aux.short_name == "T_prime" ||
+        aux.short_name == "L_plus" || aux.short_name == "R_plus" ||
+        aux.short_name == "B") {
+      rel.arg_columns = {cols};
+    } else {
+      for (const std::string& c : cols) {
+        rel.arg_columns.push_back({c});
+      }
+    }
+    grounding.relations[aux.short_name] = std::move(rel);
+  }
+  return grounding;
+}
+
+}  // namespace inverda

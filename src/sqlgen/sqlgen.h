@@ -1,0 +1,59 @@
+#ifndef INVERDA_SQLGEN_SQLGEN_H_
+#define INVERDA_SQLGEN_SQLGEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bidel/rules.h"
+#include "catalog/catalog.h"
+#include "datalog/rule.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// Concrete grounding of the relation symbols of a rule set for SQL
+/// rendering: physical table name plus, for every atom argument after the
+/// key, the concrete column names it expands to.
+struct SqlRelation {
+  std::string table;
+  std::vector<std::vector<std::string>> arg_columns;
+};
+
+struct SqlGrounding {
+  std::map<std::string, SqlRelation> relations;
+  std::map<std::string, std::string> condition_sql;  // cR -> "prio = 1"
+  std::map<std::string, std::string> function_sql;   // f  -> "prio * 2"
+};
+
+/// Renders one CREATE VIEW statement for `head` following the translation
+/// pattern of Figure 7: one UNION branch per rule, positive literals in the
+/// FROM clause joined on shared variables, negative literals as NOT EXISTS
+/// subselects, conditions in the WHERE clause.
+Result<std::string> GenerateViewSql(const datalog::RuleSet& rules,
+                                    const std::string& head,
+                                    const SqlGrounding& grounding);
+
+/// Renders the CREATE VIEW statements of every head predicate of `rules`.
+Result<std::string> GenerateAllViews(const datalog::RuleSet& rules,
+                                     const SqlGrounding& grounding);
+
+/// Builds the grounding for one SMO instance of the catalog: data relation
+/// symbols map to the neighbouring table versions' current access paths,
+/// aux symbols to their physical tables.
+Result<SqlGrounding> GroundingForSmo(const VersionCatalog& catalog, SmoId id,
+                                     const SmoRules& rules);
+
+/// The full generated delta code (views + triggers) for one SMO instance in
+/// its current materialization state: the artifact InVerDa would install in
+/// the DBMS. Rendering only — execution happens in the mapping kernels.
+Result<std::string> GenerateDeltaCode(const VersionCatalog& catalog, SmoId id);
+
+/// The delta code for an entire schema version: every SMO on the paths
+/// between the version's table versions and the physical data.
+Result<std::string> GenerateDeltaCodeForVersion(const VersionCatalog& catalog,
+                                                const std::string& version);
+
+}  // namespace inverda
+
+#endif  // INVERDA_SQLGEN_SQLGEN_H_

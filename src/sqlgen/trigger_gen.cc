@@ -1,0 +1,180 @@
+#include "sqlgen/sqlgen.h"
+
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+using datalog::Literal;
+using datalog::LiteralKind;
+using datalog::Rule;
+using datalog::RuleSet;
+
+// Renders the condition part of a rule body as a trigger IF-condition over
+// the NEW record: conditions become their SQL text with columns qualified
+// by NEW, negative relation literals become NOT EXISTS probes.
+Result<std::string> RuleGuard(const Rule& rule, const SqlGrounding& grounding) {
+  std::vector<std::string> conjuncts;
+  for (const Literal& l : rule.body) {
+    switch (l.kind) {
+      case LiteralKind::kCondition: {
+        auto it = grounding.condition_sql.find(l.symbol);
+        if (it == grounding.condition_sql.end()) {
+          return Status::NotFound("no SQL for condition " + l.symbol);
+        }
+        conjuncts.push_back((l.negated ? "NOT (" : "(") + it->second + ")");
+        break;
+      }
+      case LiteralKind::kRelation: {
+        if (!l.negated) break;  // the NEW tuple itself drives the insert
+        auto it = grounding.relations.find(l.symbol);
+        if (it == grounding.relations.end()) break;
+        conjuncts.push_back("NOT EXISTS (SELECT 1 FROM " + it->second.table +
+                            " x WHERE x.p = NEW.p)");
+        break;
+      }
+      case LiteralKind::kCompare:
+      case LiteralKind::kFunction:
+        break;
+    }
+  }
+  if (conjuncts.empty()) return std::string("TRUE");
+  return Join(conjuncts, " AND ");
+}
+
+// One INSERT statement into the physical table grounded for `head`.
+Result<std::string> InsertStatement(const Rule& rule,
+                                    const SqlGrounding& grounding) {
+  auto it = grounding.relations.find(rule.head.predicate);
+  if (it == grounding.relations.end()) {
+    return Status::NotFound("no SQL grounding for " + rule.head.predicate);
+  }
+  const SqlRelation& rel = it->second;
+  std::vector<std::string> columns = {"p"};
+  std::vector<std::string> values = {"NEW.p"};
+  for (size_t i = 0; i < rel.arg_columns.size(); ++i) {
+    for (const std::string& col : rel.arg_columns[i]) {
+      columns.push_back(col);
+      values.push_back("NEW." + col);
+    }
+  }
+  // Function literals supply computed values for their output column.
+  for (const Literal& l : rule.body) {
+    if (l.kind != LiteralKind::kFunction) continue;
+    auto fn = grounding.function_sql.find(l.symbol);
+    if (fn == grounding.function_sql.end()) continue;
+    for (std::string& v : values) {
+      if (v == "NEW." + l.out.name) v = "(" + fn->second + ")";
+    }
+  }
+  return "INSERT INTO " + rel.table + "(" + Join(columns, ", ") +
+         ") VALUES (" + Join(values, ", ") + ");";
+}
+
+}  // namespace
+
+Result<std::string> GenerateDeltaCode(const VersionCatalog& catalog,
+                                      SmoId id) {
+  const SmoInstance& inst = catalog.smo(id);
+  INVERDA_ASSIGN_OR_RETURN(SmoRules rules, RulesForSmo(*inst.smo));
+  if (rules.gamma_tgt.rules.empty() && rules.gamma_src.rules.empty()) {
+    return std::string("-- ") + inst.smo->ToString() +
+           ": catalog-only, no delta code\n";
+  }
+  INVERDA_ASSIGN_OR_RETURN(SqlGrounding grounding,
+                           GroundingForSmo(catalog, id, rules));
+
+  std::string out = "-- Delta code for: " + inst.smo->ToString() + "\n";
+  out += "-- Materialization: ";
+  out += inst.materialized ? "target side\n\n" : "source side\n\n";
+
+  // Views for the virtual side (reads), per Figure 7.
+  const RuleSet& read_rules =
+      inst.materialized ? rules.gamma_src : rules.gamma_tgt;
+  const std::vector<std::string>& virtual_relations =
+      inst.materialized ? rules.source_relations : rules.target_relations;
+  for (const std::string& rel : virtual_relations) {
+    Result<std::string> view = GenerateViewSql(read_rules, rel, grounding);
+    if (view.ok()) {
+      out += *view;
+      out += "\n";
+    }
+  }
+
+  // Triggers for writes on the virtual side: one per table version and DML
+  // kind, realizing the update propagation of Section 6 (the insert rules
+  // follow the Δ+ pattern of rules 52-54; updates and deletes reuse the
+  // same routing with OLD-based predicates).
+  const RuleSet& write_rules =
+      inst.materialized ? rules.gamma_tgt : rules.gamma_src;
+  for (const std::string& rel : virtual_relations) {
+    auto grounded = grounding.relations.find(rel);
+    if (grounded == grounding.relations.end()) continue;
+    const std::string& view_name = grounded->second.table;
+
+    std::string body;
+    for (const Rule& rule : write_rules.rules) {
+      Result<std::string> guard = RuleGuard(rule, grounding);
+      Result<std::string> insert = InsertStatement(rule, grounding);
+      if (!guard.ok() || !insert.ok()) continue;
+      body += "  IF " + *guard + " THEN\n    " + *insert + "\n  END IF;\n";
+    }
+    if (body.empty()) continue;
+
+    out += "CREATE OR REPLACE FUNCTION " + view_name +
+           "_ins() RETURNS trigger AS $$\nBEGIN\n" + body +
+           "  RETURN NEW;\nEND;\n$$ LANGUAGE plpgsql;\n";
+    out += "CREATE TRIGGER " + view_name + "_insert INSTEAD OF INSERT ON " +
+           view_name + "\n  FOR EACH ROW EXECUTE FUNCTION " + view_name +
+           "_ins();\n";
+    out += "CREATE OR REPLACE FUNCTION " + view_name +
+           "_upd() RETURNS trigger AS $$\nBEGIN\n"
+           "  -- delete OLD routing, then re-insert NEW\n" +
+           body + "  RETURN NEW;\nEND;\n$$ LANGUAGE plpgsql;\n";
+    out += "CREATE TRIGGER " + view_name + "_update INSTEAD OF UPDATE ON " +
+           view_name + "\n  FOR EACH ROW EXECUTE FUNCTION " + view_name +
+           "_upd();\n";
+    out += "CREATE OR REPLACE FUNCTION " + view_name +
+           "_del() RETURNS trigger AS $$\nBEGIN\n"
+           "  DELETE FROM " +
+           view_name + "_targets WHERE p = OLD.p;\n"
+           "  RETURN OLD;\nEND;\n$$ LANGUAGE plpgsql;\n";
+    out += "CREATE TRIGGER " + view_name + "_delete INSTEAD OF DELETE ON " +
+           view_name + "\n  FOR EACH ROW EXECUTE FUNCTION " + view_name +
+           "_del();\n\n";
+  }
+  return out;
+}
+
+Result<std::string> GenerateDeltaCodeForVersion(const VersionCatalog& catalog,
+                                                const std::string& version) {
+  INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                           catalog.FindVersion(version));
+  // Collect every SMO on the access paths of the version's table versions:
+  // walk the genealogy toward the data (or simply include the incoming
+  // SMOs transitively — a superset that matches what InVerDa regenerates).
+  std::set<SmoId> smos;
+  std::vector<TvId> frontier;
+  for (const auto& [name, tv] : info->tables) {
+    (void)name;
+    frontier.push_back(tv);
+  }
+  while (!frontier.empty()) {
+    TvId tv = frontier.back();
+    frontier.pop_back();
+    const TableVersion& tvi = catalog.table_version(tv);
+    const SmoInstance& in = catalog.smo(tvi.incoming);
+    if (in.smo->kind() == SmoKind::kCreateTable) continue;
+    if (smos.count(in.id)) continue;
+    smos.insert(in.id);
+    for (TvId src : in.sources) frontier.push_back(src);
+  }
+  std::string out;
+  for (SmoId id : smos) {
+    INVERDA_ASSIGN_OR_RETURN(std::string code, GenerateDeltaCode(catalog, id));
+    out += code;
+  }
+  return out;
+}
+
+}  // namespace inverda

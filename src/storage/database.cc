@@ -1,0 +1,84 @@
+#include "storage/database.h"
+
+namespace inverda {
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Database::CreateTable(TableSchema schema) {
+  const std::string name = schema.name();
+  auto [it, inserted] = tables_.emplace(name, Table(std::move(schema)));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table " + name);
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+Result<const Table*> Database::GetTableConst(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+Status Database::RenameTable(const std::string& from, const std::string& to) {
+  auto it = tables_.find(from);
+  if (it == tables_.end()) return Status::NotFound("table " + from);
+  if (tables_.count(to) > 0) return Status::AlreadyExists("table " + to);
+  Table table = std::move(it->second);
+  tables_.erase(it);
+  TableSchema schema = table.schema();
+  schema.set_name(to);
+  table.set_schema(std::move(schema));
+  tables_.emplace(to, std::move(table));
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    (void)name;
+    total += table.size();
+  }
+  return total;
+}
+
+Database::SnapshotState Database::Snapshot() const {
+  return SnapshotState{tables_, sequence_.Peek()};
+}
+
+void Database::Restore(SnapshotState snapshot) {
+  tables_ = std::move(snapshot.tables);
+  sequence_ = Sequence(snapshot.sequence_next);
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, table] : tables_) {
+    (void)name;
+    out += table.ToString();
+  }
+  return out;
+}
+
+}  // namespace inverda

@@ -1,0 +1,3 @@
+#include "storage/sequence.h"
+
+// Sequence is header-only; this translation unit anchors the target.

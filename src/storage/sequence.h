@@ -1,0 +1,33 @@
+#ifndef INVERDA_STORAGE_SEQUENCE_H_
+#define INVERDA_STORAGE_SEQUENCE_H_
+
+#include <cstdint>
+
+namespace inverda {
+
+/// A monotonically increasing id generator. One global sequence provides the
+/// InVerDa-managed identifiers `p`; identifier-generating SMOs (DECOMPOSE ON
+/// FK/condition, JOIN ON condition) draw their fresh ids from the same
+/// sequence so identifiers are unique across every table version.
+class Sequence {
+ public:
+  explicit Sequence(int64_t start = 1) : next_(start) {}
+
+  /// Returns the next id and advances.
+  int64_t Next() { return next_++; }
+
+  /// The id the next call to Next() will return.
+  int64_t Peek() const { return next_; }
+
+  /// Ensures the sequence never hands out ids <= `floor` again.
+  void BumpPast(int64_t floor) {
+    if (floor >= next_) next_ = floor + 1;
+  }
+
+ private:
+  int64_t next_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_STORAGE_SEQUENCE_H_

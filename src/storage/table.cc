@@ -1,0 +1,95 @@
+#include "storage/table.h"
+
+namespace inverda {
+
+const Row* Table::Find(int64_t key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::Insert(int64_t key, Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::ConstraintViolation(
+        "row width " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  auto [it, inserted] = rows_.emplace(key, std::move(row));
+  (void)it;
+  if (!inserted) {
+    return Status::ConstraintViolation("duplicate key " + std::to_string(key) +
+                                       " in " + schema_.name());
+  }
+  return Status::OK();
+}
+
+Status Table::Update(int64_t key, Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::ConstraintViolation(
+        "row width " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("key " + std::to_string(key) + " not in " +
+                            schema_.name());
+  }
+  it->second = std::move(row);
+  return Status::OK();
+}
+
+Status Table::Upsert(int64_t key, Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::ConstraintViolation(
+        "row width " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  rows_[key] = std::move(row);
+  return Status::OK();
+}
+
+bool Table::Erase(int64_t key) { return rows_.erase(key) > 0; }
+
+void Table::Scan(const std::function<void(int64_t, const Row&)>& fn) const {
+  for (const auto& [key, row] : rows_) fn(key, row);
+}
+
+std::vector<KeyedRow> Table::Rows() const {
+  std::vector<KeyedRow> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) out.push_back({key, row});
+  return out;
+}
+
+std::vector<int64_t> Table::Keys() const {
+  std::vector<int64_t> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) {
+    (void)row;
+    out.push_back(key);
+  }
+  return out;
+}
+
+bool Table::ContentEquals(const Table& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  auto it = rows_.begin();
+  auto jt = other.rows_.begin();
+  for (; it != rows_.end(); ++it, ++jt) {
+    if (it->first != jt->first || !RowsEqual(it->second, jt->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Table::ToString() const {
+  std::string out = schema_.ToString() + " [" + std::to_string(size()) +
+                    " rows]\n";
+  for (const auto& [key, row] : rows_) {
+    out += "  p=" + std::to_string(key) + " " + RowToString(row) + "\n";
+  }
+  return out;
+}
+
+}  // namespace inverda

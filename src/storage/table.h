@@ -1,0 +1,78 @@
+#ifndef INVERDA_STORAGE_TABLE_H_
+#define INVERDA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// A physical table of the relational substrate: a row store keyed by the
+/// InVerDa-managed identifier `p`. The key is unique per table, which gives
+/// the rule sets their "unique key p" guarantee (Lemma 5) and makes the
+/// multiset semantics of SQL fit the set semantics of the Datalog rules.
+///
+/// Rows are stored in an ordered map so scans are deterministic, which keeps
+/// workload runs and test expectations reproducible.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  void set_schema(TableSchema schema) { schema_ = std::move(schema); }
+
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  bool Contains(int64_t key) const { return rows_.count(key) > 0; }
+
+  /// Pointer to the payload of row `key`, or nullptr.
+  const Row* Find(int64_t key) const;
+
+  /// Inserts (key, row). Fails with ConstraintViolation if the key exists or
+  /// the payload width does not match the schema.
+  Status Insert(int64_t key, Row row);
+
+  /// Replaces the payload of row `key`. Fails with NotFound if absent.
+  Status Update(int64_t key, Row row);
+
+  /// Inserts or replaces, with width check only.
+  Status Upsert(int64_t key, Row row);
+
+  /// Deletes row `key`; returns true if a row was removed.
+  bool Erase(int64_t key);
+
+  void Clear() { rows_.clear(); }
+
+  /// Calls `fn(key, row)` for every row in ascending key order.
+  void Scan(const std::function<void(int64_t, const Row&)>& fn) const;
+
+  /// All rows as keyed tuples, ascending by key.
+  std::vector<KeyedRow> Rows() const;
+
+  /// All keys, ascending.
+  std::vector<int64_t> Keys() const;
+
+  /// Deep copy (used by migration snapshots).
+  Table Clone() const { return *this; }
+
+  /// Set equality: same schema column names/types and same keyed rows.
+  bool ContentEquals(const Table& other) const;
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+ private:
+  TableSchema schema_;
+  std::map<int64_t, Row> rows_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_STORAGE_TABLE_H_

@@ -1,0 +1,32 @@
+#include "types/row.h"
+
+namespace inverda {
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace inverda

@@ -1,0 +1,41 @@
+#ifndef INVERDA_TYPES_ROW_H_
+#define INVERDA_TYPES_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace inverda {
+
+/// The payload part of a tuple: one Value per schema column, positional.
+/// The InVerDa-managed identifier `p` is *not* part of the Row — physical
+/// tables key their rows by it (see storage::Table), which realizes the
+/// paper's "all tables have an attribute p" convention.
+using Row = std::vector<Value>;
+
+/// Equality of two payload rows (positional, Value::operator==).
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Combined hash of a payload row; consistent with RowsEqual.
+size_t HashRow(const Row& row);
+
+/// "(v1, v2, ...)" for debugging.
+std::string RowToString(const Row& row);
+
+/// A keyed tuple as exchanged between mapping kernels: identifier + payload.
+struct KeyedRow {
+  int64_t key = 0;
+  Row row;
+};
+
+/// Hash functor over Row, for unordered containers keyed by payload
+/// (e.g. the id-reuse memo of identifier-generating SMOs).
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_TYPES_ROW_H_

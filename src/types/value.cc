@@ -1,0 +1,70 @@
+#include "types/value.h"
+
+#include <functional>
+
+namespace inverda {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "TEXT";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// Rank for cross-type ordering: null < bool < numeric < string.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_int() || v.is_double()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  int ra = TypeRank(*this), rb = TypeRank(other);
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+      return false;
+    case 1:
+      return AsBool() < other.AsBool();
+    case 2:
+      return AsNumeric() < other.AsNumeric();
+    default:
+      return AsString() < other.AsString();
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return std::to_string(AsDouble());
+  if (is_bool()) return AsBool() ? "TRUE" : "FALSE";
+  std::string out = "'";
+  for (char c : AsString()) {
+    out += c;
+    if (c == '\'') out += '\'';  // SQL-style escaping.
+  }
+  out += "'";
+  return out;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9;
+  if (is_int()) return std::hash<int64_t>()(AsInt()) * 3;
+  if (is_double()) return std::hash<double>()(AsDouble()) * 5;
+  if (is_bool()) return AsBool() ? 0x51ed2701 : 0x1234567;
+  return std::hash<std::string>()(AsString()) * 7;
+}
+
+}  // namespace inverda

@@ -1,0 +1,83 @@
+#ifndef INVERDA_TYPES_VALUE_H_
+#define INVERDA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace inverda {
+
+/// Column data types of the relational substrate.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Human-readable type name ("INT", "DOUBLE", "TEXT", "BOOL").
+const char* DataTypeName(DataType type);
+
+/// A single cell value. Null (the paper's ω marker, used e.g. by the outer
+/// join that inverts DECOMPOSE) is representable for every type.
+///
+/// Comparison semantics follow SQL's two-valued simplification used by the
+/// paper's Datalog rules: null is equal to null and distinct from every
+/// non-null value, so tuple round trips preserve ω exactly.
+class Value {
+ public:
+  /// Null (ω).
+  Value() : data_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+
+  /// Preconditions: the matching is_*() holds.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: int64 or double widened to double. Precondition:
+  /// is_int() || is_double().
+  double AsNumeric() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order used for deterministic output: null < bool < numeric <
+  /// string; numerics compare by value across int/double.
+  bool operator<(const Value& other) const;
+
+  /// Rendering for debug output and SQL literals ("NULL", 42, 'text', ...).
+  std::string ToString() const;
+
+  /// Stable hash, consistent with operator== (int and double that compare
+  /// equal via == are distinct variants and hash independently).
+  size_t Hash() const;
+
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+  using Data = std::variant<NullTag, int64_t, double, std::string, bool>;
+
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_TYPES_VALUE_H_

@@ -1,0 +1,53 @@
+#include "util/code_metrics.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace inverda {
+
+CodeMetrics MeasureCode(std::string_view code) {
+  CodeMetrics m;
+  // Lines of code: non-empty lines that are not pure comments.
+  for (const std::string& raw : Split(code, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty()) continue;
+    if (StartsWith(line, "--")) continue;
+    ++m.lines_of_code;
+  }
+  // Characters: consecutive whitespace counted as one, leading/trailing
+  // whitespace ignored; comment lines excluded to match the LoC rule.
+  bool in_string = false;
+  bool last_was_space = true;
+  bool in_comment = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    char c = code[i];
+    if (!in_string && !in_comment && c == '-' && i + 1 < code.size() &&
+        code[i + 1] == '-') {
+      in_comment = true;
+    }
+    if (c == '\n') in_comment = false;
+    if (in_comment) continue;
+    if (c == '\'') in_string = !in_string;
+    if (!in_string && std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_was_space) {
+        ++m.characters;
+        last_was_space = true;
+      }
+      continue;
+    }
+    last_was_space = false;
+    ++m.characters;
+    if (!in_string && c == ';') ++m.statements;
+  }
+  if (last_was_space && m.characters > 0) --m.characters;
+  return m;
+}
+
+std::string FormatMetrics(const CodeMetrics& metrics) {
+  return std::to_string(metrics.lines_of_code) + " / " +
+         std::to_string(metrics.statements) + " / " +
+         std::to_string(metrics.characters);
+}
+
+}  // namespace inverda

@@ -1,0 +1,30 @@
+#ifndef INVERDA_UTIL_CODE_METRICS_H_
+#define INVERDA_UTIL_CODE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace inverda {
+
+/// Size metrics of a piece of code, as used by Table 3 of the paper:
+/// lines of code, number of statements, and number of characters with
+/// consecutive whitespace counted as one character.
+struct CodeMetrics {
+  int64_t lines_of_code = 0;
+  int64_t statements = 0;
+  int64_t characters = 0;
+};
+
+/// Measures `code`. Lines of code counts non-empty, non-comment lines
+/// (SQL `--` and BiDEL comments); statements are counted by terminating
+/// semicolons outside of string literals; characters collapse consecutive
+/// whitespace to a single character, as in the paper's methodology.
+CodeMetrics MeasureCode(std::string_view code);
+
+/// Renders one Table-3-style row: "<loc> / <statements> / <chars>".
+std::string FormatMetrics(const CodeMetrics& metrics);
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_CODE_METRICS_H_

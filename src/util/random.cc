@@ -1,0 +1,51 @@
+#include "util/random.h"
+
+namespace inverda {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 expansion of the seed into two non-zero state words.
+  auto splitmix = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  s0_ = splitmix();
+  s1_ = splitmix();
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::NextUint64() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::NextUint64(uint64_t bound) { return NextUint64() % bound; }
+
+int64_t Random::NextInt64(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+std::string Random::NextString(int length) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out += kAlphabet[NextUint64(26)];
+  }
+  return out;
+}
+
+}  // namespace inverda

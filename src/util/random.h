@@ -1,0 +1,40 @@
+#ifndef INVERDA_UTIL_RANDOM_H_
+#define INVERDA_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace inverda {
+
+/// Deterministic pseudo-random generator (xorshift128+) used by workload
+/// generators and property tests so every run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p`.
+  bool NextBool(double p);
+
+  /// Random lowercase identifier-ish string of `length` characters.
+  std::string NextString(int length);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_RANDOM_H_

@@ -1,0 +1,117 @@
+#ifndef INVERDA_UTIL_STATUS_H_
+#define INVERDA_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace inverda {
+
+/// Error categories used across the library. Following the Arrow/RocksDB
+/// idiom, errors are reported through Status/Result values rather than
+/// exceptions.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,   ///< Malformed input (bad BiDEL script, bad condition...)
+  kNotFound,          ///< Unknown table, column, schema version, ...
+  kAlreadyExists,     ///< Name collision (table version, schema version, ...)
+  kInvalidState,      ///< Operation not allowed in the current state
+  kConstraintViolation,  ///< Key collision or schema mismatch on write
+  kInternal,          ///< Invariant violation inside the library
+};
+
+/// Returns a short human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation without a payload.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy for OK and small for errors.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidState(std::string msg) {
+    return Status(StatusCode::kInvalidState, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error Status. The value may only be accessed when ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define INVERDA_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::inverda::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result expression, propagating errors; on success assigns the
+/// value to `lhs`.
+#define INVERDA_ASSIGN_OR_RETURN(lhs, expr)      \
+  INVERDA_ASSIGN_OR_RETURN_IMPL(                 \
+      INVERDA_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define INVERDA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define INVERDA_CONCAT_IMPL_(a, b) a##b
+#define INVERDA_CONCAT_(a, b) INVERDA_CONCAT_IMPL_(a, b)
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_STATUS_H_

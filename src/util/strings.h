@@ -1,0 +1,33 @@
+#ifndef INVERDA_UTIL_STRINGS_H_
+#define INVERDA_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inverda {
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep` (no trimming, keeps empties).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// ASCII lower-casing (identifiers in BiDEL are case-insensitive).
+std::string ToLower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Indents every line of `text` by `spaces` spaces.
+std::string Indent(std::string_view text, int spaces);
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_STRINGS_H_

@@ -1,0 +1,37 @@
+#ifndef INVERDA_WORKLOAD_ADVISOR_H_
+#define INVERDA_WORKLOAD_ADVISOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "inverda/inverda.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// A simple materialization advisor — the paper's future-work item of a
+/// self-managing physical table schema (Section 8.2 imagines "an advisor
+/// tool supporting the optimization task"). Given the fraction of accesses
+/// hitting each schema version, it scores every valid materialization
+/// schema by the expected propagation distance and recommends the best.
+struct AdvisorRecommendation {
+  std::set<SmoId> materialization;
+  double expected_cost = 0.0;
+
+  /// Cost of every candidate, for reporting (keyed by a printable label).
+  std::map<std::string, double> candidate_costs;
+};
+
+/// `version_weights` maps schema version names to their share of the
+/// workload (need not sum to 1). The cost of a candidate materialization is
+/// the weighted sum over versions of the average propagation distance of
+/// that version's tables (+1 for local access), approximating the per-SMO
+/// overhead the evaluation measures.
+Result<AdvisorRecommendation> RecommendMaterialization(
+    const VersionCatalog& catalog,
+    const std::map<std::string, double>& version_weights);
+
+}  // namespace inverda
+
+#endif  // INVERDA_WORKLOAD_ADVISOR_H_

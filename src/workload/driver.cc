@@ -1,0 +1,64 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace inverda {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double AdoptionFraction(int t, int total) {
+  // Logistic curve centered at the half-way point, spanning ~[-6, 6].
+  double x = 12.0 * (static_cast<double>(t) / static_cast<double>(total)) -
+             6.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+Result<double> RunWorkload(Inverda* db, const WorkloadTarget& target,
+                           const OpMix& mix, int num_ops, Random* rng,
+                           std::vector<int64_t>* keys) {
+  double start = NowSeconds();
+  for (int i = 0; i < num_ops; ++i) {
+    double roll = rng->NextDouble();
+    if (roll < mix.reads || keys->empty()) {
+      INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> rows,
+                               db->Select(target.version, target.table));
+      // Touch the result so the scan is not optimized away.
+      if (!rows.empty() && rows[0].row.empty()) {
+        return Status::Internal("empty payload row");
+      }
+      continue;
+    }
+    roll -= mix.reads;
+    if (roll < mix.inserts) {
+      INVERDA_ASSIGN_OR_RETURN(
+          int64_t key,
+          db->Insert(target.version, target.table, target.make_row(rng)));
+      keys->push_back(key);
+      continue;
+    }
+    roll -= mix.inserts;
+    size_t pick = static_cast<size_t>(rng->NextUint64(keys->size()));
+    int64_t key = (*keys)[pick];
+    if (roll < mix.updates) {
+      // Update only if the row is visible through this version's table.
+      INVERDA_ASSIGN_OR_RETURN(std::optional<Row> current,
+                               db->Get(target.version, target.table, key));
+      if (current) {
+        INVERDA_RETURN_IF_ERROR(db->Update(target.version, target.table, key,
+                                           target.make_row(rng)));
+      }
+      continue;
+    }
+    INVERDA_RETURN_IF_ERROR(db->Delete(target.version, target.table, key));
+    (*keys)[pick] = keys->back();
+    keys->pop_back();
+  }
+  return NowSeconds() - start;
+}
+
+}  // namespace inverda

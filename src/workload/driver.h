@@ -1,0 +1,51 @@
+#ifndef INVERDA_WORKLOAD_DRIVER_H_
+#define INVERDA_WORKLOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "inverda/inverda.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// Operation mix of a workload, as fractions summing to 1. The paper's
+/// standard mix is 50% reads, 20% inserts, 20% updates, 10% deletes.
+struct OpMix {
+  double reads = 0.5;
+  double inserts = 0.2;
+  double updates = 0.2;
+  double deletes = 0.1;
+
+  static OpMix ReadOnly() { return {1.0, 0.0, 0.0, 0.0}; }
+  static OpMix InsertOnly() { return {0.0, 1.0, 0.0, 0.0}; }
+  static OpMix Standard() { return {0.5, 0.2, 0.2, 0.1}; }
+};
+
+/// One workload target: a (version, table) pair plus a row generator for
+/// inserts/updates matching that version's schema.
+struct WorkloadTarget {
+  std::string version;
+  std::string table;
+  std::function<Row(Random*)> make_row;
+};
+
+/// Runs `num_ops` operations of the given mix against `target` and returns
+/// the elapsed wall-clock seconds. Point updates/deletes pick random keys
+/// from `keys` (newly inserted keys are appended; deleted keys removed).
+Result<double> RunWorkload(Inverda* db, const WorkloadTarget& target,
+                           const OpMix& mix, int num_ops, Random* rng,
+                           std::vector<int64_t>* keys);
+
+/// The Technology Adoption Life Cycle curve used by Figures 9 and 10: the
+/// fraction of the workload on the *new* version at time slice `t` of
+/// `total` (logistic S-curve from ~0 to ~1).
+double AdoptionFraction(int t, int total);
+
+/// Current wall-clock seconds (monotonic), for benchmark harnesses.
+double NowSeconds();
+
+}  // namespace inverda
+
+#endif  // INVERDA_WORKLOAD_DRIVER_H_

@@ -1,0 +1,174 @@
+#include "workload/smo_pairs.h"
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+// Split point for the horizontal partitioning variants: the `a` column is
+// loaded uniformly from [0, 1000000).
+constexpr const char* kLowCond = "a < 500000";
+constexpr const char* kHighCond = "a >= 500000";
+
+struct FirstSpec {
+  std::string v1_script;  // CREATE SCHEMA VERSION v1 WITH ...
+  std::string v2_script;  // CREATE SCHEMA VERSION v2 FROM v1 WITH ...
+  std::string v1_table;   // the table read in v1
+};
+
+Result<FirstSpec> FirstFor(const std::string& kind) {
+  if (kind == "add_column") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INT, b TEXT)",
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c INT AS a + 1 "
+        "INTO R",
+        "R"};
+  }
+  if (kind == "drop_column") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INT, b TEXT, c INT, "
+        "d INT)",
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH DROP COLUMN d FROM R DEFAULT "
+        "0",
+        "R"};
+  }
+  if (kind == "split") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE T0(a INT, b TEXT, c INT)",
+        std::string("CREATE SCHEMA VERSION v2 FROM v1 WITH SPLIT TABLE T0 "
+                    "INTO R WITH ") +
+            kLowCond + ", S0 WITH " + kHighCond,
+        "T0"};
+  }
+  if (kind == "merge") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE Ra(a INT, b TEXT, c INT); "
+        "CREATE TABLE Rb(a INT, b TEXT, c INT)",
+        std::string("CREATE SCHEMA VERSION v2 FROM v1 WITH MERGE TABLE Ra (") +
+            kLowCond + "), Rb (" + kHighCond + ") INTO R",
+        "Ra"};
+  }
+  if (kind == "decompose_pk") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE W(a INT, b TEXT, c INT, "
+        "x TEXT)",
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH DECOMPOSE TABLE W INTO "
+        "R(a, b, c), X0(x) ON PK",
+        "W"};
+  }
+  if (kind == "join_pk") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE A0(a INT, b TEXT); "
+        "CREATE TABLE B0(c INT)",
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH OUTER JOIN TABLE A0, B0 INTO "
+        "R ON PK",
+        "A0"};
+  }
+  if (kind == "decompose_fk") {
+    return FirstSpec{
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE W(a INT, b TEXT, c INT)",
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH DECOMPOSE TABLE W INTO "
+        "R(a, b), C0(c) ON FK cref",
+        "W"};
+  }
+  return Status::InvalidArgument("unknown first SMO kind " + kind);
+}
+
+// The second SMO evolves v2's R into v3; the script may depend on R's
+// schema in v2 (column names vary with the first SMO).
+Result<std::pair<std::string, std::string>> SecondFor(
+    const std::string& kind, const TableSchema& r_schema) {
+  if (kind == "add_column") {
+    return std::pair<std::string, std::string>{
+        "CREATE SCHEMA VERSION v3 FROM v2 WITH ADD COLUMN z INT AS a + 2 "
+        "INTO R",
+        "R"};
+  }
+  if (kind == "drop_column") {
+    return std::pair<std::string, std::string>{
+        "CREATE SCHEMA VERSION v3 FROM v2 WITH DROP COLUMN b FROM R DEFAULT "
+        "''",
+        "R"};
+  }
+  if (kind == "split") {
+    return std::pair<std::string, std::string>{
+        std::string("CREATE SCHEMA VERSION v3 FROM v2 WITH SPLIT TABLE R "
+                    "INTO R1 WITH a < 250000, R2 WITH a >= 250000"),
+        "R1"};
+  }
+  if (kind == "decompose_pk") {
+    // R(a, rest...) -> R1(a), R2(rest...).
+    std::vector<std::string> rest;
+    for (const Column& c : r_schema.columns()) {
+      if (!EqualsIgnoreCase(c.name, "a")) rest.push_back(c.name);
+    }
+    if (rest.empty()) {
+      return Status::InvalidArgument("R too narrow for decompose");
+    }
+    return std::pair<std::string, std::string>{
+        "CREATE SCHEMA VERSION v3 FROM v2 WITH DECOMPOSE TABLE R INTO "
+        "R1(a), R2(" +
+            Join(rest, ", ") + ") ON PK",
+        "R1"};
+  }
+  return Status::InvalidArgument("unknown second SMO kind " + kind);
+}
+
+}  // namespace
+
+std::vector<std::string> FirstSmoKinds() {
+  return {"add_column", "drop_column", "split",       "merge",
+          "decompose_pk", "join_pk",   "decompose_fk"};
+}
+
+std::vector<std::string> SecondSmoKinds() {
+  return {"add_column", "drop_column", "split", "decompose_pk"};
+}
+
+Result<SmoPairScenario> BuildSmoPair(const std::string& first_kind,
+                                     const std::string& second_kind, int rows,
+                                     uint64_t seed) {
+  SmoPairScenario scenario;
+  scenario.db = std::make_unique<Inverda>();
+  scenario.first_kind = first_kind;
+  scenario.second_kind = second_kind;
+  Inverda& db = *scenario.db;
+
+  INVERDA_ASSIGN_OR_RETURN(FirstSpec first, FirstFor(first_kind));
+  INVERDA_RETURN_IF_ERROR(db.Execute(first.v1_script));
+  INVERDA_RETURN_IF_ERROR(db.Execute(first.v2_script));
+  scenario.v1_table = first.v1_table;
+  scenario.v2_table = "R";
+
+  INVERDA_ASSIGN_OR_RETURN(TableSchema r_schema, db.GetSchema("v2", "R"));
+  INVERDA_ASSIGN_OR_RETURN(auto second, SecondFor(second_kind, r_schema));
+  INVERDA_RETURN_IF_ERROR(db.Execute(second.first));
+  scenario.v3_table = second.second;
+
+  // Load through v2's R so every first-SMO variant gets the same data shape.
+  Random rng(seed);
+  scenario.keys.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    Row row;
+    for (const Column& c : r_schema.columns()) {
+      if (EqualsIgnoreCase(c.name, "a")) {
+        row.push_back(Value::Int(rng.NextInt64(0, 999999)));
+      } else if (EqualsIgnoreCase(c.name, "cref")) {
+        // The generated foreign key of the decompose_fk variant: loading
+        // rows with random references would dangle; NULL means "no
+        // partner yet".
+        row.push_back(Value::Null());
+      } else if (c.type == DataType::kInt64) {
+        row.push_back(Value::Int(rng.NextInt64(0, 1000)));
+      } else {
+        row.push_back(Value::String(rng.NextString(8)));
+      }
+    }
+    INVERDA_ASSIGN_OR_RETURN(int64_t key, db.Insert("v2", "R", std::move(row)));
+    scenario.keys.push_back(key);
+  }
+  return scenario;
+}
+
+}  // namespace inverda

@@ -1,0 +1,46 @@
+#ifndef INVERDA_WORKLOAD_SMO_PAIRS_H_
+#define INVERDA_WORKLOAD_SMO_PAIRS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inverda/inverda.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// Generator for the two-SMO micro benchmark of Figure 13: three schema
+/// versions connected by two SMOs, where the middle version always contains
+/// a table R the second SMO evolves:
+///     v1  --SMO1-->  v2 (contains R)  --SMO2-->  v3
+/// Data is loaded through v2's R; reads are measured on each version under
+/// materializations matching v1 / v2 / v3.
+struct SmoPairScenario {
+  std::unique_ptr<Inverda> db;
+  std::string first_kind;
+  std::string second_kind;
+
+  /// The table to read in each version ("the R lineage").
+  std::string v1_table;
+  std::string v2_table;  // always "R"
+  std::string v3_table;
+
+  std::vector<int64_t> keys;
+};
+
+/// First-SMO kinds: how v2's R(a, b, c)-like table is produced from v1.
+std::vector<std::string> FirstSmoKinds();
+
+/// Second-SMO kinds applicable to R (ADD COLUMN is the paper's Figure 13
+/// subject; the "all pairs" sweep uses the full list).
+std::vector<std::string> SecondSmoKinds();
+
+/// Builds the scenario and loads `rows` tuples through v2's R.
+Result<SmoPairScenario> BuildSmoPair(const std::string& first_kind,
+                                     const std::string& second_kind, int rows,
+                                     uint64_t seed);
+
+}  // namespace inverda
+
+#endif  // INVERDA_WORKLOAD_SMO_PAIRS_H_

@@ -1,0 +1,52 @@
+#include "workload/tasky.h"
+
+#include "handwritten/reference_sql.h"
+
+namespace inverda {
+
+Row RandomTaskRow(Random* rng, int num_authors) {
+  std::string author =
+      "author" + std::to_string(rng->NextUint64(
+                     static_cast<uint64_t>(num_authors)));
+  std::string task = "task-" + rng->NextString(12);
+  // Priority 1 is most frequent (roughly half), matching the motivation
+  // that Do! shows the urgent tasks.
+  int64_t prio;
+  double roll = rng->NextDouble();
+  if (roll < 0.5) {
+    prio = 1;
+  } else if (roll < 0.8) {
+    prio = 2;
+  } else {
+    prio = 3;
+  }
+  return {Value::String(std::move(author)), Value::String(std::move(task)),
+          Value::Int(prio)};
+}
+
+Result<TaskyScenario> BuildTasky(const TaskyOptions& options) {
+  TaskyScenario scenario;
+  scenario.db = std::make_unique<Inverda>();
+  Inverda& db = *scenario.db;
+
+  INVERDA_RETURN_IF_ERROR(db.Execute(BidelInitialScript()));
+  if (options.create_do) {
+    INVERDA_RETURN_IF_ERROR(db.Execute(BidelDoScript()));
+  }
+  if (options.create_tasky2) {
+    INVERDA_RETURN_IF_ERROR(db.Execute(BidelEvolutionScript()));
+  }
+
+  Random rng(options.seed);
+  scenario.task_keys.reserve(static_cast<size_t>(options.num_tasks));
+  for (int i = 0; i < options.num_tasks; ++i) {
+    INVERDA_ASSIGN_OR_RETURN(
+        int64_t key,
+        db.Insert(TaskyScenario::kTasKy, "Task",
+                  RandomTaskRow(&rng, options.num_authors)));
+    scenario.task_keys.push_back(key);
+  }
+  return scenario;
+}
+
+}  // namespace inverda

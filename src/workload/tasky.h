@@ -1,0 +1,47 @@
+#ifndef INVERDA_WORKLOAD_TASKY_H_
+#define INVERDA_WORKLOAD_TASKY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inverda/inverda.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// The TasKy running example of the paper (Figure 1): the initial TasKy
+/// schema, the Do! phone-app version (horizontal split + dropped priority)
+/// and the normalized TasKy2 version (decompose on a foreign key + rename).
+struct TaskyScenario {
+  std::unique_ptr<Inverda> db;
+
+  /// Keys of all loaded tasks (for random point operations).
+  std::vector<int64_t> task_keys;
+
+  static constexpr const char* kTasKy = "TasKy";
+  static constexpr const char* kDo = "Do!";
+  static constexpr const char* kTasKy2 = "TasKy2";
+};
+
+/// Options for building the scenario.
+struct TaskyOptions {
+  int num_tasks = 1000;
+  int num_authors = 50;
+  uint64_t seed = 42;
+  bool create_do = true;
+  bool create_tasky2 = true;
+};
+
+/// Builds the three co-existing schema versions and loads `num_tasks` tasks
+/// through the TasKy version (the initial materialization).
+Result<TaskyScenario> BuildTasky(const TaskyOptions& options);
+
+/// A deterministic random task payload for the TasKy schema
+/// Task(author, task, prio); priorities are 1-3 with 1 being most frequent.
+Row RandomTaskRow(Random* rng, int num_authors);
+
+}  // namespace inverda
+
+#endif  // INVERDA_WORKLOAD_TASKY_H_

@@ -1,0 +1,223 @@
+#include "workload/wikimedia.h"
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+// One scheduled SMO of the synthetic history.
+struct OpToken {
+  std::string bidel;  // the SMO statement text
+  SmoKind kind;
+};
+
+// Generator state shared while scheduling ops.
+struct GenState {
+  std::vector<std::string> page_cols{"title", "text", "counter"};
+  std::vector<std::string> links_cols{"src", "dst"};
+  std::string page_name = "cur";  // renamed to "page" mid-history
+  std::string links_name = "links";
+  int next_page_col = 0;
+  int next_links_col = 0;
+  int rename_counter = 0;
+  int spare_counter = 0;
+  int merge_counter = 0;
+};
+
+OpToken AddColumn(GenState* st, bool on_page) {
+  std::string table = on_page ? st->page_name : st->links_name;
+  std::string col = (on_page ? "pc" : "lc") +
+                    std::to_string(on_page ? st->next_page_col++
+                                           : st->next_links_col++);
+  (on_page ? st->page_cols : st->links_cols).push_back(col);
+  return {"ADD COLUMN " + col + " INT AS 0 INTO " + table,
+          SmoKind::kAddColumn};
+}
+
+OpToken DropColumn(GenState* st, bool on_page) {
+  std::vector<std::string>& cols = on_page ? st->page_cols : st->links_cols;
+  std::string col = cols.back();
+  cols.pop_back();
+  std::string table = on_page ? st->page_name : st->links_name;
+  return {"DROP COLUMN " + col + " FROM " + table + " DEFAULT 0",
+          SmoKind::kDropColumn};
+}
+
+OpToken RenameColumn(GenState* st, bool on_page) {
+  std::vector<std::string>& cols = on_page ? st->page_cols : st->links_cols;
+  std::string from = cols.front();
+  std::string to = "rn" + std::to_string(st->rename_counter++);
+  // Rotate so successive renames touch different columns.
+  cols.erase(cols.begin());
+  cols.push_back(to);
+  std::string table = on_page ? st->page_name : st->links_name;
+  return {"RENAME COLUMN " + from + " IN " + table + " TO " + to,
+          SmoKind::kRenameColumn};
+}
+
+OpToken CreateSpare(GenState* st) {
+  std::string name = "aux" + std::to_string(++st->spare_counter);
+  return {"CREATE TABLE " + name + "(c0 TEXT, c1 TEXT, c2 TEXT)",
+          SmoKind::kCreateTable};
+}
+
+}  // namespace
+
+Result<WikimediaScenario> BuildWikimedia(const WikimediaOptions& options) {
+  WikimediaScenario scenario;
+  scenario.db = std::make_unique<Inverda>();
+  Inverda& db = *scenario.db;
+  GenState st;
+
+  auto version_name = [](int index) {
+    std::string n = std::to_string(index + 1);
+    while (n.size() < 3) n = "0" + n;
+    return "v" + n;
+  };
+
+  // v001: the base schema (2 CREATE TABLE SMOs of the 42).
+  INVERDA_RETURN_IF_ERROR(db.Execute(
+      "CREATE SCHEMA VERSION v001 WITH "
+      "CREATE TABLE cur(title TEXT, text TEXT, counter INT); "
+      "CREATE TABLE links(src TEXT, dst TEXT);"));
+  scenario.histogram[SmoKind::kCreateTable] += 2;
+
+  // Schedule the remaining 209 SMOs in a feasible deterministic order
+  // matching the Table 4 histogram exactly (see wikimedia.h).
+  std::vector<OpToken> ops;
+  for (int i = 0; i < 8; ++i) ops.push_back(CreateSpare(&st));     // aux1-8
+  for (int i = 0; i < 30; ++i) ops.push_back(AddColumn(&st, true));
+  for (int i = 0; i < 10; ++i) ops.push_back(RenameColumn(&st, true));
+  for (int i = 0; i < 2; ++i) ops.push_back(CreateSpare(&st));     // aux9-10
+  for (int i = 0; i < 10; ++i) ops.push_back(AddColumn(&st, false));
+  ops.push_back({"RENAME TABLE cur INTO page", SmoKind::kRenameTable});
+  st.page_name = "page";
+  for (int i = 0; i < 8; ++i) ops.push_back(DropColumn(&st, true));
+  for (int i = 0; i < 10; ++i) ops.push_back(CreateSpare(&st));    // aux11-20
+  for (int i = 0; i < 15; ++i) ops.push_back(AddColumn(&st, true));
+  for (int i = 0; i < 10; ++i) ops.push_back(RenameColumn(&st, true));
+  for (int i = 1; i <= 4; ++i) {
+    std::string t = "aux" + std::to_string(i);
+    ops.push_back({"DECOMPOSE TABLE " + t + " INTO " + t + "a(c0), " + t +
+                       "b(c1, c2) ON PK",
+                   SmoKind::kDecompose});
+  }
+  for (int i = 0; i < 10; ++i) {
+    // Column churn on the spares aux5-aux8 (rotating, unique names).
+    std::string t = "aux" + std::to_string(5 + (i % 4));
+    ops.push_back({"ADD COLUMN x" + std::to_string(i) + " TEXT AS '' INTO " +
+                       t,
+                   SmoKind::kAddColumn});
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::string a = "aux" + std::to_string(9 + 2 * i);
+    std::string b = "aux" + std::to_string(10 + 2 * i);
+    std::string m = "merged" + std::to_string(++st.merge_counter);
+    ops.push_back({"MERGE TABLE " + a + " (c0 < 'm'), " + b +
+                       " (c0 >= 'm') INTO " + m,
+                   SmoKind::kMerge});
+  }
+  for (int i = 13; i <= 20; ++i) {
+    ops.push_back({"DROP TABLE aux" + std::to_string(i),
+                   SmoKind::kDropTable});
+  }
+  ops.push_back({"DROP TABLE merged1", SmoKind::kDropTable});
+  ops.push_back({"DROP TABLE merged2", SmoKind::kDropTable});
+  for (int i = 0; i < 10; ++i) ops.push_back(CreateSpare(&st));    // aux21-30
+  for (int i = 0; i < 15; ++i) ops.push_back(AddColumn(&st, true));
+  for (int i = 0; i < 5; ++i) ops.push_back(AddColumn(&st, false));
+  for (int i = 0; i < 10; ++i) ops.push_back(DropColumn(&st, true));
+  for (int i = 0; i < 10; ++i) ops.push_back(RenameColumn(&st, true));
+  for (int i = 0; i < 6; ++i) ops.push_back(RenameColumn(&st, false));
+  for (int i = 0; i < 10; ++i) ops.push_back(CreateSpare(&st));    // aux31-40
+  for (int i = 0; i < 3; ++i) ops.push_back(DropColumn(&st, false));
+  for (int i = 0; i < 10; ++i) ops.push_back(AddColumn(&st, true));
+
+  int steps = options.num_versions - 1;
+  if (static_cast<int>(ops.size()) < steps) {
+    return Status::Internal("op schedule shorter than version count");
+  }
+
+  scenario.versions.push_back("v001");
+  // Track table names per version (the rename changes the page name).
+  std::string page_now = "cur";
+  scenario.page_table.push_back(page_now);
+  scenario.links_table.push_back("links");
+
+  size_t op_index = 0;
+  for (int step = 0; step < steps; ++step) {
+    std::string from = version_name(step);
+    std::string to = version_name(step + 1);
+    // Spread the remaining SMOs evenly over the remaining versions
+    // (ceiling division keeps the schedule exactly consumed for any
+    // history length).
+    int remaining_ops = static_cast<int>(ops.size() - op_index);
+    int remaining_steps = steps - step;
+    int take = (remaining_ops + remaining_steps - 1) / remaining_steps;
+    std::string script = "CREATE SCHEMA VERSION " + to + " FROM " + from +
+                         " WITH ";
+    for (int i = 0; i < take; ++i) {
+      const OpToken& op = ops[op_index++];
+      script += op.bidel + "; ";
+      scenario.histogram[op.kind] += 1;
+      if (op.kind == SmoKind::kRenameTable) page_now = "page";
+    }
+    INVERDA_RETURN_IF_ERROR(db.Execute(script));
+    scenario.versions.push_back(to);
+    scenario.page_table.push_back(page_now);
+    scenario.links_table.push_back("links");
+  }
+  if (op_index != ops.size()) {
+    return Status::Internal("op schedule not fully consumed");
+  }
+  return scenario;
+}
+
+Result<std::vector<int64_t>> LoadWikimediaData(WikimediaScenario* scenario,
+                                               int version_index, int pages,
+                                               int links, uint64_t seed) {
+  Inverda& db = *scenario->db;
+  const std::string& version =
+      scenario->versions[static_cast<size_t>(version_index)];
+  const std::string& page =
+      scenario->page_table[static_cast<size_t>(version_index)];
+  const std::string& link_table =
+      scenario->links_table[static_cast<size_t>(version_index)];
+  Random rng(seed);
+
+  auto random_row = [&rng](const TableSchema& schema) {
+    Row row;
+    for (const Column& c : schema.columns()) {
+      if (c.type == DataType::kInt64) {
+        row.push_back(Value::Int(rng.NextInt64(0, 1000)));
+      } else if (c.type == DataType::kDouble) {
+        row.push_back(Value::Double(rng.NextDouble()));
+      } else if (c.type == DataType::kBool) {
+        row.push_back(Value::Bool(rng.NextBool(0.5)));
+      } else {
+        row.push_back(Value::String(rng.NextString(10)));
+      }
+    }
+    return row;
+  };
+
+  INVERDA_ASSIGN_OR_RETURN(TableSchema page_schema,
+                           db.GetSchema(version, page));
+  std::vector<int64_t> keys;
+  keys.reserve(static_cast<size_t>(pages));
+  for (int i = 0; i < pages; ++i) {
+    INVERDA_ASSIGN_OR_RETURN(int64_t key,
+                             db.Insert(version, page, random_row(page_schema)));
+    keys.push_back(key);
+  }
+  INVERDA_ASSIGN_OR_RETURN(TableSchema links_schema,
+                           db.GetSchema(version, link_table));
+  for (int i = 0; i < links; ++i) {
+    INVERDA_RETURN_IF_ERROR(
+        db.Insert(version, link_table, random_row(links_schema)).status());
+  }
+  return keys;
+}
+
+}  // namespace inverda

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+class AccessLayerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(AccessLayerTest, PropagationDistances) {
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  TvId todo1 = *db_.catalog().ResolveTable("Do!", "Todo");
+  TvId task1 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  TvId author1 = *db_.catalog().ResolveTable("TasKy2", "Author");
+  EXPECT_EQ(*db_.access().PropagationDistance(task0), 0);
+  EXPECT_EQ(*db_.access().PropagationDistance(todo1), 2);  // dropcol + split
+  EXPECT_EQ(*db_.access().PropagationDistance(task1), 1);  // decompose
+  EXPECT_EQ(*db_.access().PropagationDistance(author1), 2);  // rename + dec.
+}
+
+TEST_F(AccessLayerTest, DistancesFlipWithMaterialization) {
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  TvId task1 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  TvId todo1 = *db_.catalog().ResolveTable("Do!", "Todo");
+  EXPECT_EQ(*db_.access().PropagationDistance(task1), 0);
+  EXPECT_EQ(*db_.access().PropagationDistance(task0), 1);
+  EXPECT_EQ(*db_.access().PropagationDistance(todo1), 3);
+}
+
+TEST_F(AccessLayerTest, ScanAndFindAgree) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db_.Insert("TasKy", "Task",
+                           {Value::String("a" + std::to_string(i % 3)),
+                            Value::String("t" + std::to_string(i)),
+                            Value::Int(1 + i % 3)})
+                    .ok());
+  }
+  for (const char* spec : {"TasKy:Task", "Do!:Todo", "TasKy2:Task",
+                           "TasKy2:Author"}) {
+    std::string s(spec);
+    std::string version = s.substr(0, s.find(':'));
+    std::string table = s.substr(s.find(':') + 1);
+    std::vector<KeyedRow> rows = *db_.Select(version, table);
+    for (const KeyedRow& kr : rows) {
+      Result<std::optional<Row>> found = db_.Get(version, table, kr.key);
+      ASSERT_TRUE(found.ok()) << spec;
+      ASSERT_TRUE(found->has_value()) << spec << " key " << kr.key;
+      EXPECT_TRUE(RowsEqual(**found, kr.row)) << spec << " key " << kr.key;
+    }
+    // And a key that does not exist.
+    EXPECT_FALSE(db_.Get(version, table, 999999)->has_value());
+  }
+}
+
+TEST_F(AccessLayerTest, EmptyWriteSetIsNoOp) {
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  WriteSet empty;
+  EXPECT_TRUE(db_.access().ApplyToVersion(task0, empty).ok());
+}
+
+TEST_F(AccessLayerTest, WriteSetBatching) {
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  WriteSet batch;
+  int64_t k1 = db_.db().sequence().Next();
+  int64_t k2 = db_.db().sequence().Next();
+  batch.Add(WriteOp::Insert(k1, {Value::String("A"), Value::String("t1"),
+                                 Value::Int(1)}));
+  batch.Add(WriteOp::Insert(k2, {Value::String("B"), Value::String("t2"),
+                                 Value::Int(2)}));
+  batch.Add(WriteOp::Update(k1, {Value::String("A"), Value::String("t1b"),
+                                 Value::Int(1)}));
+  batch.Add(WriteOp::Delete(k2));
+  ASSERT_TRUE(db_.access().ApplyToVersion(task0, batch).ok());
+  EXPECT_EQ((**db_.Get("TasKy", "Task", k1))[1], Value::String("t1b"));
+  EXPECT_FALSE(db_.Get("TasKy", "Task", k2)->has_value());
+}
+
+TEST_F(AccessLayerTest, BatchedWritesThroughVirtualVersion) {
+  TvId todo = *db_.catalog().ResolveTable("Do!", "Todo");
+  WriteSet batch;
+  int64_t k1 = db_.db().sequence().Next();
+  int64_t k2 = db_.db().sequence().Next();
+  batch.Add(WriteOp::Insert(k1, {Value::String("A"), Value::String("x")}));
+  batch.Add(WriteOp::Insert(k2, {Value::String("B"), Value::String("y")}));
+  batch.Add(WriteOp::Delete(k1));
+  ASSERT_TRUE(db_.access().ApplyToVersion(todo, batch).ok());
+  EXPECT_FALSE(db_.Get("TasKy", "Task", k1)->has_value());
+  EXPECT_TRUE(db_.Get("TasKy", "Task", k2)->has_value());
+}
+
+TEST_F(AccessLayerTest, WriteSetToString) {
+  WriteSet ws;
+  ws.Add(WriteOp::Insert(1, {Value::Int(5)}));
+  ws.Add(WriteOp::Update(2, {Value::Int(6)}));
+  ws.Add(WriteOp::Delete(3));
+  EXPECT_EQ(ws.ToString(), "+1(5) ~2(6) -3 ");
+}
+
+}  // namespace
+}  // namespace inverda

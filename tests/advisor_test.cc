@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+#include "workload/advisor.h"
+
+namespace inverda {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(AdvisorTest, AllTaskyWorkloadRecommendsInitialMaterialization) {
+  Result<AdvisorRecommendation> rec = RecommendMaterialization(
+      db_.catalog(), {{"TasKy", 1.0}});
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->materialization.empty());
+}
+
+TEST_F(AdvisorTest, AllTasky2WorkloadRecommendsTasky2) {
+  Result<AdvisorRecommendation> rec = RecommendMaterialization(
+      db_.catalog(), {{"TasKy2", 1.0}});
+  ASSERT_TRUE(rec.ok());
+  // The recommended schema makes TasKy2's tables physical.
+  ASSERT_TRUE(db_.MaterializeSchema(rec->materialization).ok());
+  TvId task2 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  TvId author = *db_.catalog().ResolveTable("TasKy2", "Author");
+  EXPECT_TRUE(db_.catalog().IsPhysical(task2));
+  EXPECT_TRUE(db_.catalog().IsPhysical(author));
+}
+
+TEST_F(AdvisorTest, AllDoWorkloadRecommendsDoMaterialization) {
+  Result<AdvisorRecommendation> rec = RecommendMaterialization(
+      db_.catalog(), {{"Do!", 1.0}});
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(db_.MaterializeSchema(rec->materialization).ok());
+  TvId todo = *db_.catalog().ResolveTable("Do!", "Todo");
+  EXPECT_TRUE(db_.catalog().IsPhysical(todo));
+}
+
+TEST_F(AdvisorTest, ScoresAllFiveCandidates) {
+  Result<AdvisorRecommendation> rec = RecommendMaterialization(
+      db_.catalog(), {{"TasKy", 0.5}, {"TasKy2", 0.5}});
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->candidate_costs.size(), 5u);
+}
+
+TEST_F(AdvisorTest, MixedWorkloadShiftsWithWeights) {
+  Result<AdvisorRecommendation> mostly_old = RecommendMaterialization(
+      db_.catalog(), {{"TasKy", 0.9}, {"TasKy2", 0.1}});
+  Result<AdvisorRecommendation> mostly_new = RecommendMaterialization(
+      db_.catalog(), {{"TasKy", 0.1}, {"TasKy2", 0.9}});
+  ASSERT_TRUE(mostly_old.ok() && mostly_new.ok());
+  EXPECT_TRUE(mostly_old->materialization.empty());
+  EXPECT_FALSE(mostly_new->materialization.empty());
+}
+
+}  // namespace
+}  // namespace inverda

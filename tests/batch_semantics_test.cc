@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Documents and pins the batch semantics of the write path: a WriteSet is
+// applied op-by-op in order (like a sequence of trigger invocations); a
+// failing op stops the batch, earlier ops remain applied. Callers needing
+// all-or-nothing semantics snapshot first (the migration operation does).
+
+class BatchSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V1 WITH "
+                            "CREATE TABLE T(a INT);")
+                    .ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(BatchSemanticsTest, OpsApplyInOrder) {
+  TvId tv = *db_.catalog().ResolveTable("V1", "T");
+  int64_t key = db_.db().sequence().Next();
+  WriteSet batch;
+  batch.Add(WriteOp::Insert(key, {Value::Int(1)}));
+  batch.Add(WriteOp::Update(key, {Value::Int(2)}));
+  batch.Add(WriteOp::Update(key, {Value::Int(3)}));
+  ASSERT_TRUE(db_.access().ApplyToVersion(tv, batch).ok());
+  EXPECT_EQ((**db_.Get("V1", "T", key))[0], Value::Int(3));
+}
+
+TEST_F(BatchSemanticsTest, FailingOpStopsTheBatch) {
+  TvId tv = *db_.catalog().ResolveTable("V1", "T");
+  int64_t existing = *db_.Insert("V1", "T", {Value::Int(0)});
+  int64_t fresh = db_.db().sequence().Next();
+  int64_t never = db_.db().sequence().Next();
+  WriteSet batch;
+  batch.Add(WriteOp::Insert(fresh, {Value::Int(1)}));
+  batch.Add(WriteOp::Insert(existing, {Value::Int(2)}));  // duplicate -> fail
+  batch.Add(WriteOp::Insert(never, {Value::Int(3)}));
+  Status s = db_.access().ApplyToVersion(tv, batch);
+  EXPECT_FALSE(s.ok());
+  // Earlier op applied, later op not.
+  EXPECT_TRUE(db_.Get("V1", "T", fresh)->has_value());
+  EXPECT_FALSE(db_.Get("V1", "T", never)->has_value());
+  // The pre-existing row is untouched.
+  EXPECT_EQ((**db_.Get("V1", "T", existing))[0], Value::Int(0));
+}
+
+TEST_F(BatchSemanticsTest, DeleteOfMissingKeyIsIdempotent) {
+  TvId tv = *db_.catalog().ResolveTable("V1", "T");
+  WriteSet batch;
+  batch.Add(WriteOp::Delete(424242));
+  batch.Add(WriteOp::Delete(424242));
+  EXPECT_TRUE(db_.access().ApplyToVersion(tv, batch).ok());
+}
+
+TEST_F(BatchSemanticsTest, VirtualVersionUpdateOfInvisibleRowIsNoOp) {
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                          "SPLIT TABLE T INTO Hot WITH a = 1;")
+                  .ok());
+  int64_t cold = *db_.Insert("V1", "T", {Value::Int(2)});  // not in Hot
+  TvId hot = *db_.catalog().ResolveTable("V2", "Hot");
+  WriteSet batch;
+  batch.Add(WriteOp::Update(cold, {Value::Int(1)}));
+  batch.Add(WriteOp::Delete(cold));
+  // Updates/deletes of rows invisible through the version are no-ops, as
+  // an UPDATE affecting zero rows is in SQL.
+  EXPECT_TRUE(db_.access().ApplyToVersion(hot, batch).ok());
+  EXPECT_EQ((**db_.Get("V1", "T", cold))[0], Value::Int(2));
+}
+
+TEST_F(BatchSemanticsTest, MigrationIsAllOrNothingDespiteBatching) {
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                          "ADD COLUMN b INT AS a INTO T;")
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.Insert("V1", "T", {Value::Int(i)}).ok());
+  }
+  // Force the migration to fail mid-install.
+  TvId t2 = *db_.catalog().ResolveTable("V2", "T");
+  std::string doomed = db_.catalog().DataTableName(t2);
+  ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed, {})).ok());
+  EXPECT_FALSE(db_.Materialize({"V2"}).ok());
+  EXPECT_EQ(db_.Select("V1", "T")->size(), 5u);
+  EXPECT_EQ(db_.Select("V2", "T")->size(), 5u);
+}
+
+}  // namespace
+}  // namespace inverda

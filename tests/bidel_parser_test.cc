@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "bidel/parser.h"
+
+namespace inverda {
+namespace {
+
+Result<SmoPtr> Parse(const std::string& text) { return ParseSmo(text); }
+
+TEST(BidelParserTest, CreateTable) {
+  Result<SmoPtr> smo = Parse("CREATE TABLE Task(author TEXT, task, prio INT)");
+  ASSERT_TRUE(smo.ok()) << smo.status().ToString();
+  ASSERT_EQ((*smo)->kind(), SmoKind::kCreateTable);
+  const auto& create = static_cast<const CreateTableSmo&>(**smo);
+  EXPECT_EQ(create.schema().num_columns(), 3);
+  // Untyped columns default to TEXT.
+  EXPECT_EQ(create.schema().columns()[1].type, DataType::kString);
+  EXPECT_EQ(create.schema().columns()[2].type, DataType::kInt64);
+}
+
+TEST(BidelParserTest, DropAndRenameTable) {
+  ASSERT_EQ((*Parse("DROP TABLE Task"))->kind(), SmoKind::kDropTable);
+  Result<SmoPtr> rename = Parse("RENAME TABLE Task INTO Job");
+  ASSERT_TRUE(rename.ok());
+  const auto& r = static_cast<const RenameTableSmo&>(**rename);
+  EXPECT_EQ(r.from(), "Task");
+  EXPECT_EQ(r.to(), "Job");
+}
+
+TEST(BidelParserTest, RenameColumn) {
+  Result<SmoPtr> smo = Parse("RENAME COLUMN author IN author TO name");
+  ASSERT_TRUE(smo.ok());
+  const auto& r = static_cast<const RenameColumnSmo&>(**smo);
+  EXPECT_EQ(r.table(), "author");
+  EXPECT_EQ(r.from(), "author");
+  EXPECT_EQ(r.to(), "name");
+}
+
+TEST(BidelParserTest, AddColumn) {
+  Result<SmoPtr> smo = Parse("ADD COLUMN score INT AS prio * 2 INTO Task");
+  ASSERT_TRUE(smo.ok()) << smo.status().ToString();
+  const auto& a = static_cast<const AddColumnSmo&>(**smo);
+  EXPECT_EQ(a.column(), "score");
+  EXPECT_EQ(a.table(), "Task");
+  EXPECT_EQ(a.fn()->ToString(), "(prio * 2)");
+}
+
+TEST(BidelParserTest, DropColumn) {
+  Result<SmoPtr> smo = Parse("DROP COLUMN prio FROM Todo DEFAULT 1");
+  ASSERT_TRUE(smo.ok());
+  const auto& d = static_cast<const DropColumnSmo&>(**smo);
+  EXPECT_EQ(d.column(), "prio");
+  EXPECT_EQ(d.default_fn()->ToString(), "1");
+}
+
+TEST(BidelParserTest, SplitWithTwoPartitions) {
+  Result<SmoPtr> smo = Parse(
+      "SPLIT TABLE Task INTO Urgent WITH prio = 1, Rest WITH prio >= 2");
+  ASSERT_TRUE(smo.ok()) << smo.status().ToString();
+  const auto& s = static_cast<const SplitSmo&>(**smo);
+  EXPECT_EQ(s.table(), "Task");
+  EXPECT_EQ(s.r_name(), "Urgent");
+  ASSERT_TRUE(s.has_s());
+  EXPECT_EQ(s.s_name(), "Rest");
+}
+
+TEST(BidelParserTest, SingleTargetSplit) {
+  Result<SmoPtr> smo = Parse("SPLIT TABLE Task INTO Todo WITH prio = 1");
+  ASSERT_TRUE(smo.ok());
+  const auto& s = static_cast<const SplitSmo&>(**smo);
+  EXPECT_FALSE(s.has_s());
+}
+
+TEST(BidelParserTest, Merge) {
+  Result<SmoPtr> smo = Parse(
+      "MERGE TABLE Urgent (prio = 1), Rest (prio >= 2) INTO Task");
+  ASSERT_TRUE(smo.ok()) << smo.status().ToString();
+  const auto& m = static_cast<const MergeSmo&>(**smo);
+  EXPECT_EQ(m.target(), "Task");
+  EXPECT_EQ(m.r_cond()->ToString(), "prio = 1");
+}
+
+TEST(BidelParserTest, DecomposeOnForeignKey) {
+  Result<SmoPtr> smo = Parse(
+      "DECOMPOSE TABLE task INTO task(task, prio), author(author) "
+      "ON FOREIGN KEY author");
+  ASSERT_TRUE(smo.ok()) << smo.status().ToString();
+  const auto& d = static_cast<const DecomposeSmo&>(**smo);
+  EXPECT_EQ(d.method(), VerticalMethod::kFk);
+  EXPECT_EQ(d.fk_column(), "author");
+  ASSERT_TRUE(d.has_t());
+  EXPECT_EQ(d.t_name(), "author");
+}
+
+TEST(BidelParserTest, DecomposeOnPkAndCondition) {
+  SmoPtr pk_smo = *Parse("DECOMPOSE TABLE R INTO S(a), T(b) ON PK");
+  const auto& pk = static_cast<const DecomposeSmo&>(*pk_smo);
+  EXPECT_EQ(pk.method(), VerticalMethod::kPk);
+  SmoPtr cond_smo = *Parse("DECOMPOSE TABLE R INTO S(a), T(b) ON a = b");
+  const auto& cond = static_cast<const DecomposeSmo&>(*cond_smo);
+  EXPECT_EQ(cond.method(), VerticalMethod::kCondition);
+  EXPECT_EQ(cond.condition()->ToString(), "a = b");
+}
+
+TEST(BidelParserTest, Joins) {
+  SmoPtr inner_smo = *Parse("JOIN TABLE R, S INTO T ON PK");
+  const auto& inner = static_cast<const JoinSmo&>(*inner_smo);
+  EXPECT_FALSE(inner.outer());
+  SmoPtr outer_smo = *Parse("OUTER JOIN TABLE R, S INTO T ON FK fk");
+  const auto& outer = static_cast<const JoinSmo&>(*outer_smo);
+  EXPECT_TRUE(outer.outer());
+  EXPECT_EQ(outer.method(), VerticalMethod::kFk);
+}
+
+TEST(BidelParserTest, FullScriptWithVersions) {
+  Result<std::vector<BidelStatement>> stmts = ParseBidel(
+      "CREATE SCHEMA VERSION Do! FROM TasKy WITH\n"
+      "SPLIT TABLE Task INTO Todo WITH prio = 1;\n"
+      "DROP COLUMN prio FROM Todo DEFAULT 1;\n"
+      "MATERIALIZE 'TasKy2';\n"
+      "DROP SCHEMA VERSION Do!;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  ASSERT_EQ(stmts->size(), 3u);
+  const auto& evolution = std::get<EvolutionStatement>((*stmts)[0]);
+  EXPECT_EQ(evolution.new_version, "Do!");
+  ASSERT_TRUE(evolution.from_version.has_value());
+  EXPECT_EQ(*evolution.from_version, "TasKy");
+  EXPECT_EQ(evolution.smos.size(), 2u);
+  const auto& mat = std::get<MaterializeStatement>((*stmts)[1]);
+  ASSERT_EQ(mat.targets.size(), 1u);
+  EXPECT_EQ(mat.targets[0], "TasKy2");
+  const auto& drop = std::get<DropVersionStatement>((*stmts)[2]);
+  EXPECT_EQ(drop.version, "Do!");
+}
+
+TEST(BidelParserTest, MaterializeTableTargets) {
+  Result<std::vector<BidelStatement>> stmts = ParseBidel(
+      "MATERIALIZE 'TasKy2.task', 'TasKy2.author';");
+  ASSERT_TRUE(stmts.ok());
+  const auto& mat = std::get<MaterializeStatement>((*stmts)[0]);
+  ASSERT_EQ(mat.targets.size(), 2u);
+  EXPECT_EQ(mat.targets[0], "TasKy2.task");
+}
+
+TEST(BidelParserTest, CommentsAreIgnored) {
+  Result<std::vector<BidelStatement>> stmts = ParseBidel(
+      "-- create the first version\n"
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a);");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  EXPECT_EQ(stmts->size(), 1u);
+}
+
+TEST(BidelParserTest, Errors) {
+  EXPECT_FALSE(ParseBidel("CREATE SCHEMA VERSION").ok());
+  EXPECT_FALSE(ParseBidel("CREATE SCHEMA VERSION V WITH NONSENSE foo").ok());
+  EXPECT_FALSE(ParseSmo("SPLIT TABLE T INTO R").ok());
+  EXPECT_FALSE(ParseSmo("ADD COLUMN x AS INTO R").ok());
+}
+
+TEST(BidelParserTest, SmoToStringRoundTrips) {
+  const char* statements[] = {
+      "SPLIT TABLE Task INTO Todo WITH prio = 1",
+      "DROP COLUMN prio FROM Todo DEFAULT 1",
+      "DECOMPOSE TABLE task INTO task(task, prio), author(author) ON FK "
+      "author",
+      "MERGE TABLE A (x = 1), B (x = 2) INTO C",
+      "OUTER JOIN TABLE R, S INTO T ON PK",
+  };
+  for (const char* text : statements) {
+    Result<SmoPtr> smo = Parse(text);
+    ASSERT_TRUE(smo.ok()) << text;
+    Result<SmoPtr> again = Parse((*smo)->ToString());
+    ASSERT_TRUE(again.ok()) << (*smo)->ToString();
+    EXPECT_EQ((*again)->ToString(), (*smo)->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace inverda

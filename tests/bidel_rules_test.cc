@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "bidel/parser.h"
+#include "bidel/rules.h"
+#include "datalog/print.h"
+#include "datalog/simplify.h"
+
+namespace inverda {
+namespace {
+
+SmoRules RulesFor(const std::string& smo_text) {
+  Result<SmoPtr> smo = ParseSmo(smo_text);
+  EXPECT_TRUE(smo.ok()) << smo.status().ToString();
+  Result<SmoRules> rules = RulesForSmo(**smo);
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  return *rules;
+}
+
+TEST(BidelRulesTest, SplitRuleShapeMatchesPaper) {
+  SmoRules rules = RulesFor("SPLIT TABLE T INTO R WITH x = 1, S WITH x = 2");
+  // gamma_tgt: rules 12-17 => 6 rules (2 for R, 3 for S, 1 for T').
+  EXPECT_EQ(rules.gamma_tgt.rules.size(), 6u);
+  // gamma_src: rules 18-25 => 8 rules.
+  EXPECT_EQ(rules.gamma_src.rules.size(), 8u);
+  EXPECT_EQ(rules.gamma_tgt.HeadPredicates(),
+            (std::set<std::string>{"R", "S", "T_prime"}));
+  EXPECT_EQ(rules.gamma_src.HeadPredicates(),
+            (std::set<std::string>{"T", "R_minus", "R_star", "S_plus",
+                                   "S_minus", "S_star"}));
+  EXPECT_FALSE(rules.uses_id_generation);
+}
+
+TEST(BidelRulesTest, SingleTargetSplitHasNoSRules) {
+  SmoRules rules = RulesFor("SPLIT TABLE T INTO R WITH x = 1");
+  EXPECT_EQ(rules.gamma_tgt.HeadPredicates(),
+            (std::set<std::string>{"R", "T_prime"}));
+  for (const std::string& head : rules.gamma_src.HeadPredicates()) {
+    EXPECT_TRUE(head == "T" || head == "R_star") << head;
+  }
+}
+
+TEST(BidelRulesTest, MergeSwapsDirections) {
+  SmoRules merge = RulesFor("MERGE TABLE R (x = 1), S (x = 2) INTO T");
+  // Merge's gamma_tgt derives the union side.
+  EXPECT_TRUE(merge.gamma_tgt.HeadPredicates().count("T"));
+  EXPECT_TRUE(merge.gamma_src.HeadPredicates().count("R"));
+}
+
+TEST(BidelRulesTest, ColumnRulesCarryFunction) {
+  SmoRules add = RulesFor("ADD COLUMN c INT AS a * 2 INTO T");
+  EXPECT_EQ(add.grounding.function_sql.at("f"), "(a * 2)");
+  // The wide side (target) is derived with a function literal and the B
+  // fallback (rules 126-127): two rules for T'.
+  EXPECT_EQ(add.gamma_tgt.rules.size(), 2u);
+  EXPECT_EQ(add.gamma_src.rules.size(), 2u);  // projection + B capture
+  SmoRules drop = RulesFor("DROP COLUMN c FROM T DEFAULT 0");
+  // Inverse: the directions swap.
+  EXPECT_EQ(drop.gamma_src.rules.size(), 2u);
+  EXPECT_EQ(drop.gamma_tgt.rules.size(), 2u);
+}
+
+TEST(BidelRulesTest, FkRulesUseIdGeneration) {
+  SmoRules rules = RulesFor(
+      "DECOMPOSE TABLE R INTO S(a), T(b) ON FK fk");
+  EXPECT_TRUE(rules.uses_id_generation);
+  bool found_id_fn = false;
+  for (const datalog::Rule& r : rules.gamma_tgt.rules) {
+    for (const datalog::Literal& l : r.body) {
+      if (l.kind == datalog::LiteralKind::kFunction && l.symbol == "idT") {
+        found_id_fn = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_id_fn);
+}
+
+TEST(BidelRulesTest, CondRulesHaveSuppressionTable) {
+  SmoRules rules = RulesFor("JOIN TABLE S, T INTO R ON a = b");
+  EXPECT_TRUE(rules.gamma_src.HeadPredicates().count("R_minus"));
+  EXPECT_TRUE(rules.gamma_tgt.HeadPredicates().count("ID"));
+  // Inner join keeps unmatched tuples in L+/R+.
+  EXPECT_TRUE(rules.gamma_tgt.HeadPredicates().count("L_plus"));
+  SmoRules outer = RulesFor("OUTER JOIN TABLE S, T INTO R ON a = b");
+  EXPECT_FALSE(outer.gamma_tgt.HeadPredicates().count("L_plus"));
+}
+
+TEST(BidelRulesTest, CatalogOnlySmosHaveNoRules) {
+  SmoRules create = RulesFor("CREATE TABLE T(a, b)");
+  EXPECT_TRUE(create.gamma_tgt.rules.empty());
+  EXPECT_TRUE(create.gamma_src.rules.empty());
+  SmoRules drop = RulesFor("DROP TABLE T");
+  EXPECT_TRUE(drop.gamma_tgt.rules.empty());
+}
+
+TEST(BidelRulesTest, RenameIsIdentity) {
+  SmoRules rules = RulesFor("RENAME TABLE T INTO U");
+  ASSERT_EQ(rules.gamma_tgt.rules.size(), 1u);
+  EXPECT_TRUE(datalog::IsIdentityMapping(rules.gamma_tgt, "U", "T"));
+}
+
+// The formal evaluation applied across the verifiable SMO family: every
+// rule set satisfies both bidirectionality conditions (Section 5).
+TEST(BidelRulesTest, VerifiableSmosAreBidirectional) {
+  const char* smos[] = {
+      "SPLIT TABLE T INTO R WITH x < 10, S WITH x >= 5",
+      "SPLIT TABLE T INTO R WITH x = 1",
+      "MERGE TABLE R (x = 1), S (x = 2) INTO T",
+      "ADD COLUMN c INT AS a + 1 INTO T",
+      "DROP COLUMN c FROM T DEFAULT 0",
+      "JOIN TABLE L, R INTO J ON PK",
+  };
+  for (const char* text : smos) {
+    SmoRules rules = RulesFor(text);
+    Result<datalog::RoundTripReport> cond27 = datalog::CheckRoundTrip(
+        rules.gamma_tgt, rules.gamma_src, rules.source_relations,
+        rules.source_aux, rules.source_aux);
+    ASSERT_TRUE(cond27.ok()) << text;
+    EXPECT_TRUE(cond27->holds) << text << "\n" << cond27->detail;
+    Result<datalog::RoundTripReport> cond26 = datalog::CheckRoundTrip(
+        rules.gamma_src, rules.gamma_tgt, rules.target_relations,
+        rules.target_aux, rules.target_aux);
+    ASSERT_TRUE(cond26.ok()) << text;
+    EXPECT_TRUE(cond26->holds) << text << "\n" << cond26->detail;
+  }
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "bidel/parser.h"
+#include "catalog/catalog.h"
+
+namespace inverda {
+namespace {
+
+EvolutionStatement ParseEvolution(const std::string& script) {
+  Result<std::vector<BidelStatement>> stmts = ParseBidel(script);
+  EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+  return std::get<EvolutionStatement>((*stmts)[0]);
+}
+
+// Builds the TasKy genealogy of Figure 1 into `catalog` and returns the
+// SMO instance ids in creation order: [create, split, dropcol, decompose,
+// renamecol].
+std::vector<SmoId> BuildTaskyCatalog(VersionCatalog* catalog) {
+  std::vector<SmoId> ids;
+  auto apply = [&](const std::string& script) {
+    Result<std::vector<SmoId>> r =
+        catalog->ApplyEvolution(ParseEvolution(script));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    ids.insert(ids.end(), r->begin(), r->end());
+  };
+  apply(
+      "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, "
+      "prio INT);");
+  apply(
+      "CREATE SCHEMA VERSION Do! FROM TasKy WITH "
+      "SPLIT TABLE Task INTO Todo WITH prio = 1; "
+      "DROP COLUMN prio FROM Todo DEFAULT 1;");
+  apply(
+      "CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH "
+      "DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FK "
+      "author; "
+      "RENAME COLUMN author IN Author TO name;");
+  return ids;
+}
+
+TEST(CatalogTest, RegistersVersionsAndTables) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  EXPECT_TRUE(catalog.HasVersion("TasKy"));
+  EXPECT_TRUE(catalog.HasVersion("Do!"));
+  EXPECT_TRUE(catalog.HasVersion("tasky2"));  // case-insensitive
+  ASSERT_TRUE(catalog.ResolveTable("TasKy", "Task").ok());
+  ASSERT_TRUE(catalog.ResolveTable("Do!", "Todo").ok());
+  ASSERT_TRUE(catalog.ResolveTable("TasKy2", "Author").ok());
+  EXPECT_FALSE(catalog.ResolveTable("Do!", "Task").ok());
+  EXPECT_FALSE(catalog.ResolveTable("TasKy", "Todo").ok());
+}
+
+TEST(CatalogTest, SchemasEvolveCorrectly) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  TvId todo = *catalog.ResolveTable("Do!", "Todo");
+  EXPECT_EQ(catalog.table_version(todo).schema.ColumnNames(),
+            (std::vector<std::string>{"author", "task"}));
+  TvId task2 = *catalog.ResolveTable("TasKy2", "Task");
+  EXPECT_EQ(catalog.table_version(task2).schema.ColumnNames(),
+            (std::vector<std::string>{"task", "prio", "author"}));
+  TvId author = *catalog.ResolveTable("TasKy2", "Author");
+  EXPECT_EQ(catalog.table_version(author).schema.ColumnNames(),
+            (std::vector<std::string>{"name"}));
+}
+
+TEST(CatalogTest, SharedTableVersions) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  // TasKy's Task is the shared ancestor of both branches.
+  TvId task0 = *catalog.ResolveTable("TasKy", "Task");
+  const TableVersion& tv = catalog.table_version(task0);
+  EXPECT_EQ(tv.outgoing.size(), 2u);  // SPLIT and DECOMPOSE
+}
+
+TEST(CatalogTest, InitialMaterializationIsSourceVersion) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  EXPECT_TRUE(catalog.CurrentMaterialization().empty());
+  TvId task0 = *catalog.ResolveTable("TasKy", "Task");
+  EXPECT_TRUE(catalog.IsPhysical(task0));
+  EXPECT_FALSE(catalog.IsPhysical(*catalog.ResolveTable("Do!", "Todo")));
+  std::vector<TvId> physical = catalog.PhysicalTables({});
+  ASSERT_EQ(physical.size(), 1u);
+  EXPECT_EQ(physical[0], task0);
+}
+
+TEST(CatalogTest, ValidityConditions) {
+  VersionCatalog catalog;
+  std::vector<SmoId> ids = BuildTaskyCatalog(&catalog);
+  SmoId split = ids[1], dropcol = ids[2], decompose = ids[3],
+        renamecol = ids[4];
+  EXPECT_TRUE(catalog.CheckValidMaterialization({}).ok());
+  EXPECT_TRUE(catalog.CheckValidMaterialization({split}).ok());
+  EXPECT_TRUE(catalog.CheckValidMaterialization({split, dropcol}).ok());
+  EXPECT_TRUE(catalog.CheckValidMaterialization({decompose}).ok());
+  EXPECT_TRUE(
+      catalog.CheckValidMaterialization({decompose, renamecol}).ok());
+  // Condition (55): DROP COLUMN's source Todo needs the SPLIT materialized.
+  EXPECT_FALSE(catalog.CheckValidMaterialization({dropcol}).ok());
+  // Condition (56): SPLIT and DECOMPOSE both claim Task.
+  EXPECT_FALSE(catalog.CheckValidMaterialization({split, decompose}).ok());
+}
+
+TEST(CatalogTest, TaskyHasExactlyFiveValidMaterializations) {
+  // The paper states the TasKy example has five valid materialization
+  // schemas (Table 2).
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  Result<std::vector<std::set<SmoId>>> all =
+      catalog.EnumerateValidMaterializations();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 5u);
+}
+
+TEST(CatalogTest, MaterializationForTables) {
+  VersionCatalog catalog;
+  std::vector<SmoId> ids = BuildTaskyCatalog(&catalog);
+  TvId task2 = *catalog.ResolveTable("TasKy2", "Task");
+  TvId author2 = *catalog.ResolveTable("TasKy2", "Author");
+  Result<std::set<SmoId>> m =
+      catalog.MaterializationForTables({task2, author2});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(*m, (std::set<SmoId>{ids[3], ids[4]}));
+  // Todo (Do!) and Task (TasKy2) conflict on the shared source.
+  TvId todo = *catalog.ResolveTable("Do!", "Todo");
+  EXPECT_FALSE(catalog.MaterializationForTables({todo, task2}).ok());
+}
+
+TEST(CatalogTest, PhysicalTablesPerMaterialization) {
+  VersionCatalog catalog;
+  std::vector<SmoId> ids = BuildTaskyCatalog(&catalog);
+  // {SPLIT, DROP COLUMN} materializes Todo-1 only.
+  std::vector<TvId> physical =
+      catalog.PhysicalTables({ids[1], ids[2]});
+  ASSERT_EQ(physical.size(), 1u);
+  EXPECT_EQ(physical[0], *catalog.ResolveTable("Do!", "Todo"));
+  // {DECOMPOSE} materializes Task-1 and Author-0.
+  physical = catalog.PhysicalTables({ids[3]});
+  EXPECT_EQ(physical.size(), 2u);
+}
+
+TEST(CatalogTest, UnknownSourceTableFails) {
+  VersionCatalog catalog;
+  Result<std::vector<SmoId>> r = catalog.ApplyEvolution(ParseEvolution(
+      "CREATE SCHEMA VERSION V1 WITH SPLIT TABLE Nope INTO A WITH x = 1;"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CatalogTest, DuplicateVersionNameFails) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  Result<std::vector<SmoId>> r = catalog.ApplyEvolution(ParseEvolution(
+      "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE X(a);"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, TvLabels) {
+  VersionCatalog catalog;
+  BuildTaskyCatalog(&catalog);
+  TvId task0 = *catalog.ResolveTable("TasKy", "Task");
+  TvId task1 = *catalog.ResolveTable("TasKy2", "Task");
+  EXPECT_EQ(catalog.TvLabel(task0), "Task-0");
+  EXPECT_EQ(catalog.TvLabel(task1), "Task-1");
+}
+
+}  // namespace
+}  // namespace inverda

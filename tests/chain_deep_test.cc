@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Deep chains of column-level SMOs — the dominant Wikimedia pattern. The
+// complexity claims of Section 8.1 (O(N + M) evolution, per-SMO-local delta
+// code) imply that long chains must stay correct and that access cost grows
+// with distance, not with genealogy size.
+
+class DeepChainTest : public ::testing::Test {
+ protected:
+  // v0 .. vN with one ADD/DROP/RENAME COLUMN per step.
+  void Build(int depth) {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION v0 WITH "
+                            "CREATE TABLE T(base INT, txt TEXT);")
+                    .ok());
+    versions_.push_back("v0");
+    for (int i = 1; i <= depth; ++i) {
+      std::string from = versions_.back();
+      std::string to = "v" + std::to_string(i);
+      std::string smo;
+      switch (i % 3) {
+        case 0:
+          // Renames the INT column added two steps earlier.
+          smo = "RENAME COLUMN c" + std::to_string(i - 2) + " IN T TO r" +
+                std::to_string(i);
+          break;
+        case 1:
+          smo = "ADD COLUMN c" + std::to_string(i) + " INT AS base + " +
+                std::to_string(i) + " INTO T";
+          break;
+        case 2:
+          smo = "ADD COLUMN c" + std::to_string(i) + " TEXT AS 'x" +
+                std::to_string(i) + "' INTO T";
+          break;
+      }
+      ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION " + to + " FROM " +
+                              from + " WITH " + smo + ";")
+                      .ok())
+          << smo;
+      versions_.push_back(to);
+    }
+  }
+
+  Inverda db_;
+  std::vector<std::string> versions_;
+};
+
+TEST_F(DeepChainTest, ThirtyStepChainEndToEnd) {
+  Build(30);
+  // Write at the root; read everywhere.
+  int64_t key = *db_.Insert("v0", "T", {Value::Int(5), Value::String("r")});
+  for (const std::string& v : versions_) {
+    Result<std::optional<Row>> row = db_.Get(v, "T", key);
+    ASSERT_TRUE(row.ok()) << v << ": " << row.status().ToString();
+    ASSERT_TRUE(row->has_value()) << v;
+    EXPECT_EQ((**row)[0], Value::Int(5)) << v;
+  }
+  // The last version sees all computed columns.
+  Result<TableSchema> schema = db_.GetSchema("v30", "T");
+  EXPECT_EQ(schema->num_columns(), 22);
+
+  // Write at the far end; read at the root.
+  Row far_row;
+  for (const Column& c : schema->columns()) {
+    far_row.push_back(c.type == DataType::kInt64 ? Value::Int(9)
+                                                 : Value::String("far"));
+  }
+  int64_t far_key = *db_.Insert("v30", "T", far_row);
+  Row at_root = **db_.Get("v0", "T", far_key);
+  EXPECT_EQ(at_root[0], Value::Int(9));
+  EXPECT_EQ(at_root[1], Value::String("far"));
+}
+
+TEST_F(DeepChainTest, MaterializeMiddleOfChain) {
+  Build(12);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 20; ++i) {
+    keys.push_back(*db_.Insert(
+        "v0", "T", {Value::Int(i), Value::String("x" + std::to_string(i))}));
+  }
+  // Move the data to the middle of the chain.
+  ASSERT_TRUE(db_.Materialize({"v6"}).ok());
+  // Both ends still see everything.
+  EXPECT_EQ(db_.Select("v0", "T")->size(), 20u);
+  EXPECT_EQ(db_.Select("v12", "T")->size(), 20u);
+  // Propagation distances: v6 is local, the ends are 6 away.
+  TvId middle = *db_.catalog().ResolveTable("v6", "T");
+  TvId front = *db_.catalog().ResolveTable("v0", "T");
+  TvId back = *db_.catalog().ResolveTable("v12", "T");
+  EXPECT_EQ(*db_.access().PropagationDistance(middle), 0);
+  EXPECT_EQ(*db_.access().PropagationDistance(front), 6);
+  EXPECT_EQ(*db_.access().PropagationDistance(back), 6);
+}
+
+TEST_F(DeepChainTest, UpdatesAtBothEndsInterleave) {
+  Build(9);
+  int64_t key = *db_.Insert("v0", "T", {Value::Int(1), Value::String("a")});
+  Result<TableSchema> far_schema = db_.GetSchema("v9", "T");
+  for (int round = 0; round < 5; ++round) {
+    // Update the base column at the root.
+    ASSERT_TRUE(db_.Update("v0", "T", key,
+                           {Value::Int(round), Value::String("a")})
+                    .ok());
+    EXPECT_EQ((**db_.Get("v9", "T", key))[0], Value::Int(round));
+    // Update the far end's text through v9 (keeps computed columns).
+    Row far = **db_.Get("v9", "T", key);
+    far[1] = Value::String("round" + std::to_string(round));
+    ASSERT_TRUE(db_.Update("v9", "T", key, far).ok());
+    EXPECT_EQ((**db_.Get("v0", "T", key))[1],
+              Value::String("round" + std::to_string(round)));
+  }
+}
+
+TEST_F(DeepChainTest, DropColumnsInChainLoseNothing) {
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION v0 WITH "
+                          "CREATE TABLE T(a INT, b TEXT, c TEXT, d TEXT);"
+                          "CREATE SCHEMA VERSION w1 FROM v0 WITH "
+                          "DROP COLUMN b FROM T DEFAULT 'b?';"
+                          "CREATE SCHEMA VERSION w2 FROM w1 WITH "
+                          "DROP COLUMN c FROM T DEFAULT 'c?';"
+                          "CREATE SCHEMA VERSION w3 FROM w2 WITH "
+                          "DROP COLUMN d FROM T DEFAULT 'd?';")
+                  .ok());
+  int64_t key = *db_.Insert(
+      "v0", "T", {Value::Int(1), Value::String("B"), Value::String("C"),
+                  Value::String("D")});
+  EXPECT_EQ(db_.GetSchema("w3", "T")->num_columns(), 1);
+  // Migrate the data to the narrowest version; the dropped values must
+  // survive in the B aux tables.
+  ASSERT_TRUE(db_.Materialize({"w3"}).ok());
+  Row full = **db_.Get("v0", "T", key);
+  EXPECT_EQ(full[1], Value::String("B"));
+  EXPECT_EQ(full[2], Value::String("C"));
+  EXPECT_EQ(full[3], Value::String("D"));
+  // New rows inserted at the narrow end get the defaults at the wide end.
+  int64_t key2 = *db_.Insert("w3", "T", {Value::Int(2)});
+  Row defaults = **db_.Get("v0", "T", key2);
+  EXPECT_EQ(defaults[1], Value::String("b?"));
+  EXPECT_EQ(defaults[3], Value::String("d?"));
+}
+
+TEST_F(DeepChainTest, BranchingGenealogy) {
+  // One root, three branches — the TasKy topology at a larger scale.
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION root WITH "
+                          "CREATE TABLE T(a INT, b TEXT);")
+                  .ok());
+  for (int branch = 0; branch < 3; ++branch) {
+    std::string name = "branch" + std::to_string(branch);
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION " + name +
+                            " FROM root WITH ADD COLUMN extra" +
+                            std::to_string(branch) + " INT AS a * " +
+                            std::to_string(branch + 2) + " INTO T;")
+                    .ok());
+  }
+  int64_t key = *db_.Insert("root", "T", {Value::Int(3), Value::String("x")});
+  EXPECT_EQ((**db_.Get("branch0", "T", key))[2], Value::Int(6));
+  EXPECT_EQ((**db_.Get("branch2", "T", key))[2], Value::Int(12));
+  // Only one branch may claim the root's data (condition 56); the other
+  // branches keep working through backward propagation.
+  ASSERT_TRUE(db_.Materialize({"branch1"}).ok());
+  EXPECT_EQ((**db_.Get("branch0", "T", key))[2], Value::Int(6));
+  EXPECT_EQ((**db_.Get("root", "T", key))[0], Value::Int(3));
+  EXPECT_FALSE(db_.Materialize({"branch0", "branch1"}).ok());
+}
+
+}  // namespace
+}  // namespace inverda

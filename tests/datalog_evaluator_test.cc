@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "datalog/evaluator.h"
+#include "expr/parser.h"
+
+namespace inverda {
+namespace datalog {
+namespace {
+
+TableSchema Payload1(const char* name, const char* col) {
+  return TableSchema(name, {{col, DataType::kInt64}});
+}
+
+// The SPLIT gamma_tgt rules on a tiny universe: T(p, x) with cR: x < 10,
+// cS: x >= 5, all aux empty.
+class SplitEvalTest : public ::testing::Test {
+ protected:
+  SplitEvalTest()
+      : t_(Payload1("T", "x")),
+        empty_flag_(TableSchema("aux", {})),
+        empty_payload_(Payload1("aux", "x")) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(t_.Upsert(1, {Value::Int(2)}).ok());    // R only
+    ASSERT_TRUE(t_.Upsert(2, {Value::Int(7)}).ok());    // twin
+    ASSERT_TRUE(t_.Upsert(3, {Value::Int(20)}).ok());   // S only
+    input_.relations = {{"T", &t_},        {"R_minus", &empty_flag_},
+                        {"R_star", &empty_flag_}, {"S_plus", &empty_payload_},
+                        {"S_minus", &empty_flag_}, {"S_star", &empty_flag_}};
+    input_.relation_widths = {{"T", {1}},       {"R", {1}},
+                              {"S", {1}},       {"T_prime", {1}},
+                              {"R_minus", {}},  {"R_star", {}},
+                              {"S_plus", {1}},  {"S_minus", {}},
+                              {"S_star", {}}};
+    TableSchema cond_schema = Payload1("c", "x");
+    input_.conditions["cR"] = {*ParseExpression("x < 10"), cond_schema};
+    input_.conditions["cS"] = {*ParseExpression("x >= 5"), cond_schema};
+  }
+
+  RuleSet SplitGammaTgt() {
+    using T = Term;
+    RuleSet rules;
+    Rule r1;
+    r1.head = {"R", {T::Var("p"), T::Var("A")}};
+    r1.body = {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+               Literal::Condition("cR", {T::Var("A")}),
+               Literal::Relation("R_minus", {T::Var("p")}, true)};
+    Rule r2;
+    r2.head = {"S", {T::Var("p"), T::Var("A")}};
+    r2.body = {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+               Literal::Condition("cS", {T::Var("A")}, false),
+               Literal::Relation("S_minus", {T::Var("p")}, true),
+               Literal::Relation("S_plus", {T::Var("p"), T::Wildcard()}, true)};
+    Rule r3;
+    r3.head = {"T_prime", {T::Var("p"), T::Var("A")}};
+    r3.body = {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+               Literal::Condition("cR", {T::Var("A")}, true),
+               Literal::Condition("cS", {T::Var("A")}, true)};
+    rules.rules = {r1, r2, r3};
+    return rules;
+  }
+
+  Table t_;
+  Table empty_flag_;
+  Table empty_payload_;
+  EvalInput input_;
+};
+
+TEST_F(SplitEvalTest, DerivesPartitions) {
+  Result<std::map<std::string, Table>> result =
+      Evaluate(SplitGammaTgt(), input_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& r = result->at("R");
+  const Table& s = result->at("S");
+  const Table& t_prime = result->at("T_prime");
+  EXPECT_EQ(r.size(), 2);  // keys 1, 2
+  EXPECT_TRUE(r.Contains(1));
+  EXPECT_TRUE(r.Contains(2));
+  EXPECT_EQ(s.size(), 2);  // keys 2, 3
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_EQ(t_prime.size(), 0);
+}
+
+TEST_F(SplitEvalTest, NegativeLiteralsSuppress) {
+  // Put key 2 into R_minus: it must vanish from R.
+  ASSERT_TRUE(empty_flag_.Upsert(2, {}).ok());
+  Result<std::map<std::string, Table>> result =
+      Evaluate(SplitGammaTgt(), input_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->at("R").Contains(2));
+  // (the shared empty_flag_ also serves S_minus here, so S loses it too)
+  EXPECT_FALSE(result->at("S").Contains(2));
+}
+
+TEST_F(SplitEvalTest, DerivedPredicatesFeedLaterStrata) {
+  // Add a rule reading the derived R: Rcopy(p, A) <- R(p, A).
+  RuleSet rules = SplitGammaTgt();
+  Rule copy;
+  copy.head = {"Rcopy", {Term::Var("p"), Term::Var("A")}};
+  copy.body = {Literal::Relation("R", {Term::Var("p"), Term::Var("A")})};
+  rules.rules.push_back(copy);
+  input_.relation_widths["Rcopy"] = {1};
+  Result<std::map<std::string, Table>> result = Evaluate(rules, input_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& r = result->at("R");
+  const Table& rcopy = result->at("Rcopy");
+  ASSERT_EQ(rcopy.size(), r.size());
+  r.Scan([&](int64_t k, const Row& row) {
+    const Row* copied = rcopy.Find(k);
+    ASSERT_NE(copied, nullptr);
+    EXPECT_TRUE(RowsEqual(*copied, row));
+  });
+}
+
+TEST_F(SplitEvalTest, FunctionLiterals) {
+  RuleSet rules;
+  Rule r;
+  r.head = {"W", {Term::Var("p"), Term::Var("A"), Term::Var("b")}};
+  r.body = {Literal::Relation("T", {Term::Var("p"), Term::Var("A")}),
+            Literal::Function(Term::Var("b"), "dbl", {Term::Var("A")})};
+  rules.rules.push_back(r);
+  input_.relation_widths["W"] = {1, 1};
+  input_.functions["dbl"] = [](const std::vector<Value>& args) -> Result<Value> {
+    return Value::Int(args[0].AsInt() * 2);
+  };
+  Result<std::map<std::string, Table>> result = Evaluate(rules, input_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Row* row = result->at("W").Find(2);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value::Int(14));
+}
+
+TEST_F(SplitEvalTest, CompareLiterals) {
+  // Pairs(p, A) <- T(p, A), S_plus(p, A'), A != A'.
+  ASSERT_TRUE(empty_payload_.Upsert(2, {Value::Int(99)}).ok());
+  ASSERT_TRUE(empty_payload_.Upsert(3, {Value::Int(20)}).ok());
+  RuleSet rules;
+  Rule r;
+  r.head = {"Diff", {Term::Var("p"), Term::Var("A")}};
+  r.body = {Literal::Relation("T", {Term::Var("p"), Term::Var("A")}),
+            Literal::Relation("S_plus", {Term::Var("p"), Term::Var("A2")}),
+            Literal::NotEqual(Term::Var("A"), Term::Var("A2"))};
+  rules.rules.push_back(r);
+  input_.relation_widths["Diff"] = {1};
+  Result<std::map<std::string, Table>> result = Evaluate(rules, input_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->at("Diff").Contains(2));   // 7 != 99
+  EXPECT_FALSE(result->at("Diff").Contains(3));  // 20 == 20
+}
+
+TEST_F(SplitEvalTest, RecursiveRuleSetRejected) {
+  RuleSet rules;
+  Rule r;
+  r.head = {"X", {Term::Var("p"), Term::Var("A")}};
+  r.body = {Literal::Relation("X", {Term::Var("p"), Term::Var("A")})};
+  rules.rules.push_back(r);
+  input_.relation_widths["X"] = {1};
+  EXPECT_FALSE(Evaluate(rules, input_).ok());
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace inverda

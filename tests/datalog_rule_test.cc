@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "datalog/print.h"
+#include "datalog/rule.h"
+
+namespace inverda {
+namespace datalog {
+namespace {
+
+Rule SampleRule() {
+  Rule r;
+  r.head.predicate = "R";
+  r.head.args = {Term::Var("p"), Term::Var("A")};
+  r.body = {Literal::Relation("T", {Term::Var("p"), Term::Var("A")}),
+            Literal::Condition("cR", {Term::Var("A")}),
+            Literal::Relation("R_minus", {Term::Var("p")}, true)};
+  return r;
+}
+
+TEST(DatalogRuleTest, Printing) {
+  EXPECT_EQ(ToString(SampleRule()),
+            "R(p, A) <- T(p, A), cR(A), not R_minus(p)");
+}
+
+TEST(DatalogRuleTest, FunctionAndCompareLiterals) {
+  Literal fn = Literal::Function(Term::Var("b"), "f", {Term::Var("A")});
+  EXPECT_EQ(ToString(fn), "b = f(A)");
+  Literal ne = Literal::NotEqual(Term::Var("A"), Term::Var("A'"));
+  EXPECT_EQ(ToString(ne), "A != A'");
+  EXPECT_EQ(ToString(ne.Negated()), "A = A'");
+}
+
+TEST(DatalogRuleTest, NegatedFlipsPolarity) {
+  Literal pos = Literal::Relation("T", {Term::Var("p")});
+  EXPECT_TRUE(pos.Negated().negated);
+  EXPECT_FALSE(pos.Negated().Negated().negated);
+  Literal cond = Literal::Condition("c", {Term::Var("A")}, true);
+  EXPECT_FALSE(cond.Negated().negated);
+}
+
+TEST(DatalogRuleTest, VarsCollection) {
+  std::set<std::string> vars = SampleRule().Vars();
+  EXPECT_EQ(vars, (std::set<std::string>{"p", "A"}));
+  // Wildcards are not variables.
+  Rule r = SampleRule();
+  r.body.push_back(Literal::Relation("S", {Term::Var("p"), Term::Wildcard()}));
+  EXPECT_EQ(r.Vars(), (std::set<std::string>{"p", "A"}));
+}
+
+TEST(DatalogRuleTest, RenameVarsApart) {
+  Rule renamed = RenameVarsApart(SampleRule(), "x_");
+  EXPECT_EQ(renamed.head.args[0].name, "x_p");
+  EXPECT_EQ(renamed.body[0].args[1].name, "x_A");
+  // Wildcards are untouched.
+  Rule r = SampleRule();
+  r.body[0].args[1] = Term::Wildcard();
+  EXPECT_TRUE(RenameVarsApart(r, "x_").body[0].args[1].is_wildcard());
+}
+
+TEST(DatalogRuleTest, Substitution) {
+  Rule substituted = SubstituteVar(SampleRule(), "A", "B");
+  EXPECT_EQ(substituted.head.args[1].name, "B");
+  EXPECT_EQ(substituted.body[1].args[0].name, "B");
+  EXPECT_EQ(substituted.body[0].args[0].name, "p");
+}
+
+TEST(DatalogRuleTest, RuleSetQueries) {
+  RuleSet rules;
+  rules.rules.push_back(SampleRule());
+  Rule second = SampleRule();
+  second.head.predicate = "S";
+  rules.rules.push_back(second);
+  EXPECT_EQ(rules.HeadPredicates(), (std::set<std::string>{"R", "S"}));
+  EXPECT_EQ(rules.BodyPredicates(),
+            (std::set<std::string>{"T", "R_minus"}));
+  EXPECT_EQ(rules.RulesFor("R").size(), 1u);
+  EXPECT_EQ(rules.RulesFor("missing").size(), 0u);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace inverda

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "bidel/parser.h"
+#include "bidel/rules.h"
+#include "datalog/print.h"
+#include "datalog/simplify.h"
+
+namespace inverda {
+namespace datalog {
+namespace {
+
+using T = Term;
+
+Rule MakeRule(std::string head, std::vector<Term> args,
+              std::vector<Literal> body) {
+  Rule r;
+  r.head = {std::move(head), std::move(args)};
+  r.body = std::move(body);
+  return r;
+}
+
+TEST(SimplifyTest, ContradictionRemovesRule) {
+  RuleSet rules;
+  rules.rules.push_back(MakeRule(
+      "X", {T::Var("p"), T::Var("A")},
+      {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+       Literal::Relation("T", {T::Var("p"), T::Var("A")}, true)}));
+  EXPECT_TRUE(Simplify(rules).rules.empty());
+}
+
+TEST(SimplifyTest, ContradictionWithWildcardNegative) {
+  RuleSet rules;
+  rules.rules.push_back(MakeRule(
+      "X", {T::Var("p"), T::Var("A")},
+      {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+       Literal::Relation("T", {T::Var("p"), T::Wildcard()}, true)}));
+  EXPECT_TRUE(Simplify(rules).rules.empty());
+}
+
+TEST(SimplifyTest, ConditionContradiction) {
+  RuleSet rules;
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Condition("c", {T::Var("A")}),
+                Literal::Condition("c", {T::Var("A")}, true)}));
+  EXPECT_TRUE(Simplify(rules).rules.empty());
+}
+
+TEST(SimplifyTest, TautologyMergesComplementaryRules) {
+  // X <- T, c  and  X <- T, not c  merge to  X <- T (Lemma 3, the rules
+  // 42-44 step of the paper's SPLIT proof).
+  RuleSet rules;
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Condition("cR", {T::Var("A")})}));
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Condition("cR", {T::Var("A")}, true)}));
+  RuleSet out = Simplify(rules);
+  ASSERT_EQ(out.rules.size(), 1u);
+  EXPECT_EQ(out.rules[0].body.size(), 1u);
+  EXPECT_TRUE(IsIdentityMapping(out, "X", "T"));
+}
+
+TEST(SimplifyTest, UniqueKeyMergesLiterals) {
+  // X(p, A, b) <- T(p, A, _), T(p, _, b)  becomes  X <- T(p, A, b)
+  // (Lemma 5, the ADD COLUMN round trip).
+  RuleSet rules;
+  rules.rules.push_back(MakeRule(
+      "X", {T::Var("p"), T::Var("A"), T::Var("b")},
+      {Literal::Relation("T", {T::Var("p"), T::Var("A"), T::Wildcard()}),
+       Literal::Relation("T", {T::Var("p"), T::Wildcard(), T::Var("b")})}));
+  RuleSet out = Simplify(rules);
+  ASSERT_EQ(out.rules.size(), 1u);
+  ASSERT_EQ(out.rules[0].body.size(), 1u);
+  EXPECT_TRUE(IsIdentityMapping(out, "X", "T"));
+}
+
+TEST(SimplifyTest, UniqueKeySubstitutesVariables) {
+  // T(p, A), T(p, A2), A != A2 is contradictory via Lemma 5 + Lemma 4.
+  RuleSet rules;
+  rules.rules.push_back(MakeRule(
+      "X", {T::Var("p"), T::Var("A")},
+      {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+       Literal::Relation("T", {T::Var("p"), T::Var("A2")}),
+       Literal::NotEqual(T::Var("A"), T::Var("A2"))}));
+  EXPECT_TRUE(Simplify(rules).rules.empty());
+}
+
+TEST(SimplifyTest, SubsumptionDropsWeakerRules) {
+  RuleSet rules;
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")})}));
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Condition("c", {T::Var("A")})}));
+  RuleSet out = Simplify(rules);
+  EXPECT_EQ(out.rules.size(), 1u);
+}
+
+TEST(SimplifyTest, UnusedFunctionLiteralDropped) {
+  RuleSet rules;
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Function(T::Var("b"), "f", {T::Var("A")})}));
+  RuleSet out = Simplify(rules);
+  ASSERT_EQ(out.rules.size(), 1u);
+  EXPECT_EQ(out.rules[0].body.size(), 1u);
+}
+
+TEST(SimplifyTest, EmptyRelationApplication) {
+  RuleSet rules;
+  rules.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T", {T::Var("p"), T::Var("A")}),
+                Literal::Relation("Aux", {T::Var("p")}, true)}));
+  rules.rules.push_back(
+      MakeRule("Y", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("Aux2", {T::Var("p"), T::Var("A")})}));
+  RuleSet out = ApplyEmptyRelations(rules, {"Aux", "Aux2"});
+  ASSERT_EQ(out.rules.size(), 1u);
+  EXPECT_EQ(out.rules[0].head.predicate, "X");
+  EXPECT_EQ(out.rules[0].body.size(), 1u);
+}
+
+TEST(SimplifyTest, UnfoldPositive) {
+  // outer: X <- M(p, A);  inner: M <- T(p, A), c(A)
+  RuleSet outer, inner;
+  outer.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("M", {T::Var("p"), T::Var("A")})}));
+  inner.rules.push_back(
+      MakeRule("M", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("T_D", {T::Var("p"), T::Var("A")}),
+                Literal::Condition("c", {T::Var("A")})}));
+  Result<RuleSet> composed = Unfold(outer, inner, {"T_D"});
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->rules.size(), 1u);
+  EXPECT_EQ(composed->rules[0].body.size(), 2u);
+}
+
+TEST(SimplifyTest, UnfoldNegative) {
+  // outer: X <- S(p, A), not M(p, _);  inner: M <- T_D(p, A2), c(A2).
+  // Expansion: one rule with not T_D(p, _) and one with T_D(p, A2), not
+  // c(A2) (the appendix rules 32/33 pattern).
+  RuleSet outer, inner;
+  outer.rules.push_back(
+      MakeRule("X", {T::Var("p"), T::Var("A")},
+               {Literal::Relation("S_D", {T::Var("p"), T::Var("A")}),
+                Literal::Relation("M", {T::Var("p"), T::Wildcard()}, true)}));
+  inner.rules.push_back(
+      MakeRule("M", {T::Var("p"), T::Var("A2")},
+               {Literal::Relation("T_D", {T::Var("p"), T::Var("A2")}),
+                Literal::Condition("c", {T::Var("A2")})}));
+  Result<RuleSet> composed = Unfold(outer, inner, {"T_D", "S_D"});
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->rules.size(), 2u);
+}
+
+// The headline result: the mechanized Section 5 proof for SPLIT.
+TEST(SimplifyTest, SplitIsBidirectional) {
+  SmoPtr smo = *ParseSmo(
+      "SPLIT TABLE T INTO R WITH x < 10, S WITH x >= 5");
+  Result<SmoRules> rules = RulesForSmo(*smo);
+  ASSERT_TRUE(rules.ok());
+  // Condition 27: Dsrc = gamma_src(gamma_tgt(Dsrc)).
+  Result<RoundTripReport> cond27 = CheckRoundTrip(
+      rules->gamma_tgt, rules->gamma_src, rules->source_relations,
+      rules->source_aux, rules->source_aux);
+  ASSERT_TRUE(cond27.ok());
+  EXPECT_TRUE(cond27->holds) << cond27->detail;
+  // Condition 26: Dtgt = gamma_tgt(gamma_src(Dtgt)).
+  Result<RoundTripReport> cond26 = CheckRoundTrip(
+      rules->gamma_src, rules->gamma_tgt, rules->target_relations,
+      rules->target_aux, rules->target_aux);
+  ASSERT_TRUE(cond26.ok());
+  EXPECT_TRUE(cond26->holds) << cond26->detail;
+}
+
+TEST(SimplifyTest, BrokenSplitIsDetected) {
+  // Sabotage the SPLIT rules by dropping the R- suppression from gamma_tgt:
+  // the composition no longer reduces to the identity.
+  SmoPtr smo = *ParseSmo(
+      "SPLIT TABLE T INTO R WITH x < 10, S WITH x >= 5");
+  SmoRules rules = *RulesForSmo(*smo);
+  for (Rule& r : rules.gamma_src.rules) {
+    // Remove the rule deriving R_minus.
+    if (r.head.predicate == "R_minus") {
+      r.head.predicate = "Unused";
+    }
+  }
+  Result<RoundTripReport> cond26 = CheckRoundTrip(
+      rules.gamma_src, rules.gamma_tgt, rules.target_relations,
+      rules.target_aux, rules.target_aux);
+  ASSERT_TRUE(cond26.ok());
+  EXPECT_FALSE(cond26->holds);
+}
+
+TEST(SimplifyTest, AddColumnIsBidirectional) {
+  SmoPtr smo = *ParseSmo("ADD COLUMN c INT AS a + 1 INTO T");
+  SmoRules rules = *RulesForSmo(*smo);
+  Result<RoundTripReport> cond27 = CheckRoundTrip(
+      rules.gamma_tgt, rules.gamma_src, rules.source_relations,
+      rules.source_aux, rules.source_aux);
+  ASSERT_TRUE(cond27.ok());
+  EXPECT_TRUE(cond27->holds) << cond27->detail;
+  Result<RoundTripReport> cond26 = CheckRoundTrip(
+      rules.gamma_src, rules.gamma_tgt, rules.target_relations,
+      rules.target_aux, rules.target_aux);
+  ASSERT_TRUE(cond26.ok());
+  EXPECT_TRUE(cond26->holds) << cond26->detail;
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace inverda

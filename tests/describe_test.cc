@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "catalog/describe.h"
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+class DescribeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(DescribeTest, DescribeVersionListsTablesAndPhysicality) {
+  Result<std::string> desc = DescribeVersion(db_.catalog(), "TasKy");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_NE(desc->find("Task(author TEXT, task TEXT, prio INT)"),
+            std::string::npos);
+  EXPECT_NE(desc->find("[physical"), std::string::npos);
+  Result<std::string> do_desc = DescribeVersion(db_.catalog(), "Do!");
+  ASSERT_TRUE(do_desc.ok());
+  EXPECT_NE(do_desc->find("[virtual]"), std::string::npos);
+  EXPECT_NE(do_desc->find("(from TasKy)"), std::string::npos);
+  EXPECT_FALSE(DescribeVersion(db_.catalog(), "Nope").ok());
+}
+
+TEST_F(DescribeTest, DescribeCatalogShowsGenealogy) {
+  std::string dump = DescribeCatalog(db_.catalog());
+  EXPECT_NE(dump.find("SPLIT TABLE Task INTO Todo"), std::string::npos);
+  EXPECT_NE(dump.find("[virtualized]"), std::string::npos);
+  EXPECT_NE(dump.find("{Task-0} -> {Todo-0}"), std::string::npos);
+}
+
+TEST_F(DescribeTest, DescribeReflectsMaterialization) {
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  std::string dump = DescribeCatalog(db_.catalog());
+  EXPECT_NE(dump.find("[materialized]"), std::string::npos);
+  Result<std::string> tasky = DescribeVersion(db_.catalog(), "TasKy");
+  EXPECT_NE(tasky->find("[virtual]"), std::string::npos);
+}
+
+TEST_F(DescribeTest, DotExportIsWellFormed) {
+  std::string dot = CatalogToDot(db_.catalog());
+  EXPECT_EQ(dot.rfind("digraph genealogy {", 0), 0u);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("Task-0"), std::string::npos);
+  // One filled box: the physical Task-0.
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+class DropVersionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+    key_ = *db_.Insert("TasKy", "Task",
+                       {Value::String("Ann"), Value::String("Write paper"),
+                        Value::Int(1)});
+  }
+  Inverda db_;
+  int64_t key_ = 0;
+};
+
+TEST_F(DropVersionTest, DropLeafVersionKeepsOthersWorking) {
+  ASSERT_TRUE(db_.Execute("DROP SCHEMA VERSION Do!;").ok());
+  EXPECT_FALSE(db_.catalog().HasVersion("Do!"));
+  EXPECT_FALSE(db_.Select("Do!", "Todo").ok());
+  // The data and the other versions are untouched.
+  EXPECT_TRUE(db_.Get("TasKy", "Task", key_)->has_value());
+  EXPECT_TRUE(db_.Get("TasKy2", "Task", key_)->has_value());
+}
+
+TEST_F(DropVersionTest, DroppingUnknownVersionFails) {
+  EXPECT_FALSE(db_.DropSchemaVersion("Nope").ok());
+}
+
+TEST_F(DropVersionTest, SharedTableVersionsSurvive) {
+  // TasKy's Task is shared; dropping TasKy2 must not remove it.
+  ASSERT_TRUE(db_.DropSchemaVersion("TasKy2").ok());
+  EXPECT_TRUE(db_.Get("TasKy", "Task", key_)->has_value());
+  EXPECT_TRUE(db_.Get("Do!", "Todo", key_)->has_value());
+}
+
+TEST_F(DropVersionTest, CannotDropVersionHoldingTheData) {
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  // TasKy2's table versions hold the data now; dropping it would strand
+  // the other versions.
+  Status s = db_.DropSchemaVersion("TasKy2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidState);
+  // After migrating away it works.
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  EXPECT_TRUE(db_.DropSchemaVersion("TasKy2").ok());
+  EXPECT_TRUE(db_.Get("TasKy", "Task", key_)->has_value());
+}
+
+TEST_F(DropVersionTest, AuxTablesAreCleanedUp) {
+  size_t before = db_.db().TableNames().size();
+  ASSERT_TRUE(db_.DropSchemaVersion("Do!").ok());
+  // The SPLIT/DROP COLUMN aux tables are gone.
+  EXPECT_LT(db_.db().TableNames().size(), before);
+}
+
+TEST_F(DropVersionTest, ReEvolutionAfterDropWorks) {
+  ASSERT_TRUE(db_.DropSchemaVersion("Do!").ok());
+  ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+  EXPECT_TRUE(db_.Get("Do!", "Todo", key_)->has_value());
+}
+
+
+TEST_F(DropVersionTest, DropMiddleVersionKeepsDescendants) {
+  // Extend the genealogy past TasKy2, then drop TasKy2: its table versions
+  // are still needed to connect TasKy3 to the data and must survive.
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION TasKy3 FROM TasKy2 WITH "
+                          "ADD COLUMN urgent INT AS prio INTO Task;")
+                  .ok());
+  ASSERT_TRUE(db_.DropSchemaVersion("TasKy2").ok());
+  EXPECT_FALSE(db_.catalog().HasVersion("TasKy2"));
+  // TasKy3 still reads and writes through the retained intermediate SMOs.
+  EXPECT_TRUE(db_.Get("TasKy3", "Task", key_)->has_value());
+  Result<int64_t> key = db_.Insert(
+      "TasKy3", "Task",
+      {Value::String("New"), Value::Int(1), Value::Null(), Value::Int(1)});
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(db_.Get("TasKy", "Task", *key)->has_value());
+}
+
+TEST_F(DropVersionTest, DropAllButRootLeavesWorkingDatabase) {
+  ASSERT_TRUE(db_.DropSchemaVersion("Do!").ok());
+  ASSERT_TRUE(db_.DropSchemaVersion("TasKy2").ok());
+  EXPECT_EQ(db_.catalog().VersionNames().size(), 1u);
+  EXPECT_TRUE(db_.Get("TasKy", "Task", key_)->has_value());
+  // The genealogy can grow again afterwards.
+  ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+  EXPECT_TRUE(db_.Get("TasKy2", "Task", key_)->has_value());
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Exhaustive bounded verification: for the SMOs whose rule sets the
+// symbolic checker skips (ω-based and id-generating ones), enumerate EVERY
+// dataset over a tiny domain, load it through the source version, and
+// check that all views are invariant under materialization round trips.
+// Complements the randomized property tests with full coverage of the
+// small-universe corner cases (all-ω parts, duplicates, empty sides).
+
+// The value domain: NULL (ω), one int, one string.
+std::vector<Value> Domain() {
+  return {Value::Null(), Value::Int(1), Value::String("a")};
+}
+
+// All payload rows over the domain for `width` columns.
+std::vector<Row> AllRows(int width) {
+  std::vector<Row> rows = {{}};
+  for (int c = 0; c < width; ++c) {
+    std::vector<Row> next;
+    for (const Row& row : rows) {
+      for (const Value& v : Domain()) {
+        Row extended = row;
+        extended.push_back(v);
+        next.push_back(std::move(extended));
+      }
+    }
+    rows = std::move(next);
+  }
+  return rows;
+}
+
+// All datasets of up to `max_rows` rows (as combinations with repetition).
+std::vector<std::vector<Row>> AllDatasets(int width, int max_rows) {
+  std::vector<Row> rows = AllRows(width);
+  std::vector<std::vector<Row>> datasets = {{}};
+  // size 1
+  for (const Row& r : rows) datasets.push_back({r});
+  if (max_rows >= 2) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = i; j < rows.size(); ++j) {
+        datasets.push_back({rows[i], rows[j]});
+      }
+    }
+  }
+  return datasets;
+}
+
+std::map<std::string, std::vector<KeyedRow>> Snapshot(Inverda* db) {
+  std::map<std::string, std::vector<KeyedRow>> out;
+  for (const std::string& version : db->catalog().VersionNames()) {
+    const SchemaVersionInfo* info = *db->catalog().FindVersion(version);
+    for (const auto& [table, tv] : info->tables) {
+      (void)tv;
+      Result<std::vector<KeyedRow>> rows = db->Select(version, table);
+      EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+      if (rows.ok()) out[version + "." + table] = *rows;
+    }
+  }
+  return out;
+}
+
+bool Equal(const std::map<std::string, std::vector<KeyedRow>>& a,
+           const std::map<std::string, std::vector<KeyedRow>>& b,
+           std::string* diff) {
+  if (a.size() != b.size()) {
+    *diff = "table count";
+    return false;
+  }
+  for (const auto& [name, rows] : a) {
+    auto it = b.find(name);
+    if (it == b.end() || rows.size() != it->second.size()) {
+      *diff = name + " row count";
+      return false;
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].key != it->second[i].key ||
+          !RowsEqual(rows[i].row, it->second[i].row)) {
+        *diff = name + "@" + std::to_string(rows[i].key) + " " +
+                RowToString(rows[i].row) + " vs " +
+                RowToString(it->second[i].row);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct UniverseCase {
+  const char* name;
+  const char* v2_script;  // evolves V1's T(x, t)
+};
+
+std::vector<UniverseCase> Cases() {
+  return {
+      {"decompose_pk",
+       "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+       "DECOMPOSE TABLE T INTO Xs(x), Ts(t) ON PK;"},
+      {"decompose_fk",
+       "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+       "DECOMPOSE TABLE T INTO Xs(x), Ts(t) ON FK tref;"},
+      {"split_overlapping",
+       "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+       "SPLIT TABLE T INTO R WITH x = 1, S WITH t = 'a';"},
+      {"add_column",
+       "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+       "ADD COLUMN c INT AS x INTO T;"},
+      {"drop_column",
+       "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+       "DROP COLUMN t FROM T DEFAULT 'd';"},
+  };
+}
+
+class ExhaustiveUniverseTest : public ::testing::TestWithParam<UniverseCase> {
+};
+
+TEST_P(ExhaustiveUniverseTest, EveryDatasetSurvivesRoundTrips) {
+  const UniverseCase& c = GetParam();
+  std::vector<std::vector<Row>> datasets = AllDatasets(2, 2);
+  ASSERT_GT(datasets.size(), 40u);
+  int loaded_datasets = 0;
+  for (const std::vector<Row>& dataset : datasets) {
+    Inverda db;
+    ASSERT_TRUE(db.Execute("CREATE SCHEMA VERSION V1 WITH "
+                           "CREATE TABLE T(x INT, t TEXT);")
+                    .ok());
+    ASSERT_TRUE(db.Execute(c.v2_script).ok()) << c.name;
+    bool skipped = false;
+    for (const Row& row : dataset) {
+      Result<int64_t> key = db.Insert("V1", "T", row);
+      if (!key.ok()) {
+        // All-ω inserts are rejected by the vertical SMOs; that dataset
+        // simply has fewer rows then.
+        EXPECT_EQ(key.status().code(), StatusCode::kInvalidArgument)
+            << c.name << " " << RowToString(row) << ": "
+            << key.status().ToString();
+        skipped = true;
+      }
+    }
+    (void)skipped;
+    ++loaded_datasets;
+
+    auto before = Snapshot(&db);
+    std::string diff;
+    ASSERT_TRUE(db.Materialize({"V2"}).ok())
+        << c.name << " dataset #" << loaded_datasets;
+    auto mid = Snapshot(&db);
+    ASSERT_TRUE(Equal(before, mid, &diff))
+        << c.name << " dataset #" << loaded_datasets << ": " << diff;
+    ASSERT_TRUE(db.Materialize({"V1"}).ok());
+    auto after = Snapshot(&db);
+    ASSERT_TRUE(Equal(before, after, &diff))
+        << c.name << " dataset #" << loaded_datasets << ": " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSmos, ExhaustiveUniverseTest, ::testing::ValuesIn(Cases()),
+    [](const ::testing::TestParamInfo<UniverseCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace inverda

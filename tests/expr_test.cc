@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "expr/expression.h"
+#include "expr/parser.h"
+
+namespace inverda {
+namespace {
+
+TableSchema TaskSchema() {
+  return TableSchema("Task", {{"author", DataType::kString},
+                              {"task", DataType::kString},
+                              {"prio", DataType::kInt64}});
+}
+
+Row TaskRow(const char* author, const char* task, int64_t prio) {
+  return {Value::String(author), Value::String(task), Value::Int(prio)};
+}
+
+Result<Value> Eval(const std::string& text, const Row& row) {
+  Result<ExprPtr> expr = ParseExpression(text);
+  if (!expr.ok()) return expr.status();
+  return (*expr)->Eval(TaskSchema(), row);
+}
+
+Result<bool> EvalBool(const std::string& text, const Row& row) {
+  Result<ExprPtr> expr = ParseExpression(text);
+  if (!expr.ok()) return expr.status();
+  return (*expr)->EvalBool(TaskSchema(), row);
+}
+
+TEST(ExprTest, Comparisons) {
+  Row row = TaskRow("Ann", "write", 1);
+  EXPECT_TRUE(*EvalBool("prio = 1", row));
+  EXPECT_FALSE(*EvalBool("prio <> 1", row));
+  EXPECT_TRUE(*EvalBool("prio < 2", row));
+  EXPECT_TRUE(*EvalBool("prio >= 1", row));
+  EXPECT_TRUE(*EvalBool("author = 'Ann'", row));
+  EXPECT_TRUE(*EvalBool("author != 'Ben'", row));
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Row row = TaskRow("Ann", "write", 2);
+  EXPECT_TRUE(*EvalBool("prio = 2 AND author = 'Ann'", row));
+  EXPECT_FALSE(*EvalBool("prio = 1 AND author = 'Ann'", row));
+  EXPECT_TRUE(*EvalBool("prio = 1 OR author = 'Ann'", row));
+  EXPECT_TRUE(*EvalBool("NOT prio = 1", row));
+  EXPECT_TRUE(*EvalBool("prio = 1 OR prio = 2 AND author = 'Ann'", row));
+}
+
+TEST(ExprTest, Arithmetic) {
+  Row row = TaskRow("Ann", "write", 3);
+  EXPECT_EQ(*Eval("prio * 2 + 1", row), Value::Int(7));
+  EXPECT_EQ(*Eval("prio % 2", row), Value::Int(1));
+  EXPECT_EQ(*Eval("-prio", row), Value::Int(-3));
+  EXPECT_FALSE(Eval("prio / 0", row).ok());
+}
+
+TEST(ExprTest, Concat) {
+  Row row = TaskRow("Ann", "write", 1);
+  EXPECT_EQ(*Eval("author || '!'", row), Value::String("Ann!"));
+  EXPECT_EQ(*Eval("author || prio", row), Value::String("Ann1"));
+}
+
+TEST(ExprTest, NullSemantics) {
+  Row row = {Value::Null(), Value::String("t"), Value::Int(1)};
+  EXPECT_TRUE(*EvalBool("author IS NULL", row));
+  EXPECT_FALSE(*EvalBool("author IS NOT NULL", row));
+  // Ordering comparisons with NULL collapse to false.
+  EXPECT_FALSE(*EvalBool("author < 'x'", row));
+  // NULL equals NULL (ω-preserving round trips).
+  EXPECT_TRUE(*EvalBool("author = NULL", row));
+  // Arithmetic with NULL yields NULL, which is false as a condition.
+  EXPECT_FALSE(*EvalBool("prio + NULL = 1", row));
+}
+
+TEST(ExprTest, Functions) {
+  Row row = TaskRow("Ann", "write", 1);
+  EXPECT_EQ(*Eval("UPPER(author)", row), Value::String("ANN"));
+  EXPECT_EQ(*Eval("LENGTH(task)", row), Value::Int(5));
+  EXPECT_EQ(*Eval("COALESCE(NULL, author)", row), Value::String("Ann"));
+  EXPECT_EQ(*Eval("CONCAT(author, '-', prio)", row),
+            Value::String("Ann-1"));
+  EXPECT_FALSE(ParseExpression("NO_SUCH_FN(1)").ok());
+}
+
+TEST(ExprTest, ParserErrors) {
+  EXPECT_FALSE(ParseExpression("prio = ").ok());
+  EXPECT_FALSE(ParseExpression("(prio = 1").ok());
+  EXPECT_FALSE(ParseExpression("prio = 'unterminated").ok());
+  EXPECT_FALSE(ParseExpression("prio = 1 extra").ok());
+}
+
+TEST(ExprTest, UnknownColumnFailsAtEval) {
+  Row row = TaskRow("Ann", "write", 1);
+  Result<Value> v = Eval("nope = 1", row);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, CheckColumnsResolve) {
+  ExprPtr good = *ParseExpression("prio = 1 AND author = 'x'");
+  ExprPtr bad = *ParseExpression("missing = 1");
+  EXPECT_TRUE(CheckColumnsResolve(*good, TaskSchema()).ok());
+  EXPECT_FALSE(CheckColumnsResolve(*bad, TaskSchema()).ok());
+}
+
+TEST(ExprTest, TypeInference) {
+  TableSchema s = TaskSchema();
+  EXPECT_EQ((*ParseExpression("prio + 1"))->InferType(s), DataType::kInt64);
+  EXPECT_EQ((*ParseExpression("prio = 1"))->InferType(s), DataType::kBool);
+  EXPECT_EQ((*ParseExpression("author || 'x'"))->InferType(s),
+            DataType::kString);
+  EXPECT_EQ((*ParseExpression("1.5 * prio"))->InferType(s),
+            DataType::kDouble);
+}
+
+TEST(ExprTest, ToStringRoundTripsThroughParser) {
+  ExprPtr e = *ParseExpression("prio = 1 AND (author = 'Ann' OR prio > 2)");
+  Result<ExprPtr> again = ParseExpression(e->ToString());
+  ASSERT_TRUE(again.ok());
+  Row row = TaskRow("Ann", "x", 1);
+  EXPECT_EQ(*e->EvalBool(TaskSchema(), row),
+            *(*again)->EvalBool(TaskSchema(), row));
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "expr/expression.h"
+#include "expr/parser.h"
+#include "util/random.h"
+
+namespace inverda {
+namespace {
+
+TableSchema SweepSchema() {
+  return TableSchema("t", {{"i", DataType::kInt64},
+                           {"j", DataType::kInt64},
+                           {"s", DataType::kString},
+                           {"b", DataType::kBool}});
+}
+
+// --- comparison operator sweep ---------------------------------------------
+
+struct CmpCase {
+  const char* op;
+  // expected for (i=3, j=5), (i=5, j=5), (i=7, j=5)
+  bool lt_expected;
+  bool eq_expected;
+  bool gt_expected;
+};
+
+class ComparisonSweep : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(ComparisonSweep, IntegerSemantics) {
+  const CmpCase& c = GetParam();
+  ExprPtr expr = *ParseExpression(std::string("i ") + c.op + " j");
+  auto eval = [&](int64_t i) {
+    Row row = {Value::Int(i), Value::Int(5), Value::String("x"),
+               Value::Bool(true)};
+    return *expr->EvalBool(SweepSchema(), row);
+  };
+  EXPECT_EQ(eval(3), c.lt_expected) << c.op;
+  EXPECT_EQ(eval(5), c.eq_expected) << c.op;
+  EXPECT_EQ(eval(7), c.gt_expected) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, ComparisonSweep,
+    ::testing::Values(CmpCase{"=", false, true, false},
+                      CmpCase{"<>", true, false, true},
+                      CmpCase{"!=", true, false, true},
+                      CmpCase{"<", true, false, false},
+                      CmpCase{"<=", true, true, false},
+                      CmpCase{">", false, false, true},
+                      CmpCase{">=", false, true, true}),
+    [](const ::testing::TestParamInfo<CmpCase>& info) {
+      std::string name = info.param.op;
+      for (char& c : name) {
+        if (c == '=') c = 'e';
+        if (c == '<') c = 'l';
+        if (c == '>') c = 'g';
+        if (c == '!') c = 'n';
+      }
+      return name;
+    });
+
+// --- arithmetic identity sweep ----------------------------------------------
+
+class ArithmeticSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ArithmeticSweep, AlgebraicIdentities) {
+  int64_t i = GetParam();
+  Row row = {Value::Int(i), Value::Int(5), Value::String("x"),
+             Value::Bool(false)};
+  TableSchema schema = SweepSchema();
+  auto value = [&](const char* text) {
+    return *(*ParseExpression(text))->Eval(schema, row);
+  };
+  EXPECT_EQ(value("i + 0"), Value::Int(i));
+  EXPECT_EQ(value("i * 1"), Value::Int(i));
+  EXPECT_EQ(value("i - i"), Value::Int(0));
+  EXPECT_EQ(value("(i + j) - j"), Value::Int(i));
+  EXPECT_EQ(value("i * 2"), Value::Int(2 * i));
+  EXPECT_EQ(value("-(-i)"), Value::Int(i));
+  if (i != 0) {
+    EXPECT_EQ(value("(i * 6) / i"), Value::Int(6));
+    EXPECT_EQ(value("i % i"), Value::Int(0));
+  }
+  // Precedence: * binds tighter than +.
+  EXPECT_EQ(value("i + 2 * 3"), Value::Int(i + 6));
+  EXPECT_EQ(value("(i + 2) * 3"), Value::Int((i + 2) * 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ArithmeticSweep,
+                         ::testing::Values(-100, -7, -1, 0, 1, 2, 13, 999));
+
+// --- boolean algebra sweep ----------------------------------------------------
+
+class BooleanSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BooleanSweep, TruthTables) {
+  auto [p, q] = GetParam();
+  // Encode p/q through comparisons so the parser path is exercised.
+  Row row = {Value::Int(p ? 1 : 0), Value::Int(q ? 1 : 0), Value::String(""),
+             Value::Bool(true)};
+  TableSchema schema = SweepSchema();
+  auto truth = [&](const char* text) {
+    return *(*ParseExpression(text))->EvalBool(schema, row);
+  };
+  EXPECT_EQ(truth("i = 1 AND j = 1"), p && q);
+  EXPECT_EQ(truth("i = 1 OR j = 1"), p || q);
+  EXPECT_EQ(truth("NOT i = 1"), !p);
+  // De Morgan.
+  EXPECT_EQ(truth("NOT (i = 1 AND j = 1)"),
+            truth("NOT i = 1 OR NOT j = 1"));
+  EXPECT_EQ(truth("NOT (i = 1 OR j = 1)"),
+            truth("NOT i = 1 AND NOT j = 1"));
+  // Distribution.
+  EXPECT_EQ(truth("i = 1 AND (j = 1 OR j = 0)"), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(TruthTable, BooleanSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// --- randomized parse/print round trip ----------------------------------------
+
+TEST(ExpressionFuzzTest, RandomExpressionsRoundTripThroughToString) {
+  Random rng(4242);
+  TableSchema schema = SweepSchema();
+  const char* atoms[] = {"i", "j", "s", "1", "42", "'txt'", "i + j",
+                         "i * 2", "j % 3", "s || 'x'"};
+  const char* cmps[] = {"=", "<>", "<", "<=", ">", ">="};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random condition of 1-4 comparisons joined by AND/OR.
+    int terms = 1 + static_cast<int>(rng.NextUint64(4));
+    std::string text;
+    for (int t = 0; t < terms; ++t) {
+      if (t > 0) text += rng.NextBool(0.5) ? " AND " : " OR ";
+      if (rng.NextBool(0.2)) text += "NOT ";
+      text += atoms[rng.NextUint64(8)];  // numeric-ish atoms only for cmp
+      text += " ";
+      text += cmps[rng.NextUint64(6)];
+      text += " ";
+      text += atoms[rng.NextUint64(8)];
+    }
+    Result<ExprPtr> parsed = ParseExpression(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    Result<ExprPtr> reparsed = ParseExpression((*parsed)->ToString());
+    ASSERT_TRUE(reparsed.ok()) << (*parsed)->ToString();
+    // Same truth value on random rows.
+    for (int r = 0; r < 5; ++r) {
+      Row row = {Value::Int(rng.NextInt64(-3, 3)),
+                 Value::Int(rng.NextInt64(-3, 3)),
+                 Value::String(rng.NextString(1)), Value::Bool(true)};
+      Result<bool> a = (*parsed)->EvalBool(schema, row);
+      Result<bool> b = (*reparsed)->EvalBool(schema, row);
+      ASSERT_EQ(a.ok(), b.ok()) << text;
+      if (a.ok()) {
+        EXPECT_EQ(*a, *b) << text;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inverda

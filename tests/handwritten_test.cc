@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/tasky_handwritten.h"
+
+namespace inverda {
+namespace {
+
+using HW = HandwrittenTasky;
+
+std::vector<HW::TaskRow> SampleRows() {
+  return {{0, "Ann", "Organize party", 3},
+          {0, "Ben", "Learn for exam", 2},
+          {0, "Ann", "Write paper", 1},
+          {0, "Ben", "Clean room", 1}};
+}
+
+class HandwrittenTest : public ::testing::TestWithParam<HW::Materialization> {
+ protected:
+  void SetUp() override {
+    hw_ = std::make_unique<HW>(GetParam());
+    ASSERT_TRUE(hw_->Load(SampleRows()).ok());
+  }
+  std::unique_ptr<HW> hw_;
+};
+
+TEST_P(HandwrittenTest, ReadTasKySeesAllRows) {
+  Result<std::vector<HW::TaskRow>> rows = hw_->ReadTasKy();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  int ann = 0;
+  for (const HW::TaskRow& row : *rows) {
+    if (row.author == "Ann") ++ann;
+  }
+  EXPECT_EQ(ann, 2);
+}
+
+TEST_P(HandwrittenTest, ReadDoFiltersByPriority) {
+  Result<std::vector<HW::TaskRow>> todos = hw_->ReadDo();
+  ASSERT_TRUE(todos.ok());
+  EXPECT_EQ(todos->size(), 2u);
+  for (const HW::TaskRow& row : *todos) {
+    EXPECT_EQ(row.prio, 1);
+  }
+}
+
+TEST_P(HandwrittenTest, InsertUpdateDelete) {
+  Result<int64_t> key = hw_->InsertTasKy("Cleo", "Call mum", 2);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(hw_->TaskCount(), 5);
+  ASSERT_TRUE(hw_->UpdateTasKyPrio(*key, 1).ok());
+  EXPECT_EQ(hw_->ReadDo()->size(), 3u);
+  ASSERT_TRUE(hw_->DeleteTasKy(*key).ok());
+  EXPECT_EQ(hw_->TaskCount(), 4);
+}
+
+TEST_P(HandwrittenTest, MigrationPreservesTheView) {
+  std::vector<HW::TaskRow> before = *hw_->ReadTasKy();
+  HW::Materialization other = GetParam() == HW::Materialization::kTasKy
+                                  ? HW::Materialization::kTasKy2
+                                  : HW::Materialization::kTasKy;
+  ASSERT_TRUE(hw_->MigrateTo(other).ok());
+  std::vector<HW::TaskRow> after = *hw_->ReadTasKy();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].p, after[i].p);
+    EXPECT_EQ(before[i].author, after[i].author);
+    EXPECT_EQ(before[i].task, after[i].task);
+    EXPECT_EQ(before[i].prio, after[i].prio);
+  }
+  // Migrating to the current state is a no-op.
+  ASSERT_TRUE(hw_->MigrateTo(other).ok());
+  EXPECT_EQ(hw_->TaskCount(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothMaterializations, HandwrittenTest,
+    ::testing::Values(HW::Materialization::kTasKy,
+                      HW::Materialization::kTasKy2),
+    [](const ::testing::TestParamInfo<HW::Materialization>& info) {
+      return info.param == HW::Materialization::kTasKy ? "initial"
+                                                       : "evolved";
+    });
+
+TEST(HandwrittenEvolvedTest, AuthorsAreDeduplicatedAndGarbageCollected) {
+  HW hw(HW::Materialization::kTasKy2);
+  ASSERT_TRUE(hw.Load(SampleRows()).ok());
+  // Two authors for four tasks.
+  Result<int64_t> solo = hw.InsertTasKy("Solo", "One-off", 2);
+  ASSERT_TRUE(solo.ok());
+  std::vector<HW::TaskRow> all = *hw.ReadTasKy();
+  EXPECT_EQ(all.size(), 5u);
+  // Deleting Solo's only task garbage-collects the author row (matching
+  // the handwritten trigger semantics fig8 relies on).
+  ASSERT_TRUE(hw.DeleteTasKy(*solo).ok());
+  std::vector<HW::TaskRow> after = *hw.ReadTasKy();
+  for (const HW::TaskRow& row : after) {
+    EXPECT_NE(row.author, "Solo");
+  }
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// ADD COLUMN / DROP COLUMN semantics (Appendix B.1), exercised end-to-end
+// through the facade in both materialization states.
+class AddColumnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V1 WITH "
+                            "CREATE TABLE T(a INT, b TEXT);"
+                            "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                            "ADD COLUMN c INT AS a * 10 INTO T;")
+                    .ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(AddColumnTest, ComputedValueVisibleInNewVersion) {
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(4), Value::String("x")});
+  Row row = **db_.Get("V2", "T", key);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2], Value::Int(40));
+}
+
+TEST_F(AddColumnTest, ExplicitValueWrittenThroughNewVersionIsStable) {
+  int64_t key = *db_.Insert(
+      "V2", "T", {Value::Int(4), Value::String("x"), Value::Int(99)});
+  // Not recomputed to 40: the auxiliary B table keeps the written value.
+  EXPECT_EQ((**db_.Get("V2", "T", key))[2], Value::Int(99));
+  // The old version sees the row without c.
+  Row old = **db_.Get("V1", "T", key);
+  ASSERT_EQ(old.size(), 2u);
+  EXPECT_EQ(old[0], Value::Int(4));
+}
+
+TEST_F(AddColumnTest, SourceUpdateRecomputesOnlyUnpinnedValues) {
+  int64_t computed = *db_.Insert("V1", "T", {Value::Int(1), Value::String("x")});
+  int64_t pinned = *db_.Insert(
+      "V2", "T", {Value::Int(2), Value::String("y"), Value::Int(7)});
+  ASSERT_TRUE(db_.Update("V1", "T", computed,
+                         {Value::Int(5), Value::String("x")})
+                  .ok());
+  ASSERT_TRUE(db_.Update("V1", "T", pinned,
+                         {Value::Int(6), Value::String("y")})
+                  .ok());
+  EXPECT_EQ((**db_.Get("V2", "T", computed))[2], Value::Int(50));
+  // The pinned value survives updates of the other columns.
+  EXPECT_EQ((**db_.Get("V2", "T", pinned))[2], Value::Int(7));
+}
+
+TEST_F(AddColumnTest, MaterializedStateKeepsColumnPhysically) {
+  int64_t key = *db_.Insert(
+      "V2", "T", {Value::Int(4), Value::String("x"), Value::Int(99)});
+  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  EXPECT_EQ((**db_.Get("V2", "T", key))[2], Value::Int(99));
+  // Updating through V1 keeps the stored c value (rule 127).
+  ASSERT_TRUE(db_.Update("V1", "T", key,
+                         {Value::Int(8), Value::String("z")})
+                  .ok());
+  Row row = **db_.Get("V2", "T", key);
+  EXPECT_EQ(row[0], Value::Int(8));
+  EXPECT_EQ(row[2], Value::Int(99));
+  // New inserts through V1 compute c.
+  int64_t key2 = *db_.Insert("V1", "T", {Value::Int(3), Value::String("w")});
+  EXPECT_EQ((**db_.Get("V2", "T", key2))[2], Value::Int(30));
+}
+
+TEST_F(AddColumnTest, DeleteThroughEitherVersion) {
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(1), Value::String("x")});
+  ASSERT_TRUE(db_.Delete("V2", "T", key).ok());
+  EXPECT_FALSE(db_.Get("V1", "T", key)->has_value());
+  int64_t key2 = *db_.Insert(
+      "V2", "T", {Value::Int(2), Value::String("y"), Value::Int(5)});
+  ASSERT_TRUE(db_.Delete("V1", "T", key2).ok());
+  EXPECT_FALSE(db_.Get("V2", "T", key2)->has_value());
+}
+
+class DropColumnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V1 WITH "
+                            "CREATE TABLE T(a INT, note TEXT);"
+                            "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                            "DROP COLUMN note FROM T DEFAULT 'none';")
+                    .ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(DropColumnTest, NewVersionLacksColumn) {
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(1), Value::String("hi")});
+  Row row = **db_.Get("V2", "T", key);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], Value::Int(1));
+}
+
+TEST_F(DropColumnTest, BackwardInsertUsesDefaultFunction) {
+  int64_t key = *db_.Insert("V2", "T", {Value::Int(2)});
+  Row row = **db_.Get("V1", "T", key);
+  EXPECT_EQ(row[1], Value::String("none"));
+}
+
+TEST_F(DropColumnTest, UpdateThroughNewVersionPreservesDroppedValue) {
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(1), Value::String("keep")});
+  ASSERT_TRUE(db_.Update("V2", "T", key, {Value::Int(9)}).ok());
+  Row row = **db_.Get("V1", "T", key);
+  EXPECT_EQ(row[0], Value::Int(9));
+  EXPECT_EQ(row[1], Value::String("keep"));
+}
+
+TEST_F(DropColumnTest, MaterializedKeepsDroppedValuesInAux) {
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(1), Value::String("keep")});
+  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  // The dropped column is still reconstructable in V1 (aux B).
+  EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("keep"));
+  // Writes through V1 keep maintaining it.
+  ASSERT_TRUE(db_.Update("V1", "T", key,
+                         {Value::Int(2), Value::String("changed")})
+                  .ok());
+  EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("changed"));
+  EXPECT_EQ((**db_.Get("V2", "T", key))[0], Value::Int(2));
+  // And migrating back re-inlines the column.
+  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("changed"));
+}
+
+TEST_F(DropColumnTest, ChainedColumnSmos) {
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V3 FROM V2 WITH "
+                          "ADD COLUMN flag INT AS a % 2 INTO T;")
+                  .ok());
+  int64_t key = *db_.Insert("V1", "T", {Value::Int(3), Value::String("x")});
+  Row v3 = **db_.Get("V3", "T", key);
+  ASSERT_EQ(v3.size(), 2u);
+  EXPECT_EQ(v3[1], Value::Int(1));
+  // Write at the far end, read at the origin.
+  int64_t key2 = *db_.Insert("V3", "T", {Value::Int(4), Value::Int(0)});
+  Row v1 = **db_.Get("V1", "T", key2);
+  EXPECT_EQ(v1[0], Value::Int(4));
+  EXPECT_EQ(v1[1], Value::String("none"));
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// SPLIT / MERGE semantics (Section 4 of the paper): twins, separated twins,
+// lost twins, out-of-condition tuples and the T' leftovers, in both
+// materialization states.
+class SplitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V1 WITH "
+                            "CREATE TABLE T(x INT, tag TEXT);"
+                            "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                            "SPLIT TABLE T INTO R WITH x < 10, S WITH x >= 5;")
+                    .ok());
+  }
+
+  int64_t Insert(int64_t x, const char* tag) {
+    return *db_.Insert("V1", "T", {Value::Int(x), Value::String(tag)});
+  }
+
+  Inverda db_;
+};
+
+TEST_F(SplitTest, PartitionByConditions) {
+  int64_t low = Insert(2, "low");        // only R
+  int64_t mid = Insert(7, "mid");        // both (twin)
+  int64_t high = Insert(20, "high");     // only S
+  EXPECT_TRUE(db_.Get("V2", "R", low)->has_value());
+  EXPECT_FALSE(db_.Get("V2", "S", low)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "R", mid)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "S", mid)->has_value());
+  EXPECT_FALSE(db_.Get("V2", "R", high)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "S", high)->has_value());
+}
+
+TEST_F(SplitTest, SeparatedTwinsKeepIndependentValues) {
+  int64_t mid = Insert(7, "original");
+  // Update the S twin only; R keeps the original (R is primus inter pares,
+  // so T shows R's value).
+  ASSERT_TRUE(
+      db_.Update("V2", "S", mid, {Value::Int(7), Value::String("s-edit")})
+          .ok());
+  EXPECT_EQ((**db_.Get("V2", "R", mid))[1], Value::String("original"));
+  EXPECT_EQ((**db_.Get("V2", "S", mid))[1], Value::String("s-edit"));
+  EXPECT_EQ((**db_.Get("V1", "T", mid))[1], Value::String("original"));
+  // Updating T updates the primus twin R; the separated twin survives.
+  ASSERT_TRUE(
+      db_.Update("V1", "T", mid, {Value::Int(7), Value::String("t-edit")})
+          .ok());
+  EXPECT_EQ((**db_.Get("V2", "R", mid))[1], Value::String("t-edit"));
+  EXPECT_EQ((**db_.Get("V2", "S", mid))[1], Value::String("s-edit"));
+}
+
+TEST_F(SplitTest, LostTwinsStayLost) {
+  int64_t mid = Insert(7, "twin");
+  // Delete the R twin: S's copy survives, and R must not be resurrected
+  // from T (the R- auxiliary).
+  ASSERT_TRUE(db_.Delete("V2", "R", mid).ok());
+  EXPECT_FALSE(db_.Get("V2", "R", mid)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "S", mid)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "T", mid)->has_value());
+  // Deleting the S twin as well removes the tuple entirely.
+  ASSERT_TRUE(db_.Delete("V2", "S", mid).ok());
+  EXPECT_FALSE(db_.Get("V1", "T", mid)->has_value());
+}
+
+TEST_F(SplitTest, LeftoversLiveInTPrime) {
+  // A tuple matching neither condition is invisible in V2 but intact in V1.
+  // x < 10 and x >= 5 cover everything except... nothing here; the
+  // conditions overlap. Use an out-of-range insert through V1 after
+  // narrowing: insert x = NULL (matches neither condition).
+  int64_t odd = *db_.Insert("V1", "T", {Value::Null(), Value::String("odd")});
+  EXPECT_FALSE(db_.Get("V2", "R", odd)->has_value());
+  EXPECT_FALSE(db_.Get("V2", "S", odd)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "T", odd)->has_value());
+}
+
+TEST_F(SplitTest, OutOfConditionWritesAreKept) {
+  // Insert into R a tuple violating cR: it stays visible in R (the R*
+  // marker) and in T, but the write must be exactly reflected: S, which was
+  // not written, must not gain a row (the S- marker suppresses the twin).
+  Result<int64_t> key =
+      db_.Insert("V2", "R", {Value::Int(50), Value::String("forced")});
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(db_.Get("V2", "R", *key)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "T", *key)->has_value());
+  EXPECT_FALSE(db_.Get("V2", "S", *key)->has_value());
+}
+
+TEST_F(SplitTest, SemanticsSurviveMaterialization) {
+  int64_t mid = Insert(7, "original");
+  ASSERT_TRUE(
+      db_.Update("V2", "S", mid, {Value::Int(7), Value::String("s-edit")})
+          .ok());
+  int64_t lost = Insert(6, "lost-twin");
+  ASSERT_TRUE(db_.Delete("V2", "R", lost).ok());
+  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  EXPECT_EQ((**db_.Get("V2", "R", mid))[1], Value::String("original"));
+  EXPECT_EQ((**db_.Get("V2", "S", mid))[1], Value::String("s-edit"));
+  EXPECT_FALSE(db_.Get("V2", "R", lost)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "S", lost)->has_value());
+  EXPECT_EQ((**db_.Get("V1", "T", mid))[1], Value::String("original"));
+  // Writes keep working in the flipped state.
+  int64_t fresh = Insert(1, "fresh");
+  EXPECT_TRUE(db_.Get("V2", "R", fresh)->has_value());
+  EXPECT_FALSE(db_.Get("V2", "S", fresh)->has_value());
+}
+
+TEST_F(SplitTest, InsertDuplicateKeyFails) {
+  int64_t mid = Insert(7, "twin");
+  WriteSet ws;
+  ws.Add(WriteOp::Insert(mid, {Value::Int(1), Value::String("dup")}));
+  TvId r_tv = *db_.catalog().ResolveTable("V2", "R");
+  EXPECT_FALSE(db_.access().ApplyToVersion(r_tv, ws).ok());
+}
+
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION V1 WITH "
+                            "CREATE TABLE A(x INT, tag TEXT); "
+                            "CREATE TABLE B(x INT, tag TEXT);"
+                            "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                            "MERGE TABLE A (x < 10), B (x >= 10) INTO M;")
+                    .ok());
+  }
+  Inverda db_;
+};
+
+TEST_F(MergeTest, UnionVisibleInNewVersion) {
+  int64_t a = *db_.Insert("V1", "A", {Value::Int(1), Value::String("a")});
+  int64_t b = *db_.Insert("V1", "B", {Value::Int(20), Value::String("b")});
+  EXPECT_TRUE(db_.Get("V2", "M", a)->has_value());
+  EXPECT_TRUE(db_.Get("V2", "M", b)->has_value());
+  EXPECT_EQ(db_.Select("V2", "M")->size(), 2u);
+}
+
+TEST_F(MergeTest, InsertIntoMergedRoutesByCondition) {
+  int64_t low = *db_.Insert("V2", "M", {Value::Int(3), Value::String("lo")});
+  int64_t high = *db_.Insert("V2", "M", {Value::Int(30), Value::String("hi")});
+  EXPECT_TRUE(db_.Get("V1", "A", low)->has_value());
+  EXPECT_FALSE(db_.Get("V1", "B", low)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "B", high)->has_value());
+  EXPECT_FALSE(db_.Get("V1", "A", high)->has_value());
+}
+
+TEST_F(MergeTest, UpdateMovingAcrossConditions) {
+  int64_t key = *db_.Insert("V2", "M", {Value::Int(3), Value::String("lo")});
+  // The tuple was routed to A; updating it in M to x = 30 re-routes it to B
+  // (gamma_tgt re-evaluates the conditions; rules 12-17).
+  ASSERT_TRUE(
+      db_.Update("V2", "M", key, {Value::Int(30), Value::String("moved")})
+          .ok());
+  EXPECT_EQ((**db_.Get("V2", "M", key))[0], Value::Int(30));
+  EXPECT_FALSE(db_.Get("V1", "A", key)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "B", key)->has_value());
+}
+
+TEST_F(MergeTest, MergedWritesSurviveMaterialization) {
+  int64_t a = *db_.Insert("V1", "A", {Value::Int(1), Value::String("a")});
+  int64_t m = *db_.Insert("V2", "M", {Value::Int(15), Value::String("m")});
+  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  EXPECT_TRUE(db_.Get("V2", "M", a)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "B", m)->has_value());
+  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  EXPECT_TRUE(db_.Get("V2", "M", m)->has_value());
+  EXPECT_TRUE(db_.Get("V1", "A", a)->has_value());
+}
+
+TEST_F(SplitTest, SingleTargetSplitActsAsSelection) {
+  Inverda db;
+  ASSERT_TRUE(db.Execute("CREATE SCHEMA VERSION V1 WITH "
+                         "CREATE TABLE T(x INT);"
+                         "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                         "SPLIT TABLE T INTO Urgent WITH x = 1;")
+                  .ok());
+  int64_t urgent = *db.Insert("V1", "T", {Value::Int(1)});
+  int64_t other = *db.Insert("V1", "T", {Value::Int(2)});
+  EXPECT_TRUE(db.Get("V2", "Urgent", urgent)->has_value());
+  EXPECT_FALSE(db.Get("V2", "Urgent", other)->has_value());
+  // Insert through the selection; visible in T.
+  int64_t added = *db.Insert("V2", "Urgent", {Value::Int(1)});
+  EXPECT_TRUE(db.Get("V1", "T", added)->has_value());
+  // Deleting from the selection deletes the tuple.
+  ASSERT_TRUE(db.Delete("V2", "Urgent", urgent).ok());
+  EXPECT_FALSE(db.Get("V1", "T", urgent)->has_value());
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Structural invariants of materialization schemas, checked across every
+// valid schema of several genealogies:
+//  (I1) the physical table sets of distinct valid schemas differ,
+//  (I2) every table version has exactly one data route (physical, one
+//       materialized outgoing SMO, or a virtualized incoming SMO),
+//  (I3) MaterializationForTables on a valid schema's physical set
+//       reproduces that schema,
+//  (I4) subsets of a valid schema that stay "prefix-closed" are valid too.
+
+struct GenealogyCase {
+  const char* name;
+  std::vector<const char*> scripts;
+  size_t expected_valid;  // 0 = don't check the count
+};
+
+std::vector<GenealogyCase> Cases() {
+  return {
+      {"tasky",
+       {"CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author, task, "
+        "prio INT);",
+        "CREATE SCHEMA VERSION Do! FROM TasKy WITH SPLIT TABLE Task INTO "
+        "Todo WITH prio = 1; DROP COLUMN prio FROM Todo DEFAULT 1;",
+        "CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH DECOMPOSE TABLE Task "
+        "INTO Task(task, prio), Author(author) ON FK author; RENAME COLUMN "
+        "author IN Author TO name;"},
+       5},
+      {"linear_chain",
+       {"CREATE SCHEMA VERSION A WITH CREATE TABLE T(a INT);",
+        "CREATE SCHEMA VERSION B FROM A WITH ADD COLUMN b INT AS a INTO T;",
+        "CREATE SCHEMA VERSION C FROM B WITH ADD COLUMN c INT AS a INTO T;",
+        "CREATE SCHEMA VERSION D FROM C WITH ADD COLUMN d INT AS a INTO T;"},
+       // A chain of N dependent SMOs has N+1 valid schemas (paper, §8.3).
+       4},
+      {"independent_smos",
+       {"CREATE SCHEMA VERSION A WITH CREATE TABLE T(a INT); CREATE TABLE "
+        "U(b INT); CREATE TABLE V(c INT);",
+        "CREATE SCHEMA VERSION B FROM A WITH ADD COLUMN x INT AS a INTO T; "
+        "ADD COLUMN y INT AS b INTO U; ADD COLUMN z INT AS c INTO V;"},
+       // N independent SMOs have 2^N valid schemas (paper, §8.3).
+       8},
+      {"branching",
+       {"CREATE SCHEMA VERSION A WITH CREATE TABLE T(a INT, b TEXT);",
+        "CREATE SCHEMA VERSION L FROM A WITH SPLIT TABLE T INTO Lo WITH "
+        "a < 5, Hi WITH a >= 5;",
+        "CREATE SCHEMA VERSION R FROM A WITH DROP COLUMN b FROM T DEFAULT "
+        "'';"},
+       0},
+  };
+}
+
+class MaterializationPropertyTest
+    : public ::testing::TestWithParam<GenealogyCase> {};
+
+TEST_P(MaterializationPropertyTest, InvariantsHold) {
+  const GenealogyCase& c = GetParam();
+  Inverda db;
+  for (const char* script : c.scripts) {
+    ASSERT_TRUE(db.Execute(script).ok()) << script;
+  }
+  const VersionCatalog& catalog = db.catalog();
+  Result<std::vector<std::set<SmoId>>> valid =
+      catalog.EnumerateValidMaterializations();
+  ASSERT_TRUE(valid.ok());
+  if (c.expected_valid > 0) {
+    EXPECT_EQ(valid->size(), c.expected_valid) << c.name;
+  }
+
+  std::set<std::set<TvId>> physical_sets;
+  for (const std::set<SmoId>& m : *valid) {
+    std::vector<TvId> physical = catalog.PhysicalTables(m);
+    // (I1) distinct physical sets.
+    std::set<TvId> as_set(physical.begin(), physical.end());
+    EXPECT_TRUE(physical_sets.insert(as_set).second)
+        << c.name << ": duplicate physical set";
+    EXPECT_FALSE(physical.empty()) << c.name;
+
+    // (I3) recovering the schema from its physical set.
+    Result<std::set<SmoId>> recovered =
+        catalog.MaterializationForTables(physical);
+    ASSERT_TRUE(recovered.ok()) << c.name;
+    EXPECT_EQ(*recovered, m) << c.name;
+
+    // (I2) every table version reaches the data under this schema.
+    ASSERT_TRUE(db.MaterializeSchema(m).ok()) << c.name;
+    for (TvId tv : catalog.AllTableVersions()) {
+      Result<int> distance = db.access().PropagationDistance(tv);
+      ASSERT_TRUE(distance.ok())
+          << c.name << " tv " << catalog.TvLabel(tv);
+      EXPECT_GE(*distance, 0);
+    }
+  }
+
+  // (I4) prefix-closed subsets remain valid: removing a "leaf" SMO (one
+  // whose targets feed no other materialized SMO) keeps validity.
+  for (const std::set<SmoId>& m : *valid) {
+    for (SmoId candidate : m) {
+      bool is_leaf = true;
+      for (TvId target : catalog.smo(candidate).targets) {
+        for (SmoId out : catalog.table_version(target).outgoing) {
+          if (m.count(out)) is_leaf = false;
+        }
+      }
+      if (!is_leaf) continue;
+      std::set<SmoId> reduced = m;
+      reduced.erase(candidate);
+      EXPECT_TRUE(catalog.CheckValidMaterialization(reduced).ok())
+          << c.name << ": removing a leaf SMO broke validity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Genealogies, MaterializationPropertyTest, ::testing::ValuesIn(Cases()),
+    [](const ::testing::TestParamInfo<GenealogyCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// The paper's bounds from §8.3, stated as growth laws.
+TEST(MaterializationBoundsTest, LinearChainGrowsLinearly) {
+  Inverda db;
+  ASSERT_TRUE(db.Execute("CREATE SCHEMA VERSION V0 WITH "
+                         "CREATE TABLE T(a INT);")
+                  .ok());
+  size_t previous = 1;
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(db.Execute("CREATE SCHEMA VERSION V" + std::to_string(i) +
+                           " FROM V" + std::to_string(i - 1) +
+                           " WITH ADD COLUMN c" + std::to_string(i) +
+                           " INT AS a INTO T;")
+                    .ok());
+    Result<std::vector<std::set<SmoId>>> valid =
+        db.catalog().EnumerateValidMaterializations();
+    ASSERT_TRUE(valid.ok());
+    EXPECT_EQ(valid->size(), previous + 1);  // N SMOs -> N+1 schemas
+    previous = valid->size();
+  }
+}
+
+TEST(MaterializationBoundsTest, IndependentSmosGrowExponentially) {
+  Inverda db;
+  std::string create = "CREATE SCHEMA VERSION V0 WITH ";
+  for (int i = 0; i < 4; ++i) {
+    create += "CREATE TABLE T" + std::to_string(i) + "(a INT); ";
+  }
+  ASSERT_TRUE(db.Execute(create).ok());
+  std::string evolve = "CREATE SCHEMA VERSION V1 FROM V0 WITH ";
+  for (int i = 0; i < 4; ++i) {
+    evolve += "ADD COLUMN x INT AS a INTO T" + std::to_string(i) + "; ";
+  }
+  ASSERT_TRUE(db.Execute(evolve).ok());
+  Result<std::vector<std::set<SmoId>>> valid =
+      db.catalog().EnumerateValidMaterializations();
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(valid->size(), 16u);  // 2^4
+}
+
+}  // namespace
+}  // namespace inverda

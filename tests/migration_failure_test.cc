@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Failure injection for the migration operation: the Database Migration
+// Operation promises all-or-nothing semantics ("maintaining transaction
+// guarantees"). We inject failures by occupying physical table names the
+// migration needs and verify the full rollback.
+class MigrationFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+    for (int i = 0; i < 10; ++i) {
+      keys_.push_back(*db_.Insert(
+          "TasKy", "Task",
+          {Value::String("a" + std::to_string(i % 3)),
+           Value::String("t" + std::to_string(i)), Value::Int(1 + i % 3)}));
+    }
+  }
+
+  Inverda db_;
+  std::vector<int64_t> keys_;
+};
+
+TEST_F(MigrationFailureTest, CollidingStagingTableRollsBack) {
+  // Occupy the physical name the migration will want for TasKy2's Task.
+  TvId task2 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  std::string doomed_name = db_.catalog().DataTableName(task2);
+  ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed_name, {})).ok());
+
+  std::set<SmoId> old_m = db_.catalog().CurrentMaterialization();
+  size_t tables_before = db_.db().TableNames().size();
+
+  Status s = db_.Materialize({"TasKy2"});
+  EXPECT_FALSE(s.ok());
+
+  // Everything rolled back: states, physical tables, views. (Id
+  // assignments made while *reading* during staging may persist — they are
+  // repeatable-read bookkeeping, not data.)
+  EXPECT_EQ(db_.catalog().CurrentMaterialization(), old_m);
+  EXPECT_EQ(db_.db().TableNames().size(), tables_before);
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  EXPECT_TRUE(db_.catalog().IsPhysical(task0));
+
+  // After removing the obstruction the migration succeeds.
+  ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
+  EXPECT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+}
+
+TEST_F(MigrationFailureTest, InvalidTargetsFailCleanly) {
+  int64_t rows_before = db_.db().TotalRows();
+  EXPECT_FALSE(db_.Materialize({"NoSuchVersion"}).ok());
+  EXPECT_FALSE(db_.Materialize({"TasKy2.NoSuchTable"}).ok());
+  EXPECT_FALSE(db_.Materialize({"Do!", "TasKy2"}).ok());  // condition (56)
+  EXPECT_FALSE(db_.Materialize({"a.b.c"}).ok());
+  EXPECT_EQ(db_.db().TotalRows(), rows_before);
+  EXPECT_EQ(db_.Select("Do!", "Todo")->size(),
+            static_cast<size_t>(
+                std::count_if(keys_.begin(), keys_.end(), [this](int64_t k) {
+                  Result<std::optional<Row>> row = db_.Get("TasKy", "Task", k);
+                  return row.ok() && row->has_value() &&
+                         (**row)[2] == Value::Int(1);
+                })));
+}
+
+TEST_F(MigrationFailureTest, ExplicitInvalidSchemaIsRejected) {
+  // Build the invalid {SPLIT, DECOMPOSE} schema by hand.
+  std::set<SmoId> bad;
+  for (SmoId id : db_.catalog().AllSmos()) {
+    SmoKind kind = db_.catalog().smo(id).smo->kind();
+    if (kind == SmoKind::kSplit || kind == SmoKind::kDecompose) {
+      bad.insert(id);
+    }
+  }
+  ASSERT_EQ(bad.size(), 2u);
+  Status s = db_.MaterializeSchema(bad);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Views unaffected.
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
+}
+
+TEST_F(MigrationFailureTest, RepeatedFailureThenSuccessKeepsStateClean) {
+  TvId todo = *db_.catalog().ResolveTable("Do!", "Todo");
+  std::string doomed_name = db_.catalog().DataTableName(todo);
+  ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed_name, {})).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(db_.Materialize({"Do!"}).ok());
+  }
+  ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
+  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+  EXPECT_EQ(db_.Select("TasKy2", "Author")->size(), 3u);
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Captures the user-visible content of every table of every schema version.
+std::map<std::string, std::vector<KeyedRow>> SnapshotAllVersions(Inverda* db) {
+  std::map<std::string, std::vector<KeyedRow>> out;
+  for (const std::string& version : db->catalog().VersionNames()) {
+    Result<const SchemaVersionInfo*> info = db->catalog().FindVersion(version);
+    EXPECT_TRUE(info.ok());
+    for (const auto& [table, tv] : (*info)->tables) {
+      (void)tv;
+      Result<std::vector<KeyedRow>> rows = db->Select(version, table);
+      EXPECT_TRUE(rows.ok()) << version << "." << table << ": "
+                             << rows.status().ToString();
+      if (rows.ok()) out[version + "." + table] = *rows;
+    }
+  }
+  return out;
+}
+
+void ExpectSnapshotsEqual(
+    const std::map<std::string, std::vector<KeyedRow>>& a,
+    const std::map<std::string, std::vector<KeyedRow>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, rows_a] : a) {
+    auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << name;
+    const auto& rows_b = it->second;
+    ASSERT_EQ(rows_a.size(), rows_b.size()) << name;
+    for (size_t i = 0; i < rows_a.size(); ++i) {
+      EXPECT_EQ(rows_a[i].key, rows_b[i].key) << name << " row " << i;
+      EXPECT_TRUE(RowsEqual(rows_a[i].row, rows_b[i].row))
+          << name << " row " << i << ": " << RowToString(rows_a[i].row)
+          << " vs " << RowToString(rows_b[i].row);
+    }
+  }
+}
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+    const char* rows[][3] = {{"Ann", "Organize party", "3"},
+                             {"Ben", "Learn for exam", "2"},
+                             {"Ann", "Write paper", "1"},
+                             {"Ben", "Clean room", "1"}};
+    for (auto& r : rows) {
+      Result<int64_t> key =
+          db_.Insert("TasKy", "Task",
+                     {Value::String(r[0]), Value::String(r[1]),
+                      Value::Int(std::stoll(r[2]))});
+      ASSERT_TRUE(key.ok());
+      keys_.push_back(*key);
+    }
+  }
+
+  Inverda db_;
+  std::vector<int64_t> keys_;
+};
+
+TEST_F(MigrationTest, MaterializeTasky2PreservesEveryVersion) {
+  auto before = SnapshotAllVersions(&db_);
+  ASSERT_TRUE(db_.Execute(BidelMigrationScript()).ok());
+  auto after = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, after);
+  // The physical layout actually changed: TasKy2's tables are physical now.
+  TvId task2 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  EXPECT_TRUE(db_.catalog().IsPhysical(task2));
+  TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
+  EXPECT_FALSE(db_.catalog().IsPhysical(task0));
+}
+
+TEST_F(MigrationTest, MaterializeDoPreservesEveryVersion) {
+  auto before = SnapshotAllVersions(&db_);
+  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  auto after = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, after);
+}
+
+TEST_F(MigrationTest, RoundTripThroughAllMaterializations) {
+  auto before = SnapshotAllVersions(&db_);
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  auto after = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, after);
+}
+
+TEST_F(MigrationTest, WritesWorkAfterMigration) {
+  ASSERT_TRUE(db_.Execute(BidelMigrationScript()).ok());
+  // Insert through the (now virtual) TasKy version.
+  Result<int64_t> key =
+      db_.Insert("TasKy", "Task",
+                 {Value::String("Cleo"), Value::String("New task"),
+                  Value::Int(1)});
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(db_.Get("TasKy2", "Task", *key)->has_value());
+  EXPECT_TRUE(db_.Get("Do!", "Todo", *key)->has_value());
+  // Update through Do!.
+  ASSERT_TRUE(db_.Update("Do!", "Todo", *key,
+                         {Value::String("Cleo"), Value::String("Renamed")})
+                  .ok());
+  EXPECT_EQ((**db_.Get("TasKy2", "Task", *key))[0], Value::String("Renamed"));
+  // Delete through TasKy.
+  ASSERT_TRUE(db_.Delete("TasKy", "Task", *key).ok());
+  EXPECT_FALSE(db_.Get("TasKy2", "Task", *key)->has_value());
+}
+
+TEST_F(MigrationTest, TargetedTableMaterialization) {
+  ASSERT_TRUE(db_.Materialize({"TasKy2.Task", "TasKy2.Author"}).ok());
+  TvId author = *db_.catalog().ResolveTable("TasKy2", "Author");
+  EXPECT_TRUE(db_.catalog().IsPhysical(author));
+}
+
+TEST_F(MigrationTest, ConflictingTargetsFail) {
+  // Do! and TasKy2 claim the same source table version.
+  EXPECT_FALSE(db_.Materialize({"Do!", "TasKy2"}).ok());
+}
+
+TEST_F(MigrationTest, MaterializeIsIdempotent) {
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  auto before = SnapshotAllVersions(&db_);
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  auto after = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, after);
+}
+
+TEST_F(MigrationTest, TwinsAndAuxStateSurviveMigration) {
+  // Create divergence that lives in auxiliary tables: an update through
+  // Do! (separated from the priority column) and an out-of-condition Todo.
+  ASSERT_TRUE(db_.Update("Do!", "Todo", keys_[2],
+                         {Value::String("Ann"), Value::String("Edited")})
+                  .ok());
+  auto before = SnapshotAllVersions(&db_);
+  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  auto mid = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, mid);
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  auto after = SnapshotAllVersions(&db_);
+  ExpectSnapshotsEqual(before, after);
+}
+
+TEST_F(MigrationTest, StalePhysicalTablesAreDropped) {
+  size_t tables_initial = db_.db().TableNames().size();
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  // Back to the initial materialization: the same set of physical tables.
+  EXPECT_EQ(db_.db().TableNames().size(), tables_initial);
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+
+namespace inverda {
+namespace {
+
+TableSchema TaskSchema() {
+  return TableSchema("Task", {{"author", DataType::kString},
+                              {"task", DataType::kString},
+                              {"prio", DataType::kInt64}});
+}
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  TableSchema s = TaskSchema();
+  EXPECT_EQ(s.FindColumn("Prio"), 2);
+  EXPECT_EQ(s.FindColumn("missing"), std::nullopt);
+}
+
+TEST(SchemaTest, AddDropRename) {
+  TableSchema s = TaskSchema();
+  ASSERT_TRUE(s.AddColumn({"done", DataType::kBool}).ok());
+  EXPECT_EQ(s.num_columns(), 4);
+  EXPECT_FALSE(s.AddColumn({"DONE", DataType::kBool}).ok());
+  ASSERT_TRUE(s.RenameColumn("done", "finished").ok());
+  EXPECT_TRUE(s.FindColumn("finished").has_value());
+  EXPECT_FALSE(s.RenameColumn("finished", "prio").ok());
+  ASSERT_TRUE(s.DropColumn("finished").ok());
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_FALSE(s.DropColumn("finished").ok());
+}
+
+TEST(SchemaTest, SelectColumnsPreservesRequestedOrder) {
+  TableSchema s = TaskSchema();
+  auto cols = s.SelectColumns({"prio", "author"});
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ((*cols)[0].name, "prio");
+  EXPECT_EQ((*cols)[1].name, "author");
+  EXPECT_FALSE(s.SelectColumns({"nope"}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexes) {
+  TableSchema s = TaskSchema();
+  auto idx = s.ColumnIndexes({"task", "author"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)[0], 1);
+  EXPECT_EQ((*idx)[1], 0);
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TaskSchema().ToString(),
+            "Task(author TEXT, task TEXT, prio INT)");
+}
+
+}  // namespace
+}  // namespace inverda

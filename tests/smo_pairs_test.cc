@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "workload/smo_pairs.h"
+
+namespace inverda {
+namespace {
+
+class SmoPairTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SmoPairTest, BuildsAndReadsUnderAllMaterializations) {
+  Result<SmoPairScenario> scenario =
+      BuildSmoPair(GetParam(), "add_column", /*rows=*/50, /*seed=*/3);
+  ASSERT_TRUE(scenario.ok()) << GetParam() << ": "
+                             << scenario.status().ToString();
+  Inverda& db = *scenario->db;
+
+  Result<std::vector<KeyedRow>> v2_rows = db.Select("v2", "R");
+  ASSERT_TRUE(v2_rows.ok()) << v2_rows.status().ToString();
+  EXPECT_EQ(v2_rows->size(), 50u);
+  size_t v3_count = db.Select("v3", scenario->v3_table)->size();
+  size_t v1_count = db.Select("v1", scenario->v1_table)->size();
+
+  for (const char* target : {"v2", "v3", "v1"}) {
+    ASSERT_TRUE(db.Materialize({target}).ok())
+        << GetParam() << " materialize " << target;
+    EXPECT_EQ(db.Select("v2", "R")->size(), 50u)
+        << GetParam() << " under " << target;
+    EXPECT_EQ(db.Select("v3", scenario->v3_table)->size(), v3_count)
+        << GetParam() << " under " << target;
+    EXPECT_EQ(db.Select("v1", scenario->v1_table)->size(), v1_count)
+        << GetParam() << " under " << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFirstKinds, SmoPairTest,
+                         ::testing::ValuesIn(FirstSmoKinds()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+class SecondSmoPairTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SecondSmoPairTest, SplitFirstThenEverySecond) {
+  Result<SmoPairScenario> scenario =
+      BuildSmoPair("split", GetParam(), /*rows=*/40, /*seed=*/4);
+  ASSERT_TRUE(scenario.ok()) << GetParam() << ": "
+                             << scenario.status().ToString();
+  Inverda& db = *scenario->db;
+  size_t v3_count = db.Select("v3", scenario->v3_table)->size();
+  ASSERT_TRUE(db.Materialize({"v3"}).ok());
+  EXPECT_EQ(db.Select("v3", scenario->v3_table)->size(), v3_count);
+  ASSERT_TRUE(db.Materialize({"v1"}).ok());
+  EXPECT_EQ(db.Select("v3", scenario->v3_table)->size(), v3_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSecondKinds, SecondSmoPairTest,
+                         ::testing::ValuesIn(SecondSmoKinds()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(SmoPairErrorTest, UnknownKindsFail) {
+  EXPECT_FALSE(BuildSmoPair("nope", "add_column", 10, 1).ok());
+  EXPECT_FALSE(BuildSmoPair("split", "nope", 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace inverda {
+namespace {
+
+TableSchema TwoCol() {
+  return TableSchema("t", {{"a", DataType::kInt64}, {"b", DataType::kString}});
+}
+
+TEST(TableTest, InsertFindUpdateErase) {
+  Table t(TwoCol());
+  ASSERT_TRUE(t.Insert(1, {Value::Int(10), Value::String("x")}).ok());
+  EXPECT_FALSE(t.Insert(1, {Value::Int(11), Value::String("y")}).ok());
+  ASSERT_NE(t.Find(1), nullptr);
+  EXPECT_EQ((*t.Find(1))[0], Value::Int(10));
+  ASSERT_TRUE(t.Update(1, {Value::Int(20), Value::String("z")}).ok());
+  EXPECT_EQ((*t.Find(1))[0], Value::Int(20));
+  EXPECT_FALSE(t.Update(2, {Value::Int(0), Value::String("")}).ok());
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+  Table t(TwoCol());
+  EXPECT_FALSE(t.Insert(1, {Value::Int(10)}).ok());
+  EXPECT_FALSE(t.Upsert(1, {Value::Int(1), Value::Int(2), Value::Int(3)}).ok());
+}
+
+TEST(TableTest, ScanIsKeyOrdered) {
+  Table t(TwoCol());
+  ASSERT_TRUE(t.Upsert(3, {Value::Int(3), Value::String("c")}).ok());
+  ASSERT_TRUE(t.Upsert(1, {Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Upsert(2, {Value::Int(2), Value::String("b")}).ok());
+  std::vector<int64_t> keys;
+  t.Scan([&](int64_t k, const Row&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(TableTest, ContentEquals) {
+  Table a(TwoCol()), b(TwoCol());
+  ASSERT_TRUE(a.Upsert(1, {Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(b.Upsert(1, {Value::Int(1), Value::String("x")}).ok());
+  EXPECT_TRUE(a.ContentEquals(b));
+  ASSERT_TRUE(b.Upsert(1, {Value::Int(2), Value::String("x")}).ok());
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(DatabaseTest, CreateDropRename) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TwoCol()).ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_FALSE(db.CreateTable(TwoCol()).ok());
+  ASSERT_TRUE(db.RenameTable("t", "u").ok());
+  EXPECT_FALSE(db.HasTable("t"));
+  ASSERT_TRUE(db.GetTable("u").ok());
+  EXPECT_EQ((*db.GetTable("u"))->schema().name(), "u");
+  ASSERT_TRUE(db.DropTable("u").ok());
+  EXPECT_FALSE(db.DropTable("u").ok());
+}
+
+TEST(DatabaseTest, SnapshotRestore) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TwoCol()).ok());
+  Table* t = *db.GetTable("t");
+  ASSERT_TRUE(t->Insert(db.sequence().Next(),
+                        {Value::Int(1), Value::String("a")}).ok());
+  Database::SnapshotState snap = db.Snapshot();
+  int64_t seq_before = db.sequence().Peek();
+
+  ASSERT_TRUE(t->Insert(db.sequence().Next(),
+                        {Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema("extra", {})).ok());
+
+  db.Restore(std::move(snap));
+  EXPECT_FALSE(db.HasTable("extra"));
+  EXPECT_EQ((*db.GetTable("t"))->size(), 1);
+  EXPECT_EQ(db.sequence().Peek(), seq_before);
+}
+
+TEST(SequenceTest, MonotonicAndBumpable) {
+  Sequence s(10);
+  EXPECT_EQ(s.Next(), 10);
+  EXPECT_EQ(s.Next(), 11);
+  s.BumpPast(100);
+  EXPECT_EQ(s.Next(), 101);
+  s.BumpPast(5);  // no-op
+  EXPECT_EQ(s.Next(), 102);
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// End-to-end coverage of the paper's Figure 1 scenario: three co-existing
+// schema versions over one data set, with writes through any version
+// visible in all others.
+class TaskyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+    // The four tasks of Figure 1.
+    p1_ = Insert("Ann", "Organize party", 3);
+    p2_ = Insert("Ben", "Learn for exam", 2);
+    p3_ = Insert("Ann", "Write paper", 1);
+    p4_ = Insert("Ben", "Clean room", 1);
+  }
+
+  int64_t Insert(const char* author, const char* task, int64_t prio) {
+    Result<int64_t> key = db_.Insert(
+        "TasKy", "Task",
+        {Value::String(author), Value::String(task), Value::Int(prio)});
+    EXPECT_TRUE(key.ok()) << key.status().ToString();
+    return key.ok() ? *key : -1;
+  }
+
+  Inverda db_;
+  int64_t p1_ = 0, p2_ = 0, p3_ = 0, p4_ = 0;
+};
+
+TEST_F(TaskyTest, DoShowsOnlyUrgentTasksWithoutPrio) {
+  Result<std::vector<KeyedRow>> todos = db_.Select("Do!", "Todo");
+  ASSERT_TRUE(todos.ok()) << todos.status().ToString();
+  ASSERT_EQ(todos->size(), 2u);
+  Result<TableSchema> schema = db_.GetSchema("Do!", "Todo");
+  EXPECT_EQ(schema->ColumnNames(),
+            (std::vector<std::string>{"author", "task"}));
+  // Figure 1: tasks 3 and 4 are the urgent ones.
+  Result<std::optional<Row>> todo3 = db_.Get("Do!", "Todo", p3_);
+  ASSERT_TRUE(todo3->has_value());
+  EXPECT_EQ((**todo3)[1], Value::String("Write paper"));
+  EXPECT_FALSE(db_.Get("Do!", "Todo", p1_)->has_value());
+}
+
+TEST_F(TaskyTest, TasKy2NormalizesAuthors) {
+  Result<std::vector<KeyedRow>> tasks = db_.Select("TasKy2", "Task");
+  ASSERT_TRUE(tasks.ok()) << tasks.status().ToString();
+  EXPECT_EQ(tasks->size(), 4u);
+  Result<std::vector<KeyedRow>> authors = db_.Select("TasKy2", "Author");
+  ASSERT_TRUE(authors.ok()) << authors.status().ToString();
+  // Ann and Ben, deduplicated.
+  ASSERT_EQ(authors->size(), 2u);
+  // The foreign keys of the tasks reference the author rows.
+  Result<std::optional<Row>> task3 = db_.Get("TasKy2", "Task", p3_);
+  ASSERT_TRUE(task3->has_value());
+  Value fk = (**task3)[2];
+  ASSERT_TRUE(fk.is_int());
+  Result<std::optional<Row>> ann = db_.Get("TasKy2", "Author", fk.AsInt());
+  ASSERT_TRUE(ann->has_value());
+  EXPECT_EQ((**ann)[0], Value::String("Ann"));
+}
+
+TEST_F(TaskyTest, SameAuthorSharesForeignKey) {
+  Row t1 = **db_.Get("TasKy2", "Task", p1_);
+  Row t3 = **db_.Get("TasKy2", "Task", p3_);
+  EXPECT_EQ(t1[2], t3[2]);  // both Ann
+  Row t2 = **db_.Get("TasKy2", "Task", p2_);
+  EXPECT_NE(t1[2], t2[2]);  // Ann vs Ben
+}
+
+TEST_F(TaskyTest, InsertThroughDoAppearsEverywhere) {
+  Result<int64_t> key = db_.Insert(
+      "Do!", "Todo", {Value::String("Cleo"), Value::String("Call mum")});
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  // In TasKy with the default priority 1 (the DROP COLUMN default).
+  Result<std::optional<Row>> task = db_.Get("TasKy", "Task", *key);
+  ASSERT_TRUE(task->has_value());
+  EXPECT_EQ((**task)[0], Value::String("Cleo"));
+  EXPECT_EQ((**task)[2], Value::Int(1));
+  // In TasKy2 with a new author row.
+  EXPECT_TRUE(db_.Get("TasKy2", "Task", *key)->has_value());
+  EXPECT_EQ(db_.Select("TasKy2", "Author")->size(), 3u);
+}
+
+TEST_F(TaskyTest, InsertThroughTasKy2AppearsEverywhere) {
+  // Find Ben's author id.
+  ExprPtr is_ben = *ParseExpression("name = 'Ben'");
+  Result<std::vector<KeyedRow>> ben =
+      db_.SelectWhere("TasKy2", "Author", *is_ben);
+  ASSERT_EQ(ben->size(), 1u);
+  int64_t ben_id = (*ben)[0].key;
+
+  Result<int64_t> key = db_.Insert(
+      "TasKy2", "Task",
+      {Value::String("Buy milk"), Value::Int(1), Value::Int(ben_id)});
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  Row task = **db_.Get("TasKy", "Task", *key);
+  EXPECT_EQ(task[0], Value::String("Ben"));
+  EXPECT_EQ(task[1], Value::String("Buy milk"));
+  EXPECT_EQ(task[2], Value::Int(1));
+  // Priority 1, so Do! shows it as well.
+  EXPECT_TRUE(db_.Get("Do!", "Todo", *key)->has_value());
+}
+
+TEST_F(TaskyTest, UpdateThroughDoPropagatesBack) {
+  ASSERT_TRUE(db_.Update("Do!", "Todo", p3_,
+                         {Value::String("Ann"), Value::String("Review paper")})
+                  .ok());
+  Row task = **db_.Get("TasKy", "Task", p3_);
+  EXPECT_EQ(task[1], Value::String("Review paper"));
+  EXPECT_EQ(task[2], Value::Int(1));  // priority preserved
+}
+
+TEST_F(TaskyTest, DeleteThroughDoDeletesTheTask) {
+  ASSERT_TRUE(db_.Delete("Do!", "Todo", p4_).ok());
+  EXPECT_FALSE(db_.Get("TasKy", "Task", p4_)->has_value());
+  EXPECT_FALSE(db_.Get("TasKy2", "Task", p4_)->has_value());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 3u);
+}
+
+TEST_F(TaskyTest, RenamedAuthorPropagatesToTasky) {
+  ExprPtr is_ann = *ParseExpression("name = 'Ann'");
+  Result<std::vector<KeyedRow>> ann =
+      db_.SelectWhere("TasKy2", "Author", *is_ann);
+  ASSERT_EQ(ann->size(), 1u);
+  ASSERT_TRUE(
+      db_.Update("TasKy2", "Author", (*ann)[0].key, {Value::String("Anna")})
+          .ok());
+  Row task = **db_.Get("TasKy", "Task", p1_);
+  EXPECT_EQ(task[0], Value::String("Anna"));
+  Row task3 = **db_.Get("TasKy", "Task", p3_);
+  EXPECT_EQ(task3[0], Value::String("Anna"));
+}
+
+TEST_F(TaskyTest, UpdatePriorityMovesTaskInAndOutOfDo) {
+  // Task 1 has priority 3 and is invisible in Do!.
+  EXPECT_FALSE(db_.Get("Do!", "Todo", p1_)->has_value());
+  ASSERT_TRUE(db_.Update("TasKy", "Task", p1_,
+                         {Value::String("Ann"), Value::String("Organize party"),
+                          Value::Int(1)})
+                  .ok());
+  EXPECT_TRUE(db_.Get("Do!", "Todo", p1_)->has_value());
+  ASSERT_TRUE(db_.Update("TasKy", "Task", p1_,
+                         {Value::String("Ann"), Value::String("Organize party"),
+                          Value::Int(2)})
+                  .ok());
+  EXPECT_FALSE(db_.Get("Do!", "Todo", p1_)->has_value());
+}
+
+TEST_F(TaskyTest, AuthorWithoutTasksSurvivesTaskDeletion) {
+  // Deleting Ben's tasks through TasKy2.Task keeps Ben as an author (the
+  // paper's information-preservation guarantee: the ω-padded row).
+  ASSERT_TRUE(db_.Delete("TasKy2", "Task", p2_).ok());
+  ASSERT_TRUE(db_.Delete("TasKy2", "Task", p4_).ok());
+  ExprPtr is_ben = *ParseExpression("name = 'Ben'");
+  EXPECT_EQ(db_.SelectWhere("TasKy2", "Author", *is_ben)->size(), 1u);
+  // TasKy sees only Ann's tasks plus the ω row for Ben.
+  Result<std::vector<KeyedRow>> tasks = db_.Select("TasKy", "Task");
+  int omega_rows = 0;
+  for (const KeyedRow& kr : *tasks) {
+    if (kr.row[1].is_null()) ++omega_rows;
+  }
+  EXPECT_EQ(omega_rows, 1);
+}
+
+TEST_F(TaskyTest, AllVersionsAgreeOnTaskCount) {
+  // Insert through each version, then compare counts.
+  ASSERT_TRUE(db_.Insert("TasKy", "Task",
+                         {Value::String("Zoe"), Value::String("A"),
+                          Value::Int(2)})
+                  .ok());
+  ASSERT_TRUE(
+      db_.Insert("Do!", "Todo", {Value::String("Zoe"), Value::String("B")})
+          .ok());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 6u);
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 6u);
+  EXPECT_EQ(db_.Select("Do!", "Todo")->size(), 3u);  // prio-1 tasks only
+}
+
+}  // namespace
+}  // namespace inverda

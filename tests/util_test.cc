@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "util/code_metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table foo");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  INVERDA_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = Quarter(6);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("TasKy", "tasky"));
+  EXPECT_FALSE(EqualsIgnoreCase("task", "tasks"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+}
+
+TEST(CodeMetricsTest, CountsLinesStatementsChars) {
+  CodeMetrics m = MeasureCode("SELECT 1;\n-- comment\nSELECT  2;\n\n");
+  EXPECT_EQ(m.lines_of_code, 2);
+  EXPECT_EQ(m.statements, 2);
+  // "SELECT 1;" (9) + separator (1) + "SELECT 2;" (9) = 19.
+  EXPECT_EQ(m.characters, 19);
+}
+
+TEST(CodeMetricsTest, StringsKeepWhitespaceAndSemicolons) {
+  CodeMetrics m = MeasureCode("INSERT 'a ; b';");
+  EXPECT_EQ(m.statements, 1);
+}
+
+TEST(RandomTest, DeterministicAndBounded) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInt64(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(r.NextString(6).size(), 6u);
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/value.h"
+
+namespace inverda {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+}
+
+TEST(ValueTest, NullEqualsNullOnly) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Null(), Value::String(""));
+}
+
+TEST(ValueTest, IntAndDoubleAreDistinctVariants) {
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(5), Value::String("a"));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::String("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+}
+
+TEST(RowTest, EqualityAndHash) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(1), Value::String("y")};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_FALSE(RowsEqual(a, {Value::Int(1)}));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+TEST(RowTest, ToString) {
+  Row r = {Value::Int(1), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, NULL)");
+}
+
+}  // namespace
+}  // namespace inverda

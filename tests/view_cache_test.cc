@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+class ViewCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(BidelInitialScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelDoScript()).ok());
+    ASSERT_TRUE(db_.Execute(BidelEvolutionScript()).ok());
+    key_ = *db_.Insert("TasKy", "Task",
+                       {Value::String("Ann"), Value::String("Paper"),
+                        Value::Int(1)});
+    db_.access().set_cache_enabled(true);
+  }
+  Inverda db_;
+  int64_t key_ = 0;
+};
+
+TEST_F(ViewCacheTest, RepeatedScansHitTheCache) {
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  int64_t misses = db_.access().cache_misses();
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  EXPECT_EQ(db_.access().cache_misses(), misses);
+  EXPECT_GE(db_.access().cache_hits(), 2);
+}
+
+TEST_F(ViewCacheTest, WritesInvalidate) {
+  size_t before = db_.Select("TasKy2", "Task")->size();
+  ASSERT_TRUE(db_.Insert("TasKy", "Task",
+                         {Value::String("Ben"), Value::String("Exam"),
+                          Value::Int(2)})
+                  .ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), before + 1);
+}
+
+TEST_F(ViewCacheTest, WritesThroughVirtualVersionInvalidate) {
+  size_t before = db_.Select("TasKy", "Task")->size();
+  ASSERT_TRUE(db_.Insert("Do!", "Todo",
+                         {Value::String("Cleo"), Value::String("Call")})
+                  .ok());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), before + 1);
+  EXPECT_EQ(db_.Select("Do!", "Todo")->size(), 2u);
+}
+
+TEST_F(ViewCacheTest, UpdatesAndDeletesInvalidate) {
+  ASSERT_TRUE(db_.Select("Do!", "Todo").ok());  // warm
+  ASSERT_TRUE(db_.Update("TasKy", "Task", key_,
+                         {Value::String("Ann"), Value::String("Paper"),
+                          Value::Int(3)})
+                  .ok());
+  // Priority 3: no longer visible in Do!.
+  EXPECT_EQ(db_.Select("Do!", "Todo")->size(), 0u);
+  ASSERT_TRUE(db_.Delete("TasKy", "Task", key_).ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 0u);
+}
+
+TEST_F(ViewCacheTest, MigrationInvalidates) {
+  size_t tasky2 = db_.Select("TasKy2", "Task")->size();
+  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), tasky2);
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), tasky2);
+  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  EXPECT_EQ(db_.Select("Do!", "Todo")->size(), 1u);
+}
+
+TEST_F(ViewCacheTest, PointLookupsUseCachedScans) {
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());  // warm
+  int64_t hits = db_.access().cache_hits();
+  Result<std::optional<Row>> row = db_.Get("TasKy2", "Task", key_);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->has_value());
+  EXPECT_GT(db_.access().cache_hits(), hits);
+}
+
+TEST_F(ViewCacheTest, DisablingClearsState) {
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  db_.access().set_cache_enabled(false);
+  ASSERT_TRUE(db_.Insert("TasKy", "Task",
+                         {Value::String("Zoe"), Value::String("Z"),
+                          Value::Int(1)})
+                  .ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace inverda

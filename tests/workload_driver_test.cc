@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+#include "workload/tasky.h"
+
+namespace inverda {
+namespace {
+
+TEST(AdoptionCurveTest, MonotoneFromZeroToOne) {
+  const int total = 100;
+  double previous = -1.0;
+  for (int t = 0; t <= total; ++t) {
+    double f = AdoptionFraction(t, total);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    EXPECT_GE(f, previous);
+    previous = f;
+  }
+  EXPECT_LT(AdoptionFraction(0, total), 0.01);
+  EXPECT_GT(AdoptionFraction(total, total), 0.99);
+  EXPECT_NEAR(AdoptionFraction(total / 2, total), 0.5, 0.01);
+}
+
+TEST(OpMixTest, PresetsSumToOne) {
+  for (const OpMix& mix : {OpMix::Standard(), OpMix::ReadOnly(),
+                           OpMix::InsertOnly()}) {
+    EXPECT_NEAR(mix.reads + mix.inserts + mix.updates + mix.deletes, 1.0,
+                1e-9);
+  }
+}
+
+TEST(RunWorkloadTest, InsertOnlyGrowsTheKeyPool) {
+  TaskyOptions options;
+  options.num_tasks = 10;
+  TaskyScenario scenario = *std::move(BuildTasky(options));
+  Random rng(1);
+  std::vector<int64_t> keys = scenario.task_keys;
+  WorkloadTarget target{"TasKy", "Task",
+                        [](Random* r) { return RandomTaskRow(r, 5); }};
+  Result<double> elapsed = RunWorkload(scenario.db.get(), target,
+                                       OpMix::InsertOnly(), 25, &rng, &keys);
+  ASSERT_TRUE(elapsed.ok()) << elapsed.status().ToString();
+  EXPECT_GE(*elapsed, 0.0);
+  EXPECT_EQ(keys.size(), 35u);
+  EXPECT_EQ(scenario.db->Select("TasKy", "Task")->size(), 35u);
+}
+
+TEST(RunWorkloadTest, MixedWorkloadKeepsKeyPoolConsistent) {
+  TaskyOptions options;
+  options.num_tasks = 30;
+  TaskyScenario scenario = *std::move(BuildTasky(options));
+  Random rng(2);
+  std::vector<int64_t> keys = scenario.task_keys;
+  WorkloadTarget target{"TasKy", "Task",
+                        [](Random* r) { return RandomTaskRow(r, 5); }};
+  ASSERT_TRUE(RunWorkload(scenario.db.get(), target, OpMix::Standard(), 100,
+                          &rng, &keys)
+                  .ok());
+  // Every tracked key resolves; the table size matches the pool.
+  EXPECT_EQ(scenario.db->Select("TasKy", "Task")->size(), keys.size());
+  for (int64_t key : keys) {
+    EXPECT_TRUE(scenario.db->Get("TasKy", "Task", key)->has_value());
+  }
+}
+
+TEST(RunWorkloadTest, WorksAgainstVirtualVersions) {
+  TaskyOptions options;
+  options.num_tasks = 20;
+  TaskyScenario scenario = *std::move(BuildTasky(options));
+  Random rng(3);
+  std::vector<int64_t> keys = scenario.task_keys;
+  WorkloadTarget target{"Do!", "Todo", [](Random* r) {
+                          Row t = RandomTaskRow(r, 5);
+                          return Row{t[0], t[1]};
+                        }};
+  Result<double> elapsed = RunWorkload(scenario.db.get(), target,
+                                       OpMix::Standard(), 60, &rng, &keys);
+  ASSERT_TRUE(elapsed.ok()) << elapsed.status().ToString();
+  // All surviving tracked keys are consistent between versions.
+  size_t todo = scenario.db->Select("Do!", "Todo")->size();
+  size_t tasks = scenario.db->Select("TasKy", "Task")->size();
+  EXPECT_LE(todo, tasks);
+}
+
+TEST(TaskyBuilderTest, RespectsOptions) {
+  TaskyOptions options;
+  options.num_tasks = 7;
+  options.create_do = false;
+  options.create_tasky2 = true;
+  TaskyScenario scenario = *std::move(BuildTasky(options));
+  EXPECT_EQ(scenario.task_keys.size(), 7u);
+  EXPECT_FALSE(scenario.db->catalog().HasVersion("Do!"));
+  EXPECT_TRUE(scenario.db->catalog().HasVersion("TasKy2"));
+  // Deterministic: same seed, same data.
+  TaskyScenario again = *std::move(BuildTasky(options));
+  std::vector<KeyedRow> a = *scenario.db->Select("TasKy", "Task");
+  std::vector<KeyedRow> b = *again.db->Select("TasKy", "Task");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(a[i].row, b[i].row));
+  }
+}
+
+TEST(RandomTaskRowTest, PriorityDistribution) {
+  Random rng(11);
+  int prio1 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Row row = RandomTaskRow(&rng, 10);
+    ASSERT_EQ(row.size(), 3u);
+    int64_t prio = row[2].AsInt();
+    EXPECT_GE(prio, 1);
+    EXPECT_LE(prio, 3);
+    if (prio == 1) ++prio1;
+  }
+  // Priority 1 dominates (roughly half), as in the Do! motivation.
+  EXPECT_GT(prio1, 400);
+  EXPECT_LT(prio1, 600);
+}
+
+}  // namespace
+}  // namespace inverda

@@ -1,0 +1,359 @@
+// inverda_shell — an interactive console for the InVerDa library, in the
+// spirit of the authors' ICDE'16 demo: type BiDEL to evolve, SQL-ish DML to
+// read and write through any schema version, and MATERIALIZE to move the
+// physical data. Reads from stdin, so it is scriptable:
+//
+//   build/tools/inverda_shell < session.bidel
+//
+// Statements (each terminated by ';'):
+//   CREATE SCHEMA VERSION ... / DROP SCHEMA VERSION ... / MATERIALIZE ...
+//   SELECT FROM <version>.<table> [WHERE <condition>]
+//   INSERT INTO <version>.<table> VALUES (<literal>, ...)
+//   UPDATE <version>.<table> SET (<literal>, ...) WHERE <condition>
+//   DELETE FROM <version>.<table> WHERE <condition>
+//   SHOW VERSIONS | SHOW CATALOG | SHOW DOT
+//   DESCRIBE <version>
+//   DELTA <version>          -- the generated SQL delta code
+//   CHECK <SMO statement>    -- the Section 5 bidirectionality checker
+//   HELP | QUIT
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bidel/parser.h"
+#include "bidel/rules.h"
+#include "catalog/describe.h"
+#include "datalog/print.h"
+#include "datalog/simplify.h"
+#include "expr/parser.h"
+#include "inverda/export.h"
+#include "inverda/inverda.h"
+#include "sqlgen/sqlgen.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+void PrintRows(Inverda* db, const std::string& version,
+               const std::string& table,
+               const std::vector<KeyedRow>& rows) {
+  Result<TableSchema> schema = db->GetSchema(version, table);
+  if (schema.ok()) {
+    std::printf("  %-6s", "p");
+    for (const Column& c : schema->columns()) {
+      std::printf(" %-14s", c.name.c_str());
+    }
+    std::printf("\n");
+  }
+  for (const KeyedRow& kr : rows) {
+    std::printf("  %-6lld", static_cast<long long>(kr.key));
+    for (const Value& v : kr.row) {
+      std::printf(" %-14s", v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  (%zu rows)\n", rows.size());
+}
+
+// Parses "<version>.<table>" (the version name may contain '!' etc.).
+Result<std::pair<std::string, std::string>> SplitTarget(
+    const std::string& target) {
+  size_t dot = target.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= target.size()) {
+    return Status::InvalidArgument(
+        "expected <version>.<table>, got: " + target);
+  }
+  return std::pair<std::string, std::string>{target.substr(0, dot),
+                                             target.substr(dot + 1)};
+}
+
+// Parses a parenthesized literal list: (1, 'x', NULL).
+Result<Row> ParseValues(const std::string& text) {
+  std::string_view body = StripWhitespace(text);
+  if (body.empty() || body.front() != '(' || body.back() != ')') {
+    return Status::InvalidArgument("expected a (value, ...) list");
+  }
+  body.remove_prefix(1);
+  body.remove_suffix(1);
+  Row row;
+  std::string current;
+  bool in_string = false;
+  auto flush = [&]() -> Status {
+    std::string_view token = StripWhitespace(current);
+    if (token.empty()) {
+      return Status::InvalidArgument("empty value in list");
+    }
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr expr,
+                             ParseExpression(std::string(token)));
+    TableSchema empty("values", {});
+    INVERDA_ASSIGN_OR_RETURN(Value value, expr->Eval(empty, {}));
+    row.push_back(std::move(value));
+    current.clear();
+    return Status::OK();
+  };
+  for (char c : body) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ',' && !in_string) {
+      INVERDA_RETURN_IF_ERROR(flush());
+      continue;
+    }
+    current += c;
+  }
+  INVERDA_RETURN_IF_ERROR(flush());
+  return row;
+}
+
+class Shell {
+ public:
+  int Run() {
+    std::printf("InVerDa shell — co-existing schema versions. Type HELP;\n");
+    std::string buffer;
+    std::string line;
+    bool interactive = true;
+    while (true) {
+      if (interactive) std::printf(buffer.empty() ? "inverda> " : "    ...> ");
+      if (!std::getline(std::cin, line)) break;
+      buffer += line;
+      buffer += "\n";
+      size_t semi;
+      while ((semi = FindStatementEnd(buffer)) != std::string::npos) {
+        std::string statement(StripWhitespace(buffer.substr(0, semi)));
+        buffer.erase(0, semi + 1);
+        if (statement.empty()) continue;
+        if (EqualsIgnoreCase(statement, "QUIT") ||
+            EqualsIgnoreCase(statement, "EXIT")) {
+          return 0;
+        }
+        Status status = Dispatch(statement);
+        if (!status.ok()) {
+          std::printf("ERROR: %s\n", status.ToString().c_str());
+        }
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static size_t FindStatementEnd(const std::string& text) {
+    bool in_string = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\'') in_string = !in_string;
+      if (text[i] == ';' && !in_string) return i;
+    }
+    return std::string::npos;
+  }
+
+  bool ConsumeKeyword(std::istringstream* in, const char* kw) {
+    std::streampos pos = in->tellg();
+    std::string word;
+    if ((*in >> word) && EqualsIgnoreCase(word, kw)) return true;
+    in->clear();
+    in->seekg(pos);
+    return false;
+  }
+
+  Status Dispatch(const std::string& statement) {
+    std::istringstream in(statement);
+    std::string first;
+    in >> first;
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(StripWhitespace(rest));
+
+    if (EqualsIgnoreCase(first, "HELP")) return Help();
+    if (EqualsIgnoreCase(first, "SHOW")) return Show(rest);
+    if (EqualsIgnoreCase(first, "DESCRIBE")) {
+      INVERDA_ASSIGN_OR_RETURN(std::string text,
+                               DescribeVersion(db_.catalog(), rest));
+      std::printf("%s", text.c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(first, "DELTA")) {
+      INVERDA_ASSIGN_OR_RETURN(
+          std::string sql, GenerateDeltaCodeForVersion(db_.catalog(), rest));
+      std::printf("%s", sql.c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(first, "CHECK")) return Check(rest);
+    if (EqualsIgnoreCase(first, "EXPORT")) {
+      INVERDA_ASSIGN_OR_RETURN(std::string script, ExportSession(&db_));
+      std::printf("%s", script.c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(first, "SELECT")) return Select(rest);
+    if (EqualsIgnoreCase(first, "INSERT")) return Insert(rest);
+    if (EqualsIgnoreCase(first, "UPDATE")) return Update(rest);
+    if (EqualsIgnoreCase(first, "DELETE")) return Delete(rest);
+    // Everything else is BiDEL (CREATE/DROP SCHEMA VERSION, MATERIALIZE).
+    INVERDA_RETURN_IF_ERROR(db_.Execute(statement + ";"));
+    std::printf("OK\n");
+    return Status::OK();
+  }
+
+  Status Help() {
+    std::printf(
+        "  CREATE SCHEMA VERSION <v> [FROM <v>] WITH <smo>; ...\n"
+        "  DROP SCHEMA VERSION <v>;      MATERIALIZE '<v>[.<table>]';\n"
+        "  SELECT FROM <v>.<table> [WHERE <cond>];\n"
+        "  INSERT INTO <v>.<table> VALUES (<lit>, ...);\n"
+        "  UPDATE <v>.<table> SET (<lit>, ...) WHERE <cond>;\n"
+        "  DELETE FROM <v>.<table> WHERE <cond>;\n"
+        "  SHOW VERSIONS; SHOW CATALOG; SHOW DOT; DESCRIBE <v>; DELTA <v>;\n"
+        "  CHECK <smo>;   -- Section 5 bidirectionality checker\n"
+        "  EXPORT;        -- replayable genealogy + root data script\n"
+        "  QUIT;\n");
+    return Status::OK();
+  }
+
+  Status Show(const std::string& what) {
+    if (EqualsIgnoreCase(what, "VERSIONS")) {
+      for (const std::string& v : db_.catalog().VersionNames()) {
+        std::printf("  %s\n", v.c_str());
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(what, "CATALOG")) {
+      std::printf("%s", DescribeCatalog(db_.catalog()).c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(what, "DOT")) {
+      std::printf("%s", CatalogToDot(db_.catalog()).c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("SHOW VERSIONS | CATALOG | DOT");
+  }
+
+  Status Check(const std::string& smo_text) {
+    INVERDA_ASSIGN_OR_RETURN(SmoPtr smo, ParseSmo(smo_text));
+    INVERDA_ASSIGN_OR_RETURN(SmoRules rules, RulesForSmo(*smo));
+    if (rules.uses_id_generation) {
+      std::printf("id-generating SMO: verified by runtime property tests, "
+                  "not the symbolic checker\n");
+      return Status::OK();
+    }
+    if (rules.gamma_tgt.rules.empty()) {
+      std::printf("catalog-only SMO: nothing to check\n");
+      return Status::OK();
+    }
+    INVERDA_ASSIGN_OR_RETURN(
+        datalog::RoundTripReport cond27,
+        datalog::CheckRoundTrip(rules.gamma_tgt, rules.gamma_src,
+                                rules.source_relations, rules.source_aux,
+                                rules.source_aux));
+    INVERDA_ASSIGN_OR_RETURN(
+        datalog::RoundTripReport cond26,
+        datalog::CheckRoundTrip(rules.gamma_src, rules.gamma_tgt,
+                                rules.target_relations, rules.target_aux,
+                                rules.target_aux));
+    std::printf("condition 27: %s\ncondition 26: %s\n",
+                cond27.holds ? "identity (holds)" : cond27.detail.c_str(),
+                cond26.holds ? "identity (holds)" : cond26.detail.c_str());
+    return Status::OK();
+  }
+
+  Status Select(const std::string& rest) {
+    std::istringstream in(rest);
+    if (!ConsumeKeyword(&in, "FROM")) {
+      return Status::InvalidArgument("SELECT FROM <version>.<table> ...");
+    }
+    std::string target;
+    in >> target;
+    INVERDA_ASSIGN_OR_RETURN(auto vt, SplitTarget(target));
+    std::string tail;
+    std::getline(in, tail);
+    std::string where(StripWhitespace(tail));
+    std::vector<KeyedRow> rows;
+    if (where.empty()) {
+      INVERDA_ASSIGN_OR_RETURN(rows, db_.Select(vt.first, vt.second));
+    } else {
+      if (!StartsWith(ToLower(where), "where ")) {
+        return Status::InvalidArgument("expected WHERE, got: " + where);
+      }
+      INVERDA_ASSIGN_OR_RETURN(ExprPtr pred,
+                               ParseExpression(where.substr(6)));
+      INVERDA_ASSIGN_OR_RETURN(rows,
+                               db_.SelectWhere(vt.first, vt.second, *pred));
+    }
+    PrintRows(&db_, vt.first, vt.second, rows);
+    return Status::OK();
+  }
+
+  Status Insert(const std::string& rest) {
+    std::istringstream in(rest);
+    if (!ConsumeKeyword(&in, "INTO")) {
+      return Status::InvalidArgument("INSERT INTO <version>.<table> VALUES");
+    }
+    std::string target;
+    in >> target;
+    INVERDA_ASSIGN_OR_RETURN(auto vt, SplitTarget(target));
+    if (!ConsumeKeyword(&in, "VALUES")) {
+      return Status::InvalidArgument("expected VALUES (...)");
+    }
+    std::string values;
+    std::getline(in, values);
+    INVERDA_ASSIGN_OR_RETURN(Row row, ParseValues(values));
+    INVERDA_ASSIGN_OR_RETURN(int64_t key,
+                             db_.Insert(vt.first, vt.second, std::move(row)));
+    std::printf("OK, p=%lld\n", static_cast<long long>(key));
+    return Status::OK();
+  }
+
+  Status Update(const std::string& rest) {
+    // UPDATE <target> SET (<values>) WHERE <cond>
+    size_t set_pos = ToLower(rest).find(" set ");
+    size_t where_pos = ToLower(rest).find(" where ");
+    if (set_pos == std::string::npos || where_pos == std::string::npos ||
+        where_pos < set_pos) {
+      return Status::InvalidArgument(
+          "UPDATE <version>.<table> SET (<values>) WHERE <cond>");
+    }
+    INVERDA_ASSIGN_OR_RETURN(
+        auto vt,
+        SplitTarget(std::string(StripWhitespace(rest.substr(0, set_pos)))));
+    INVERDA_ASSIGN_OR_RETURN(
+        Row row,
+        ParseValues(rest.substr(set_pos + 5, where_pos - set_pos - 5)));
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr pred,
+                             ParseExpression(rest.substr(where_pos + 7)));
+    INVERDA_ASSIGN_OR_RETURN(
+        int64_t count,
+        db_.UpdateWhere(vt.first, vt.second, *pred,
+                        [&row](const Row&) { return row; }));
+    std::printf("OK, %lld rows\n", static_cast<long long>(count));
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& rest) {
+    std::istringstream in(rest);
+    if (!ConsumeKeyword(&in, "FROM")) {
+      return Status::InvalidArgument(
+          "DELETE FROM <version>.<table> WHERE <cond>");
+    }
+    std::string target;
+    in >> target;
+    INVERDA_ASSIGN_OR_RETURN(auto vt, SplitTarget(target));
+    std::string tail;
+    std::getline(in, tail);
+    std::string where(StripWhitespace(tail));
+    if (!StartsWith(ToLower(where), "where ")) {
+      return Status::InvalidArgument("expected WHERE <cond>");
+    }
+    INVERDA_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpression(where.substr(6)));
+    INVERDA_ASSIGN_OR_RETURN(int64_t count,
+                             db_.DeleteWhere(vt.first, vt.second, *pred));
+    std::printf("OK, %lld rows\n", static_cast<long long>(count));
+    return Status::OK();
+  }
+
+  Inverda db_;
+};
+
+}  // namespace
+}  // namespace inverda
+
+int main() {
+  inverda::Shell shell;
+  return shell.Run();
+}
