@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_view_cache.dir/ablation_view_cache.cc.o"
+  "CMakeFiles/ablation_view_cache.dir/ablation_view_cache.cc.o.d"
+  "ablation_view_cache"
+  "ablation_view_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_view_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

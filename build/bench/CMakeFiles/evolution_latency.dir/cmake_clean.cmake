@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_latency.dir/evolution_latency.cc.o"
+  "CMakeFiles/evolution_latency.dir/evolution_latency.cc.o.d"
+  "evolution_latency"
+  "evolution_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_flexible_materialization.dir/fig10_flexible_materialization.cc.o"
+  "CMakeFiles/fig10_flexible_materialization.dir/fig10_flexible_materialization.cc.o.d"
+  "fig10_flexible_materialization"
+  "fig10_flexible_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_flexible_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

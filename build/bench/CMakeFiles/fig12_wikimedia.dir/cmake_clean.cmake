@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_wikimedia.dir/fig12_wikimedia.cc.o"
+  "CMakeFiles/fig12_wikimedia.dir/fig12_wikimedia.cc.o.d"
+  "fig12_wikimedia"
+  "fig12_wikimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_wikimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_smo_pairs.dir/fig13_smo_pairs.cc.o"
+  "CMakeFiles/fig13_smo_pairs.dir/fig13_smo_pairs.cc.o.d"
+  "fig13_smo_pairs"
+  "fig13_smo_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_smo_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_flexible_materialization.
+# This may be replaced when dependencies are built.

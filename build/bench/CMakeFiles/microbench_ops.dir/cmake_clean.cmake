@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_ops.dir/microbench_ops.cc.o"
+  "CMakeFiles/microbench_ops.dir/microbench_ops.cc.o.d"
+  "microbench_ops"
+  "microbench_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_materializations.dir/table2_materializations.cc.o"
+  "CMakeFiles/table2_materializations.dir/table2_materializations.cc.o.d"
+  "table2_materializations"
+  "table2_materializations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_materializations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_materializations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_code_size.dir/table3_code_size.cc.o"
+  "CMakeFiles/table3_code_size.dir/table3_code_size.cc.o.d"
+  "table3_code_size"
+  "table3_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_wikimedia_smos.dir/table4_wikimedia_smos.cc.o"
+  "CMakeFiles/table4_wikimedia_smos.dir/table4_wikimedia_smos.cc.o.d"
+  "table4_wikimedia_smos"
+  "table4_wikimedia_smos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_wikimedia_smos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_formal_check.dir/formal_check.cpp.o"
+  "CMakeFiles/example_formal_check.dir/formal_check.cpp.o.d"
+  "example_formal_check"
+  "example_formal_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_formal_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

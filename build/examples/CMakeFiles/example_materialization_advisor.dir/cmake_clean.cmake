@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_materialization_advisor.dir/materialization_advisor.cpp.o"
+  "CMakeFiles/example_materialization_advisor.dir/materialization_advisor.cpp.o.d"
+  "example_materialization_advisor"
+  "example_materialization_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_materialization_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

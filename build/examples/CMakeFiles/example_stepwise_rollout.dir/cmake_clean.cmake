@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stepwise_rollout.dir/stepwise_rollout.cpp.o"
+  "CMakeFiles/example_stepwise_rollout.dir/stepwise_rollout.cpp.o.d"
+  "example_stepwise_rollout"
+  "example_stepwise_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stepwise_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

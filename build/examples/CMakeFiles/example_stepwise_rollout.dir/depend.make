@@ -1,0 +1,2 @@
+# Empty dependencies file for example_stepwise_rollout.
+# This may be replaced when dependencies are built.

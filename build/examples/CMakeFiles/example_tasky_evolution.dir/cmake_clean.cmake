@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tasky_evolution.dir/tasky_evolution.cpp.o"
+  "CMakeFiles/example_tasky_evolution.dir/tasky_evolution.cpp.o.d"
+  "example_tasky_evolution"
+  "example_tasky_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tasky_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wikimedia_replay.dir/wikimedia_replay.cpp.o"
+  "CMakeFiles/example_wikimedia_replay.dir/wikimedia_replay.cpp.o.d"
+  "example_wikimedia_replay"
+  "example_wikimedia_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wikimedia_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

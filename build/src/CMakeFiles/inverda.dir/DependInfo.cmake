@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bidel/parser.cc" "src/CMakeFiles/inverda.dir/bidel/parser.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/parser.cc.o.d"
+  "/root/repo/src/bidel/rules.cc" "src/CMakeFiles/inverda.dir/bidel/rules.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/rules.cc.o.d"
+  "/root/repo/src/bidel/smo.cc" "src/CMakeFiles/inverda.dir/bidel/smo.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo.cc.o.d"
+  "/root/repo/src/bidel/smo_columns.cc" "src/CMakeFiles/inverda.dir/bidel/smo_columns.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo_columns.cc.o.d"
+  "/root/repo/src/bidel/smo_decompose.cc" "src/CMakeFiles/inverda.dir/bidel/smo_decompose.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo_decompose.cc.o.d"
+  "/root/repo/src/bidel/smo_join.cc" "src/CMakeFiles/inverda.dir/bidel/smo_join.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo_join.cc.o.d"
+  "/root/repo/src/bidel/smo_partition.cc" "src/CMakeFiles/inverda.dir/bidel/smo_partition.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo_partition.cc.o.d"
+  "/root/repo/src/bidel/smo_simple.cc" "src/CMakeFiles/inverda.dir/bidel/smo_simple.cc.o" "gcc" "src/CMakeFiles/inverda.dir/bidel/smo_simple.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/inverda.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/inverda.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/describe.cc" "src/CMakeFiles/inverda.dir/catalog/describe.cc.o" "gcc" "src/CMakeFiles/inverda.dir/catalog/describe.cc.o.d"
+  "/root/repo/src/catalog/materialization.cc" "src/CMakeFiles/inverda.dir/catalog/materialization.cc.o" "gcc" "src/CMakeFiles/inverda.dir/catalog/materialization.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/CMakeFiles/inverda.dir/datalog/evaluator.cc.o" "gcc" "src/CMakeFiles/inverda.dir/datalog/evaluator.cc.o.d"
+  "/root/repo/src/datalog/print.cc" "src/CMakeFiles/inverda.dir/datalog/print.cc.o" "gcc" "src/CMakeFiles/inverda.dir/datalog/print.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/CMakeFiles/inverda.dir/datalog/rule.cc.o" "gcc" "src/CMakeFiles/inverda.dir/datalog/rule.cc.o.d"
+  "/root/repo/src/datalog/simplify.cc" "src/CMakeFiles/inverda.dir/datalog/simplify.cc.o" "gcc" "src/CMakeFiles/inverda.dir/datalog/simplify.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/inverda.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/inverda.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/CMakeFiles/inverda.dir/expr/parser.cc.o" "gcc" "src/CMakeFiles/inverda.dir/expr/parser.cc.o.d"
+  "/root/repo/src/handwritten/reference_sql.cc" "src/CMakeFiles/inverda.dir/handwritten/reference_sql.cc.o" "gcc" "src/CMakeFiles/inverda.dir/handwritten/reference_sql.cc.o.d"
+  "/root/repo/src/handwritten/tasky_handwritten.cc" "src/CMakeFiles/inverda.dir/handwritten/tasky_handwritten.cc.o" "gcc" "src/CMakeFiles/inverda.dir/handwritten/tasky_handwritten.cc.o.d"
+  "/root/repo/src/inverda/access.cc" "src/CMakeFiles/inverda.dir/inverda/access.cc.o" "gcc" "src/CMakeFiles/inverda.dir/inverda/access.cc.o.d"
+  "/root/repo/src/inverda/export.cc" "src/CMakeFiles/inverda.dir/inverda/export.cc.o" "gcc" "src/CMakeFiles/inverda.dir/inverda/export.cc.o.d"
+  "/root/repo/src/inverda/inverda.cc" "src/CMakeFiles/inverda.dir/inverda/inverda.cc.o" "gcc" "src/CMakeFiles/inverda.dir/inverda/inverda.cc.o.d"
+  "/root/repo/src/inverda/migration.cc" "src/CMakeFiles/inverda.dir/inverda/migration.cc.o" "gcc" "src/CMakeFiles/inverda.dir/inverda/migration.cc.o.d"
+  "/root/repo/src/mapping/map_columns.cc" "src/CMakeFiles/inverda.dir/mapping/map_columns.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/map_columns.cc.o.d"
+  "/root/repo/src/mapping/map_decompose.cc" "src/CMakeFiles/inverda.dir/mapping/map_decompose.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/map_decompose.cc.o.d"
+  "/root/repo/src/mapping/map_join.cc" "src/CMakeFiles/inverda.dir/mapping/map_join.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/map_join.cc.o.d"
+  "/root/repo/src/mapping/map_partition.cc" "src/CMakeFiles/inverda.dir/mapping/map_partition.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/map_partition.cc.o.d"
+  "/root/repo/src/mapping/side.cc" "src/CMakeFiles/inverda.dir/mapping/side.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/side.cc.o.d"
+  "/root/repo/src/mapping/write_set.cc" "src/CMakeFiles/inverda.dir/mapping/write_set.cc.o" "gcc" "src/CMakeFiles/inverda.dir/mapping/write_set.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/inverda.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/inverda.dir/schema/schema.cc.o.d"
+  "/root/repo/src/sqlgen/sqlgen.cc" "src/CMakeFiles/inverda.dir/sqlgen/sqlgen.cc.o" "gcc" "src/CMakeFiles/inverda.dir/sqlgen/sqlgen.cc.o.d"
+  "/root/repo/src/sqlgen/trigger_gen.cc" "src/CMakeFiles/inverda.dir/sqlgen/trigger_gen.cc.o" "gcc" "src/CMakeFiles/inverda.dir/sqlgen/trigger_gen.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/inverda.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/inverda.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/sequence.cc" "src/CMakeFiles/inverda.dir/storage/sequence.cc.o" "gcc" "src/CMakeFiles/inverda.dir/storage/sequence.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/inverda.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/inverda.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/row.cc" "src/CMakeFiles/inverda.dir/types/row.cc.o" "gcc" "src/CMakeFiles/inverda.dir/types/row.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/inverda.dir/types/value.cc.o" "gcc" "src/CMakeFiles/inverda.dir/types/value.cc.o.d"
+  "/root/repo/src/util/code_metrics.cc" "src/CMakeFiles/inverda.dir/util/code_metrics.cc.o" "gcc" "src/CMakeFiles/inverda.dir/util/code_metrics.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/inverda.dir/util/random.cc.o" "gcc" "src/CMakeFiles/inverda.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/inverda.dir/util/status.cc.o" "gcc" "src/CMakeFiles/inverda.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/inverda.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/inverda.dir/util/strings.cc.o.d"
+  "/root/repo/src/workload/advisor.cc" "src/CMakeFiles/inverda.dir/workload/advisor.cc.o" "gcc" "src/CMakeFiles/inverda.dir/workload/advisor.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/inverda.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/inverda.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/smo_pairs.cc" "src/CMakeFiles/inverda.dir/workload/smo_pairs.cc.o" "gcc" "src/CMakeFiles/inverda.dir/workload/smo_pairs.cc.o.d"
+  "/root/repo/src/workload/tasky.cc" "src/CMakeFiles/inverda.dir/workload/tasky.cc.o" "gcc" "src/CMakeFiles/inverda.dir/workload/tasky.cc.o.d"
+  "/root/repo/src/workload/wikimedia.cc" "src/CMakeFiles/inverda.dir/workload/wikimedia.cc.o" "gcc" "src/CMakeFiles/inverda.dir/workload/wikimedia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

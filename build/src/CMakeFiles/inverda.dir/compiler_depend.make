@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inverda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_semantics_test.dir/batch_semantics_test.cc.o"
+  "CMakeFiles/batch_semantics_test.dir/batch_semantics_test.cc.o.d"
+  "batch_semantics_test"
+  "batch_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidel_parser_test.dir/bidel_parser_test.cc.o"
+  "CMakeFiles/bidel_parser_test.dir/bidel_parser_test.cc.o.d"
+  "bidel_parser_test"
+  "bidel_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidel_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

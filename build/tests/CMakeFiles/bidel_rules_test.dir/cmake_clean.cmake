@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidel_rules_test.dir/bidel_rules_test.cc.o"
+  "CMakeFiles/bidel_rules_test.dir/bidel_rules_test.cc.o.d"
+  "bidel_rules_test"
+  "bidel_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidel_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

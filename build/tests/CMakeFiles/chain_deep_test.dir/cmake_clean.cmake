@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_deep_test.dir/chain_deep_test.cc.o"
+  "CMakeFiles/chain_deep_test.dir/chain_deep_test.cc.o.d"
+  "chain_deep_test"
+  "chain_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

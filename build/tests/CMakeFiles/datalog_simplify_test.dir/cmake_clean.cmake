@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_simplify_test.dir/datalog_simplify_test.cc.o"
+  "CMakeFiles/datalog_simplify_test.dir/datalog_simplify_test.cc.o.d"
+  "datalog_simplify_test"
+  "datalog_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_version_test.dir/drop_version_test.cc.o"
+  "CMakeFiles/drop_version_test.dir/drop_version_test.cc.o.d"
+  "drop_version_test"
+  "drop_version_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_sweep_test.dir/expression_sweep_test.cc.o"
+  "CMakeFiles/expression_sweep_test.dir/expression_sweep_test.cc.o.d"
+  "expression_sweep_test"
+  "expression_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handwritten_test.dir/handwritten_test.cc.o"
+  "CMakeFiles/handwritten_test.dir/handwritten_test.cc.o.d"
+  "handwritten_test"
+  "handwritten_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handwritten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverda_basic_test.dir/inverda_basic_test.cc.o"
+  "CMakeFiles/inverda_basic_test.dir/inverda_basic_test.cc.o.d"
+  "inverda_basic_test"
+  "inverda_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverda_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_column_test.dir/kernel_column_test.cc.o"
+  "CMakeFiles/kernel_column_test.dir/kernel_column_test.cc.o.d"
+  "kernel_column_test"
+  "kernel_column_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

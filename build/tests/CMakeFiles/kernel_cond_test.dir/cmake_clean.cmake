@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_cond_test.dir/kernel_cond_test.cc.o"
+  "CMakeFiles/kernel_cond_test.dir/kernel_cond_test.cc.o.d"
+  "kernel_cond_test"
+  "kernel_cond_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_cond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

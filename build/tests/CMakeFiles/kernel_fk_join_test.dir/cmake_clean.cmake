@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_fk_join_test.dir/kernel_fk_join_test.cc.o"
+  "CMakeFiles/kernel_fk_join_test.dir/kernel_fk_join_test.cc.o.d"
+  "kernel_fk_join_test"
+  "kernel_fk_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_fk_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

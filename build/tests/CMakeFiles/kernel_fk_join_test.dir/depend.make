@@ -1,0 +1,2 @@
+# Empty dependencies file for kernel_fk_join_test.
+# This may be replaced when dependencies are built.

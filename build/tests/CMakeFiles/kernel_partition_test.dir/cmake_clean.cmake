@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_partition_test.dir/kernel_partition_test.cc.o"
+  "CMakeFiles/kernel_partition_test.dir/kernel_partition_test.cc.o.d"
+  "kernel_partition_test"
+  "kernel_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_vertical_test.dir/kernel_vertical_test.cc.o"
+  "CMakeFiles/kernel_vertical_test.dir/kernel_vertical_test.cc.o.d"
+  "kernel_vertical_test"
+  "kernel_vertical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_vertical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

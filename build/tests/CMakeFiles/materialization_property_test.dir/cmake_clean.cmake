@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialization_property_test.dir/materialization_property_test.cc.o"
+  "CMakeFiles/materialization_property_test.dir/materialization_property_test.cc.o.d"
+  "materialization_property_test"
+  "materialization_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialization_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_failure_test.dir/migration_failure_test.cc.o"
+  "CMakeFiles/migration_failure_test.dir/migration_failure_test.cc.o.d"
+  "migration_failure_test"
+  "migration_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

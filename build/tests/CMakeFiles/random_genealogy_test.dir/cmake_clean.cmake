@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_genealogy_test.dir/random_genealogy_test.cc.o"
+  "CMakeFiles/random_genealogy_test.dir/random_genealogy_test.cc.o.d"
+  "random_genealogy_test"
+  "random_genealogy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_genealogy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smo_pairs_test.dir/smo_pairs_test.cc.o"
+  "CMakeFiles/smo_pairs_test.dir/smo_pairs_test.cc.o.d"
+  "smo_pairs_test"
+  "smo_pairs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smo_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

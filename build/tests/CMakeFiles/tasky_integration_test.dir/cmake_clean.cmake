@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasky_integration_test.dir/tasky_integration_test.cc.o"
+  "CMakeFiles/tasky_integration_test.dir/tasky_integration_test.cc.o.d"
+  "tasky_integration_test"
+  "tasky_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasky_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

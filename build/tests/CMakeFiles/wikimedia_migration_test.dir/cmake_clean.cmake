@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimedia_migration_test.dir/wikimedia_migration_test.cc.o"
+  "CMakeFiles/wikimedia_migration_test.dir/wikimedia_migration_test.cc.o.d"
+  "wikimedia_migration_test"
+  "wikimedia_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimedia_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

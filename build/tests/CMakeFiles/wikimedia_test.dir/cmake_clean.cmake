@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimedia_test.dir/wikimedia_test.cc.o"
+  "CMakeFiles/wikimedia_test.dir/wikimedia_test.cc.o.d"
+  "wikimedia_test"
+  "wikimedia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimedia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverda_shell.dir/inverda_shell.cc.o"
+  "CMakeFiles/inverda_shell.dir/inverda_shell.cc.o.d"
+  "inverda_shell"
+  "inverda_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverda_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

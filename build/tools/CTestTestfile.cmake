@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_smoke "bash" "-c" "printf '%s' \"CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT, b TEXT); CREATE SCHEMA VERSION V2 FROM V1 WITH SPLIT TABLE T INTO Hot WITH a = 1; INSERT INTO V1.T VALUES (1, 'x'); INSERT INTO V2.Hot VALUES (1, 'y'); SELECT FROM V2.Hot; MATERIALIZE 'V2'; SELECT FROM V1.T WHERE a = 1; UPDATE V1.T SET (2, 'z') WHERE b = 'x'; DELETE FROM V1.T WHERE a = 2; SHOW VERSIONS; DESCRIBE V2; CHECK SPLIT TABLE X INTO Y WITH c = 1; QUIT;\" | /root/repo/build/tools/inverda_shell | grep -q '(2 rows)'")
+set_tests_properties(shell_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
