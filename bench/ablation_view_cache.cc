@@ -1,95 +1,210 @@
 // Ablation for the paper's future-work item (4), "optimized delta code":
-// a derived-view cache in the access layer, invalidated on every write or
-// migration. Measures read-heavy and mixed workloads on a virtual schema
-// version with and without the cache.
+// the derived-view cache in the access layer. Compares the two
+// invalidation policies under a mixed 90/10 read/write workload over many
+// independent lineages:
+//
+//   clear-all   drop every cached view on any write or migration (the
+//               original stub behaviour)
+//   genealogy   drop only the views whose derivation path intersects the
+//               write's physical footprint / the flipped SMO instances
+//
+// With writes confined to one lineage, genealogy-scoped invalidation keeps
+// the other lineages' cached views warm, while clear-all recomputes them
+// after every write.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "inverda/inverda.h"
-#include "workload/driver.h"
-#include "workload/tasky.h"
+#include "util/random.h"
 
 using inverda::bench::CheckOk;
+using inverda::bench::InitBench;
 using inverda::bench::ScaledInt;
 using inverda::bench::TimeMs;
 
 namespace {
 
-double RunReads(inverda::Inverda* db, int reads) {
-  return TimeMs(1, [&] {
-    for (int i = 0; i < reads; ++i) {
-      CheckOk(db->Select("TasKy2", "Task"), "read");
+constexpr const char* kTable = "tab";
+
+struct Lineage {
+  std::string base;  // materialized base version
+  std::string head;  // virtual head version (reads recompute / cache)
+};
+
+// `count` disconnected genealogies, each a chain of `depth` ADD COLUMN
+// evolutions on one table.
+std::vector<Lineage> BuildGenealogy(inverda::Inverda* db, int count,
+                                    int depth) {
+  std::vector<Lineage> lineages;
+  for (int i = 0; i < count; ++i) {
+    std::string base = "B" + std::to_string(i);
+    CheckOk(db->Execute("CREATE SCHEMA VERSION " + base +
+                        " WITH CREATE TABLE tab(k0 INT, v0 TEXT);"),
+            "create base");
+    std::string prev = base;
+    for (int j = 1; j <= depth; ++j) {
+      std::string next = base + "v" + std::to_string(j);
+      CheckOk(db->Execute("CREATE SCHEMA VERSION " + next + " FROM " + prev +
+                          " WITH ADD COLUMN c" + std::to_string(j) +
+                          " INT AS k0 + " + std::to_string(j) + " INTO tab;"),
+              "evolve");
+      prev = next;
     }
-  });
+    lineages.push_back({base, prev});
+  }
+  return lineages;
 }
 
-double RunMixed(inverda::Inverda* db, inverda::TaskyScenario* scenario,
-                int ops) {
-  inverda::Random rng(3);
-  std::vector<int64_t> keys = scenario->task_keys;
-  inverda::WorkloadTarget target{
-      "TasKy", "Task",
-      [](inverda::Random* r) { return RandomTaskRow(r, 50); }};
-  double total = 0;
-  // Alternate reads on the virtual version with writes on the physical
-  // one: every write invalidates the cache.
-  total += TimeMs(1, [&] {
+inverda::Row RandomRow(inverda::Random* rng) {
+  return {inverda::Value::Int(rng->NextInt64(0, 999)),
+          inverda::Value::String(rng->NextString(8))};
+}
+
+struct MixedResult {
+  double ms = 0;
+  long long hits = 0;
+  long long misses = 0;
+  long long invalidations = 0;
+
+  double hit_rate() const {
+    long long total = hits + misses;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+// The mixed workload: 90% scans of a random lineage's head version, 10%
+// inserts into lineage 0's base. Starts cold, warms every head once, then
+// measures steady state.
+MixedResult RunMixed(inverda::Inverda* db,
+                     const std::vector<Lineage>& lineages, int ops,
+                     uint64_t seed) {
+  inverda::Random rng(seed);
+  inverda::AccessLayer& access = db->access();
+  access.InvalidateCache();
+  for (const Lineage& l : lineages) {
+    CheckOk(db->Select(l.head, kTable), "warm");
+  }
+  access.ResetCacheStats();
+  MixedResult result;
+  result.ms = TimeMs(1, [&] {
     for (int i = 0; i < ops; ++i) {
-      CheckOk(db->Select("TasKy2", "Task"), "read");
-      if (i % 4 == 0) {
-        CheckOk(db->Insert("TasKy", "Task", target.make_row(&rng)), "write");
+      if (rng.NextUint64(10) == 0) {
+        CheckOk(db->Insert(lineages[0].base, kTable, RandomRow(&rng)),
+                "write");
+      } else {
+        const Lineage& l = lineages[rng.NextUint64(lineages.size())];
+        CheckOk(db->Select(l.head, kTable), "read");
       }
     }
   });
-  return total;
+  result.hits = access.cache_hits();
+  result.misses = access.cache_misses();
+  result.invalidations = access.cache_invalidations();
+  return result;
+}
+
+// One MATERIALIZE of lineage 1's head with every head cached: reports how
+// many cached views the migration evicts under the current mode.
+long long MigrationEvictions(inverda::Inverda* db,
+                             const std::vector<Lineage>& lineages,
+                             const std::string& target) {
+  inverda::AccessLayer& access = db->access();
+  access.InvalidateCache();
+  for (const Lineage& l : lineages) {
+    CheckOk(db->Select(l.head, kTable), "warm");
+  }
+  access.ResetCacheStats();
+  CheckOk(db->Materialize({target}), "materialize");
+  return access.cache_invalidations();
 }
 
 }  // namespace
 
-int main() {
-  int tasks = ScaledInt("INVERDA_CACHE_TASKS", 5000);
-  int reads = ScaledInt("INVERDA_CACHE_READS", 50);
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
+  int lineage_count = ScaledInt("INVERDA_CACHE_LINEAGES", 10);
+  int depth = ScaledInt("INVERDA_CACHE_DEPTH", 3);
+  int rows = ScaledInt("INVERDA_CACHE_ROWS", 300);
+  int ops = ScaledInt("INVERDA_CACHE_OPS", 600);
+  if (lineage_count < 4) lineage_count = 4;  // the contrast needs spread
+  if (depth < 1) depth = 1;
 
   inverda::bench::PrintHeader(
-      "Ablation: derived-view cache (future-work item 4) on read-heavy "
-      "workloads");
-  std::printf("%d tasks; reads on the virtual TasKy2 version\n\n", tasks);
+      "Ablation: view-cache invalidation policy (clear-all vs genealogy)");
+  std::printf(
+      "%d lineages x depth %d, %d rows each; %d mixed ops "
+      "(90%% head scans, 10%% writes into lineage 0)\n\n",
+      lineage_count, depth, rows, ops);
 
-  inverda::TaskyOptions options;
-  options.num_tasks = tasks;
-  inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
-  inverda::Inverda& db = *scenario.db;
-
-  double no_cache_reads = RunReads(&db, reads);
+  inverda::Inverda db;
+  std::vector<Lineage> lineages = BuildGenealogy(&db, lineage_count, depth);
+  inverda::Random rng(7);
+  for (const Lineage& l : lineages) {
+    for (int r = 0; r < rows; ++r) {
+      CheckOk(db.Insert(l.base, kTable, RandomRow(&rng)), "populate");
+    }
+  }
   db.access().set_cache_enabled(true);
-  double cache_reads = RunReads(&db, reads);
-  std::printf("%d repeated scans:  no cache %8.2f ms   cache %8.2f ms   "
-              "(%.1fx, %lld hits / %lld misses)\n",
-              reads, no_cache_reads, cache_reads,
-              no_cache_reads / std::max(cache_reads, 1e-9),
-              static_cast<long long>(db.access().cache_hits()),
-              static_cast<long long>(db.access().cache_misses()));
 
+  // Uncached baseline for scale.
   db.access().set_cache_enabled(false);
-  double no_cache_mixed = RunMixed(&db, &scenario, reads);
+  double no_cache_ms = TimeMs(1, [&] {
+    inverda::Random r(11);
+    for (int i = 0; i < ops; ++i) {
+      const Lineage& l = lineages[r.NextUint64(lineages.size())];
+      CheckOk(db.Select(l.head, kTable), "read");
+    }
+  });
   db.access().set_cache_enabled(true);
-  double cache_mixed = RunMixed(&db, &scenario, reads);
-  std::printf("mixed (write every 4th op): no cache %8.2f ms   cache %8.2f "
-              "ms   (%.1fx)\n",
-              no_cache_mixed, cache_mixed,
-              no_cache_mixed / std::max(cache_mixed, 1e-9));
+
+  db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kClearAll);
+  MixedResult clear_all = RunMixed(&db, lineages, ops, 13);
+  db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kGenealogy);
+  MixedResult genealogy = RunMixed(&db, lineages, ops, 13);
+
+  std::printf("no cache (reads only):  %8.2f ms\n", no_cache_ms);
+  std::printf(
+      "clear-all:   %8.2f ms   hit rate %5.1f%%   (%lld hits / %lld misses "
+      "/ %lld evictions)\n",
+      clear_all.ms, clear_all.hit_rate(), clear_all.hits, clear_all.misses,
+      clear_all.invalidations);
+  std::printf(
+      "genealogy:   %8.2f ms   hit rate %5.1f%%   (%lld hits / %lld misses "
+      "/ %lld evictions)\n",
+      genealogy.ms, genealogy.hit_rate(), genealogy.hits, genealogy.misses,
+      genealogy.invalidations);
+
+  // Migration: flipping one lineage's SMOs must not evict the others.
+  db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kClearAll);
+  long long evict_all = MigrationEvictions(&db, lineages, lineages[1].head);
+  CheckOk(db.Materialize({lineages[1].base}), "restore");
+  db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kGenealogy);
+  long long evict_scoped =
+      MigrationEvictions(&db, lineages, lineages[1].head);
+  CheckOk(db.Materialize({lineages[1].base}), "restore");
+  std::printf(
+      "\nMATERIALIZE %s with %d cached heads evicts: clear-all %lld, "
+      "genealogy %lld\n",
+      lineages[1].head.c_str(), lineage_count, evict_all, evict_scoped);
 
   // Correctness spot check: cached and uncached views agree after writes.
-  db.access().set_cache_enabled(true);
-  CheckOk(db.Insert("TasKy", "Task",
-                    {inverda::Value::String("x"), inverda::Value::String("y"),
-                     inverda::Value::Int(1)}),
+  CheckOk(db.Insert(lineages[0].base, kTable, RandomRow(&rng)),
           "post write");
-  size_t cached = CheckOk(db.Select("TasKy2", "Task"), "read").size();
+  size_t cached = CheckOk(db.Select(lineages[0].head, kTable), "read").size();
   db.access().set_cache_enabled(false);
-  size_t uncached = CheckOk(db.Select("TasKy2", "Task"), "read").size();
-  std::printf("\nconsistency check (cached == uncached view): %s\n",
-              cached == uncached ? "PASS" : "FAIL");
-  return cached == uncached ? 0 : 1;
+  size_t uncached =
+      CheckOk(db.Select(lineages[0].head, kTable), "read").size();
+  bool consistent = cached == uncached;
+  bool contrast = genealogy.hit_rate() >= 50.0 &&
+                  genealogy.hit_rate() > clear_all.hit_rate();
+  std::printf("consistency check (cached == uncached view): %s\n",
+              consistent ? "PASS" : "FAIL");
+  std::printf("invalidation contrast (genealogy >= 50%% and > clear-all): %s\n",
+              contrast ? "PASS" : "FAIL");
+  return consistent && contrast ? 0 : 1;
 }

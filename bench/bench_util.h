@@ -1,9 +1,11 @@
 #ifndef INVERDA_BENCH_BENCH_UTIL_H_
 #define INVERDA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -11,6 +13,26 @@
 
 namespace inverda {
 namespace bench {
+
+/// True when benchmarks should run at smoke-test scale: set by the --quick
+/// flag (via InitBench) or by INVERDA_BENCH_QUICK=1 in the environment (the
+/// CI bench-smoke job uses the latter). Quick mode shrinks every ScaledInt
+/// default by 20x; explicit INVERDA_* env overrides still win.
+inline bool& QuickMode() {
+  static bool quick = [] {
+    const char* env = std::getenv("INVERDA_BENCH_QUICK");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return quick;
+}
+
+/// Parses the shared benchmark flags (currently only --quick). Call at the
+/// top of main().
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) QuickMode() = true;
+  }
+}
 
 /// Aborts the benchmark with a message when a Status is not OK.
 inline void CheckOk(const Status& status, const char* what) {
@@ -40,11 +62,13 @@ inline double TimeMs(int reps, const std::function<void()>& fn) {
 }
 
 /// Reads an integer scale factor from the environment so the harness can be
-/// run small (CI) or at paper scale.
+/// run small (CI) or at paper scale. Without an explicit override, quick
+/// mode divides the default by 20 (at least 1).
 inline int ScaledInt(const char* env, int dflt) {
   const char* value = std::getenv(env);
-  if (value == nullptr) return dflt;
-  return std::atoi(value);
+  if (value != nullptr) return std::atoi(value);
+  if (QuickMode()) return std::max(1, dflt / 20);
+  return dflt;
 }
 
 inline void PrintHeader(const char* title) {

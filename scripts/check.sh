@@ -5,16 +5,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Prefer Ninja when it is installed; fall back to the default generator
+# (usually Unix Makefiles) otherwise.
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
 BUILD=build
 if [[ "${1:-}" == "--asan" ]]; then
   BUILD=build-asan
-  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 else
-  cmake -B "$BUILD" -G Ninja
+  cmake -B "$BUILD" "${GENERATOR[@]}"
 fi
 
-cmake --build "$BUILD"
+cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure
 
 echo "== examples =="
@@ -25,6 +32,7 @@ done
 
 echo "== benchmarks =="
 for b in "$BUILD"/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
   echo "--- $b"
   "$b"
 done

@@ -114,6 +114,7 @@ Result<std::vector<SmoId>> VersionCatalog::ApplyEvolution(
   for (auto& [id, inst] : staged_smos) smos_.emplace(id, std::move(inst));
   next_tv_id_ = tv_counter;
   next_smo_id_ = smo_counter;
+  ++structure_epoch_;
 
   SchemaVersionInfo info;
   info.name = stmt.new_version;
@@ -220,6 +221,7 @@ Result<DropResult> VersionCatalog::DropVersion(const std::string& name) {
   }
   for (TvId id : dead_tvs) tvs_.erase(id);
   for (SmoId id : dead_smos) smos_.erase(id);
+  ++structure_epoch_;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef INVERDA_CATALOG_CATALOG_H_
 #define INVERDA_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -67,6 +68,16 @@ struct SchemaVersionInfo {
 struct DropResult {
   std::vector<TvId> removed_tables;
   std::vector<SmoId> removed_smos;
+};
+
+/// Reachability of one SMO instance over the genealogy hypergraph: the
+/// table versions upstream of the instance (its sources and their
+/// ancestors) and downstream of it (its targets and their descendants).
+/// A table version's access path can pass through the instance iff the
+/// version is in one of the two sets.
+struct SmoReach {
+  std::set<TvId> upstream;
+  std::set<TvId> downstream;
 };
 
 /// The schema version catalog: the central knowledge base for all schema
@@ -156,9 +167,35 @@ class VersionCatalog {
   /// materialization state is `materialized`.
   std::vector<std::string> PhysicalAuxNames(SmoId id, bool materialized) const;
 
+  // --- reachability index (reachability.cc) ---------------------------------
+
+  /// Upstream/downstream table versions of SMO instance `id`. Built lazily
+  /// from the genealogy and cached until the structure changes.
+  const SmoReach& Reach(SmoId id) const;
+
+  /// Every table version whose access path can pass through one of `smos`:
+  /// the union of the upstream and downstream closures. This is the set of
+  /// versions whose derived views a migration flipping `smos` may reroute.
+  std::set<TvId> AffectedBySmos(const std::set<SmoId>& smos) const;
+
+  /// The undirected connected component of `id` in the genealogy
+  /// hypergraph: the table versions that can share physical data with `id`
+  /// under some materialization. Writes to `id` can never affect a version
+  /// outside its component.
+  const std::set<TvId>& ComponentOf(TvId id) const;
+
+  /// Monotonic counter bumped whenever the genealogy structure changes
+  /// (evolution or drop); lets callers detect staleness of anything they
+  /// derived from the genealogy in O(1).
+  uint64_t structure_epoch() const { return structure_epoch_; }
+
  private:
   Result<TvId> NewTableVersion(std::string name, TableSchema schema,
                                SmoId incoming);
+
+  /// Rebuilds the reachability index if the structure changed since the
+  /// last build.
+  void EnsureReachability() const;
 
   std::map<TvId, TableVersion> tvs_;
   std::map<SmoId, SmoInstance> smos_;
@@ -166,6 +203,14 @@ class VersionCatalog {
   int next_tv_id_ = 0;
   int next_smo_id_ = 0;
   int next_version_order_ = 0;
+
+  uint64_t structure_epoch_ = 1;
+  // Lazily built reachability index, valid while reach_epoch_ matches
+  // structure_epoch_.
+  mutable uint64_t reach_epoch_ = 0;
+  mutable std::map<SmoId, SmoReach> reach_;
+  mutable std::vector<std::set<TvId>> components_;
+  mutable std::map<TvId, size_t> component_of_;
 };
 
 }  // namespace inverda

@@ -41,6 +41,12 @@ std::string DescribeCatalog(const VersionCatalog& catalog) {
     for (TvId tv : inst.targets) targets.push_back(catalog.TvLabel(tv));
     out += "  {" + Join(sources, ", ") + "} -> {" + Join(targets, ", ") +
            "}\n";
+    const SmoReach& reach = catalog.Reach(id);
+    std::vector<std::string> up, down;
+    for (TvId tv : reach.upstream) up.push_back(catalog.TvLabel(tv));
+    for (TvId tv : reach.downstream) down.push_back(catalog.TvLabel(tv));
+    out += "      reach: upstream {" + Join(up, ", ") + "}  downstream {" +
+           Join(down, ", ") + "}\n";
   }
   return out;
 }

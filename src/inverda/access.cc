@@ -2,6 +2,17 @@
 
 namespace inverda {
 
+namespace {
+
+// Decrements the ApplyToVersion recursion depth on every exit path.
+struct DepthGuard {
+  int* depth;
+  explicit DepthGuard(int* d) : depth(d) { ++*depth; }
+  ~DepthGuard() { --*depth; }
+};
+
+}  // namespace
+
 Result<std::optional<AccessLayer::Route>> AccessLayer::ResolveRoute(TvId tv) {
   if (catalog_->IsPhysical(tv)) return std::optional<Route>();
   const TableVersion& info = catalog_->table_version(tv);
@@ -57,6 +68,129 @@ Result<SmoContext> AccessLayer::BuildContext(SmoId id) {
   return ctx;
 }
 
+// --- derived-view cache -----------------------------------------------------
+
+Result<AccessLayer::DepVec> AccessLayer::CollectDeps(TvId tv) {
+  DepVec deps;
+  std::set<TvId> visited;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& name) {
+    if (!seen.insert(name).second) return;
+    deps.emplace_back(name, db_->TableEpoch(name).value_or(0));
+  };
+  std::vector<TvId> frontier{tv};
+  while (!frontier.empty()) {
+    TvId current = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(current).second) continue;
+    INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route,
+                             ResolveRoute(current));
+    if (!route) {
+      add(catalog_->DataTableName(current));
+      continue;
+    }
+    const SmoInstance& inst = catalog_->smo(route->smo);
+    for (const std::string& aux :
+         catalog_->PhysicalAuxNames(route->smo, inst.materialized)) {
+      add(catalog_->AuxTableName(route->smo, aux));
+    }
+    // The kernel derives `current` from the data side of the SMO; every
+    // table version there is a (possibly virtual) further dependency.
+    const std::vector<TvId>& data_side =
+        route->side == SmoSide::kSource ? inst.targets : inst.sources;
+    frontier.insert(frontier.end(), data_side.begin(), data_side.end());
+  }
+  return deps;
+}
+
+const Table* AccessLayer::LookupCache(TvId tv) {
+  auto it = cache_.find(tv);
+  if (it == cache_.end()) return nullptr;
+  for (const auto& [name, epoch] : it->second.deps) {
+    std::optional<uint64_t> current = db_->TableEpoch(name);
+    if (!current || *current != epoch) {
+      EraseCacheEntry(tv);
+      return nullptr;
+    }
+  }
+  ++cache_hits_;
+  ++cache_stats_[tv].hits;
+  return &it->second.table;
+}
+
+Status AccessLayer::StoreCache(TvId tv, Table table) {
+  INVERDA_ASSIGN_OR_RETURN(DepVec deps, CollectDeps(tv));
+  cache_.insert_or_assign(tv, CacheEntry{std::move(table), std::move(deps)});
+  return Status::OK();
+}
+
+void AccessLayer::EraseCacheEntry(TvId tv) {
+  if (cache_.erase(tv) == 0) return;
+  ++cache_invalidations_;
+  ++cache_stats_[tv].invalidations;
+}
+
+void AccessLayer::InvalidateCache() {
+  for (const auto& [tv, entry] : cache_) {
+    (void)entry;
+    ++cache_invalidations_;
+    ++cache_stats_[tv].invalidations;
+  }
+  cache_.clear();
+}
+
+void AccessLayer::ResetCacheStats() {
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  cache_invalidations_ = 0;
+  cache_stats_.clear();
+}
+
+Status AccessLayer::InvalidateForWrite(TvId tv) {
+  if (cache_.empty()) return Status::OK();
+  INVERDA_ASSIGN_OR_RETURN(DepVec footprint_deps, CollectDeps(tv));
+  std::set<std::string> footprint;
+  for (const auto& [name, epoch] : footprint_deps) {
+    (void)epoch;
+    footprint.insert(name);
+  }
+  const std::set<TvId>& component = catalog_->ComponentOf(tv);
+  std::vector<TvId> doomed;
+  for (const auto& [cached_tv, entry] : cache_) {
+    if (!component.count(cached_tv)) continue;  // disjoint lineage
+    if (cached_tv == tv) {
+      doomed.push_back(cached_tv);
+      continue;
+    }
+    for (const auto& [name, epoch] : entry.deps) {
+      (void)epoch;
+      if (footprint.count(name)) {
+        doomed.push_back(cached_tv);
+        break;
+      }
+    }
+  }
+  for (TvId dead : doomed) EraseCacheEntry(dead);
+  return Status::OK();
+}
+
+void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
+  if (cache_.empty()) return;
+  if (cache_mode_ == CacheMode::kClearAll) {
+    InvalidateCache();
+    return;
+  }
+  std::set<TvId> affected = catalog_->AffectedBySmos(flipped);
+  std::vector<TvId> doomed;
+  for (const auto& [tv, entry] : cache_) {
+    (void)entry;
+    if (affected.count(tv)) doomed.push_back(tv);
+  }
+  for (TvId dead : doomed) EraseCacheEntry(dead);
+}
+
+// --- reads ------------------------------------------------------------------
+
 Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
   INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
   if (!route) {
@@ -66,10 +200,8 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
     return Status::OK();
   }
   if (cache_enabled_) {
-    auto it = cache_.find(tv);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      it->second.Scan(fn);
+    if (const Table* cached = LookupCache(tv)) {
+      cached->Scan(fn);
       return Status::OK();
     }
   }
@@ -81,17 +213,16 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
   tmp.Scan(fn);
   if (cache_enabled_) {
     ++cache_misses_;
-    cache_.emplace(tv, std::move(tmp));
+    ++cache_stats_[tv].misses;
+    INVERDA_RETURN_IF_ERROR(StoreCache(tv, std::move(tmp)));
   }
   return Status::OK();
 }
 
 Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
   if (cache_enabled_) {
-    auto it = cache_.find(tv);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      const Row* row = it->second.Find(key);
+    if (const Table* cached = LookupCache(tv)) {
+      const Row* row = cached->Find(key);
       if (row == nullptr) return std::optional<Row>();
       return std::optional<Row>(*row);
     }
@@ -116,13 +247,29 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
 
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   if (writes.empty()) return Status::OK();
-  // Any write may affect any derived view along the genealogy; drop the
-  // memoized scans (coarse but safe invalidation).
-  if (cache_enabled_) InvalidateCache();
+  const bool top_level = propagate_depth_ == 0;
+  DepthGuard guard(&propagate_depth_);
+  if (top_level) {
+    last_trace_.Clear();
+    // Invalidate before the write lands: entries (re)stored by reads that
+    // happen mid-propagation capture the post-write epochs and stay valid.
+    if (cache_enabled_) {
+      switch (cache_mode_) {
+        case CacheMode::kClearAll:
+          InvalidateCache();
+          break;
+        case CacheMode::kGenealogy:
+          INVERDA_RETURN_IF_ERROR(InvalidateForWrite(tv));
+          break;
+      }
+    }
+  }
+  last_trace_.AddVersion(tv);
   INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
   if (!route) {
-    INVERDA_ASSIGN_OR_RETURN(Table * table,
-                             db_->GetTable(catalog_->DataTableName(tv)));
+    const std::string table_name = catalog_->DataTableName(tv);
+    last_trace_.AddTable(table_name);
+    INVERDA_ASSIGN_OR_RETURN(Table * table, db_->GetTable(table_name));
     for (const WriteOp& op : writes.ops) {
       switch (op.kind) {
         case WriteOp::Kind::kInsert:
@@ -137,6 +284,11 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
       }
     }
     return Status::OK();
+  }
+  const SmoInstance& inst = catalog_->smo(route->smo);
+  for (const std::string& aux :
+       catalog_->PhysicalAuxNames(route->smo, inst.materialized)) {
+    last_trace_.AddTable(catalog_->AuxTableName(route->smo, aux));
   }
   INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
   INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));

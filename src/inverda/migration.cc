@@ -41,7 +41,6 @@ Status Inverda::Materialize(const std::vector<std::string>& targets) {
 }
 
 Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
-  access_.InvalidateCache();
   INVERDA_RETURN_IF_ERROR(catalog_.CheckValidMaterialization(m));
 
   std::set<SmoId> old_m = catalog_.CurrentMaterialization();
@@ -166,7 +165,12 @@ Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
       inst.materialized = m.count(id) > 0;
     }
   }
-  access_.InvalidateCache();
+  // Only the versions whose access path passes through a flipped SMO can
+  // change their route; everything else keeps its cached view. (Dropped /
+  // recreated physical tables additionally fail the epoch validation of any
+  // entry that read them.)
+  access_.InvalidateForMigration(
+      std::set<SmoId>(flipping.begin(), flipping.end()));
   if (!status.ok()) {
     rollback();
     return status;

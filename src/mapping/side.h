@@ -15,8 +15,8 @@
 
 namespace inverda {
 
-/// Identifier of a table version in the schema version catalog.
-using TvId = int;
+// TvId lives in mapping/write_set.h (included above) so WriteTrace can
+// refer to it.
 
 /// Callback receiving one keyed row during a scan.
 using RowCallback = std::function<void(int64_t, const Row&)>;

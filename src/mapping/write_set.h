@@ -9,6 +9,9 @@
 
 namespace inverda {
 
+/// Identifier of a table version in the schema version catalog.
+using TvId = int;
+
 /// One key-resolved write operation against a table version. Updates carry
 /// the full new payload row (the access layer resolves predicate-based
 /// updates to keys before propagation).
@@ -37,6 +40,22 @@ struct WriteSet {
   bool empty() const { return ops.empty(); }
   void Add(WriteOp op) { ops.push_back(std::move(op)); }
 
+  std::string ToString() const;
+};
+
+/// Report of one top-level write propagation through the access layer: the
+/// table versions the write traversed on its way to physical storage and
+/// the physical tables (data tables of the landing sites plus auxiliary
+/// tables of the traversed SMO instances) it may have touched. This is the
+/// write-set the genealogy-scoped view-cache invalidation keys off.
+struct WriteTrace {
+  std::vector<TvId> versions;
+  std::vector<std::string> physical_tables;
+
+  void Clear();
+  void AddVersion(TvId tv);
+  void AddTable(const std::string& name);
+  bool TouchesTable(const std::string& name) const;
   std::string ToString() const;
 };
 

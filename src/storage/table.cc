@@ -1,6 +1,13 @@
 #include "storage/table.h"
 
+#include <atomic>
+
 namespace inverda {
+
+uint64_t Table::NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
 
 const Row* Table::Find(int64_t key) const {
   auto it = rows_.find(key);
@@ -19,6 +26,7 @@ Status Table::Insert(int64_t key, Row row) {
     return Status::ConstraintViolation("duplicate key " + std::to_string(key) +
                                        " in " + schema_.name());
   }
+  Touch();
   return Status::OK();
 }
 
@@ -34,6 +42,7 @@ Status Table::Update(int64_t key, Row row) {
                             schema_.name());
   }
   it->second = std::move(row);
+  Touch();
   return Status::OK();
 }
 
@@ -44,10 +53,15 @@ Status Table::Upsert(int64_t key, Row row) {
         schema_.ToString());
   }
   rows_[key] = std::move(row);
+  Touch();
   return Status::OK();
 }
 
-bool Table::Erase(int64_t key) { return rows_.erase(key) > 0; }
+bool Table::Erase(int64_t key) {
+  if (rows_.erase(key) == 0) return false;
+  Touch();
+  return true;
+}
 
 void Table::Scan(const std::function<void(int64_t, const Row&)>& fn) const {
   for (const auto& [key, row] : rows_) fn(key, row);

@@ -25,7 +25,17 @@ class Table {
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
 
   const TableSchema& schema() const { return schema_; }
-  void set_schema(TableSchema schema) { schema_ = std::move(schema); }
+  void set_schema(TableSchema schema) {
+    schema_ = std::move(schema);
+    Touch();
+  }
+
+  /// Dirty epoch: a process-wide monotonic stamp renewed by every mutation
+  /// (and at construction, so a dropped-and-recreated table never reuses a
+  /// stamp). Copies share their original's epoch — the content is
+  /// identical. The derived-view cache validates entries in O(1) per
+  /// dependency by comparing stored stamps against current ones.
+  uint64_t epoch() const { return epoch_; }
 
   int64_t size() const { return static_cast<int64_t>(rows_.size()); }
   bool empty() const { return rows_.empty(); }
@@ -48,7 +58,10 @@ class Table {
   /// Deletes row `key`; returns true if a row was removed.
   bool Erase(int64_t key);
 
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    rows_.clear();
+    Touch();
+  }
 
   /// Calls `fn(key, row)` for every row in ascending key order.
   void Scan(const std::function<void(int64_t, const Row&)>& fn) const;
@@ -69,8 +82,13 @@ class Table {
   std::string ToString() const;
 
  private:
+  /// Draws the next process-wide epoch stamp.
+  static uint64_t NextEpoch();
+  void Touch() { epoch_ = NextEpoch(); }
+
   TableSchema schema_;
   std::map<int64_t, Row> rows_;
+  uint64_t epoch_ = NextEpoch();
 };
 
 }  // namespace inverda

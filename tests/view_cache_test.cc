@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "genealogy_builder.h"
 #include "handwritten/reference_sql.h"
 #include "inverda/inverda.h"
+#include "util/random.h"
 
 namespace inverda {
 namespace {
@@ -78,7 +82,7 @@ TEST_F(ViewCacheTest, PointLookupsUseCachedScans) {
   EXPECT_GT(db_.access().cache_hits(), hits);
 }
 
-TEST_F(ViewCacheTest, DisablingClearsState) {
+TEST_F(ViewCacheTest, DisabledCacheIsBypassed) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
   db_.access().set_cache_enabled(false);
   ASSERT_TRUE(db_.Insert("TasKy", "Task",
@@ -87,6 +91,120 @@ TEST_F(ViewCacheTest, DisablingClearsState) {
                   .ok());
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 2u);
 }
+
+TEST_F(ViewCacheTest, ReenablingKeepsEntriesButNeverServesStaleData) {
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());  // warm
+  EXPECT_EQ(db_.access().cache_size(), 1);
+  // Toggling off and on no longer discards the entry...
+  db_.access().set_cache_enabled(false);
+  db_.access().set_cache_enabled(true);
+  EXPECT_EQ(db_.access().cache_size(), 1);
+  int64_t hits = db_.access().cache_hits();
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  EXPECT_GT(db_.access().cache_hits(), hits);
+  // ...and a write landing while the cache was disabled is caught by the
+  // dirty-epoch validation once it is re-enabled.
+  db_.access().set_cache_enabled(false);
+  ASSERT_TRUE(db_.Insert("TasKy", "Task",
+                         {Value::String("Zoe"), Value::String("Z"),
+                          Value::Int(1)})
+                  .ok());
+  db_.access().set_cache_enabled(true);
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 2u);
+}
+
+TEST_F(ViewCacheTest, ResetCacheStatsKeepsEntries) {
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  EXPECT_GT(db_.access().cache_hits() + db_.access().cache_misses(), 0);
+  db_.access().ResetCacheStats();
+  EXPECT_EQ(db_.access().cache_hits(), 0);
+  EXPECT_EQ(db_.access().cache_misses(), 0);
+  EXPECT_EQ(db_.access().cache_invalidations(), 0);
+  EXPECT_TRUE(db_.access().cache_stats().empty());
+  // Entries survive the reset and keep serving hits.
+  EXPECT_EQ(db_.access().cache_size(), 1);
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  EXPECT_EQ(db_.access().cache_hits(), 1);
+}
+
+TEST_F(ViewCacheTest, WriteTraceReportsTouchedTables) {
+  ASSERT_TRUE(db_.Insert("Do!", "Todo",
+                         {Value::String("Cleo"), Value::String("Call")})
+                  .ok());
+  const WriteTrace& trace = db_.access().last_write_trace();
+  EXPECT_FALSE(trace.versions.empty());
+  EXPECT_FALSE(trace.physical_tables.empty()) << trace.ToString();
+}
+
+TEST_F(ViewCacheTest, UnrelatedLineagesKeepTheirEntries) {
+  // A second, disconnected genealogy: writes there must not evict the
+  // cached TasKy2 view (genealogy-scoped invalidation).
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION Iso WITH "
+                          "CREATE TABLE log(msg TEXT);")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION Iso2 FROM Iso WITH "
+                          "ADD COLUMN lvl INT AS 0 INTO log;")
+                  .ok());
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());   // warm lineage A
+  ASSERT_TRUE(db_.Select("Iso2", "log").ok());      // warm lineage B
+  int64_t invalidations = db_.access().cache_invalidations();
+  ASSERT_TRUE(
+      db_.Insert("Iso", "log", {Value::String("hello")}).ok());
+  // Only the Iso lineage's entry may fall.
+  int64_t hits = db_.access().cache_hits();
+  ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
+  EXPECT_GT(db_.access().cache_hits(), hits);
+  EXPECT_LE(db_.access().cache_invalidations(), invalidations + 1);
+}
+
+// Randomized staleness property: on a random genealogy under random writes
+// and random materialization switches, a cached read must always equal a
+// cold recomputation. This is the cache-correctness analogue of the
+// bidirectionality property in random_genealogy_test.
+class CacheStalenessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheStalenessTest, CachedViewsNeverGoStale) {
+  Inverda db;
+  testutil::GenealogyBuilder builder(&db, GetParam());
+  ASSERT_TRUE(builder.Init().ok());
+  for (int step = 0; step < 4; ++step) {
+    ASSERT_TRUE(builder.Step().ok());
+  }
+  db.access().set_cache_enabled(true);
+  Random rng(GetParam() * 31 + 7);
+
+  Result<std::vector<std::set<SmoId>>> schemas =
+      db.catalog().EnumerateValidMaterializations(/*limit=*/8);
+  ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
+
+  for (int round = 0; round < 12; ++round) {
+    // Warm the cache with a full read of every version.
+    (void)testutil::Snapshot(&db);
+    // Mutate: mostly random writes through random versions, sometimes a
+    // materialization switch.
+    if (round % 4 == 3 && schemas->size() > 1) {
+      const std::set<SmoId>& m =
+          (*schemas)[rng.NextUint64(schemas->size())];
+      ASSERT_TRUE(db.MaterializeSchema(m).ok());
+    } else {
+      for (int w = 0; w < 3; ++w) {
+        testutil::RandomInsert(&db, &rng, builder.versions());
+      }
+    }
+    // A possibly-cached snapshot must match a cold recomputation.
+    auto cached = testutil::Snapshot(&db);
+    db.access().InvalidateCache();
+    auto cold = testutil::Snapshot(&db);
+    std::string diff = testutil::DiffSnapshots(cold, cached);
+    ASSERT_TRUE(diff.empty())
+        << "seed " << GetParam() << ", round " << round
+        << ": cached view went stale: " << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheStalenessTest,
+                         ::testing::Values(2, 7, 11, 17, 23, 42));
 
 }  // namespace
 }  // namespace inverda
