@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification of the repository: configure, build, run the test
 # suite, run every benchmark/experiment binary, and run the examples.
-# Usage: scripts/check.sh [--asan]
+# Usage: scripts/check.sh [--asan|--tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +17,10 @@ if [[ "${1:-}" == "--asan" ]]; then
   BUILD=build-asan
   cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+elif [[ "${1:-}" == "--tsan" ]]; then
+  BUILD=build-tsan
+  cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 else
   cmake -B "$BUILD" "${GENERATOR[@]}"
 fi

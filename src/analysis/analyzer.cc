@@ -1,0 +1,650 @@
+#include "analysis/analyzer.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/domain.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+// Visible table name (lower-cased) -> payload schema of one simulated
+// schema version.
+using TableMap = std::map<std::string, TableSchema>;
+
+// Simulated catalog state while linting a script: schema versions created
+// or dropped by earlier statements overlay the real catalog, which is never
+// mutated.
+class Simulator {
+ public:
+  explicit Simulator(const VersionCatalog& catalog) : catalog_(catalog) {}
+
+  bool HasVersion(const std::string& name) const {
+    std::string key = ToLower(name);
+    if (overlay_.count(key)) return true;
+    if (dropped_.count(key)) return false;
+    return catalog_.HasVersion(name);
+  }
+
+  std::optional<TableMap> Tables(const std::string& name) const {
+    std::string key = ToLower(name);
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) return it->second;
+    if (dropped_.count(key)) return std::nullopt;
+    Result<const SchemaVersionInfo*> info = catalog_.FindVersion(name);
+    if (!info.ok()) return std::nullopt;
+    TableMap out;
+    for (const auto& [table, tv] : (*info)->tables) {
+      out.emplace(table, catalog_.table_version(tv).schema);
+    }
+    return out;
+  }
+
+  void Define(const std::string& name, TableMap tables) {
+    std::string key = ToLower(name);
+    dropped_.erase(key);
+    overlay_[key] = std::move(tables);
+  }
+
+  void Drop(const std::string& name) {
+    std::string key = ToLower(name);
+    overlay_.erase(key);
+    dropped_.insert(key);
+  }
+
+ private:
+  const VersionCatalog& catalog_;
+  std::map<std::string, TableMap> overlay_;
+  std::set<std::string> dropped_;
+};
+
+std::string DescribeRow(const TableSchema& schema, const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (i < schema.columns().size()) out += schema.columns()[i].name + "=";
+    out += row[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string JoinColumnNames(const std::vector<Column>& columns) {
+  std::string out;
+  for (const Column& c : columns) {
+    if (!out.empty()) out += ", ";
+    out += c.name;
+  }
+  return out;
+}
+
+// Analyzes the SMO list of one CREATE SCHEMA VERSION statement against a
+// base table map, accumulating diagnostics. Simulation stops at the first
+// error (later SMOs would only cascade).
+class EvolutionAnalyzer {
+ public:
+  EvolutionAnalyzer(const EvolutionStatement& stmt, TableMap tables,
+                    AnalysisReport* report)
+      : stmt_(stmt), tables_(std::move(tables)), report_(report) {}
+
+  // True when the whole SMO list simulated without errors; `tables()` then
+  // holds the resulting schema version.
+  bool Run() {
+    for (size_t i = 0; i < stmt_.smos.size(); ++i) {
+      SourceSpan span =
+          i < stmt_.smo_spans.size() ? stmt_.smo_spans[i] : stmt_.span;
+      if (stmt_.smos[i] == nullptr) {
+        Add("smo-invalid", DiagSeverity::kError, span, "null SMO");
+        return false;
+      }
+      if (!AnalyzeSmo(*stmt_.smos[i], span)) return false;
+    }
+    return true;
+  }
+
+  const TableMap& tables() const { return tables_; }
+  bool lossy() const { return lossy_; }
+
+ private:
+  void Add(std::string rule, DiagSeverity severity, SourceSpan span,
+           std::string message, std::string fixit = "") {
+    report_->diagnostics.push_back(Diagnostic{
+        std::move(rule), severity, span, std::move(message),
+        std::move(fixit)});
+  }
+
+  const TableSchema* Find(const std::string& table) const {
+    auto it = tables_.find(ToLower(table));
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+  std::string AvailableTables() const {
+    std::string out;
+    for (const auto& [key, schema] : tables_) {
+      if (!out.empty()) out += ", ";
+      out += schema.name();
+    }
+    return out.empty() ? "(none)" : out;
+  }
+
+  // Reports unknown-column for every column referenced by `expr` that does
+  // not resolve in `schema`; true when all resolve.
+  bool CheckExprColumns(const Expression& expr, const TableSchema& schema,
+                        SourceSpan span, const char* context) {
+    std::set<std::string> columns;
+    expr.CollectColumns(&columns);
+    bool ok = true;
+    for (const std::string& c : columns) {
+      if (!schema.FindColumn(c)) {
+        Add("unknown-column", DiagSeverity::kError, span,
+            std::string("column ") + c + " referenced by the " + context +
+                " '" + expr.ToString() + "' is not in " + schema.ToString());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  // Overlap/gap analysis of a condition pair over `schema` (SPLIT targets
+  // or MERGE sources). `left`/`right` name the two partitions.
+  void CheckPartitionPair(const TableSchema& schema, const ExprPtr& c_left,
+                          const ExprPtr& c_right, const std::string& left,
+                          const std::string& right, SourceSpan span,
+                          const char* smo_name) {
+    Row witness;
+    switch (FindWitness(schema, {c_left, c_right}, {}, &witness)) {
+      case Tri::kYes:
+        Add("partition-overlap", DiagSeverity::kWarning, span,
+            std::string(smo_name) + " conditions overlap: row " +
+                DescribeRow(schema, witness) + " satisfies both '" +
+                c_left->ToString() + "' and '" + c_right->ToString() +
+                "'; such tuples are replicated into " + left + " and " +
+                right,
+            "make the conditions mutually exclusive if replication is not "
+            "intended");
+        break;
+      case Tri::kUnknown:
+        Add("partition-overlap", DiagSeverity::kWarning, span,
+            std::string("could not statically decide whether the ") +
+                smo_name + " conditions of " + left + " and " + right +
+                " overlap; overlapping tuples would be replicated");
+        break;
+      case Tri::kNo:
+        break;
+    }
+    switch (FindWitness(schema, {}, {c_left, c_right}, &witness)) {
+      case Tri::kYes:
+        Add("partition-gap", DiagSeverity::kWarning, span,
+            std::string(smo_name) + " conditions leave a gap: row " +
+                DescribeRow(schema, witness) + " satisfies neither '" +
+                c_left->ToString() + "' nor '" + c_right->ToString() +
+                "'; such tuples live only in the auxiliary partition table",
+            "widen one condition so every tuple is covered");
+        break;
+      case Tri::kUnknown:
+        Add("partition-gap", DiagSeverity::kWarning, span,
+            std::string("could not statically decide whether the ") +
+                smo_name + " conditions of " + left + " and " + right +
+                " cover all tuples; uncovered tuples live only in the "
+                "auxiliary partition table");
+        break;
+      case Tri::kNo:
+        break;
+    }
+  }
+
+  // Per-SMO information-loss classification (the paper's Table 2): name the
+  // auxiliary tables that carry what the other side cannot represent.
+  void NoteInfoLoss(const Smo& smo, const std::vector<AuxDef>& aux,
+                    SourceSpan span) {
+    if (smo.kind() == SmoKind::kDropTable) {
+      lossy_ = true;
+      Add("info-loss", DiagSeverity::kNote, span,
+          std::string("DROP TABLE ") + smo.SourceTables()[0] +
+              ": the new version loses the table; its rows stay reachable "
+              "only through older schema versions");
+      return;
+    }
+    if (aux.empty()) return;
+    lossy_ = true;
+    std::string list;
+    for (const AuxDef& a : aux) {
+      if (!list.empty()) list += ", ";
+      list += a.short_name + "(" + JoinColumnNames(a.payload) + ")";
+      if (a.both_sides) {
+        list += " [both sides]";
+      } else {
+        list += a.side == SmoSide::kSource ? " [source side]"
+                                           : " [target side]";
+      }
+    }
+    Add("info-loss", DiagSeverity::kNote, span,
+        std::string(SmoKindName(smo.kind())) +
+            " needs auxiliary state: " + list +
+            "; the evolution round-trips only together with these tables");
+  }
+
+  bool AnalyzeSmo(const Smo& smo, SourceSpan span) {
+    // Resolve the source tables in the evolving table map.
+    std::vector<TableSchema> sources;
+    for (const std::string& src : smo.SourceTables()) {
+      const TableSchema* schema = Find(src);
+      if (schema == nullptr) {
+        Add("unknown-table", DiagSeverity::kError, span,
+            "table " + src + " does not exist at this point of the "
+            "evolution (available: " + AvailableTables() + ")");
+        return false;
+      }
+      sources.push_back(*schema);
+    }
+
+    size_t errors_before = report_->CountOf(DiagSeverity::kError);
+    switch (smo.kind()) {
+      case SmoKind::kCreateTable:
+        CheckCreateTable(static_cast<const CreateTableSmo&>(smo), span);
+        break;
+      case SmoKind::kDropTable:
+        break;
+      case SmoKind::kRenameTable:
+        break;
+      case SmoKind::kRenameColumn:
+        CheckRenameColumn(static_cast<const RenameColumnSmo&>(smo),
+                          sources[0], span);
+        break;
+      case SmoKind::kAddColumn:
+        CheckAddColumn(static_cast<const AddColumnSmo&>(smo), sources[0],
+                       span);
+        break;
+      case SmoKind::kDropColumn:
+        CheckDropColumn(static_cast<const DropColumnSmo&>(smo), sources[0],
+                        span);
+        break;
+      case SmoKind::kSplit:
+        CheckSplit(static_cast<const SplitSmo&>(smo), sources[0], span);
+        break;
+      case SmoKind::kMerge:
+        CheckMerge(static_cast<const MergeSmo&>(smo), sources, span);
+        break;
+      case SmoKind::kDecompose:
+        CheckDecompose(static_cast<const DecomposeSmo&>(smo), sources[0],
+                       span);
+        break;
+      case SmoKind::kJoin:
+        CheckJoin(static_cast<const JoinSmo&>(smo), sources, span);
+        break;
+    }
+    if (report_->CountOf(DiagSeverity::kError) > errors_before) return false;
+
+    // Authoritative application: the engine's own derivation catches
+    // whatever the specific checks above did not model.
+    Result<std::vector<TableSchema>> targets =
+        smo.DeriveTargetSchemas(sources);
+    if (!targets.ok()) {
+      Add("smo-invalid", DiagSeverity::kError, span,
+          targets.status().message());
+      return false;
+    }
+
+    NoteInfoLoss(smo, smo.AuxTables(sources), span);
+
+    for (const std::string& src : smo.SourceTables()) {
+      tables_.erase(ToLower(src));
+    }
+    std::vector<std::string> target_names = smo.TargetTables();
+    for (size_t i = 0; i < target_names.size(); ++i) {
+      if (tables_.count(ToLower(target_names[i]))) {
+        Add("duplicate-table", DiagSeverity::kError, span,
+            "table " + target_names[i] +
+                " already exists in the evolving schema version",
+            "rename the new table or drop/rename the existing one first");
+        return false;
+      }
+      tables_.emplace(ToLower(target_names[i]), (*targets)[i]);
+    }
+    return true;
+  }
+
+  void CheckCreateTable(const CreateTableSmo& smo, SourceSpan span) {
+    std::set<std::string> seen;
+    for (const Column& c : smo.schema().columns()) {
+      if (!seen.insert(ToLower(c.name)).second) {
+        Add("duplicate-column", DiagSeverity::kError, span,
+            "column " + c.name + " declared twice in CREATE TABLE " +
+                smo.schema().name());
+      }
+    }
+  }
+
+  void CheckRenameColumn(const RenameColumnSmo& smo,
+                         const TableSchema& source, SourceSpan span) {
+    if (!source.FindColumn(smo.from())) {
+      Add("unknown-column", DiagSeverity::kError, span,
+          "column " + smo.from() + " not in " + source.ToString());
+      return;
+    }
+    if (!EqualsIgnoreCase(smo.from(), smo.to()) &&
+        source.FindColumn(smo.to())) {
+      Add("duplicate-column", DiagSeverity::kError, span,
+          "renaming " + smo.from() + " to " + smo.to() + " would shadow the "
+          "existing column " + smo.to() + " of " + source.ToString());
+    }
+  }
+
+  void CheckAddColumn(const AddColumnSmo& smo, const TableSchema& source,
+                      SourceSpan span) {
+    if (source.FindColumn(smo.column())) {
+      Add("duplicate-column", DiagSeverity::kError, span,
+          "column " + smo.column() + " already exists in " +
+              source.ToString());
+    }
+    if (smo.fn()) CheckExprColumns(*smo.fn(), source, span, "value function");
+  }
+
+  void CheckDropColumn(const DropColumnSmo& smo, const TableSchema& source,
+                       SourceSpan span) {
+    if (!source.FindColumn(smo.column())) {
+      Add("unknown-column", DiagSeverity::kError, span,
+          "column " + smo.column() + " not in " + source.ToString());
+      return;
+    }
+    if (smo.default_fn() == nullptr) return;
+    std::set<std::string> columns;
+    smo.default_fn()->CollectColumns(&columns);
+    for (const std::string& c : columns) {
+      if (EqualsIgnoreCase(c, smo.column())) {
+        Add("default-references-dropped", DiagSeverity::kError, span,
+            "DEFAULT function '" + smo.default_fn()->ToString() +
+                "' references the dropped column " + smo.column() +
+                "; it is evaluated for rows written through the new "
+                "version, which no longer has that column",
+            "express the default in terms of the surviving columns or a "
+            "literal");
+      } else if (!source.FindColumn(c)) {
+        Add("unknown-column", DiagSeverity::kError, span,
+            "column " + c + " referenced by the DEFAULT function is not in " +
+                source.ToString());
+      }
+    }
+  }
+
+  void CheckSplit(const SplitSmo& smo, const TableSchema& source,
+                  SourceSpan span) {
+    bool resolved = true;
+    if (smo.r_cond()) {
+      resolved &= CheckExprColumns(*smo.r_cond(), source, span,
+                                   "partition condition");
+    }
+    if (smo.has_s() && smo.s_cond()) {
+      resolved &= CheckExprColumns(*smo.s_cond(), source, span,
+                                   "partition condition");
+    }
+    if (!resolved || !smo.has_s()) return;
+    CheckPartitionPair(source, smo.r_cond(), smo.s_cond(), smo.r_name(),
+                       smo.s_name(), span, "SPLIT");
+  }
+
+  void CheckMerge(const MergeSmo& smo,
+                  const std::vector<TableSchema>& sources, SourceSpan span) {
+    if (sources[0].columns() != sources[1].columns()) {
+      Add("merge-incompatible", DiagSeverity::kError, span,
+          "MERGE requires union-compatible tables: " +
+              sources[0].ToString() + " vs " + sources[1].ToString(),
+          "align the payload columns with RENAME/ADD/DROP COLUMN first");
+      return;
+    }
+    bool resolved = true;
+    if (smo.r_cond()) {
+      resolved &= CheckExprColumns(*smo.r_cond(), sources[0], span,
+                                   "partition condition");
+    }
+    if (smo.s_cond()) {
+      resolved &= CheckExprColumns(*smo.s_cond(), sources[1], span,
+                                   "partition condition");
+    }
+    if (!resolved || !smo.r_cond() || !smo.s_cond()) return;
+    CheckPartitionPair(sources[0], smo.r_cond(), smo.s_cond(), smo.r_name(),
+                       smo.s_name(), span, "MERGE");
+  }
+
+  void CheckDecompose(const DecomposeSmo& smo, const TableSchema& source,
+                      SourceSpan span) {
+    std::map<std::string, int> seen;
+    for (const std::vector<std::string>* list :
+         {&smo.s_columns(), &smo.t_columns()}) {
+      for (const std::string& name : *list) {
+        if (!source.FindColumn(name)) {
+          Add("unknown-column", DiagSeverity::kError, span,
+              "column " + name + " not in " + source.ToString());
+          continue;
+        }
+        if (++seen[ToLower(name)] > 1) {
+          Add("decompose-not-partition", DiagSeverity::kError, span,
+              "column " + name + " listed twice in DECOMPOSE; the column "
+              "lists must partition " + source.name() + "'s columns",
+              "assign " + name + " to exactly one of the two parts");
+        }
+      }
+    }
+    if (smo.has_t()) {
+      for (const Column& c : source.columns()) {
+        if (seen.count(ToLower(c.name)) == 0) {
+          Add("decompose-not-partition", DiagSeverity::kError, span,
+              "DECOMPOSE does not cover column " + c.name + " of " +
+                  source.ToString(),
+              "add " + c.name + " to one of the column lists (or omit the "
+              "second part for a plain projection)");
+        }
+      }
+    }
+    if (smo.method() == VerticalMethod::kFk) {
+      for (const std::string& name : smo.s_columns()) {
+        if (EqualsIgnoreCase(name, smo.fk_column())) {
+          Add("decompose-fk-collision", DiagSeverity::kError, span,
+              "generated foreign key column " + smo.fk_column() +
+                  " collides with payload column " + name + " of " +
+                  smo.s_name(),
+              "pick a foreign key name that is not a payload column");
+        }
+      }
+    }
+    if (smo.method() == VerticalMethod::kCondition && smo.condition()) {
+      CheckExprColumns(*smo.condition(), source, span, "decompose condition");
+    }
+  }
+
+  void CheckJoin(const JoinSmo& smo, const std::vector<TableSchema>& sources,
+                 SourceSpan span) {
+    const TableSchema& l = sources[0];
+    const TableSchema& r = sources[1];
+    std::vector<Column> combined = l.columns();
+    bool collision = false;
+    for (const Column& c : r.columns()) {
+      bool dup = false;
+      for (const Column& existing : l.columns()) {
+        if (EqualsIgnoreCase(existing.name, c.name)) dup = true;
+      }
+      if (dup) {
+        collision = true;
+        Add("duplicate-column", DiagSeverity::kError, span,
+            "JOIN column name collision on " + c.name + " between " +
+                l.name() + " and " + r.name(),
+            "rename the column in one side before joining");
+      } else {
+        combined.push_back(c);
+      }
+    }
+    if (smo.method() == VerticalMethod::kFk && !l.FindColumn(smo.fk_column())) {
+      Add("unknown-column", DiagSeverity::kError, span,
+          "foreign key column " + smo.fk_column() + " not in " +
+              l.ToString());
+    }
+    if (smo.method() == VerticalMethod::kCondition && smo.condition()) {
+      std::set<std::string> columns;
+      smo.condition()->CollectColumns(&columns);
+      if (columns.empty()) {
+        Add("join-condition-constant", DiagSeverity::kError, span,
+            "JOIN condition '" + smo.condition()->ToString() +
+                "' references no columns; the join degenerates to a "
+                "constant (cross product or empty)",
+            "relate a column of " + l.name() + " to a column of " +
+                r.name());
+        return;
+      }
+      if (!collision) {
+        TableSchema joined("joined", combined);
+        if (!CheckExprColumns(*smo.condition(), joined, span,
+                              "join condition")) {
+          return;
+        }
+      }
+      Add("join-key-not-unique", DiagSeverity::kWarning, span,
+          "JOIN ON '" + smo.condition()->ToString() +
+              "' is not a key-based match: one row may pair with many "
+              "partners, so the join generates fresh ids (kept stable via "
+              "the id table)",
+          "use ON PK or ON FK when the association is key-determined");
+    }
+  }
+
+  const EvolutionStatement& stmt_;
+  TableMap tables_;
+  AnalysisReport* report_;
+  bool lossy_ = false;
+};
+
+// Shared by AnalyzeEvolution and AnalyzeScript: analyzes one evolution
+// statement against the simulator, defining the new version on success.
+void AnalyzeEvolutionInto(Simulator* sim, const EvolutionStatement& stmt,
+                          AnalysisReport* report) {
+  size_t errors_before = report->CountOf(DiagSeverity::kError);
+  bool duplicate = sim->HasVersion(stmt.new_version);
+  if (duplicate) {
+    report->diagnostics.push_back(Diagnostic{
+        "duplicate-version", DiagSeverity::kError, stmt.name_span,
+        "schema version " + stmt.new_version + " already exists",
+        "pick a fresh version name"});
+  }
+
+  TableMap base;
+  if (stmt.from_version) {
+    std::optional<TableMap> tables = sim->Tables(*stmt.from_version);
+    if (!tables) {
+      report->diagnostics.push_back(Diagnostic{
+          "dangling-source-version", DiagSeverity::kError, stmt.from_span,
+          "source schema version " + *stmt.from_version + " does not exist",
+          ""});
+      report->diagnostics.push_back(Diagnostic{
+          "version-verdict", DiagSeverity::kNote,
+          stmt.name_span.empty() ? stmt.span : stmt.name_span,
+          "round-trip verdict for " + stmt.new_version +
+              ": unsafe (the evolution cannot be applied)",
+          ""});
+      return;
+    }
+    base = std::move(*tables);
+  }
+
+  EvolutionAnalyzer analyzer(stmt, std::move(base), report);
+  bool clean = analyzer.Run();
+
+  bool unsafe = report->CountOf(DiagSeverity::kError) > errors_before;
+  std::string verdict;
+  if (unsafe) {
+    verdict = "unsafe (the evolution is rejected)";
+  } else if (analyzer.lossy()) {
+    verdict =
+        "lossy-with-auxiliary (round trips hold only together with the "
+        "auxiliary tables above)";
+  } else {
+    verdict = "well-behaved (every SMO is invertible without auxiliary "
+              "state)";
+  }
+  report->diagnostics.push_back(Diagnostic{
+      "version-verdict", DiagSeverity::kNote,
+      stmt.name_span.empty() ? stmt.span : stmt.name_span,
+      "round-trip verdict for " + stmt.new_version + ": " + verdict, ""});
+
+  if (clean && !duplicate) {
+    sim->Define(stmt.new_version, analyzer.tables());
+  }
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeEvolution(const VersionCatalog& catalog,
+                                const EvolutionStatement& stmt) {
+  AnalysisReport report;
+  Simulator sim(catalog);
+  AnalyzeEvolutionInto(&sim, stmt, &report);
+  return report;
+}
+
+AnalysisReport AnalyzeScript(const VersionCatalog& catalog,
+                             const std::string& script) {
+  AnalysisReport report;
+  Result<std::vector<BidelStatement>> parsed = ParseBidel(script);
+  if (!parsed.ok()) {
+    report.diagnostics.push_back(Diagnostic{
+        "parse-error", DiagSeverity::kError, SourceSpan{},
+        parsed.status().message(), ""});
+    return report;
+  }
+
+  Simulator sim(catalog);
+  for (const BidelStatement& stmt : *parsed) {
+    if (const auto* evo = std::get_if<EvolutionStatement>(&stmt)) {
+      AnalyzeEvolutionInto(&sim, *evo, &report);
+    } else if (const auto* drop = std::get_if<DropVersionStatement>(&stmt)) {
+      if (!sim.HasVersion(drop->version)) {
+        report.diagnostics.push_back(Diagnostic{
+            "dangling-source-version", DiagSeverity::kError, drop->span,
+            "schema version " + drop->version + " does not exist", ""});
+      } else {
+        sim.Drop(drop->version);
+      }
+    } else if (const auto* mat = std::get_if<MaterializeStatement>(&stmt)) {
+      for (size_t i = 0; i < mat->targets.size(); ++i) {
+        SourceSpan span =
+            i < mat->target_spans.size() ? mat->target_spans[i] : mat->span;
+        const std::string& target = mat->targets[i];
+        size_t dot = target.find('.');
+        std::string version = target.substr(0, dot);
+        if (!sim.HasVersion(version)) {
+          report.diagnostics.push_back(Diagnostic{
+              "dangling-source-version", DiagSeverity::kError, span,
+              "materialization target " + target +
+                  " names unknown schema version " + version,
+              ""});
+          continue;
+        }
+        if (dot != std::string::npos) {
+          std::string table = target.substr(dot + 1);
+          std::optional<TableMap> tables = sim.Tables(version);
+          if (tables && tables->count(ToLower(table)) == 0) {
+            report.diagnostics.push_back(Diagnostic{
+                "unknown-table", DiagSeverity::kError, span,
+                "materialization target " + target + " names unknown table " +
+                    table + " in schema version " + version,
+                ""});
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> RecordableWarnings(const AnalysisReport& report) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == DiagSeverity::kError) continue;
+    out.push_back(std::string(DiagSeverityName(d.severity)) + "[" + d.rule +
+                  "]: " + d.message);
+  }
+  return out;
+}
+
+}  // namespace inverda

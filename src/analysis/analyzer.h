@@ -1,0 +1,47 @@
+#ifndef INVERDA_ANALYSIS_ANALYZER_H_
+#define INVERDA_ANALYSIS_ANALYZER_H_
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "bidel/parser.h"
+#include "catalog/catalog.h"
+
+namespace inverda {
+
+/// Static analysis of BiDEL evolutions: a lint/verification pass that runs
+/// on the parsed script plus the current catalog *before* any delta code is
+/// generated or the catalog is mutated (src/analysis, the ROADMAP's
+/// "correctness tooling" direction).
+///
+/// Rule catalogue (docs/diagnostics.md has examples and fixes):
+///   errors:   dangling-source-version, duplicate-version, unknown-table,
+///             unknown-column, duplicate-table, duplicate-column,
+///             decompose-not-partition, decompose-fk-collision,
+///             merge-incompatible, default-references-dropped,
+///             join-condition-constant, smo-invalid, parse-error
+///   warnings: partition-overlap, partition-gap, join-key-not-unique
+///   notes:    info-loss, version-verdict
+
+/// Analyzes one CREATE SCHEMA VERSION statement against the catalog without
+/// mutating anything. Emits per-SMO diagnostics, an info-loss note per SMO
+/// that needs auxiliary state (the paper's Table 2), and a composed
+/// round-trip verdict note for the new version (well-behaved /
+/// lossy-with-auxiliary / unsafe).
+AnalysisReport AnalyzeEvolution(const VersionCatalog& catalog,
+                                const EvolutionStatement& stmt);
+
+/// Lints a whole BiDEL script (CREATE/DROP SCHEMA VERSION, MATERIALIZE)
+/// against the catalog without applying it. Statements are simulated in
+/// order, so later statements may evolve FROM versions created earlier in
+/// the same script. Parse failures become a "parse-error" diagnostic.
+AnalysisReport AnalyzeScript(const VersionCatalog& catalog,
+                             const std::string& script);
+
+/// The warning/note messages of `report` formatted for recording on the
+/// created schema version (shown by DescribeCatalog).
+std::vector<std::string> RecordableWarnings(const AnalysisReport& report);
+
+}  // namespace inverda
+
+#endif  // INVERDA_ANALYSIS_ANALYZER_H_

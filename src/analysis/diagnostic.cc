@@ -1,0 +1,156 @@
+#include "analysis/diagnostic.h"
+
+#include <cstdio>
+
+namespace inverda {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+bool AnalysisReport::has_errors() const {
+  return FirstError() != nullptr;
+}
+
+size_t AnalysisReport::CountOf(DiagSeverity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* AnalysisReport::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::kError) return &d;
+  }
+  return nullptr;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d, const std::string& script) {
+  std::string out = std::string(DiagSeverityName(d.severity)) + "[" + d.rule +
+                    "]";
+  bool locatable = !script.empty() && !d.span.empty() &&
+                   d.span.begin < script.size();
+  if (locatable) {
+    LineCol pos = LocateOffset(script, d.span.begin);
+    out += " at " + std::to_string(pos.line) + ":" +
+           std::to_string(pos.column);
+  }
+  out += ": " + d.message + "\n";
+  if (locatable) out += CaretSnippet(script, d.span);
+  if (!d.fixit.empty()) out += "  fix: " + d.fixit + "\n";
+  return out;
+}
+
+std::string FormatReport(const AnalysisReport& report,
+                         const std::string& script) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += FormatDiagnostic(d, script);
+  }
+  out += std::to_string(report.CountOf(DiagSeverity::kError)) + " error(s), " +
+         std::to_string(report.CountOf(DiagSeverity::kWarning)) +
+         " warning(s), " + std::to_string(report.CountOf(DiagSeverity::kNote)) +
+         " note(s)\n";
+  return out;
+}
+
+std::string ReportToJson(const AnalysisReport& report,
+                         const std::string& script) {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"" + EscapeJson(d.rule) + "\"";
+    out += ",\"severity\":\"" + std::string(DiagSeverityName(d.severity)) +
+           "\"";
+    out += ",\"message\":\"" + EscapeJson(d.message) + "\"";
+    if (!d.fixit.empty()) out += ",\"fixit\":\"" + EscapeJson(d.fixit) + "\"";
+    if (!d.span.empty()) {
+      out += ",\"span\":{\"begin\":" + std::to_string(d.span.begin) +
+             ",\"end\":" + std::to_string(d.span.end);
+      if (!script.empty() && d.span.begin < script.size()) {
+        LineCol pos = LocateOffset(script, d.span.begin);
+        out += ",\"line\":" + std::to_string(pos.line) +
+               ",\"column\":" + std::to_string(pos.column);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"errors\":" +
+         std::to_string(report.CountOf(DiagSeverity::kError)) +
+         ",\"warnings\":" +
+         std::to_string(report.CountOf(DiagSeverity::kWarning)) +
+         ",\"notes\":" + std::to_string(report.CountOf(DiagSeverity::kNote)) +
+         "}";
+  return out;
+}
+
+StatusCode DiagnosticStatusCode(const Diagnostic& d) {
+  if (d.rule == "unknown-table" || d.rule == "unknown-column" ||
+      d.rule == "dangling-source-version") {
+    return StatusCode::kNotFound;
+  }
+  if (d.rule == "duplicate-table" || d.rule == "duplicate-column" ||
+      d.rule == "duplicate-version" || d.rule == "decompose-fk-collision") {
+    return StatusCode::kAlreadyExists;
+  }
+  return StatusCode::kInvalidArgument;
+}
+
+Status ReportToStatus(const AnalysisReport& report) {
+  const Diagnostic* err = report.FirstError();
+  if (err == nullptr) return Status::OK();
+  return Status(DiagnosticStatusCode(*err),
+                "[" + err->rule + "] " + err->message);
+}
+
+}  // namespace inverda

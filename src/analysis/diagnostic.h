@@ -1,0 +1,67 @@
+#ifndef INVERDA_ANALYSIS_DIAGNOSTIC_H_
+#define INVERDA_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "bidel/source_span.h"
+#include "util/status.h"
+
+namespace inverda {
+
+/// Severity of a lint finding. Errors reject the script at the Evolve gate;
+/// warnings and notes are recorded on the created schema version.
+enum class DiagSeverity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One structured lint finding. `rule` is a stable kebab-case id (see
+/// docs/diagnostics.md for the catalogue); `span` points into the analyzed
+/// script and is empty for statements built programmatically.
+struct Diagnostic {
+  std::string rule;
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceSpan span;
+  std::string message;
+  std::string fixit;  ///< optional suggested remedy, empty when none
+};
+
+/// The outcome of analyzing a script or a single evolution statement.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_errors() const;
+  size_t CountOf(DiagSeverity severity) const;
+  const Diagnostic* FirstError() const;
+};
+
+/// "error[rule] at 3:14: message" plus a caret snippet and fix-it line when
+/// `script` is non-empty and the span points into it.
+std::string FormatDiagnostic(const Diagnostic& d, const std::string& script);
+
+/// Every diagnostic formatted, followed by a one-line summary.
+std::string FormatReport(const AnalysisReport& report,
+                         const std::string& script);
+
+/// Machine-readable rendering: a JSON object with a "diagnostics" array
+/// (rule, severity, message, fixit, span offsets and line/column) and
+/// error/warning/note counts.
+std::string ReportToJson(const AnalysisReport& report,
+                         const std::string& script);
+
+/// The status code Inverda::Evolve rejects an error diagnostic with:
+/// unknown-* and dangling-source-version map to NotFound, duplicate-* and
+/// collision rules to AlreadyExists, everything else to InvalidArgument.
+StatusCode DiagnosticStatusCode(const Diagnostic& d);
+
+/// OK when the report has no errors; otherwise the first error converted
+/// via DiagnosticStatusCode with a "[rule] message" text.
+Status ReportToStatus(const AnalysisReport& report);
+
+}  // namespace inverda
+
+#endif  // INVERDA_ANALYSIS_DIAGNOSTIC_H_

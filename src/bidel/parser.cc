@@ -1,5 +1,6 @@
 #include "bidel/parser.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "expr/parser.h"
@@ -139,8 +140,7 @@ class BidelParser {
     INVERDA_ASSIGN_OR_RETURN(SmoPtr smo, ParseSmoStatement());
     MatchSymbol(";");
     if (!AtEnd()) {
-      return Status::InvalidArgument("trailing input after SMO: " +
-                                     Peek().text);
+      return ErrorHere("expected end of input after SMO");
     }
     return smo;
   }
@@ -152,6 +152,27 @@ class BidelParser {
     return i < toks_.size() ? toks_[i] : toks_.back();
   }
   Tok Advance() { return toks_[pos_++]; }
+
+  SourceSpan SpanOf(const Tok& t) const { return {t.begin, t.end}; }
+  SourceSpan SpanSince(size_t begin_offset) const {
+    size_t end = pos_ > 0 ? toks_[pos_ - 1].end : begin_offset;
+    return {begin_offset, std::max(begin_offset, end)};
+  }
+
+  /// Builds "expected X but found 'tok' at line:col" plus a caret snippet
+  /// of the offending source line.
+  Status ErrorHere(const std::string& what) const {
+    const Tok& t = Peek();
+    LineCol pos = LocateOffset(script_, t.begin);
+    std::string found =
+        t.kind == TokKind::kEnd ? "end of input" : "'" + t.text + "'";
+    std::string msg = what + " but found " + found + " at " +
+                      std::to_string(pos.line) + ":" +
+                      std::to_string(pos.column);
+    std::string snippet = CaretSnippet(script_, SpanOf(t));
+    if (!snippet.empty()) msg += "\n" + snippet;
+    return Status::InvalidArgument(std::move(msg));
+  }
 
   bool PeekKeyword(const char* kw, int ahead = 0) const {
     const Tok& t = Peek(ahead);
@@ -166,8 +187,7 @@ class BidelParser {
   }
   Status ExpectKeyword(const char* kw) {
     if (!MatchKeyword(kw)) {
-      return Status::InvalidArgument(std::string("expected ") + kw +
-                                     " but found '" + Peek().text + "'");
+      return ErrorHere(std::string("expected ") + kw);
     }
     return Status::OK();
   }
@@ -180,15 +200,13 @@ class BidelParser {
   }
   Status ExpectSymbol(const char* sym) {
     if (!MatchSymbol(sym)) {
-      return Status::InvalidArgument(std::string("expected '") + sym +
-                                     "' but found '" + Peek().text + "'");
+      return ErrorHere(std::string("expected '") + sym + "'");
     }
     return Status::OK();
   }
   Result<std::string> ExpectIdentifier(const char* what) {
     if (Peek().kind != TokKind::kWord) {
-      return Status::InvalidArgument(std::string("expected ") + what +
-                                     " but found '" + Peek().text + "'");
+      return ErrorHere(std::string("expected ") + what);
     }
     return Advance().text;
   }
@@ -210,16 +228,16 @@ class BidelParser {
     if (PeekKeyword("DROP") && PeekKeyword("SCHEMA", 1)) {
       return ParseDropVersion();
     }
-    return Status::InvalidArgument(
-        "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE "
-        "but found '" +
-        Peek().text + "'");
+    return ErrorHere(
+        "expected CREATE SCHEMA VERSION, DROP SCHEMA VERSION or MATERIALIZE");
   }
 
   Result<BidelStatement> ParseMaterialize() {
+    size_t stmt_begin = Peek().begin;
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("MATERIALIZE"));
     MaterializeStatement stmt;
     while (true) {
+      size_t target_begin = Peek().begin;
       std::string target;
       if (Peek().kind == TokKind::kString) {
         // Quoted: 'TasKy2' or 'TasKy2.task'.
@@ -234,34 +252,45 @@ class BidelParser {
         }
       }
       stmt.targets.push_back(std::move(target));
+      stmt.target_spans.push_back(SpanSince(target_begin));
       if (!MatchSymbol(",")) break;
     }
+    stmt.span = SpanSince(stmt_begin);
     return BidelStatement(std::move(stmt));
   }
 
   Result<BidelStatement> ParseCreateVersion() {
+    size_t stmt_begin = Peek().begin;
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("SCHEMA"));
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("VERSION"));
     EvolutionStatement stmt;
+    SourceSpan name_span = SpanOf(Peek());
     INVERDA_ASSIGN_OR_RETURN(stmt.new_version,
                              ExpectIdentifier("schema version name"));
+    stmt.name_span = name_span;
     if (MatchKeyword("FROM")) {
+      SourceSpan from_span = SpanOf(Peek());
       INVERDA_ASSIGN_OR_RETURN(std::string from,
                                ExpectIdentifier("source schema version"));
       stmt.from_version = std::move(from);
+      stmt.from_span = from_span;
     }
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("WITH"));
     while (true) {
+      size_t smo_begin = Peek().begin;
       INVERDA_ASSIGN_OR_RETURN(SmoPtr smo, ParseSmoStatement());
       stmt.smos.push_back(std::move(smo));
+      stmt.smo_spans.push_back(SpanSince(smo_begin));
       MatchSymbol(";");
       if (AtEnd() || AtTopLevelStatement()) break;
     }
+    stmt.span = SpanSince(stmt_begin);
     return BidelStatement(std::move(stmt));
   }
 
   Result<BidelStatement> ParseDropVersion() {
+    size_t stmt_begin = Peek().begin;
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("DROP"));
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("SCHEMA"));
     INVERDA_RETURN_IF_ERROR(ExpectKeyword("VERSION"));
@@ -272,6 +301,7 @@ class BidelParser {
       INVERDA_ASSIGN_OR_RETURN(stmt.version,
                                ExpectIdentifier("schema version name"));
     }
+    stmt.span = SpanSince(stmt_begin);
     return BidelStatement(std::move(stmt));
   }
 
@@ -317,8 +347,7 @@ class BidelParser {
     if (PeekKeyword("JOIN") || PeekKeyword("OUTER")) return ParseJoin();
     if (PeekKeyword("SPLIT")) return ParseSplit();
     if (PeekKeyword("MERGE")) return ParseMerge();
-    return Status::InvalidArgument("expected an SMO but found '" +
-                                   Peek().text + "'");
+    return ErrorHere("expected an SMO");
   }
 
   Result<SmoPtr> ParseCreateTable() {
@@ -537,8 +566,7 @@ class BidelParser {
       ++pos_;
     }
     if (pos_ == start_tok) {
-      return Status::InvalidArgument("expected an expression before '" +
-                                     Peek().text + "'");
+      return ErrorHere("expected an expression");
     }
     size_t begin = toks_[start_tok].begin;
     size_t end = toks_[pos_ - 1].end;

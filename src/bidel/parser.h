@@ -7,25 +7,38 @@
 #include <vector>
 
 #include "bidel/smo.h"
+#include "bidel/source_span.h"
 #include "util/status.h"
 
 namespace inverda {
 
 /// CREATE SCHEMA VERSION <name> [FROM <name>] WITH <smo>; ...; <smo>;
+///
+/// Source spans (byte offsets into the parsed script) are recorded so the
+/// static analyzer (src/analysis) can point diagnostics at the offending
+/// token. `smo_spans` is parallel to `smos`.
 struct EvolutionStatement {
   std::string new_version;
   std::optional<std::string> from_version;
   std::vector<SmoPtr> smos;
+
+  SourceSpan span;
+  SourceSpan name_span;
+  SourceSpan from_span;
+  std::vector<SourceSpan> smo_spans;
 };
 
 /// DROP SCHEMA VERSION <name>;
 struct DropVersionStatement {
   std::string version;
+  SourceSpan span;
 };
 
 /// MATERIALIZE '<version>' or MATERIALIZE '<version>.<table>', ...;
 struct MaterializeStatement {
   std::vector<std::string> targets;
+  SourceSpan span;
+  std::vector<SourceSpan> target_spans;  // parallel to targets
 };
 
 using BidelStatement =
@@ -35,7 +48,9 @@ using BidelStatement =
 /// Parses a BiDEL script (Figure 2 syntax plus the MATERIALIZE migration
 /// command) into statements. Keywords are case-insensitive; `--` starts a
 /// line comment. The SMO list of a CREATE SCHEMA VERSION statement extends
-/// until the next top-level statement or the end of the script.
+/// until the next top-level statement or the end of the script. Parse
+/// errors carry a line:column position and a caret snippet of the
+/// offending source line.
 Result<std::vector<BidelStatement>> ParseBidel(const std::string& script);
 
 /// Parses a single SMO statement (no CREATE SCHEMA VERSION wrapper).

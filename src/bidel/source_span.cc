@@ -1,0 +1,46 @@
+#include "bidel/source_span.h"
+
+#include <algorithm>
+
+namespace inverda {
+
+LineCol LocateOffset(const std::string& text, size_t offset) {
+  offset = std::min(offset, text.size());
+  LineCol pos;
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++pos.line;
+      pos.column = 1;
+    } else {
+      ++pos.column;
+    }
+  }
+  return pos;
+}
+
+std::string CaretSnippet(const std::string& text, SourceSpan span) {
+  if (span.begin > text.size()) return "";
+  size_t line_begin = text.rfind('\n', span.begin == 0 ? 0 : span.begin - 1);
+  line_begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+  // rfind can land on the newline terminating the previous line when
+  // span.begin itself sits on a '\n'.
+  if (line_begin > span.begin) line_begin = span.begin;
+  size_t line_end = text.find('\n', span.begin);
+  if (line_end == std::string::npos) line_end = text.size();
+
+  std::string line = text.substr(line_begin, line_end - line_begin);
+  // Tabs would misalign the caret column; render them as single spaces.
+  for (char& c : line) {
+    if (c == '\t') c = ' ';
+  }
+  size_t caret_at = span.begin - line_begin;
+  size_t caret_len =
+      std::max<size_t>(1, std::min(span.end, line_end) - span.begin);
+  std::string out = "  " + line + "\n  ";
+  out.append(caret_at, ' ');
+  out.append(caret_len, '^');
+  out += "\n";
+  return out;
+}
+
+}  // namespace inverda

@@ -1,0 +1,40 @@
+#ifndef INVERDA_BIDEL_SOURCE_SPAN_H_
+#define INVERDA_BIDEL_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace inverda {
+
+/// Half-open byte range [begin, end) into the BiDEL script a statement or
+/// SMO was parsed from. Spans flow from the lexer through the parser into
+/// diagnostics so tools can point at the offending token.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool empty() const { return end <= begin; }
+};
+
+/// 1-based line/column position of a byte offset.
+struct LineCol {
+  int line = 1;
+  int column = 1;
+};
+
+/// Locates `offset` within `text`. Offsets past the end clamp to the last
+/// position, so spans of the implicit end-of-input token stay printable.
+LineCol LocateOffset(const std::string& text, size_t offset);
+
+/// Renders the source line containing `span.begin` with a caret underline
+/// covering the span (clipped to the line), e.g.
+///
+///   SPLIT TABLE T INTO R WITH prio = 1, R WITH prio = 2
+///                                       ^
+///
+/// Returns an empty string for spans outside `text`.
+std::string CaretSnippet(const std::string& text, SourceSpan span);
+
+}  // namespace inverda
+
+#endif  // INVERDA_BIDEL_SOURCE_SPAN_H_

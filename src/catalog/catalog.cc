@@ -238,6 +238,16 @@ Result<const SchemaVersionInfo*> VersionCatalog::FindVersion(
   return &it->second;
 }
 
+Status VersionCatalog::SetLintWarnings(const std::string& version,
+                                       std::vector<std::string> warnings) {
+  auto it = versions_.find(Key(version));
+  if (it == versions_.end()) {
+    return Status::NotFound("schema version " + version);
+  }
+  it->second.lint_warnings = std::move(warnings);
+  return Status::OK();
+}
+
 std::vector<std::string> VersionCatalog::VersionNames() const {
   std::vector<std::string> out;
   out.reserve(versions_.size());

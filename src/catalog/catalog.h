@@ -62,6 +62,10 @@ struct SchemaVersionInfo {
   /// The SMO instances of the CREATE SCHEMA VERSION statement that created
   /// this version, in statement order.
   std::vector<SmoId> smos;
+
+  /// Lint findings (warnings/notes from src/analysis) recorded when the
+  /// version was created; shown by DescribeVersion/DescribeCatalog.
+  std::vector<std::string> lint_warnings;
 };
 
 /// Outcome of dropping a schema version: what was garbage collected.
@@ -109,6 +113,11 @@ class VersionCatalog {
   bool HasVersion(const std::string& name) const;
   Result<const SchemaVersionInfo*> FindVersion(const std::string& name) const;
   std::vector<std::string> VersionNames() const;
+
+  /// Attaches lint findings to an existing schema version (recorded by the
+  /// Evolve gate after the analyzer ran). Replaces previous findings.
+  Status SetLintWarnings(const std::string& version,
+                         std::vector<std::string> warnings);
 
   /// Version names in creation order (the genealogy replay order).
   std::vector<std::string> VersionNamesInOrder() const;

@@ -22,6 +22,9 @@ Result<std::string> DescribeVersion(const VersionCatalog& catalog,
     }
     out += "\n";
   }
+  for (const std::string& finding : info->lint_warnings) {
+    out += "  lint: " + finding + "\n";
+  }
   return out;
 }
 

@@ -1,0 +1,257 @@
+#include "expr/domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace inverda {
+namespace {
+
+// The search budget: maximum number of candidate rows to evaluate. Scripts
+// compare each column against a handful of literals, so real partition
+// conditions stay far below this.
+constexpr size_t kMaxCombinations = 10000;
+
+bool IsColumnRef(const ExprPtr& e) {
+  return e && e->kind() == ExprKind::kColumnRef;
+}
+bool IsLiteral(const ExprPtr& e) {
+  return e && e->kind() == ExprKind::kLiteral;
+}
+
+bool InFragment(const Expression& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot: {
+      std::vector<ExprPtr> children;
+      expr.CollectChildren(&children);
+      for (const ExprPtr& c : children) {
+        if (!c || !InFragment(*c)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      std::vector<ExprPtr> children;
+      expr.CollectChildren(&children);
+      return children.size() == 1 && IsColumnRef(children[0]);
+    }
+    case ExprKind::kComparison: {
+      std::vector<ExprPtr> children;
+      expr.CollectChildren(&children);
+      if (children.size() != 2) return false;
+      return (IsColumnRef(children[0]) && IsLiteral(children[1])) ||
+             (IsLiteral(children[0]) && IsColumnRef(children[1]));
+    }
+    default:
+      return false;
+  }
+}
+
+// Gathers, per column (lower-cased name), the literals it is compared
+// against anywhere in `expr`. Works on arbitrary expressions: literals that
+// appear outside the decidable fragment still make useful candidates for the
+// witness search.
+void CollectComparedLiterals(const Expression& expr,
+                             std::map<std::string, std::vector<Value>>* out) {
+  if (expr.kind() == ExprKind::kComparison) {
+    std::vector<ExprPtr> children;
+    expr.CollectChildren(&children);
+    if (children.size() == 2) {
+      const ExprPtr& a = children[0];
+      const ExprPtr& b = children[1];
+      if (IsColumnRef(a) && IsLiteral(b)) {
+        (*out)[ToLower(*a->AsColumnName())].push_back(*b->AsLiteral());
+      } else if (IsLiteral(a) && IsColumnRef(b)) {
+        (*out)[ToLower(*b->AsColumnName())].push_back(*a->AsLiteral());
+      }
+    }
+  }
+  std::vector<ExprPtr> children;
+  expr.CollectChildren(&children);
+  for (const ExprPtr& c : children) {
+    if (c) CollectComparedLiterals(*c, out);
+  }
+}
+
+// Boundary-complete candidate set for one column. Each ordering comparison
+// against a literal partitions the column domain into regions; the set below
+// contains a representative of every non-empty region, so exhausting it
+// without a witness refutes satisfiability (for type-conforming values).
+std::vector<Value> CandidatesFor(DataType type,
+                                 const std::vector<Value>& literals) {
+  std::vector<Value> out;
+  out.push_back(Value::Null());
+  switch (type) {
+    case DataType::kInt64: {
+      std::set<int64_t> ints;
+      ints.insert(0);
+      for (const Value& v : literals) {
+        if (v.is_int()) {
+          ints.insert(v.AsInt() - 1);
+          ints.insert(v.AsInt());
+          ints.insert(v.AsInt() + 1);
+        } else if (v.is_double()) {
+          // A double literal against an int column: the integers around it
+          // cover the <, =, > regions.
+          int64_t lo = static_cast<int64_t>(std::floor(v.AsDouble()));
+          int64_t hi = static_cast<int64_t>(std::ceil(v.AsDouble()));
+          ints.insert(lo - 1);
+          ints.insert(lo);
+          ints.insert(hi);
+          ints.insert(hi + 1);
+        }
+      }
+      for (int64_t i : ints) out.push_back(Value::Int(i));
+      break;
+    }
+    case DataType::kDouble: {
+      std::set<double> doubles;
+      doubles.insert(0.0);
+      for (const Value& v : literals) {
+        if (v.is_double() || v.is_int()) {
+          doubles.insert(v.AsNumeric());
+        }
+      }
+      std::vector<double> sorted(doubles.begin(), doubles.end());
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        doubles.insert((sorted[i] + sorted[i + 1]) / 2.0);
+      }
+      if (!sorted.empty()) {
+        doubles.insert(sorted.front() - 1.0);
+        doubles.insert(sorted.back() + 1.0);
+      }
+      for (double d : doubles) out.push_back(Value::Double(d));
+      break;
+    }
+    case DataType::kString: {
+      std::set<std::string> strings;
+      strings.insert("");
+      for (const Value& v : literals) {
+        if (v.is_string()) {
+          strings.insert(v.AsString());
+          // Immediate lexicographic successor: representative of the region
+          // just above the literal.
+          strings.insert(v.AsString() + std::string(1, '\0'));
+        }
+      }
+      for (const std::string& s : strings) out.push_back(Value::String(s));
+      break;
+    }
+    case DataType::kBool:
+      out.push_back(Value::Bool(false));
+      out.push_back(Value::Bool(true));
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool InDecidableFragment(const Expression& expr) { return InFragment(expr); }
+
+Tri FindWitness(const TableSchema& schema, const std::vector<ExprPtr>& pos,
+                const std::vector<ExprPtr>& neg, Row* witness) {
+  bool decidable = true;
+  std::set<std::string> referenced;
+  std::map<std::string, std::vector<Value>> literals;
+  for (const std::vector<ExprPtr>* group : {&pos, &neg}) {
+    for (const ExprPtr& e : *group) {
+      if (!e) return Tri::kUnknown;
+      if (!InFragment(*e)) decidable = false;
+      std::set<std::string> cols;
+      e->CollectColumns(&cols);
+      for (const std::string& c : cols) referenced.insert(ToLower(c));
+      CollectComparedLiterals(*e, &literals);
+    }
+  }
+
+  // Unknown columns make every evaluation fail; nothing to decide here
+  // (the analyzer reports unresolved columns separately).
+  for (const std::string& col : referenced) {
+    if (!schema.FindColumn(col)) return Tri::kUnknown;
+  }
+
+  // One candidate list per schema column; unreferenced columns are pinned
+  // to NULL (they cannot influence fragment conditions).
+  std::vector<std::vector<Value>> candidates(
+      static_cast<size_t>(schema.num_columns()));
+  size_t combinations = 1;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Column& col = schema.columns()[i];
+    if (referenced.count(ToLower(col.name)) == 0) {
+      candidates[i] = {Value::Null()};
+      continue;
+    }
+    auto it = literals.find(ToLower(col.name));
+    static const std::vector<Value> kNoLiterals;
+    candidates[i] =
+        CandidatesFor(col.type, it == literals.end() ? kNoLiterals : it->second);
+    if (combinations > kMaxCombinations / candidates[i].size()) {
+      combinations = kMaxCombinations + 1;
+    } else {
+      combinations *= candidates[i].size();
+    }
+  }
+  bool exhaustive = combinations <= kMaxCombinations;
+
+  // Odometer enumeration of the cross product (bounded by the budget).
+  std::vector<size_t> odo(candidates.size(), 0);
+  Row row(candidates.size());
+  bool eval_failed = false;
+  size_t visited = 0;
+  while (visited < kMaxCombinations) {
+    ++visited;
+    for (size_t i = 0; i < candidates.size(); ++i) row[i] = candidates[i][odo[i]];
+
+    bool witness_found = true;
+    for (const ExprPtr& e : pos) {
+      Result<bool> v = e->EvalBool(schema, row);
+      if (!v.ok()) {
+        eval_failed = true;
+        witness_found = false;
+        break;
+      }
+      if (!v.value()) {
+        witness_found = false;
+        break;
+      }
+    }
+    if (witness_found) {
+      for (const ExprPtr& e : neg) {
+        Result<bool> v = e->EvalBool(schema, row);
+        if (!v.ok()) {
+          eval_failed = true;
+          witness_found = false;
+          break;
+        }
+        if (v.value()) {
+          witness_found = false;
+          break;
+        }
+      }
+    }
+    if (witness_found) {
+      if (witness != nullptr) *witness = row;
+      return Tri::kYes;
+    }
+
+    // Advance the odometer; stop after the last combination.
+    size_t i = 0;
+    for (; i < odo.size(); ++i) {
+      if (++odo[i] < candidates[i].size()) break;
+      odo[i] = 0;
+    }
+    if (i == odo.size()) break;
+  }
+
+  if (decidable && exhaustive && !eval_failed) return Tri::kNo;
+  return Tri::kUnknown;
+}
+
+}  // namespace inverda

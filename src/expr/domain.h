@@ -1,0 +1,44 @@
+#ifndef INVERDA_EXPR_DOMAIN_H_
+#define INVERDA_EXPR_DOMAIN_H_
+
+#include <vector>
+
+#include "expr/expression.h"
+#include "schema/schema.h"
+
+namespace inverda {
+
+/// Three-valued answer of the small-domain satisfiability check.
+enum class Tri {
+  kNo,       ///< provably no row exists (within the decidable fragment)
+  kYes,      ///< a concrete witness row was found
+  kUnknown,  ///< outside the decidable fragment or search budget exceeded
+};
+
+/// Decides whether some row of `schema` satisfies every condition in `pos`
+/// and none of the conditions in `neg`, by enumerating a small candidate
+/// domain per referenced column (boundary values derived from the literals
+/// the column is compared against, plus NULL).
+///
+/// Soundness contract:
+///  - kYes is always sound: a concrete witness row was evaluated.
+///  - kNo is sound for rows whose values conform to the declared column
+///    types (the engine is dynamically typed; schema types are advisory),
+///    and is only claimed when every condition lies in the decidable
+///    fragment — AND/OR/NOT combinations of `column <op> literal`
+///    comparisons, `column IS [NOT] NULL`, and boolean literals — and the
+///    candidate cross product fits the search budget.
+///  - Anything else yields kUnknown; callers should degrade to a warning
+///    ("could not decide") rather than an error.
+///
+/// On kYes, `*witness` (when non-null) receives the witness row.
+Tri FindWitness(const TableSchema& schema, const std::vector<ExprPtr>& pos,
+                const std::vector<ExprPtr>& neg, Row* witness = nullptr);
+
+/// True when `expr` lies in the fragment FindWitness can refute over
+/// (see the kNo soundness contract above).
+bool InDecidableFragment(const Expression& expr);
+
+}  // namespace inverda
+
+#endif  // INVERDA_EXPR_DOMAIN_H_

@@ -32,6 +32,9 @@ class LiteralExpr : public Expression {
     if (value_.is_bool()) return DataType::kBool;
     return DataType::kString;
   }
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  void CollectChildren(std::vector<ExprPtr>*) const override {}
+  const Value* AsLiteral() const override { return &value_; }
 
  private:
   Value value_;
@@ -64,6 +67,9 @@ class ColumnRefExpr : public Expression {
     if (!idx) return DataType::kString;
     return schema.columns()[static_cast<size_t>(*idx)].type;
   }
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  void CollectChildren(std::vector<ExprPtr>*) const override {}
+  const std::string* AsColumnName() const override { return &column_; }
 
  private:
   std::string column_;
@@ -133,6 +139,12 @@ class ComparisonExpr : public Expression {
   DataType InferType(const TableSchema&) const override {
     return DataType::kBool;
   }
+  ExprKind kind() const override { return ExprKind::kComparison; }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    out->push_back(lhs_);
+    out->push_back(rhs_);
+  }
+  std::optional<CompareOp> comparison_op() const override { return op_; }
 
  private:
   static bool ValuesEqual(const Value& a, const Value& b) {
@@ -176,6 +188,13 @@ class BoolBinaryExpr : public Expression {
   DataType InferType(const TableSchema&) const override {
     return DataType::kBool;
   }
+  ExprKind kind() const override {
+    return is_and_ ? ExprKind::kAnd : ExprKind::kOr;
+  }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    out->push_back(lhs_);
+    out->push_back(rhs_);
+  }
 
  private:
   bool is_and_;
@@ -199,6 +218,10 @@ class NotExpr : public Expression {
   }
   DataType InferType(const TableSchema&) const override {
     return DataType::kBool;
+  }
+  ExprKind kind() const override { return ExprKind::kNot; }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    out->push_back(operand_);
   }
 
  private:
@@ -294,6 +317,11 @@ class ArithExpr : public Expression {
     }
     return DataType::kInt64;
   }
+  ExprKind kind() const override { return ExprKind::kArith; }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    out->push_back(lhs_);
+    out->push_back(rhs_);
+  }
 
  private:
   static std::string AsText(const Value& v) {
@@ -327,6 +355,11 @@ class IsNullExpr : public Expression {
   DataType InferType(const TableSchema&) const override {
     return DataType::kBool;
   }
+  ExprKind kind() const override { return ExprKind::kIsNull; }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    out->push_back(operand_);
+  }
+  bool isnull_negated() const override { return negated_; }
 
  private:
   ExprPtr operand_;
@@ -423,6 +456,10 @@ class FunctionExpr : public Expression {
         return args_[0]->InferType(schema);
     }
     return DataType::kString;
+  }
+  ExprKind kind() const override { return ExprKind::kFunction; }
+  void CollectChildren(std::vector<ExprPtr>* out) const override {
+    for (const ExprPtr& a : args_) out->push_back(a);
   }
 
  private:

@@ -2,6 +2,7 @@
 #define INVERDA_EXPR_EXPRESSION_H_
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +17,23 @@ class Expression;
 
 /// Expressions are immutable and shared; SMO instances hold them by pointer.
 using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Structural node kinds, exposed so static analyses (src/expr/domain.cc,
+/// src/analysis) can walk the tree without dynamic casts.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArith,
+  kIsNull,
+  kFunction,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kConcat };
 
 /// Scalar expression over the columns of one tuple. Used for the SMO
 /// parameters of BiDEL: the split/merge/join/decompose conditions c(A) and
@@ -46,6 +64,29 @@ class Expression {
   /// Convenience: evaluates and coerces to a condition truth value.
   /// NULL and FALSE are false; TRUE is true; any other type is an error.
   Result<bool> EvalBool(const TableSchema& schema, const Row& row) const;
+
+  // --- Structural introspection (for static analysis) ----------------------
+
+  /// The structural kind of this node.
+  virtual ExprKind kind() const = 0;
+
+  /// Appends direct sub-expressions to `out` (operands, function arguments).
+  /// Leaves append nothing.
+  virtual void CollectChildren(std::vector<ExprPtr>* out) const = 0;
+
+  /// Non-null iff kind() == kLiteral; points at the literal value.
+  virtual const Value* AsLiteral() const { return nullptr; }
+
+  /// Non-null iff kind() == kColumnRef; points at the column name.
+  virtual const std::string* AsColumnName() const { return nullptr; }
+
+  /// Set iff kind() == kComparison.
+  virtual std::optional<CompareOp> comparison_op() const {
+    return std::nullopt;
+  }
+
+  /// Meaningful iff kind() == kIsNull: true for IS NOT NULL.
+  virtual bool isnull_negated() const { return false; }
 };
 
 // ---------------------------------------------------------------------------
@@ -56,14 +97,12 @@ class Expression {
 ExprPtr MakeLiteral(Value value);
 ExprPtr MakeColumnRef(std::string column);
 
-enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
 
 ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeNot(ExprPtr operand);
 
-enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kConcat };
 ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
 
 ExprPtr MakeIsNull(ExprPtr operand, bool negated);

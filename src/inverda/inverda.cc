@@ -1,6 +1,8 @@
 #include "inverda/inverda.h"
 
+#include "analysis/analyzer.h"
 #include "bidel/parser.h"
+#include "sqlgen/sqlgen.h"
 
 namespace inverda {
 
@@ -46,11 +48,32 @@ Status Inverda::ProvisionSmo(SmoId id) {
 }
 
 Status Inverda::CreateSchemaVersion(const EvolutionStatement& stmt) {
+  // The static-analysis gate: errors reject the evolution before any
+  // catalog mutation or delta-code provisioning; warnings and notes are
+  // recorded on the created version (shown by DescribeCatalog).
+  AnalysisReport report = AnalyzeEvolution(catalog_, stmt);
+  INVERDA_RETURN_IF_ERROR(ReportToStatus(report));
+
   INVERDA_ASSIGN_OR_RETURN(std::vector<SmoId> new_smos,
                            catalog_.ApplyEvolution(stmt));
   for (SmoId id : new_smos) {
     INVERDA_RETURN_IF_ERROR(ProvisionSmo(id));
   }
+
+  // Record the lint findings, cross-referencing the delta-code artifacts
+  // (views/triggers) each registered SMO instance would install.
+  std::vector<std::string> findings = RecordableWarnings(report);
+  for (SmoId id : new_smos) {
+    Result<std::vector<std::string>> artifacts =
+        DeltaArtifactNames(catalog_, id);
+    if (!artifacts.ok() || artifacts->empty()) continue;
+    std::string line = "delta-code[" + catalog_.smo(id).smo->ToString() + "]:";
+    for (const std::string& name : *artifacts) line += " " + name + ",";
+    line.pop_back();
+    findings.push_back(std::move(line));
+  }
+  INVERDA_RETURN_IF_ERROR(
+      catalog_.SetLintWarnings(stmt.new_version, std::move(findings)));
   return Status::OK();
 }
 

@@ -54,6 +54,14 @@ Result<std::string> GenerateDeltaCode(const VersionCatalog& catalog, SmoId id);
 Result<std::string> GenerateDeltaCodeForVersion(const VersionCatalog& catalog,
                                                 const std::string& version);
 
+/// The names of the artifacts (views and INSTEAD OF triggers)
+/// GenerateDeltaCode would install for SMO instance `id` in its current
+/// materialization state, e.g. "VIEW Task" and "TRIGGER Task_insert".
+/// Lets lint diagnostics reference the generated objects without rendering
+/// the full delta code. Catalog-only SMOs yield an empty list.
+Result<std::vector<std::string>> DeltaArtifactNames(
+    const VersionCatalog& catalog, SmoId id);
+
 }  // namespace inverda
 
 #endif  // INVERDA_SQLGEN_SQLGEN_H_

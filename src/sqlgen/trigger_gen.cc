@@ -146,6 +146,30 @@ Result<std::string> GenerateDeltaCode(const VersionCatalog& catalog,
   return out;
 }
 
+Result<std::vector<std::string>> DeltaArtifactNames(
+    const VersionCatalog& catalog, SmoId id) {
+  const SmoInstance& inst = catalog.smo(id);
+  INVERDA_ASSIGN_OR_RETURN(SmoRules rules, RulesForSmo(*inst.smo));
+  std::vector<std::string> out;
+  if (rules.gamma_tgt.rules.empty() && rules.gamma_src.rules.empty()) {
+    return out;
+  }
+  INVERDA_ASSIGN_OR_RETURN(SqlGrounding grounding,
+                           GroundingForSmo(catalog, id, rules));
+  const std::vector<std::string>& virtual_relations =
+      inst.materialized ? rules.source_relations : rules.target_relations;
+  for (const std::string& rel : virtual_relations) {
+    auto grounded = grounding.relations.find(rel);
+    if (grounded == grounding.relations.end()) continue;
+    const std::string& view_name = grounded->second.table;
+    out.push_back("VIEW " + view_name);
+    out.push_back("TRIGGER " + view_name + "_insert");
+    out.push_back("TRIGGER " + view_name + "_update");
+    out.push_back("TRIGGER " + view_name + "_delete");
+  }
+  return out;
+}
+
 Result<std::string> GenerateDeltaCodeForVersion(const VersionCatalog& catalog,
                                                 const std::string& version) {
   INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,

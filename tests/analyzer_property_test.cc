@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "genealogy_builder.h"
+#include "inverda/export.h"
+#include "inverda/inverda.h"
+#include "util/random.h"
+
+namespace inverda {
+namespace {
+
+// Property test tying the linter to the bidirectionality guarantee: every
+// genealogy the random builder grows is accepted by the Evolve gate, so its
+// exported BiDEL replay script must lint with zero errors — and a
+// lint-clean genealogy must keep every version's view invariant across a
+// materialization change (the round-trip property).
+
+class AnalyzerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalyzerPropertyTest, LintCleanGenealogiesRoundTrip) {
+  Inverda db;
+  testutil::GenealogyBuilder builder(&db, GetParam());
+  ASSERT_TRUE(builder.Init().ok());
+  Random rng(GetParam() * 31 + 7);
+  for (int step = 0; step < 5; ++step) {
+    ASSERT_TRUE(builder.Step().ok());
+    for (int w = 0; w < 10; ++w) {
+      testutil::RandomInsert(&db, &rng, builder.versions());
+    }
+  }
+
+  // The exported genealogy replays the accepted evolutions: zero lint
+  // errors against an empty catalog.
+  Result<std::string> script = ExportBidel(db.catalog());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  VersionCatalog empty;
+  AnalysisReport report = AnalyzeScript(empty, *script);
+  EXPECT_FALSE(report.has_errors()) << "seed " << GetParam() << ":\n"
+                                    << FormatReport(report, *script);
+  // Every evolution got a round-trip verdict, none of them "unsafe".
+  size_t verdicts = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule != "version-verdict") continue;
+    ++verdicts;
+    EXPECT_EQ(d.message.find("unsafe"), std::string::npos) << d.message;
+  }
+  EXPECT_EQ(verdicts, builder.versions().size());
+
+  // Lint-clean implies the gate accepts a fresh replay.
+  Inverda replay;
+  Status replayed = replay.Execute(*script);
+  EXPECT_TRUE(replayed.ok()) << replayed.ToString();
+
+  // The round-trip property: views are invariant under materialization.
+  auto before = testutil::Snapshot(&db);
+  ASSERT_FALSE(before.empty());
+  ASSERT_TRUE(db.Execute("MATERIALIZE '" + builder.versions().back() +
+                         "';")
+                  .ok());
+  auto after = testutil::Snapshot(&db);
+  EXPECT_EQ("", testutil::DiffSnapshots(before, after))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerPropertyTest,
+                         ::testing::Values(2, 4, 6, 10, 16, 26, 42));
+
+}  // namespace
+}  // namespace inverda

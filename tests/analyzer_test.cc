@@ -1,0 +1,466 @@
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "bidel/source_span.h"
+#include "catalog/describe.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+// Golden tests for the static-analysis pass: one bad script per rule id,
+// the severity contract (errors reject at the Evolve gate, warnings and
+// notes are recorded), and zero errors on representative valid scripts.
+
+AnalysisReport Lint(const std::string& script,
+                    const std::string& setup = "") {
+  Inverda db;
+  if (!setup.empty()) {
+    Status status = db.Execute(setup);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  return AnalyzeScript(db.catalog(), script);
+}
+
+const Diagnostic* FindRule(const AnalysisReport& report,
+                           const std::string& rule) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+::testing::AssertionResult HasError(const AnalysisReport& report,
+                                    const std::string& rule) {
+  const Diagnostic* d = FindRule(report, rule);
+  if (d == nullptr) {
+    return ::testing::AssertionFailure()
+           << "no " << rule << " diagnostic in:\n"
+           << FormatReport(report, "");
+  }
+  if (d->severity != DiagSeverity::kError) {
+    return ::testing::AssertionFailure()
+           << rule << " is not an error: " << FormatDiagnostic(*d, "");
+  }
+  return ::testing::AssertionSuccess();
+}
+
+constexpr const char* kBase =
+    "CREATE SCHEMA VERSION V1 WITH "
+    "CREATE TABLE T(a INT, b TEXT, c INT); "
+    "CREATE TABLE R(x INT, y TEXT); "
+    "CREATE TABLE S(z INT, w TEXT);";
+
+TEST(AnalyzerGoldenTest, ParseError) {
+  AnalysisReport report = Lint("CREATE SCHEMA VERSION V WITH NONSENSE foo;");
+  EXPECT_TRUE(HasError(report, "parse-error"));
+}
+
+TEST(AnalyzerGoldenTest, DanglingSourceVersion) {
+  AnalysisReport report =
+      Lint("CREATE SCHEMA VERSION V2 FROM Nope WITH DROP TABLE T;");
+  EXPECT_TRUE(HasError(report, "dangling-source-version"));
+  // The verdict note still appears and reads "unsafe".
+  const Diagnostic* verdict = FindRule(report, "version-verdict");
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_NE(verdict->message.find("unsafe"), std::string::npos);
+}
+
+TEST(AnalyzerGoldenTest, DanglingDropAndMaterializeTargets) {
+  AnalysisReport report = Lint("DROP SCHEMA VERSION Nope;");
+  EXPECT_TRUE(HasError(report, "dangling-source-version"));
+
+  report = Lint("MATERIALIZE 'Nope';");
+  EXPECT_TRUE(HasError(report, "dangling-source-version"));
+
+  report = Lint("MATERIALIZE 'V1.Missing';", kBase);
+  EXPECT_TRUE(HasError(report, "unknown-table"));
+}
+
+TEST(AnalyzerGoldenTest, DuplicateVersion) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT);"
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE U(b INT);");
+  EXPECT_TRUE(HasError(report, "duplicate-version"));
+}
+
+TEST(AnalyzerGoldenTest, UnknownTable) {
+  AnalysisReport report =
+      Lint("CREATE SCHEMA VERSION V2 FROM V1 WITH DROP TABLE Missing;",
+           kBase);
+  EXPECT_TRUE(HasError(report, "unknown-table"));
+  // The message lists what is available.
+  EXPECT_NE(FindRule(report, "unknown-table")->message.find("available"),
+            std::string::npos);
+}
+
+TEST(AnalyzerGoldenTest, UnknownColumn) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH RENAME COLUMN q IN T TO p;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "unknown-column"));
+
+  report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "ADD COLUMN d INT AS q + 1 INTO T;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "unknown-column"));
+}
+
+TEST(AnalyzerGoldenTest, DuplicateTable) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V1 WITH "
+      "CREATE TABLE T(a INT); CREATE TABLE T(b INT);");
+  EXPECT_TRUE(HasError(report, "duplicate-table"));
+
+  report = Lint("CREATE SCHEMA VERSION V2 FROM V1 WITH RENAME TABLE T INTO R;",
+                kBase);
+  EXPECT_TRUE(HasError(report, "duplicate-table"));
+}
+
+TEST(AnalyzerGoldenTest, DuplicateColumn) {
+  // Declared twice in CREATE TABLE.
+  AnalysisReport report =
+      Lint("CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT, a TEXT);");
+  EXPECT_TRUE(HasError(report, "duplicate-column"));
+
+  // RENAME COLUMN shadowing an existing column.
+  report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH RENAME COLUMN b IN T TO a;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "duplicate-column"));
+
+  // ADD COLUMN that already exists.
+  report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "ADD COLUMN a INT AS 0 INTO T;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "duplicate-column"));
+
+  // JOIN whose sides share a payload column name.
+  report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "RENAME COLUMN z IN S TO x; JOIN TABLE R, S INTO J ON PK;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "duplicate-column"));
+}
+
+TEST(AnalyzerGoldenTest, DecomposeNotPartition) {
+  // A column listed in both parts.
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "DECOMPOSE TABLE T INTO A(a, b), B(b, c) ON PK;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "decompose-not-partition"));
+
+  // A column covered by neither part.
+  report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "DECOMPOSE TABLE T INTO A(a), B(b) ON PK;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "decompose-not-partition"));
+}
+
+TEST(AnalyzerGoldenTest, DecomposeFkCollision) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "DECOMPOSE TABLE T INTO A(a, b), B(c) ON FK a;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "decompose-fk-collision"));
+}
+
+TEST(AnalyzerGoldenTest, MergeIncompatible) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "MERGE TABLE R (x = 1), T (a = 2) INTO M;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "merge-incompatible"));
+}
+
+TEST(AnalyzerGoldenTest, DefaultReferencesDropped) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "DROP COLUMN c FROM T DEFAULT c + 1;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "default-references-dropped"));
+}
+
+TEST(AnalyzerGoldenTest, JoinConditionConstant) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "JOIN TABLE R, S INTO J ON 1 = 1;",
+      kBase);
+  EXPECT_TRUE(HasError(report, "join-condition-constant"));
+}
+
+TEST(AnalyzerGoldenTest, SmoInvalidNullSmo) {
+  // Statements built programmatically can carry a null SMO; the analyzer
+  // reports it instead of crashing.
+  VersionCatalog catalog;
+  EvolutionStatement stmt;
+  stmt.new_version = "V1";
+  stmt.smos.push_back(nullptr);
+  AnalysisReport report = AnalyzeEvolution(catalog, stmt);
+  EXPECT_TRUE(HasError(report, "smo-invalid"));
+}
+
+TEST(AnalyzerGoldenTest, PartitionOverlapWarning) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "SPLIT TABLE T INTO Lo WITH a <= 5, Hi WITH a >= 5;",
+      kBase);
+  const Diagnostic* d = FindRule(report, "partition-overlap");
+  ASSERT_NE(d, nullptr) << FormatReport(report, "");
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+  // The witness row (a=5) is named in the message.
+  EXPECT_NE(d->message.find("a=5"), std::string::npos) << d->message;
+  // Overlap is legal replication semantics, never an error.
+  EXPECT_FALSE(report.has_errors()) << FormatReport(report, "");
+}
+
+TEST(AnalyzerGoldenTest, PartitionGapWarning) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "SPLIT TABLE T INTO Lo WITH a = 0, Hi WITH a = 1;",
+      kBase);
+  const Diagnostic* d = FindRule(report, "partition-gap");
+  ASSERT_NE(d, nullptr) << FormatReport(report, "");
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(AnalyzerGoldenTest, ExhaustivePartitionIsClean) {
+  // IS NULL / IS NOT NULL cover every tuple and never overlap: the
+  // small-domain search proves both directions and stays silent.
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "SPLIT TABLE T INTO Known WITH a IS NOT NULL, Unknown WITH a IS NULL;",
+      kBase);
+  EXPECT_EQ(FindRule(report, "partition-overlap"), nullptr)
+      << FormatReport(report, "");
+  EXPECT_EQ(FindRule(report, "partition-gap"), nullptr)
+      << FormatReport(report, "");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(AnalyzerGoldenTest, JoinKeyNotUniqueWarning) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "JOIN TABLE R, S INTO J ON x = z;",
+      kBase);
+  const Diagnostic* d = FindRule(report, "join-key-not-unique");
+  ASSERT_NE(d, nullptr) << FormatReport(report, "");
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(AnalyzerGoldenTest, InfoLossAndVerdictNotes) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT, b TEXT);"
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "SPLIT TABLE T INTO Lo WITH a IS NULL, Hi WITH a IS NOT NULL;");
+  const Diagnostic* loss = FindRule(report, "info-loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(loss->severity, DiagSeverity::kNote);
+  EXPECT_NE(loss->message.find("auxiliary"), std::string::npos);
+
+  // V1 is well-behaved, V2 lossy-with-auxiliary; both verdicts appear.
+  std::vector<std::string> verdicts;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == "version-verdict") verdicts.push_back(d.message);
+  }
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_NE(verdicts[0].find("well-behaved"), std::string::npos);
+  EXPECT_NE(verdicts[1].find("lossy-with-auxiliary"), std::string::npos);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(AnalyzerGoldenTest, DropTableIsLossy) {
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH DROP TABLE S;", kBase);
+  const Diagnostic* loss = FindRule(report, "info-loss");
+  ASSERT_NE(loss, nullptr);
+  const Diagnostic* verdict = FindRule(report, "version-verdict");
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_NE(verdict->message.find("lossy-with-auxiliary"), std::string::npos);
+}
+
+TEST(AnalyzerGoldenTest, DiagnosticSpansPointAtTheSmo) {
+  std::string script =
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT);\n"
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH DROP TABLE Nope;";
+  AnalysisReport report = Lint(script);
+  const Diagnostic* d = FindRule(report, "unknown-table");
+  ASSERT_NE(d, nullptr);
+  ASSERT_FALSE(d->span.empty());
+  ASSERT_LT(d->span.begin, script.size());
+  EXPECT_EQ(LocateOffset(script, d->span.begin).line, 2u);
+  // The rendered diagnostic carries a caret snippet of that line.
+  std::string formatted = FormatDiagnostic(*d, script);
+  EXPECT_NE(formatted.find("DROP TABLE Nope"), std::string::npos) << formatted;
+  EXPECT_NE(formatted.find('^'), std::string::npos) << formatted;
+}
+
+TEST(AnalyzerGoldenTest, LaterStatementsSeeEarlierVersions) {
+  // The simulator overlays versions created earlier in the same script.
+  AnalysisReport report = Lint(
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT);"
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH RENAME TABLE T INTO U;"
+      "CREATE SCHEMA VERSION V3 FROM V2 WITH RENAME COLUMN a IN U TO b;"
+      "DROP SCHEMA VERSION V3;"
+      "MATERIALIZE 'V2.U';");
+  EXPECT_FALSE(report.has_errors()) << FormatReport(report, "");
+}
+
+// --- the Evolve gate --------------------------------------------------------
+
+struct BadScript {
+  const char* name;
+  const char* script;
+  StatusCode code;
+};
+
+TEST(AnalyzerGateTest, RejectsBadEvolutions) {
+  // Every script evolves the same base and must be rejected with the
+  // documented status code, leaving the catalog untouched.
+  const BadScript kBad[] = {
+      {"dangling-from",
+       "CREATE SCHEMA VERSION Bad FROM Nope WITH DROP TABLE T;",
+       StatusCode::kNotFound},
+      {"unknown-table",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH DROP TABLE Missing;",
+       StatusCode::kNotFound},
+      {"unknown-column",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME COLUMN q IN T TO p;",
+       StatusCode::kNotFound},
+      {"duplicate-version",
+       "CREATE SCHEMA VERSION V1 WITH CREATE TABLE X(a INT);",
+       StatusCode::kAlreadyExists},
+      {"duplicate-table",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME TABLE T INTO R;",
+       StatusCode::kAlreadyExists},
+      {"duplicate-column",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH ADD COLUMN a INT AS 0 INTO T;",
+       StatusCode::kAlreadyExists},
+      {"decompose-fk-collision",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+       "DECOMPOSE TABLE T INTO A(a, b), B(c) ON FK a;",
+       StatusCode::kAlreadyExists},
+      {"decompose-not-partition",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+       "DECOMPOSE TABLE T INTO A(a), B(b) ON PK;",
+       StatusCode::kInvalidArgument},
+      {"merge-incompatible",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+       "MERGE TABLE R (x = 1), T (a = 2) INTO M;",
+       StatusCode::kInvalidArgument},
+      {"default-references-dropped",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+       "DROP COLUMN c FROM T DEFAULT c + 1;",
+       StatusCode::kInvalidArgument},
+      {"join-condition-constant",
+       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+       "JOIN TABLE R, S INTO J ON 1 = 1;",
+       StatusCode::kInvalidArgument},
+  };
+
+  for (const BadScript& bad : kBad) {
+    Inverda db;
+    ASSERT_TRUE(db.Execute(kBase).ok());
+    Status status = db.Execute(bad.script);
+    EXPECT_FALSE(status.ok()) << bad.name << " was accepted";
+    EXPECT_EQ(status.code(), bad.code)
+        << bad.name << ": " << status.ToString();
+    // The rule id is part of the rejection message.
+    EXPECT_NE(status.message().find("["), std::string::npos) << bad.name;
+    EXPECT_FALSE(db.catalog().HasVersion("Bad")) << bad.name;
+  }
+}
+
+TEST(AnalyzerGateTest, RecordsWarningsOnTheVersion) {
+  Inverda db;
+  ASSERT_TRUE(db.Execute(kBase).ok());
+  ASSERT_TRUE(db.Execute("CREATE SCHEMA VERSION V2 FROM V1 WITH "
+                         "SPLIT TABLE T INTO Lo WITH a <= 5, "
+                         "Hi WITH a >= 5;")
+                  .ok());
+  Result<const SchemaVersionInfo*> info = db.catalog().FindVersion("V2");
+  ASSERT_TRUE(info.ok());
+  bool overlap_recorded = false;
+  bool delta_recorded = false;
+  for (const std::string& finding : (*info)->lint_warnings) {
+    if (finding.find("partition-overlap") != std::string::npos) {
+      overlap_recorded = true;
+    }
+    if (finding.find("delta-code[") != std::string::npos) {
+      delta_recorded = true;
+    }
+  }
+  EXPECT_TRUE(overlap_recorded);
+  EXPECT_TRUE(delta_recorded);
+
+  // DescribeVersion surfaces the findings.
+  Result<std::string> desc = DescribeVersion(db.catalog(), "V2");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_NE(desc->find("lint: "), std::string::npos) << *desc;
+}
+
+TEST(AnalyzerGateTest, AcceptsValidScripts) {
+  const char* kValid[] = {
+      // The shell smoke session's genealogy.
+      "CREATE SCHEMA VERSION V1 WITH CREATE TABLE T(a INT, b TEXT); "
+      "CREATE SCHEMA VERSION V2 FROM V1 WITH "
+      "SPLIT TABLE T INTO Hot WITH a = 1; "
+      "MATERIALIZE 'V2';",
+      // The paper's TasKy genealogy: Do! (task filter) and TasKy2
+      // (author normalization) both evolved from TasKy.
+      "CREATE SCHEMA VERSION TasKy WITH "
+      "CREATE TABLE Task(task TEXT, prio INT, author TEXT); "
+      "CREATE SCHEMA VERSION Do! FROM TasKy WITH "
+      "SPLIT TABLE Task INTO Todo WITH prio = 1; "
+      "CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH "
+      "DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) "
+      "ON FOREIGN KEY author;",
+      // Column surgery chain.
+      "CREATE SCHEMA VERSION C1 WITH CREATE TABLE T(a INT, b TEXT); "
+      "CREATE SCHEMA VERSION C2 FROM C1 WITH "
+      "RENAME TABLE T INTO U; RENAME COLUMN a IN U TO c; "
+      "ADD COLUMN d INT AS c + 1 INTO U; "
+      "DROP COLUMN b FROM U DEFAULT 'x';",
+      // Merge of union-compatible halves back together.
+      "CREATE SCHEMA VERSION M1 WITH "
+      "CREATE TABLE A(x INT, y TEXT); CREATE TABLE B(x INT, y TEXT); "
+      "CREATE SCHEMA VERSION M2 FROM M1 WITH "
+      "MERGE TABLE A (x < 10), B (x >= 10) INTO C;",
+  };
+  for (const char* script : kValid) {
+    // Lints with zero errors...
+    VersionCatalog empty;
+    AnalysisReport report = AnalyzeScript(empty, script);
+    EXPECT_FALSE(report.has_errors()) << FormatReport(report, script);
+    // ...and the gate accepts it.
+    Inverda db;
+    Status status = db.Execute(script);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+TEST(AnalyzerGateTest, ParseErrorsCarryLineAndCaret) {
+  Inverda db;
+  Status status = db.Execute(
+      "CREATE SCHEMA VERSION V1 WITH\nCREATE TABLE T(a INT;");
+  ASSERT_FALSE(status.ok());
+  // "2:21" — the unexpected ';' inside the column list on line 2.
+  EXPECT_NE(status.message().find("2:"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find('^'), std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace inverda

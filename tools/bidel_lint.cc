@@ -1,0 +1,124 @@
+// bidel_lint — the standalone front-end for the src/analysis lint pass.
+// Reads a BiDEL script (from file arguments or stdin), analyzes it against
+// an optional pre-built catalog, and prints the findings:
+//
+//   bidel_lint script.bidel              # human-readable report
+//   bidel_lint --json script.bidel       # machine-readable JSON
+//   bidel_lint --setup base.bidel s.bidel  # lint s.bidel on top of base
+//   bidel_lint < script.bidel            # read the script from stdin
+//
+// Exit status: 0 when the script is clean (warnings and notes allowed),
+// 1 when the analyzer reports at least one error, 2 on usage or I/O
+// problems. The --setup script is *applied* (via the full Evolve gate), so
+// it must itself be valid; the linted scripts are only simulated.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "inverda/inverda.h"
+
+namespace inverda {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bidel_lint [--json] [--setup <script>] [<script>...]\n"
+               "  Lints BiDEL evolution scripts without applying them.\n"
+               "  With no script arguments, reads the script from stdin.\n"
+               "  --json            machine-readable output\n"
+               "  --setup <script>  apply <script> first to build the base\n"
+               "                    catalog the linted scripts evolve from\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::string ReadStdin() {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  return buffer.str();
+}
+
+int RunLint(const std::vector<std::string>& scripts,
+            const std::string& setup_path, bool json) {
+  Inverda db;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    Status status = db.Execute(setup);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: setup script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  bool any_errors = false;
+  for (const std::string& script : scripts) {
+    AnalysisReport report = AnalyzeScript(db.catalog(), script);
+    if (json) {
+      std::printf("%s\n", ReportToJson(report, script).c_str());
+    } else {
+      std::printf("%s", FormatReport(report, script).c_str());
+    }
+    any_errors = any_errors || report.has_errors();
+  }
+  return any_errors ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace inverda
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string setup_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--setup") {
+      if (i + 1 >= argc) return inverda::Usage();
+      setup_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      inverda::Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return inverda::Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> scripts;
+  if (paths.empty()) {
+    scripts.push_back(inverda::ReadStdin());
+  } else {
+    for (const std::string& path : paths) {
+      std::string text;
+      if (!inverda::ReadFile(path, &text)) {
+        std::fprintf(stderr, "bidel_lint: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      scripts.push_back(std::move(text));
+    }
+  }
+  return inverda::RunLint(scripts, setup_path, json);
+}

@@ -15,6 +15,7 @@
 //   DESCRIBE <version>
 //   DELTA <version>          -- the generated SQL delta code
 //   CHECK <SMO statement>    -- the Section 5 bidirectionality checker
+//   LINT <statement>         -- static analysis without applying anything
 //   HELP | QUIT
 
 #include <cstdio>
@@ -22,6 +23,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "bidel/parser.h"
 #include "bidel/rules.h"
 #include "catalog/describe.h"
@@ -177,6 +180,7 @@ class Shell {
       return Status::OK();
     }
     if (EqualsIgnoreCase(first, "CHECK")) return Check(rest);
+    if (EqualsIgnoreCase(first, "LINT")) return Lint(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
       INVERDA_ASSIGN_OR_RETURN(std::string script, ExportSession(&db_));
       std::printf("%s", script.c_str());
@@ -202,6 +206,7 @@ class Shell {
         "  DELETE FROM <v>.<table> WHERE <cond>;\n"
         "  SHOW VERSIONS; SHOW CATALOG; SHOW DOT; DESCRIBE <v>; DELTA <v>;\n"
         "  CHECK <smo>;   -- Section 5 bidirectionality checker\n"
+        "  LINT <stmt>;   -- static analysis without applying anything\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
         "  QUIT;\n");
     return Status::OK();
@@ -250,6 +255,14 @@ class Shell {
     std::printf("condition 27: %s\ncondition 26: %s\n",
                 cond27.holds ? "identity (holds)" : cond27.detail.c_str(),
                 cond26.holds ? "identity (holds)" : cond26.detail.c_str());
+    return Status::OK();
+  }
+
+  Status Lint(const std::string& script_body) {
+    // Lint the statement against the live catalog without applying it.
+    std::string script = script_body + ";";
+    AnalysisReport report = AnalyzeScript(db_.catalog(), script);
+    std::printf("%s", FormatReport(report, script).c_str());
     return Status::OK();
   }
 
