@@ -1,0 +1,165 @@
+// Compiled access plans vs. the legacy per-access route resolution.
+//
+// Builds a single-lineage genealogy of ADD COLUMN evolutions and times
+// point reads at the virtual head for propagation distances 1..16. The
+// "legacy" configuration disables the plan cache, so every access (and
+// every recursion level below it) re-resolves its route and re-assembles
+// its SMO context — exactly the per-access work the old AccessLayer did.
+// The "compiled" configuration serves every access from the epoch-pinned
+// plan cache. The derived-view cache is off in both modes so reads really
+// traverse the chain.
+//
+//   microbench_plan [--quick] [--json <file>]
+//
+// Exits non-zero when the two configurations disagree on read results;
+// the depth>=4 speedup verdict is printed but not fatal (sanitizer CI
+// runs this binary too, and instrumented timings are not meaningful).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "inverda/inverda.h"
+
+using inverda::bench::CheckOk;
+using inverda::bench::InitBench;
+using inverda::bench::PrintHeader;
+using inverda::bench::ScaledInt;
+using inverda::bench::TimeMs;
+
+namespace {
+
+constexpr int kRows = 16;
+
+struct DepthResult {
+  int depth = 0;
+  double legacy_ns = 0;
+  double compiled_ns = 0;
+  double speedup = 0;
+};
+
+// One lineage: materialized base, then `depth` chained ADD COLUMN
+// evolutions; reads at the head resolve backward through `depth` SMOs.
+std::string BuildChain(inverda::Inverda* db, int depth) {
+  CheckOk(db->Execute(
+              "CREATE SCHEMA VERSION P0 WITH CREATE TABLE tab(k0 INT, v0 TEXT);"),
+          "create base");
+  std::string prev = "P0";
+  for (int j = 1; j <= depth; ++j) {
+    std::string next = "P" + std::to_string(j);
+    CheckOk(db->Execute("CREATE SCHEMA VERSION " + next + " FROM " + prev +
+                        " WITH ADD COLUMN c" + std::to_string(j) +
+                        " INT AS k0 + " + std::to_string(j) + " INTO tab;"),
+            "evolve");
+    prev = next;
+  }
+  return prev;
+}
+
+DepthResult RunDepth(int depth, int reps) {
+  inverda::Inverda db;
+  const std::string head = BuildChain(&db, depth);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < kRows; ++i) {
+    keys.push_back(CheckOk(
+        db.Insert("P0", "tab",
+                  {inverda::Value::Int(i), inverda::Value::String("r")}),
+        "insert"));
+  }
+  db.access().set_cache_enabled(false);  // view cache would hide the chain
+
+  auto read_all = [&]() {
+    for (int64_t key : keys) {
+      CheckOk(db.Get(head, "tab", key).status(), "get");
+    }
+  };
+
+  // Both configurations must see the same rows.
+  db.access().set_plan_cache_enabled(true);
+  std::vector<inverda::KeyedRow> compiled_rows =
+      CheckOk(db.Select(head, "tab"), "select compiled");
+  db.access().set_plan_cache_enabled(false);
+  std::vector<inverda::KeyedRow> legacy_rows =
+      CheckOk(db.Select(head, "tab"), "select legacy");
+  if (compiled_rows.size() != legacy_rows.size()) {
+    std::fprintf(stderr, "depth %d: compiled/legacy row counts differ\n",
+                 depth);
+    std::exit(1);
+  }
+  for (size_t i = 0; i < compiled_rows.size(); ++i) {
+    if (compiled_rows[i].key != legacy_rows[i].key ||
+        !inverda::RowsEqual(compiled_rows[i].row, legacy_rows[i].row)) {
+      std::fprintf(stderr, "depth %d: compiled/legacy rows differ\n", depth);
+      std::exit(1);
+    }
+  }
+
+  DepthResult result;
+  result.depth = depth;
+
+  db.access().set_plan_cache_enabled(false);
+  read_all();  // warm storage either way
+  result.legacy_ns = TimeMs(reps, read_all) * 1e6 / kRows;
+
+  db.access().set_plan_cache_enabled(true);
+  read_all();  // compile + cache the plans once
+  result.compiled_ns = TimeMs(reps, read_all) * 1e6 / kRows;
+
+  result.speedup =
+      result.compiled_ns > 0 ? result.legacy_ns / result.compiled_ns : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const int reps = ScaledInt("INVERDA_PLAN_REPS", 200);
+
+  PrintHeader("microbench_plan: compiled access plans vs legacy resolution");
+  std::printf("%6s  %14s  %14s  %8s\n", "depth", "legacy ns/op",
+              "compiled ns/op", "speedup");
+
+  std::vector<DepthResult> results;
+  for (int depth : {1, 2, 4, 8, 16}) {
+    DepthResult r = RunDepth(depth, reps);
+    std::printf("%6d  %14.0f  %14.0f  %7.2fx\n", r.depth, r.legacy_ns,
+                r.compiled_ns, r.speedup);
+    results.push_back(r);
+  }
+
+  bool faster_at_depth4 = true;
+  for (const DepthResult& r : results) {
+    if (r.depth >= 4 && r.speedup <= 1.0) faster_at_depth4 = false;
+  }
+  std::printf("\nverdict: compiled plans %s than legacy at depth >= 4\n",
+              faster_at_depth4 ? "faster" : "NOT faster");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"microbench_plan\",\"reps\":" << reps
+        << ",\"rows\":" << kRows << ",\"depths\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const DepthResult& r = results[i];
+      out << (i ? "," : "") << "{\"depth\":" << r.depth
+          << ",\"legacy_ns\":" << r.legacy_ns
+          << ",\"compiled_ns\":" << r.compiled_ns
+          << ",\"speedup\":" << r.speedup << "}";
+    }
+    out << "],\"compiled_faster_at_depth4\":"
+        << (faster_at_depth4 ? "true" : "false") << "}\n";
+  }
+  return 0;
+}

@@ -115,6 +115,7 @@ Result<std::vector<SmoId>> VersionCatalog::ApplyEvolution(
   next_tv_id_ = tv_counter;
   next_smo_id_ = smo_counter;
   ++structure_epoch_;
+  ++materialization_epoch_;
 
   SchemaVersionInfo info;
   info.name = stmt.new_version;
@@ -222,6 +223,7 @@ Result<DropResult> VersionCatalog::DropVersion(const std::string& name) {
   for (TvId id : dead_tvs) tvs_.erase(id);
   for (SmoId id : dead_smos) smos_.erase(id);
   ++structure_epoch_;
+  ++materialization_epoch_;
   return result;
 }
 

@@ -198,6 +198,17 @@ class VersionCatalog {
   /// derived from the genealogy in O(1).
   uint64_t structure_epoch() const { return structure_epoch_; }
 
+  /// Monotonic counter bumped whenever anything that can change a compiled
+  /// access plan changes: the genealogy structure (evolution, drop) or the
+  /// materialization state of any SMO instance (migration). Compiled plans
+  /// (src/plan) are pinned to this epoch, so staleness is one compare.
+  uint64_t materialization_epoch() const { return materialization_epoch_; }
+
+  /// Records a materialization-state change. Called by the migration
+  /// operation after flipping SMO instances (including on rollback);
+  /// structural changes bump the counter internally.
+  void BumpMaterializationEpoch() { ++materialization_epoch_; }
+
  private:
   Result<TvId> NewTableVersion(std::string name, TableSchema schema,
                                SmoId incoming);
@@ -214,6 +225,7 @@ class VersionCatalog {
   int next_version_order_ = 0;
 
   uint64_t structure_epoch_ = 1;
+  uint64_t materialization_epoch_ = 1;
   // Lazily built reachability index, valid while reach_epoch_ matches
   // structure_epoch_.
   mutable uint64_t reach_epoch_ = 0;

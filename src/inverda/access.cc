@@ -1,3 +1,8 @@
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "inverda/inverda.h"
 
 namespace inverda {
@@ -13,92 +18,52 @@ struct DepthGuard {
 
 }  // namespace
 
-Result<std::optional<AccessLayer::Route>> AccessLayer::ResolveRoute(TvId tv) {
-  if (catalog_->IsPhysical(tv)) return std::optional<Route>();
-  const TableVersion& info = catalog_->table_version(tv);
-  // Case 2 (forwards): one outgoing SMO is materialized; the data is on its
-  // target side, so tv is accessed as a source of that SMO.
-  for (SmoId out : info.outgoing) {
-    const SmoInstance& inst = catalog_->smo(out);
-    if (inst.smo->kind() == SmoKind::kDropTable) continue;
-    if (!inst.materialized) continue;
-    Route route;
-    route.smo = out;
-    route.side = SmoSide::kSource;
-    for (size_t i = 0; i < inst.sources.size(); ++i) {
-      if (inst.sources[i] == tv) route.index = static_cast<int>(i);
-    }
-    return std::optional<Route>(route);
-  }
-  // Case 3 (backwards): the incoming SMO is virtualized; the data is on its
-  // source side, so tv is accessed as a target of that SMO.
-  const SmoInstance& in = catalog_->smo(info.incoming);
-  if (in.smo->kind() == SmoKind::kCreateTable) {
-    return Status::Internal("table version " + catalog_->TvLabel(tv) +
-                            " has no data route");
-  }
-  Route route;
-  route.smo = info.incoming;
-  route.side = SmoSide::kTarget;
-  for (size_t i = 0; i < in.targets.size(); ++i) {
-    if (in.targets[i] == tv) route.index = static_cast<int>(i);
-  }
-  return std::optional<Route>(route);
-}
+// --- compiled plans ---------------------------------------------------------
 
 Result<SmoContext> AccessLayer::BuildContext(SmoId id) {
-  const SmoInstance& inst = catalog_->smo(id);
-  SmoContext ctx;
-  ctx.smo = inst.smo.get();
-  ctx.materialized = inst.materialized;
-  ctx.backend = this;
-  ctx.memo = inst.memo.get();
-  for (TvId src : inst.sources) {
-    const TableVersion& tv = catalog_->table_version(src);
-    ctx.sources.push_back(TvRef{src, &tv.schema});
+  return compiler_.BuildContext(id);
+}
+
+Result<const plan::TvPlan*> AccessLayer::GetPlan(TvId tv) {
+  return plan_cache_.Get(tv, catalog_->materialization_epoch(), compiler_);
+}
+
+Result<AccessLayer::PlanHandle> AccessLayer::ResolvePlan(TvId tv) {
+  PlanHandle handle;
+  if (plan_cache_enabled_) {
+    INVERDA_ASSIGN_OR_RETURN(handle.cached, GetPlan(tv));
+    return handle;
   }
-  for (TvId tgt : inst.targets) {
-    const TableVersion& tv = catalog_->table_version(tgt);
-    ctx.targets.push_back(TvRef{tgt, &tv.schema});
+  // Legacy-resolution mode: re-resolve the first hop from the catalog on
+  // every access, like the pre-plan executor did. The plan lives on this
+  // call's stack because kernels re-enter the AccessLayer recursively.
+  INVERDA_ASSIGN_OR_RETURN(plan::TvPlan shallow, compiler_.CompileShallow(tv));
+  handle.owned = std::make_unique<plan::TvPlan>(std::move(shallow));
+  return handle;
+}
+
+Result<int> AccessLayer::PropagationDistance(TvId tv) {
+  if (plan_cache_enabled_) {
+    INVERDA_ASSIGN_OR_RETURN(const plan::TvPlan* p, GetPlan(tv));
+    return p->distance();
   }
-  for (const std::string& aux :
-       catalog_->PhysicalAuxNames(id, inst.materialized)) {
-    ctx.aux_names[aux] = catalog_->AuxTableName(id, aux);
-  }
-  return ctx;
+  INVERDA_ASSIGN_OR_RETURN(plan::TvPlan full, compiler_.Compile(tv));
+  return full.distance();
 }
 
 // --- derived-view cache -----------------------------------------------------
 
-Result<AccessLayer::DepVec> AccessLayer::CollectDeps(TvId tv) {
+Result<AccessLayer::DepVec> AccessLayer::FootprintDeps(const plan::TvPlan& p) {
+  const std::vector<std::string>* names = &p.footprint;
+  plan::TvPlan full;
+  if (!p.full) {
+    INVERDA_ASSIGN_OR_RETURN(full, compiler_.Compile(p.tv));
+    names = &full.footprint;
+  }
   DepVec deps;
-  std::set<TvId> visited;
-  std::set<std::string> seen;
-  auto add = [&](const std::string& name) {
-    if (!seen.insert(name).second) return;
+  deps.reserve(names->size());
+  for (const std::string& name : *names) {
     deps.emplace_back(name, db_->TableEpoch(name).value_or(0));
-  };
-  std::vector<TvId> frontier{tv};
-  while (!frontier.empty()) {
-    TvId current = frontier.back();
-    frontier.pop_back();
-    if (!visited.insert(current).second) continue;
-    INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route,
-                             ResolveRoute(current));
-    if (!route) {
-      add(catalog_->DataTableName(current));
-      continue;
-    }
-    const SmoInstance& inst = catalog_->smo(route->smo);
-    for (const std::string& aux :
-         catalog_->PhysicalAuxNames(route->smo, inst.materialized)) {
-      add(catalog_->AuxTableName(route->smo, aux));
-    }
-    // The kernel derives `current` from the data side of the SMO; every
-    // table version there is a (possibly virtual) further dependency.
-    const std::vector<TvId>& data_side =
-        route->side == SmoSide::kSource ? inst.targets : inst.sources;
-    frontier.insert(frontier.end(), data_side.begin(), data_side.end());
   }
   return deps;
 }
@@ -118,9 +83,9 @@ const Table* AccessLayer::LookupCache(TvId tv) {
   return &it->second.table;
 }
 
-Status AccessLayer::StoreCache(TvId tv, Table table) {
-  INVERDA_ASSIGN_OR_RETURN(DepVec deps, CollectDeps(tv));
-  cache_.insert_or_assign(tv, CacheEntry{std::move(table), std::move(deps)});
+Status AccessLayer::StoreCache(const plan::TvPlan& p, Table table) {
+  INVERDA_ASSIGN_OR_RETURN(DepVec deps, FootprintDeps(p));
+  cache_.insert_or_assign(p.tv, CacheEntry{std::move(table), std::move(deps)});
   return Status::OK();
 }
 
@@ -146,19 +111,19 @@ void AccessLayer::ResetCacheStats() {
   cache_stats_.clear();
 }
 
-Status AccessLayer::InvalidateForWrite(TvId tv) {
+Status AccessLayer::InvalidateForWrite(const plan::TvPlan& p) {
   if (cache_.empty()) return Status::OK();
-  INVERDA_ASSIGN_OR_RETURN(DepVec footprint_deps, CollectDeps(tv));
+  INVERDA_ASSIGN_OR_RETURN(DepVec footprint_deps, FootprintDeps(p));
   std::set<std::string> footprint;
   for (const auto& [name, epoch] : footprint_deps) {
     (void)epoch;
     footprint.insert(name);
   }
-  const std::set<TvId>& component = catalog_->ComponentOf(tv);
+  const std::set<TvId>& component = catalog_->ComponentOf(p.tv);
   std::vector<TvId> doomed;
   for (const auto& [cached_tv, entry] : cache_) {
     if (!component.count(cached_tv)) continue;  // disjoint lineage
-    if (cached_tv == tv) {
+    if (cached_tv == p.tv) {
       doomed.push_back(cached_tv);
       continue;
     }
@@ -192,10 +157,11 @@ void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
 // --- reads ------------------------------------------------------------------
 
 Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
-  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
-  if (!route) {
+  INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
+  const plan::TvPlan& p = *handle.get();
+  if (p.physical) {
     INVERDA_ASSIGN_OR_RETURN(const Table* table,
-                             db_->GetTableConst(catalog_->DataTableName(tv)));
+                             db_->GetTableConst(p.data_table));
     table->Scan(fn);
     return Status::OK();
   }
@@ -205,50 +171,59 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
       return Status::OK();
     }
   }
-  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
-  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
-  Table tmp(catalog_->table_version(tv).schema);
-  INVERDA_RETURN_IF_ERROR(
-      kernel->Derive(ctx, route->side, route->index, std::nullopt, &tmp));
+  Table tmp(*p.schema);
+  INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
   tmp.Scan(fn);
   if (cache_enabled_) {
     ++cache_misses_;
     ++cache_stats_[tv].misses;
-    INVERDA_RETURN_IF_ERROR(StoreCache(tv, std::move(tmp)));
+    INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
   }
   return Status::OK();
 }
 
 Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
+  INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
+  const plan::TvPlan& p = *handle.get();
+  if (p.physical) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* table,
+                             db_->GetTableConst(p.data_table));
+    const Row* row = table->Find(key);
+    if (row == nullptr) return std::optional<Row>();
+    return std::optional<Row>(*row);
+  }
   if (cache_enabled_) {
     if (const Table* cached = LookupCache(tv)) {
       const Row* row = cached->Find(key);
       if (row == nullptr) return std::optional<Row>();
       return std::optional<Row>(*row);
     }
+    // Same accounting as ScanVersion's miss path: derive the full view
+    // once, store it, and answer this (and subsequent) lookups from it.
+    ++cache_misses_;
+    ++cache_stats_[tv].misses;
+    Table tmp(*p.schema);
+    INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
+    std::optional<Row> found;
+    if (const Row* row = tmp.Find(key)) found = *row;
+    INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
+    return found;
   }
-  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
-  if (!route) {
-    INVERDA_ASSIGN_OR_RETURN(const Table* table,
-                             db_->GetTableConst(catalog_->DataTableName(tv)));
-    const Row* row = table->Find(key);
-    if (row == nullptr) return std::optional<Row>();
-    return std::optional<Row>(*row);
-  }
-  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
-  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
-  Table tmp(catalog_->table_version(tv).schema);
-  INVERDA_RETURN_IF_ERROR(
-      kernel->Derive(ctx, route->side, route->index, key, &tmp));
+  Table tmp(*p.schema);
+  INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(key, &tmp));
   const Row* row = tmp.Find(key);
   if (row == nullptr) return std::optional<Row>();
   return std::optional<Row>(*row);
 }
 
+// --- writes -----------------------------------------------------------------
+
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   if (writes.empty()) return Status::OK();
   const bool top_level = propagate_depth_ == 0;
   DepthGuard guard(&propagate_depth_);
+  INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
+  const plan::TvPlan& p = *handle.get();
   if (top_level) {
     last_trace_.Clear();
     // Invalidate before the write lands: entries (re)stored by reads that
@@ -259,17 +234,15 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
           InvalidateCache();
           break;
         case CacheMode::kGenealogy:
-          INVERDA_RETURN_IF_ERROR(InvalidateForWrite(tv));
+          INVERDA_RETURN_IF_ERROR(InvalidateForWrite(p));
           break;
       }
     }
   }
   last_trace_.AddVersion(tv);
-  INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route, ResolveRoute(tv));
-  if (!route) {
-    const std::string table_name = catalog_->DataTableName(tv);
-    last_trace_.AddTable(table_name);
-    INVERDA_ASSIGN_OR_RETURN(Table * table, db_->GetTable(table_name));
+  if (p.physical) {
+    last_trace_.AddTable(p.data_table);
+    INVERDA_ASSIGN_OR_RETURN(Table * table, db_->GetTable(p.data_table));
     for (const WriteOp& op : writes.ops) {
       switch (op.kind) {
         case WriteOp::Kind::kInsert:
@@ -285,34 +258,12 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
     }
     return Status::OK();
   }
-  const SmoInstance& inst = catalog_->smo(route->smo);
-  for (const std::string& aux :
-       catalog_->PhysicalAuxNames(route->smo, inst.materialized)) {
-    last_trace_.AddTable(catalog_->AuxTableName(route->smo, aux));
+  const plan::PlanStep& step = p.steps.front();
+  for (const auto& [aux, physical_name] : step.ctx.aux_names) {
+    (void)aux;
+    last_trace_.AddTable(physical_name);
   }
-  INVERDA_ASSIGN_OR_RETURN(SmoContext ctx, BuildContext(route->smo));
-  INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*ctx.smo));
-  return kernel->Propagate(ctx, route->side, route->index, writes);
-}
-
-Result<int> AccessLayer::PropagationDistance(TvId tv) {
-  int distance = 0;
-  TvId current = tv;
-  while (true) {
-    INVERDA_ASSIGN_OR_RETURN(std::optional<Route> route,
-                             ResolveRoute(current));
-    if (!route) return distance;
-    ++distance;
-    // Follow the route to a table version on the data side of the SMO.
-    const SmoInstance& inst = catalog_->smo(route->smo);
-    const std::vector<TvId>& next_side =
-        route->side == SmoSide::kSource ? inst.targets : inst.sources;
-    if (next_side.empty()) return distance;
-    current = next_side[0];
-    if (distance > 1000) {
-      return Status::Internal("propagation distance diverged");
-    }
-  }
+  return step.Propagate(writes);
 }
 
 }  // namespace inverda

@@ -13,6 +13,8 @@
 #include "catalog/catalog.h"
 #include "expr/expression.h"
 #include "mapping/side.h"
+#include "plan/compiler.h"
+#include "plan/plan.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -21,13 +23,16 @@ namespace inverda {
 class Inverda;
 
 /// Implements AccessBackend on top of the catalog and physical storage: it
-/// is the executable form of the generated delta code. Reads resolve along
-/// the schema genealogy (Figure 6's three cases); writes are propagated
-/// SMO-by-SMO toward the physical side by the mapping kernels.
+/// is the executable form of the generated delta code. A thin executor
+/// over compiled access plans (src/plan): each operation resolves the
+/// table version's plan — a cache hit on the hot path, one compile per
+/// materialization epoch otherwise — and executes its first step; the
+/// mapping kernels recurse through the rest of the chain (Figure 6's three
+/// cases applied transitively).
 class AccessLayer : public AccessBackend {
  public:
   AccessLayer(VersionCatalog* catalog, Database* db)
-      : catalog_(catalog), db_(db) {}
+      : catalog_(catalog), db_(db), compiler_(catalog, this) {}
 
   Status ScanVersion(TvId tv, const RowCallback& fn) override;
   Result<std::optional<Row>> FindVersion(TvId tv, int64_t key) override;
@@ -35,12 +40,35 @@ class AccessLayer : public AccessBackend {
   Database& db() override { return *db_; }
 
   /// Builds the execution context of one SMO instance under the current
-  /// materialization.
+  /// materialization (delegates to the plan compiler; used by migration to
+  /// derive aux tables for a flipped state).
   Result<SmoContext> BuildContext(SmoId id);
 
   /// Number of SMO instances a read/write of `tv` is propagated through
-  /// before reaching physical data (0 when physical).
+  /// before reaching physical data (0 when physical). This is the compiled
+  /// plan's step count.
   Result<int> PropagationDistance(TvId tv);
+
+  /// The compiled access plan of `tv` under the current materialization
+  /// epoch, caching on first use. The pointer stays valid until the next
+  /// evolution, migration, or drop. Used by EXPLAIN and the executor.
+  Result<const plan::TvPlan*> GetPlan(TvId tv);
+
+  /// Plan-cache toggle: when disabled every access re-resolves its first
+  /// hop from the catalog, reproducing the pre-plan executor's per-access
+  /// work. On by default; bench/microbench_plan uses the off state as the
+  /// legacy-resolution baseline.
+  void set_plan_cache_enabled(bool enabled) { plan_cache_enabled_ = enabled; }
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
+
+  /// Plan-cache statistics. `route_walks`/`context_builds` grow only while
+  /// compiling, so flat counters across a window of accesses prove the
+  /// window ran without any catalog walks.
+  const plan::PlanCacheStats& plan_stats() const {
+    return plan_cache_.stats();
+  }
+  void ResetPlanStats() { plan_cache_.ResetStats(); }
+  int64_t plan_cache_size() const { return plan_cache_.size(); }
 
   /// Optional derived-view cache — the paper's future-work item (4),
   /// "optimized delta code": full scans of virtual table versions are
@@ -98,20 +126,24 @@ class AccessLayer : public AccessBackend {
   const WriteTrace& last_write_trace() const { return last_trace_; }
 
  private:
-  // How accesses to a non-physical table version reach the data:
-  // kForward through an outgoing materialized SMO, kBackward through the
-  // (virtualized) incoming SMO.
-  struct Route {
-    SmoId smo = -1;
-    SmoSide side = SmoSide::kSource;  // the side `tv` is on for that SMO
-    int index = 0;                    // position of tv within that side
+  /// A plan resolved for one operation: a pointer into the plan cache, or
+  /// (plan cache disabled) a freshly compiled shallow plan owned by the
+  /// handle so that recursive accesses never clobber each other.
+  struct PlanHandle {
+    const plan::TvPlan* get() const { return owned ? owned.get() : cached; }
+    const plan::TvPlan* cached = nullptr;
+    std::unique_ptr<plan::TvPlan> owned;
   };
-  Result<std::optional<Route>> ResolveRoute(TvId tv);
+  Result<PlanHandle> ResolvePlan(TvId tv);
 
   /// Dependency fingerprint: physical table name -> dirty epoch at
   /// derivation time (aliased because commas in template ids break the
   /// ASSIGN_OR_RETURN macro).
   using DepVec = std::vector<std::pair<std::string, uint64_t>>;
+
+  /// The plan's footprint stamped with the current dirty epochs (compiling
+  /// the full footprint on demand when handed a shallow plan).
+  Result<DepVec> FootprintDeps(const plan::TvPlan& p);
 
   /// One memoized derived view plus its dependency fingerprint: the name
   /// and dirty epoch of every physical table (data and auxiliary) the
@@ -122,26 +154,24 @@ class AccessLayer : public AccessBackend {
     DepVec deps;
   };
 
-  /// The physical tables a read or write of `tv` can reach: the data
-  /// tables of the physical table versions its route resolves to plus the
-  /// auxiliary tables of every traversed SMO instance, with their current
-  /// epochs. Reads depend on exactly this set; writes touch a subset of it.
-  Result<DepVec> CollectDeps(TvId tv);
-
   /// Validated lookup: returns the cached view of `tv` if its fingerprint
   /// still matches, dropping the entry (and counting an invalidation)
   /// otherwise.
   const Table* LookupCache(TvId tv);
-  Status StoreCache(TvId tv, Table table);
+  Status StoreCache(const plan::TvPlan& p, Table table);
 
-  /// Eager scoped invalidation before a write propagates from `tv`: drops
-  /// the entries whose fingerprint intersects the write's possible
+  /// Eager scoped invalidation before a write propagates along plan `p`:
+  /// drops the entries whose fingerprint intersects the write's possible
   /// footprint, using the genealogy component as a cheap pre-filter.
-  Status InvalidateForWrite(TvId tv);
+  Status InvalidateForWrite(const plan::TvPlan& p);
   void EraseCacheEntry(TvId tv);
 
   VersionCatalog* catalog_;
   Database* db_;
+
+  plan::PlanCompiler compiler_;
+  plan::PlanCache plan_cache_;
+  bool plan_cache_enabled_ = true;
 
   bool cache_enabled_ = false;
   CacheMode cache_mode_ = CacheMode::kGenealogy;

@@ -116,6 +116,9 @@ Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
     for (auto& [id, state] : old_states) {
       catalog_.mutable_smo(id).materialized = state;
     }
+    // Un-flipping is a materialization change too: compiled plans pinned
+    // to the post-flip epoch must not survive the rollback.
+    if (!old_states.empty()) catalog_.BumpMaterializationEpoch();
   };
 
   Status status = Status::OK();
@@ -164,6 +167,7 @@ Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
       old_states.emplace_back(id, inst.materialized);
       inst.materialized = m.count(id) > 0;
     }
+    if (!flipping.empty()) catalog_.BumpMaterializationEpoch();
   }
   // Only the versions whose access path passes through a flipped SMO can
   // change their route; everything else keeps its cached view. (Dropped /

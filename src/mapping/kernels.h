@@ -9,6 +9,7 @@ namespace inverda {
 /// preserved; only names differ between the sides).
 class IdentityKernel : public Kernel {
  public:
+  const char* name() const override { return "identity"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
@@ -21,6 +22,7 @@ class IdentityKernel : public Kernel {
 /// side while the narrow side holds the data.
 class ColumnKernel : public Kernel {
  public:
+  const char* name() const override { return "column"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
@@ -36,6 +38,7 @@ class ColumnKernel : public Kernel {
 /// neither condition.
 class PartitionKernel : public Kernel {
  public:
+  const char* name() const override { return "partition"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
@@ -49,6 +52,7 @@ class PartitionKernel : public Kernel {
 /// partners are padded with ω (NULL).
 class VerticalPkKernel : public Kernel {
  public:
+  const char* name() const override { return "vertical-pk"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
@@ -60,6 +64,7 @@ class VerticalPkKernel : public Kernel {
 /// L+ / R+.
 class JoinPkKernel : public Kernel {
  public:
+  const char* name() const override { return "join-pk"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
@@ -74,6 +79,7 @@ class JoinPkKernel : public Kernel {
 /// keeps the assignment while the combined side holds the data.
 class FkKernel : public Kernel {
  public:
+  const char* name() const override { return "fk"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
@@ -89,6 +95,7 @@ class FkKernel : public Kernel {
 /// version.
 class CondKernel : public Kernel {
  public:
+  const char* name() const override { return "cond"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,

@@ -120,6 +120,10 @@ class Kernel {
  public:
   virtual ~Kernel() = default;
 
+  /// Short stable kernel name ("identity", "column", ...) for EXPLAIN
+  /// output and diagnostics.
+  virtual const char* name() const = 0;
+
   /// Derives the content of the `which`-th data table on side `side` (the
   /// non-physical side) from the physical side. With `key`, restricts the
   /// derivation to that key (point lookup); rows are appended to `out`

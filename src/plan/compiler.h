@@ -1,0 +1,70 @@
+#ifndef INVERDA_PLAN_COMPILER_H_
+#define INVERDA_PLAN_COMPILER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace inverda {
+namespace plan {
+
+/// Compiles access plans from the catalog: the one place the genealogy is
+/// walked on behalf of data access. The executor (AccessLayer), the tools
+/// (EXPLAIN) and sqlgen all consume compiled plans instead of re-deriving
+/// routes per operation — the paper's "generate delta code once"
+/// discipline (Section 5).
+class PlanCompiler {
+ public:
+  /// `backend` is bound into every compiled step's context; pass nullptr
+  /// for catalog-only consumers that render but never execute plans
+  /// (sqlgen, bidel_lint --explain).
+  PlanCompiler(const VersionCatalog* catalog, AccessBackend* backend)
+      : catalog_(catalog), backend_(backend) {}
+
+  /// Compiles the full access plan of `tv` under the catalog's current
+  /// materialization state: step chain, terminal data table, dependency
+  /// footprint, and traversed-SMO closure.
+  Result<TvPlan> Compile(TvId tv) const;
+
+  /// Compiles only the first hop of `tv`'s plan (marked `full = false`).
+  /// This is exactly the per-access work the pre-plan executor performed —
+  /// one route resolution plus one context assembly — and serves as the
+  /// legacy-resolution baseline when the plan cache is disabled.
+  Result<TvPlan> CompileShallow(TvId tv) const;
+
+  /// Builds the execution context of one SMO instance (the per-call work a
+  /// compiled step amortizes; migration still assembles contexts directly
+  /// to derive aux tables for the flipped state).
+  Result<SmoContext> BuildContext(SmoId id) const;
+
+  /// Cumulative catalog walks: per-version route resolutions and SmoContext
+  /// assemblies. Monotonic; the plan cache diffs them around compiles so
+  /// its stats prove cache hits perform zero walks.
+  int64_t route_walks() const { return route_walks_; }
+  int64_t context_builds() const { return context_builds_; }
+
+ private:
+  // How an access to a non-physical table version reaches the data:
+  // forward through an outgoing materialized SMO (Figure 6 case 2) or
+  // backward through the virtualized incoming SMO (case 3).
+  struct Route {
+    SmoId smo = -1;
+    SmoSide side = SmoSide::kSource;  // the side `tv` is on for that SMO
+    int index = 0;                    // position of tv within that side
+  };
+  Result<std::optional<Route>> ResolveRoute(TvId tv) const;
+  Result<PlanStep> MakeStep(const Route& route) const;
+
+  const VersionCatalog* catalog_;
+  AccessBackend* backend_;
+  mutable int64_t route_walks_ = 0;
+  mutable int64_t context_builds_ = 0;
+};
+
+}  // namespace plan
+}  // namespace inverda
+
+#endif  // INVERDA_PLAN_COMPILER_H_

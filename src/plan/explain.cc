@@ -1,0 +1,42 @@
+#include "plan/explain.h"
+
+namespace inverda {
+namespace plan {
+
+std::string ExplainPlan(const TvPlan& compiled, const std::string& title) {
+  std::string out = "plan for " + title + " (" + compiled.label +
+                    "): distance " + std::to_string(compiled.distance()) +
+                    ", epoch " + std::to_string(compiled.epoch) + "\n";
+  if (compiled.physical) {
+    out += "  physical (Figure 6, case 1): data table " +
+           compiled.data_table + "\n";
+  } else {
+    int n = 0;
+    for (const PlanStep& step : compiled.steps) {
+      ++n;
+      const bool forward = step.route == RouteCase::kForward;
+      out += "  step " + std::to_string(n) + ": " +
+             (forward ? "forward (Figure 6, case 2) via "
+                      : "backward (Figure 6, case 3) via ") +
+             step.smo_text + "\n";
+      out += "          side=";
+      out += step.side == SmoSide::kSource ? "source" : "target";
+      out += " index=" + std::to_string(step.index) + " kernel=" +
+             step.kernel->name() + "\n";
+      for (const auto& [short_name, physical_name] : step.ctx.aux_names) {
+        out += "          aux " + short_name + " -> " + physical_name + "\n";
+      }
+    }
+    if (!compiled.data_table.empty()) {
+      out += "  data table: " + compiled.data_table + "\n";
+    }
+  }
+  out += "  footprint:";
+  for (const std::string& name : compiled.footprint) out += " " + name;
+  out += " (" + std::to_string(compiled.footprint.size()) +
+         (compiled.footprint.size() == 1 ? " table)\n" : " tables)\n");
+  return out;
+}
+
+}  // namespace plan
+}  // namespace inverda

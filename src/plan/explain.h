@@ -1,0 +1,23 @@
+#ifndef INVERDA_PLAN_EXPLAIN_H_
+#define INVERDA_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace inverda {
+namespace plan {
+
+/// Renders a compiled plan for humans: one line per step with the
+/// Figure-6 case, the SMO's BiDEL text, the side/index/kernel executing
+/// it, and the physical aux tables it binds, followed by the terminal
+/// data table and the dependency footprint. `title` names the plan (for
+/// the shell, "<version>.<table>"). Expects a full plan (see
+/// PlanCompiler::Compile); used by EXPLAIN in the shell and by
+/// bidel_lint --explain.
+std::string ExplainPlan(const TvPlan& compiled, const std::string& title);
+
+}  // namespace plan
+}  // namespace inverda
+
+#endif  // INVERDA_PLAN_EXPLAIN_H_

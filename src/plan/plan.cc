@@ -1,0 +1,40 @@
+#include "plan/plan.h"
+
+#include <utility>
+
+#include "plan/compiler.h"
+
+namespace inverda {
+namespace plan {
+
+Result<const TvPlan*> PlanCache::Get(TvId tv, uint64_t epoch,
+                                     const PlanCompiler& compiler) {
+  if (epoch != epoch_) {
+    // The materialization epoch moved (evolution, migration, or drop):
+    // every cached plan may route differently now.
+    stats_.invalidations += static_cast<int64_t>(plans_.size());
+    plans_.clear();
+    epoch_ = epoch;
+  }
+  auto it = plans_.find(tv);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    return &it->second;
+  }
+  const int64_t walks_before = compiler.route_walks();
+  const int64_t builds_before = compiler.context_builds();
+  INVERDA_ASSIGN_OR_RETURN(TvPlan compiled, compiler.Compile(tv));
+  ++stats_.compiles;
+  stats_.route_walks += compiler.route_walks() - walks_before;
+  stats_.context_builds += compiler.context_builds() - builds_before;
+  auto pos = plans_.emplace(tv, std::move(compiled)).first;
+  return &pos->second;
+}
+
+void PlanCache::Clear() {
+  stats_.invalidations += static_cast<int64_t>(plans_.size());
+  plans_.clear();
+}
+
+}  // namespace plan
+}  // namespace inverda

@@ -1,0 +1,140 @@
+#ifndef INVERDA_PLAN_PLAN_H_
+#define INVERDA_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mapping/side.h"
+#include "util/status.h"
+
+namespace inverda {
+namespace plan {
+
+class PlanCompiler;
+
+/// Which of the paper's Figure-6 access cases one hop of a compiled plan
+/// executes.
+enum class RouteCase {
+  kPhysical,  // case 1: the table version is physically stored
+  kForward,   // case 2: through an outgoing materialized SMO instance
+  kBackward,  // case 3: through the (virtualized) incoming SMO instance
+};
+
+/// One hop of a compiled access plan: everything the executor needs to
+/// derive the table version from (or propagate a write toward) the data
+/// side of one SMO instance, resolved once at compile time — the SMO
+/// instance, the side/index the version occupies, the mapping kernel, and
+/// a fully pre-bound SmoContext (TvRefs, physical aux-table names, id
+/// memo, backend). Executing a step performs no catalog lookups.
+struct PlanStep {
+  SmoId smo = -1;
+  RouteCase route = RouteCase::kBackward;
+  SmoSide side = SmoSide::kSource;  // side the planned version is on
+  int index = 0;                    // position of the version on that side
+  const Kernel* kernel = nullptr;
+  SmoContext ctx;
+  std::string smo_text;  // BiDEL text of the SMO, for EXPLAIN
+
+  /// Derives the planned version's content into `out` (restricted to `key`
+  /// if given) — the read entry point that skips per-call context assembly.
+  Status Derive(std::optional<int64_t> key, Table* out) const {
+    return kernel->Derive(ctx, side, index, key, out);
+  }
+
+  /// Propagates `writes` issued against the planned version one hop toward
+  /// the data side.
+  Status Propagate(const WriteSet& writes) const {
+    return kernel->Propagate(ctx, side, index, writes);
+  }
+};
+
+/// The compiled access plan of one table version under one materialization
+/// epoch: the ordered step chain from the version to physical data
+/// (Figure 6 applied transitively), the terminal data table, the dependency
+/// footprint, and the SMO instances traversed anywhere on the access
+/// paths. Immutable once compiled; staleness is a single epoch compare.
+struct TvPlan {
+  TvId tv = -1;
+  uint64_t epoch = 0;  // materialization epoch the plan was compiled at
+  std::string label;   // catalog TvLabel, e.g. "Task-0"
+  const TableSchema* schema = nullptr;  // payload schema of the version
+  bool physical = false;                // Figure 6 case 1: `steps` is empty
+
+  /// False for the shallow per-access form compiled when the plan cache is
+  /// disabled (the legacy-resolution baseline): only the first hop is
+  /// resolved and the footprint/traversal closure is skipped.
+  bool full = true;
+
+  /// Hops from the version toward physical data, following the first
+  /// data-side table version per hop. The executor runs steps[0]; the
+  /// kernels reach the remaining chain by recursing through the backend.
+  std::vector<PlanStep> steps;
+
+  /// Physical data table terminating the chain above (set on full plans
+  /// and on physical shallow plans).
+  std::string data_table;
+
+  /// Every physical table (data and auxiliary) any access path of the
+  /// version can touch, in deterministic discovery order. The view cache
+  /// stamps these with dirty epochs at store time.
+  std::vector<std::string> footprint;
+
+  /// Every SMO instance on any access path of the version (the closure the
+  /// footprint walk traverses — a superset of the SMOs in `steps`). Reused
+  /// by sqlgen's per-version delta-code generation.
+  std::vector<SmoId> traversed_smos;
+
+  /// Propagation distance = number of SMO hops to physical data.
+  int distance() const { return static_cast<int>(steps.size()); }
+};
+
+/// Reads and writes execute the same compiled chain (a read derives
+/// through the first step, a write propagates through it); the aliases
+/// keep the paper's vocabulary of generated read views vs. write triggers.
+using ReadPlan = TvPlan;
+using WritePlan = TvPlan;
+
+/// Counters of the plan cache. `route_walks`/`context_builds` only grow
+/// while compiling: zero growth across a window of accesses proves every
+/// access in the window was served without a catalog walk.
+struct PlanCacheStats {
+  int64_t hits = 0;           // plans served without touching the catalog
+  int64_t compiles = 0;       // cache misses compiled from the catalog
+  int64_t invalidations = 0;  // cached plans dropped by an epoch change
+  int64_t route_walks = 0;    // per-version route resolutions spent compiling
+  int64_t context_builds = 0;  // SmoContext assemblies spent compiling
+};
+
+/// Compiled-plan cache keyed by table version and pinned to the catalog's
+/// materialization epoch: every evolution, migration, or drop bumps the
+/// epoch, so invalidation is one integer compare on the next access
+/// instead of scoped clearing.
+class PlanCache {
+ public:
+  /// The cached plan of `tv` under `epoch`, compiling (and caching) on
+  /// miss. A changed epoch flushes every entry first. The returned pointer
+  /// stays valid until the next epoch change.
+  Result<const TvPlan*> Get(TvId tv, uint64_t epoch,
+                            const PlanCompiler& compiler);
+
+  /// Drops every cached plan (counted as invalidations).
+  void Clear();
+
+  int64_t size() const { return static_cast<int64_t>(plans_.size()); }
+  const PlanCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PlanCacheStats(); }
+
+ private:
+  std::map<TvId, TvPlan> plans_;
+  uint64_t epoch_ = 0;
+  PlanCacheStats stats_;
+};
+
+}  // namespace plan
+}  // namespace inverda
+
+#endif  // INVERDA_PLAN_PLAN_H_

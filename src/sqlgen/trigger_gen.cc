@@ -1,5 +1,6 @@
 #include "sqlgen/sqlgen.h"
 
+#include "plan/compiler.h"
 #include "util/strings.h"
 
 namespace inverda {
@@ -174,24 +175,16 @@ Result<std::string> GenerateDeltaCodeForVersion(const VersionCatalog& catalog,
                                                 const std::string& version) {
   INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
                            catalog.FindVersion(version));
-  // Collect every SMO on the access paths of the version's table versions:
-  // walk the genealogy toward the data (or simply include the incoming
-  // SMOs transitively — a superset that matches what InVerDa regenerates).
+  // The SMOs on the actual access paths of the version's table versions
+  // under the current materialization: the compiled plans' traversed-SMO
+  // closures, instead of a private genealogy walk.
+  plan::PlanCompiler compiler(&catalog, /*backend=*/nullptr);
   std::set<SmoId> smos;
-  std::vector<TvId> frontier;
   for (const auto& [name, tv] : info->tables) {
     (void)name;
-    frontier.push_back(tv);
-  }
-  while (!frontier.empty()) {
-    TvId tv = frontier.back();
-    frontier.pop_back();
-    const TableVersion& tvi = catalog.table_version(tv);
-    const SmoInstance& in = catalog.smo(tvi.incoming);
-    if (in.smo->kind() == SmoKind::kCreateTable) continue;
-    if (smos.count(in.id)) continue;
-    smos.insert(in.id);
-    for (TvId src : in.sources) frontier.push_back(src);
+    INVERDA_ASSIGN_OR_RETURN(plan::TvPlan compiled, compiler.Compile(tv));
+    smos.insert(compiled.traversed_smos.begin(),
+                compiled.traversed_smos.end());
   }
   std::string out;
   for (SmoId id : smos) {

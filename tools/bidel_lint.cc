@@ -6,11 +6,14 @@
 //   bidel_lint --json script.bidel       # machine-readable JSON
 //   bidel_lint --setup base.bidel s.bidel  # lint s.bidel on top of base
 //   bidel_lint < script.bidel            # read the script from stdin
+//   bidel_lint --explain script.bidel    # apply, then print every compiled
+//                                        # access plan (src/plan)
 //
 // Exit status: 0 when the script is clean (warnings and notes allowed),
 // 1 when the analyzer reports at least one error, 2 on usage or I/O
 // problems. The --setup script is *applied* (via the full Evolve gate), so
-// it must itself be valid; the linted scripts are only simulated.
+// it must itself be valid; the linted scripts are only simulated — except
+// under --explain, where they are applied so the plans exist.
 
 #include <cstdio>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
 #include "inverda/inverda.h"
+#include "plan/explain.h"
 
 namespace inverda {
 namespace {
@@ -33,7 +37,9 @@ int Usage() {
                "  With no script arguments, reads the script from stdin.\n"
                "  --json            machine-readable output\n"
                "  --setup <script>  apply <script> first to build the base\n"
-               "                    catalog the linted scripts evolve from\n");
+               "                    catalog the linted scripts evolve from\n"
+               "  --explain         apply the scripts and print the compiled\n"
+               "                    access plan of every version.table\n");
   return 2;
 }
 
@@ -69,7 +75,6 @@ int RunLint(const std::vector<std::string>& scripts,
       return 2;
     }
   }
-
   bool any_errors = false;
   for (const std::string& script : scripts) {
     AnalysisReport report = AnalyzeScript(db.catalog(), script);
@@ -83,17 +88,61 @@ int RunLint(const std::vector<std::string>& scripts,
   return any_errors ? 1 : 0;
 }
 
+// --explain: the scripts are applied, not simulated, and then the compiled
+// access plan of every visible version.table is rendered.
+int RunExplain(const std::vector<std::string>& scripts,
+               const std::string& setup_path) {
+  Inverda db;
+  std::vector<std::string> all = scripts;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    all.insert(all.begin(), std::move(setup));
+  }
+  for (const std::string& script : all) {
+    Status status = db.Execute(script);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  for (const std::string& version : db.catalog().VersionNamesInOrder()) {
+    Result<const SchemaVersionInfo*> info = db.catalog().FindVersion(version);
+    if (!info.ok()) continue;
+    for (const auto& [table, tv] : (*info)->tables) {
+      Result<const plan::TvPlan*> compiled = db.access().GetPlan(tv);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "bidel_lint: no plan for %s.%s: %s\n",
+                     version.c_str(), table.c_str(),
+                     compiled.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("%s\n",
+                  plan::ExplainPlan(**compiled, version + "." + table).c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace inverda
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool explain = false;
   std::string setup_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--setup") {
       if (i + 1 >= argc) return inverda::Usage();
       setup_path = argv[++i];
@@ -120,5 +169,6 @@ int main(int argc, char** argv) {
       scripts.push_back(std::move(text));
     }
   }
+  if (explain) return inverda::RunExplain(scripts, setup_path);
   return inverda::RunLint(scripts, setup_path, json);
 }

@@ -16,6 +16,7 @@
 //   DELTA <version>          -- the generated SQL delta code
 //   CHECK <SMO statement>    -- the Section 5 bidirectionality checker
 //   LINT <statement>         -- static analysis without applying anything
+//   EXPLAIN <version>.<table> -- the compiled access plan (Figure 6 cases)
 //   HELP | QUIT
 
 #include <cstdio>
@@ -33,6 +34,7 @@
 #include "expr/parser.h"
 #include "inverda/export.h"
 #include "inverda/inverda.h"
+#include "plan/explain.h"
 #include "sqlgen/sqlgen.h"
 #include "util/strings.h"
 
@@ -181,6 +183,7 @@ class Shell {
     }
     if (EqualsIgnoreCase(first, "CHECK")) return Check(rest);
     if (EqualsIgnoreCase(first, "LINT")) return Lint(rest);
+    if (EqualsIgnoreCase(first, "EXPLAIN")) return Explain(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
       INVERDA_ASSIGN_OR_RETURN(std::string script, ExportSession(&db_));
       std::printf("%s", script.c_str());
@@ -207,6 +210,7 @@ class Shell {
         "  SHOW VERSIONS; SHOW CATALOG; SHOW DOT; DESCRIBE <v>; DELTA <v>;\n"
         "  CHECK <smo>;   -- Section 5 bidirectionality checker\n"
         "  LINT <stmt>;   -- static analysis without applying anything\n"
+        "  EXPLAIN <v>.<table>;  -- the compiled access plan (Figure 6)\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
         "  QUIT;\n");
     return Status::OK();
@@ -228,6 +232,16 @@ class Shell {
       return Status::OK();
     }
     return Status::InvalidArgument("SHOW VERSIONS | CATALOG | DOT");
+  }
+
+  Status Explain(const std::string& target) {
+    INVERDA_ASSIGN_OR_RETURN(auto vt, SplitTarget(target));
+    INVERDA_ASSIGN_OR_RETURN(TvId tv,
+                             db_.catalog().ResolveTable(vt.first, vt.second));
+    INVERDA_ASSIGN_OR_RETURN(const plan::TvPlan* compiled,
+                             db_.access().GetPlan(tv));
+    std::printf("%s", plan::ExplainPlan(*compiled, target).c_str());
+    return Status::OK();
   }
 
   Status Check(const std::string& smo_text) {
