@@ -19,6 +19,9 @@ if [[ "${1:-}" == "--asan" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 elif [[ "${1:-}" == "--tsan" ]]; then
   BUILD=build-tsan
+  # Any race aborts the run: the concurrency stress tests are only
+  # meaningful when a report is fatal.
+  export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   cmake -B "$BUILD" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 else

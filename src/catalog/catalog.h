@@ -1,9 +1,11 @@
 #ifndef INVERDA_CATALOG_CATALOG_H_
 #define INVERDA_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -196,18 +198,27 @@ class VersionCatalog {
   /// Monotonic counter bumped whenever the genealogy structure changes
   /// (evolution or drop); lets callers detect staleness of anything they
   /// derived from the genealogy in O(1).
-  uint64_t structure_epoch() const { return structure_epoch_; }
+  uint64_t structure_epoch() const {
+    return structure_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Monotonic counter bumped whenever anything that can change a compiled
   /// access plan changes: the genealogy structure (evolution, drop) or the
   /// materialization state of any SMO instance (migration). Compiled plans
   /// (src/plan) are pinned to this epoch, so staleness is one compare.
-  uint64_t materialization_epoch() const { return materialization_epoch_; }
+  /// Atomic so concurrent readers load it without coordination; bumps only
+  /// happen under the facade's exclusive catalog lock, so within a serving
+  /// phase every reader observes the same value.
+  uint64_t materialization_epoch() const {
+    return materialization_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Records a materialization-state change. Called by the migration
   /// operation after flipping SMO instances (including on rollback);
   /// structural changes bump the counter internally.
-  void BumpMaterializationEpoch() { ++materialization_epoch_; }
+  void BumpMaterializationEpoch() {
+    materialization_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
  private:
   Result<TvId> NewTableVersion(std::string name, TableSchema schema,
@@ -224,11 +235,15 @@ class VersionCatalog {
   int next_smo_id_ = 0;
   int next_version_order_ = 0;
 
-  uint64_t structure_epoch_ = 1;
-  uint64_t materialization_epoch_ = 1;
+  std::atomic<uint64_t> structure_epoch_{1};
+  std::atomic<uint64_t> materialization_epoch_{1};
   // Lazily built reachability index, valid while reach_epoch_ matches
-  // structure_epoch_.
-  mutable uint64_t reach_epoch_ = 0;
+  // structure_epoch_. The build is double-checked under reach_mu_ so the
+  // first concurrent readers after an evolution do not race on it; once
+  // built, the index is immutable until the next structural change (which
+  // happens under the facade's exclusive catalog lock).
+  mutable std::mutex reach_mu_;
+  mutable std::atomic<uint64_t> reach_epoch_{0};
   mutable std::map<SmoId, SmoReach> reach_;
   mutable std::vector<std::set<TvId>> components_;
   mutable std::map<TvId, size_t> component_of_;

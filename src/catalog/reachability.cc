@@ -9,7 +9,13 @@ namespace inverda {
 // drops are rare next to reads and writes.
 
 void VersionCatalog::EnsureReachability() const {
-  if (reach_epoch_ == structure_epoch_) return;
+  const uint64_t structure = structure_epoch();
+  if (reach_epoch_.load(std::memory_order_acquire) == structure) return;
+  // First access after a structural change: rebuild under the mutex so
+  // concurrent readers either build it themselves (double-checked) or wait
+  // and then use the finished index.
+  std::lock_guard<std::mutex> lock(reach_mu_);
+  if (reach_epoch_.load(std::memory_order_relaxed) == structure) return;
   reach_.clear();
   components_.clear();
   component_of_.clear();
@@ -66,7 +72,7 @@ void VersionCatalog::EnsureReachability() const {
     for (TvId tv : component) component_of_[tv] = index;
     components_.push_back(std::move(component));
   }
-  reach_epoch_ = structure_epoch_;
+  reach_epoch_.store(structure, std::memory_order_release);
 }
 
 const SmoReach& VersionCatalog::Reach(SmoId id) const {

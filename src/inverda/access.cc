@@ -1,4 +1,5 @@
 #include <memory>
+#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
@@ -7,9 +8,12 @@
 
 namespace inverda {
 
+thread_local int AccessLayer::access_depth_ = 0;
+thread_local WriteTrace AccessLayer::last_trace_;
+
 namespace {
 
-// Decrements the ApplyToVersion recursion depth on every exit path.
+// Decrements the access recursion depth on every exit path.
 struct DepthGuard {
   int* depth;
   explicit DepthGuard(int* d) : depth(d) { ++*depth; }
@@ -51,6 +55,28 @@ Result<int> AccessLayer::PropagationDistance(TvId tv) {
   return full.distance();
 }
 
+// --- latching ---------------------------------------------------------------
+
+void AccessLayer::AcquireLatches(TableLatchSet* latches, const plan::TvPlan& p,
+                                 bool write) {
+  // Kernel recursion (and migration staging inside the DDL-exclusive
+  // facade section) runs under the top-level latch set; re-acquiring here
+  // would self-deadlock on exclusive latches.
+  if (access_depth_ > 0) return;
+  const bool exclusive = write || p.derive_mutates;
+  if (!p.full) {
+    // Shallow plans (plan cache disabled) carry no footprint: fall back to
+    // the exclusive whole-database latch — the legacy-resolution
+    // concurrency model.
+    latches->AcquireGlobal(&db_->latches());
+    return;
+  }
+  // The footprint lists every physical table any access path of the
+  // version can touch, so it covers both the derivation closure of reads
+  // and the sibling derivations of a write's propagation chain.
+  latches->Acquire(&db_->latches(), p.footprint, exclusive);
+}
+
 // --- derived-view cache -----------------------------------------------------
 
 Result<AccessLayer::DepVec> AccessLayer::FootprintDeps(const plan::TvPlan& p) {
@@ -68,51 +94,72 @@ Result<AccessLayer::DepVec> AccessLayer::FootprintDeps(const plan::TvPlan& p) {
   return deps;
 }
 
-const Table* AccessLayer::LookupCache(TvId tv) {
+std::shared_ptr<const Table> AccessLayer::LookupCache(TvId tv) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(tv);
   if (it == cache_.end()) return nullptr;
   for (const auto& [name, epoch] : it->second.deps) {
     std::optional<uint64_t> current = db_->TableEpoch(name);
     if (!current || *current != epoch) {
-      EraseCacheEntry(tv);
+      EraseCacheEntryLocked(tv);
       return nullptr;
     }
   }
-  ++cache_hits_;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
   ++cache_stats_[tv].hits;
-  return &it->second.table;
+  return it->second.table;
 }
 
 Status AccessLayer::StoreCache(const plan::TvPlan& p, Table table) {
+  // Fingerprint before locking: FootprintDeps may compile (catalog walk),
+  // which must not run under cache_mu_.
   INVERDA_ASSIGN_OR_RETURN(DepVec deps, FootprintDeps(p));
-  cache_.insert_or_assign(p.tv, CacheEntry{std::move(table), std::move(deps)});
+  auto view = std::make_shared<const Table>(std::move(table));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.insert_or_assign(p.tv, CacheEntry{std::move(view), std::move(deps)});
   return Status::OK();
 }
 
-void AccessLayer::EraseCacheEntry(TvId tv) {
+void AccessLayer::CountCacheMiss(TvId tv) {
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ++cache_stats_[tv].misses;
+}
+
+void AccessLayer::EraseCacheEntryLocked(TvId tv) {
   if (cache_.erase(tv) == 0) return;
-  ++cache_invalidations_;
+  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
   ++cache_stats_[tv].invalidations;
 }
 
+void AccessLayer::EraseCacheEntry(TvId tv) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  EraseCacheEntryLocked(tv);
+}
+
 void AccessLayer::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   for (const auto& [tv, entry] : cache_) {
     (void)entry;
-    ++cache_invalidations_;
+    cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
     ++cache_stats_[tv].invalidations;
   }
   cache_.clear();
 }
 
 void AccessLayer::ResetCacheStats() {
-  cache_hits_ = 0;
-  cache_misses_ = 0;
-  cache_invalidations_ = 0;
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  cache_invalidations_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_stats_.clear();
 }
 
 Status AccessLayer::InvalidateForWrite(const plan::TvPlan& p) {
-  if (cache_.empty()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.empty()) return Status::OK();
+  }
   INVERDA_ASSIGN_OR_RETURN(DepVec footprint_deps, FootprintDeps(p));
   std::set<std::string> footprint;
   for (const auto& [name, epoch] : footprint_deps) {
@@ -120,6 +167,7 @@ Status AccessLayer::InvalidateForWrite(const plan::TvPlan& p) {
     footprint.insert(name);
   }
   const std::set<TvId>& component = catalog_->ComponentOf(p.tv);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   std::vector<TvId> doomed;
   for (const auto& [cached_tv, entry] : cache_) {
     if (!component.count(cached_tv)) continue;  // disjoint lineage
@@ -135,23 +183,27 @@ Status AccessLayer::InvalidateForWrite(const plan::TvPlan& p) {
       }
     }
   }
-  for (TvId dead : doomed) EraseCacheEntry(dead);
+  for (TvId dead : doomed) EraseCacheEntryLocked(dead);
   return Status::OK();
 }
 
 void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
-  if (cache_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.empty()) return;
+  }
   if (cache_mode_ == CacheMode::kClearAll) {
     InvalidateCache();
     return;
   }
   std::set<TvId> affected = catalog_->AffectedBySmos(flipped);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   std::vector<TvId> doomed;
   for (const auto& [tv, entry] : cache_) {
     (void)entry;
     if (affected.count(tv)) doomed.push_back(tv);
   }
-  for (TvId dead : doomed) EraseCacheEntry(dead);
+  for (TvId dead : doomed) EraseCacheEntryLocked(dead);
 }
 
 // --- reads ------------------------------------------------------------------
@@ -159,6 +211,9 @@ void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
 Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  TableLatchSet latches;
+  AcquireLatches(&latches, p, /*write=*/false);
+  DepthGuard guard(&access_depth_);
   if (p.physical) {
     INVERDA_ASSIGN_OR_RETURN(const Table* table,
                              db_->GetTableConst(p.data_table));
@@ -166,7 +221,7 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
     return Status::OK();
   }
   if (cache_enabled_) {
-    if (const Table* cached = LookupCache(tv)) {
+    if (std::shared_ptr<const Table> cached = LookupCache(tv)) {
       cached->Scan(fn);
       return Status::OK();
     }
@@ -175,8 +230,7 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
   INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
   tmp.Scan(fn);
   if (cache_enabled_) {
-    ++cache_misses_;
-    ++cache_stats_[tv].misses;
+    CountCacheMiss(tv);
     INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
   }
   return Status::OK();
@@ -185,6 +239,9 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
 Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  TableLatchSet latches;
+  AcquireLatches(&latches, p, /*write=*/false);
+  DepthGuard guard(&access_depth_);
   if (p.physical) {
     INVERDA_ASSIGN_OR_RETURN(const Table* table,
                              db_->GetTableConst(p.data_table));
@@ -193,15 +250,14 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
     return std::optional<Row>(*row);
   }
   if (cache_enabled_) {
-    if (const Table* cached = LookupCache(tv)) {
+    if (std::shared_ptr<const Table> cached = LookupCache(tv)) {
       const Row* row = cached->Find(key);
       if (row == nullptr) return std::optional<Row>();
       return std::optional<Row>(*row);
     }
     // Same accounting as ScanVersion's miss path: derive the full view
     // once, store it, and answer this (and subsequent) lookups from it.
-    ++cache_misses_;
-    ++cache_stats_[tv].misses;
+    CountCacheMiss(tv);
     Table tmp(*p.schema);
     INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
     std::optional<Row> found;
@@ -220,10 +276,12 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
 
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   if (writes.empty()) return Status::OK();
-  const bool top_level = propagate_depth_ == 0;
-  DepthGuard guard(&propagate_depth_);
+  const bool top_level = access_depth_ == 0;
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  TableLatchSet latches;
+  AcquireLatches(&latches, p, /*write=*/true);
+  DepthGuard guard(&access_depth_);
   if (top_level) {
     last_trace_.Clear();
     // Invalidate before the write lands: entries (re)stored by reads that

@@ -1,5 +1,8 @@
 #include "inverda/inverda.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "analysis/analyzer.h"
 #include "bidel/parser.h"
 #include "sqlgen/sqlgen.h"
@@ -48,6 +51,8 @@ Status Inverda::ProvisionSmo(SmoId id) {
 }
 
 Status Inverda::CreateSchemaVersion(const EvolutionStatement& stmt) {
+  // DDL: exclusive — no access may observe a half-registered evolution.
+  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
   // The static-analysis gate: errors reject the evolution before any
   // catalog mutation or delta-code provisioning; warnings and notes are
   // recorded on the created version (shown by DescribeCatalog).
@@ -78,6 +83,9 @@ Status Inverda::CreateSchemaVersion(const EvolutionStatement& stmt) {
 }
 
 Status Inverda::DropSchemaVersion(const std::string& name) {
+  // DDL: exclusive — physical tables disappear below any in-flight access
+  // otherwise.
+  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
   access_.InvalidateCache();
   INVERDA_ASSIGN_OR_RETURN(DropResult result, catalog_.DropVersion(name));
   // Physical cleanup: aux tables of removed SMO instances. Removed table
@@ -110,6 +118,7 @@ Result<TvId> Inverda::Resolve(const std::string& version,
 
 Result<std::vector<KeyedRow>> Inverda::Select(const std::string& version,
                                               const std::string& table) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   std::vector<KeyedRow> rows;
   INVERDA_RETURN_IF_ERROR(access_.ScanVersion(
@@ -120,6 +129,13 @@ Result<std::vector<KeyedRow>> Inverda::Select(const std::string& version,
 }
 
 Result<std::vector<KeyedRow>> Inverda::SelectWhere(
+    const std::string& version, const std::string& table,
+    const Expression& predicate) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
+  return SelectWhereLocked(version, table, predicate);
+}
+
+Result<std::vector<KeyedRow>> Inverda::SelectWhereLocked(
     const std::string& version, const std::string& table,
     const Expression& predicate) {
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
@@ -143,12 +159,14 @@ Result<std::vector<KeyedRow>> Inverda::SelectWhere(
 Result<std::optional<Row>> Inverda::Get(const std::string& version,
                                         const std::string& table,
                                         int64_t key) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   return access_.FindVersion(tv, key);
 }
 
 Result<int64_t> Inverda::Insert(const std::string& version,
                                 const std::string& table, Row row) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   const TableSchema& schema = catalog_.table_version(tv).schema;
   if (static_cast<int>(row.size()) != schema.num_columns()) {
@@ -170,6 +188,7 @@ Result<int64_t> Inverda::Insert(const std::string& version,
 
 Status Inverda::Update(const std::string& version, const std::string& table,
                        int64_t key, Row row) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   const TableSchema& schema = catalog_.table_version(tv).schema;
   if (static_cast<int>(row.size()) != schema.num_columns()) {
@@ -186,6 +205,7 @@ Status Inverda::Update(const std::string& version, const std::string& table,
 
 Status Inverda::Delete(const std::string& version, const std::string& table,
                        int64_t key) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   WriteSet ws;
   ws.Add(WriteOp::Delete(key));
@@ -196,8 +216,9 @@ Result<int64_t> Inverda::UpdateWhere(
     const std::string& version, const std::string& table,
     const Expression& predicate,
     const std::function<Row(const Row&)>& make_row) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
-                           SelectWhere(version, table, predicate));
+                           SelectWhereLocked(version, table, predicate));
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   WriteSet ws;
   for (const KeyedRow& kr : matches) {
@@ -210,8 +231,9 @@ Result<int64_t> Inverda::UpdateWhere(
 Result<int64_t> Inverda::DeleteWhere(const std::string& version,
                                      const std::string& table,
                                      const Expression& predicate) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
-                           SelectWhere(version, table, predicate));
+                           SelectWhereLocked(version, table, predicate));
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   WriteSet ws;
   for (const KeyedRow& kr : matches) {
@@ -223,6 +245,7 @@ Result<int64_t> Inverda::DeleteWhere(const std::string& version,
 
 Result<TableSchema> Inverda::GetSchema(const std::string& version,
                                        const std::string& table) {
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   return catalog_.table_version(tv).schema;
 }

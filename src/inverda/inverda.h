@@ -1,11 +1,14 @@
 #ifndef INVERDA_INVERDA_INVERDA_H_
 #define INVERDA_INVERDA_INVERDA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +32,18 @@ class Inverda;
 /// materialization epoch otherwise — and executes its first step; the
 /// mapping kernels recurse through the rest of the chain (Figure 6's three
 /// cases applied transitively).
+///
+/// Concurrency (docs/concurrency.md): every top-level operation latches the
+/// physical tables in its plan's footprint through the database's
+/// LatchRegistry — shared for pure reads, exclusive for writes and for
+/// plans whose read path mutates id state (TvPlan::derive_mutates) — so
+/// reads across any mix of schema versions run fully in parallel and
+/// conflict only when their footprints overlap a writer's. Kernel recursion
+/// re-enters under the top-level latch set (a thread-local depth counter
+/// suppresses nested acquisition). Catalog-shape changes never race with
+/// operations: the Inverda facade serializes DDL against all data access.
+/// The configuration setters (set_plan_cache_enabled, set_cache_enabled,
+/// set_cache_mode) are not thread-safe; configure before going concurrent.
 class AccessLayer : public AccessBackend {
  public:
   AccessLayer(VersionCatalog* catalog, Database* db)
@@ -61,12 +76,11 @@ class AccessLayer : public AccessBackend {
   void set_plan_cache_enabled(bool enabled) { plan_cache_enabled_ = enabled; }
   bool plan_cache_enabled() const { return plan_cache_enabled_; }
 
-  /// Plan-cache statistics. `route_walks`/`context_builds` grow only while
+  /// Plan-cache statistics (a coherent snapshot, safe to read while other
+  /// threads access). `route_walks`/`context_builds` grow only while
   /// compiling, so flat counters across a window of accesses prove the
   /// window ran without any catalog walks.
-  const plan::PlanCacheStats& plan_stats() const {
-    return plan_cache_.stats();
-  }
+  plan::PlanCacheStats plan_stats() const { return plan_cache_.stats(); }
   void ResetPlanStats() { plan_cache_.ResetStats(); }
   int64_t plan_cache_size() const { return plan_cache_.size(); }
 
@@ -106,23 +120,35 @@ class AccessLayer : public AccessBackend {
   void ResetCacheStats();
 
   /// Aggregate cache statistics for the ablation benchmark.
-  int64_t cache_hits() const { return cache_hits_; }
-  int64_t cache_misses() const { return cache_misses_; }
-  int64_t cache_invalidations() const { return cache_invalidations_; }
-  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_invalidations() const {
+    return cache_invalidations_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return static_cast<int64_t>(cache_.size());
+  }
 
-  /// Per-table-version cache statistics.
+  /// Per-table-version cache statistics (returned by value: a snapshot).
   struct VersionCacheStats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t invalidations = 0;
   };
-  const std::map<TvId, VersionCacheStats>& cache_stats() const {
+  std::map<TvId, VersionCacheStats> cache_stats() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
     return cache_stats_;
   }
 
-  /// The trace of the most recent top-level write propagation: the table
-  /// versions it traversed and the physical tables it may have touched.
+  /// The trace of the calling thread's most recent top-level write
+  /// propagation: the table versions it traversed and the physical tables
+  /// it may have touched. Thread-local, so concurrent clients never see
+  /// each other's traces.
   const WriteTrace& last_write_trace() const { return last_trace_; }
 
  private:
@@ -136,6 +162,16 @@ class AccessLayer : public AccessBackend {
   };
   Result<PlanHandle> ResolvePlan(TvId tv);
 
+  /// Latches the operation's physical footprint at the top level of an
+  /// access (a no-op when the calling thread is already inside one — kernel
+  /// recursion runs under the enclosing latch set). Pure reads of full
+  /// plans take shared latches on the footprint; writes and plans whose
+  /// Derive mutates id state take them exclusively; shallow plans (plan
+  /// cache disabled) have no footprint and fall back to the whole-database
+  /// latch.
+  void AcquireLatches(TableLatchSet* latches, const plan::TvPlan& p,
+                      bool write);
+
   /// Dependency fingerprint: physical table name -> dirty epoch at
   /// derivation time (aliased because commas in template ids break the
   /// ASSIGN_OR_RETURN macro).
@@ -148,23 +184,26 @@ class AccessLayer : public AccessBackend {
   /// One memoized derived view plus its dependency fingerprint: the name
   /// and dirty epoch of every physical table (data and auxiliary) the
   /// derivation can read under the materialization it was built in. The
-  /// entry is valid iff every epoch still matches.
+  /// entry is valid iff every epoch still matches. The view is shared so a
+  /// returned table survives a concurrent eviction.
   struct CacheEntry {
-    Table table;
+    std::shared_ptr<const Table> table;
     DepVec deps;
   };
 
   /// Validated lookup: returns the cached view of `tv` if its fingerprint
   /// still matches, dropping the entry (and counting an invalidation)
   /// otherwise.
-  const Table* LookupCache(TvId tv);
+  std::shared_ptr<const Table> LookupCache(TvId tv);
   Status StoreCache(const plan::TvPlan& p, Table table);
+  void CountCacheMiss(TvId tv);
 
   /// Eager scoped invalidation before a write propagates along plan `p`:
   /// drops the entries whose fingerprint intersects the write's possible
   /// footprint, using the genealogy component as a cheap pre-filter.
   Status InvalidateForWrite(const plan::TvPlan& p);
   void EraseCacheEntry(TvId tv);
+  void EraseCacheEntryLocked(TvId tv);  // requires cache_mu_ held
 
   VersionCatalog* catalog_;
   Database* db_;
@@ -175,19 +214,33 @@ class AccessLayer : public AccessBackend {
 
   bool cache_enabled_ = false;
   CacheMode cache_mode_ = CacheMode::kGenealogy;
+  // Guards cache_ and cache_stats_. Never held while deriving or latching;
+  // FootprintDeps runs before the lock is taken.
+  mutable std::mutex cache_mu_;
   std::map<TvId, CacheEntry> cache_;
   std::map<TvId, VersionCacheStats> cache_stats_;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  int64_t cache_invalidations_ = 0;
-  // Recursion depth of ApplyToVersion: invalidation and trace collection
-  // happen only at the top level of a propagation chain.
-  int propagate_depth_ = 0;
-  WriteTrace last_trace_;
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_invalidations_{0};
+  // Recursion depth of the calling thread across ScanVersion / FindVersion
+  // / ApplyToVersion: latches are taken and the write trace collected only
+  // at the top level of an access chain.
+  static thread_local int access_depth_;
+  static thread_local WriteTrace last_trace_;
 };
 
 /// The InVerDa facade: schema evolution (BiDEL), migration (MATERIALIZE),
 /// and per-version data access against a single shared data set.
+///
+/// Thread-safe: any number of client threads may run the data-access
+/// operations concurrently (each takes the catalog lock shared; actual
+/// data conflicts are resolved by the access layer's per-table latches),
+/// while the DDL operations — CreateSchemaVersion, DropSchemaVersion,
+/// Materialize — take it exclusively, so every access observes the catalog
+/// and its materialization epoch either entirely before or entirely after
+/// a schema change, never a torn route. Introspection accessors (catalog(),
+/// db(), access()) hand out unguarded references; use them from a single
+/// thread or during quiesce.
 class Inverda {
  public:
   Inverda();
@@ -275,6 +328,19 @@ class Inverda {
   Status ProvisionSmo(SmoId id);
 
   Result<TvId> Resolve(const std::string& version, const std::string& table);
+
+  // Bodies of the public operations that other operations call internally;
+  // they assume the caller already holds catalog_mu_ (shared_mutex is not
+  // recursive, so the public wrappers must not re-enter each other).
+  Result<std::vector<KeyedRow>> SelectWhereLocked(const std::string& version,
+                                                  const std::string& table,
+                                                  const Expression& predicate);
+  Status MaterializeLocked(const std::vector<std::string>& targets);
+  Status MaterializeSchemaLocked(const std::set<SmoId>& m);
+
+  // The DDL/DML boundary: shared for data access, exclusive for schema
+  // evolution, migration, and version drops.
+  mutable std::shared_mutex catalog_mu_;
 
   VersionCatalog catalog_;
   Database db_;

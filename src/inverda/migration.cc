@@ -1,6 +1,8 @@
 #include "inverda/inverda.h"
 
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "util/strings.h"
 
@@ -16,6 +18,19 @@ struct StagedTable {
 }  // namespace
 
 Status Inverda::Materialize(const std::vector<std::string>& targets) {
+  // DDL: exclusive — a migration flips routes and swaps physical tables; no
+  // access may observe a half-flipped state (clients see the catalog epoch
+  // strictly before or strictly after).
+  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  return MaterializeLocked(targets);
+}
+
+Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
+  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  return MaterializeSchemaLocked(m);
+}
+
+Status Inverda::MaterializeLocked(const std::vector<std::string>& targets) {
   // Resolve the targets ("Version" or "Version.table") to table versions.
   std::vector<TvId> tables;
   for (const std::string& target : targets) {
@@ -37,10 +52,10 @@ Status Inverda::Materialize(const std::vector<std::string>& targets) {
   }
   INVERDA_ASSIGN_OR_RETURN(std::set<SmoId> m,
                            catalog_.MaterializationForTables(tables));
-  return MaterializeSchema(m);
+  return MaterializeSchemaLocked(m);
 }
 
-Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
+Status Inverda::MaterializeSchemaLocked(const std::set<SmoId>& m) {
   INVERDA_RETURN_IF_ERROR(catalog_.CheckValidMaterialization(m));
 
   std::set<SmoId> old_m = catalog_.CurrentMaterialization();

@@ -80,6 +80,8 @@ class JoinPkKernel : public Kernel {
 class FkKernel : public Kernel {
  public:
   const char* name() const override { return "fk"; }
+  // Derive assigns fresh t ids (IDR upserts, memo seeds, sequence draws).
+  bool DeriveMutates() const override { return true; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
@@ -96,6 +98,8 @@ class FkKernel : public Kernel {
 class CondKernel : public Kernel {
  public:
   const char* name() const override { return "cond"; }
+  // Derive records fresh combination ids (ID upserts, memo, sequence).
+  bool DeriveMutates() const override { return true; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,

@@ -4,6 +4,7 @@ namespace inverda {
 
 int64_t IdMemo::GetOrCreate(const std::string& role, const Row& payload,
                             Sequence& seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& map = maps_[role];
   auto it = map.find(payload);
   if (it != map.end()) return it->second;
@@ -13,16 +14,19 @@ int64_t IdMemo::GetOrCreate(const std::string& role, const Row& payload,
 }
 
 void IdMemo::Seed(const std::string& role, const Row& payload, int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   maps_[role][payload] = id;
 }
 
 void IdMemo::Forget(const std::string& role, const Row& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = maps_.find(role);
   if (it != maps_.end()) it->second.erase(payload);
 }
 
 std::optional<int64_t> IdMemo::Find(const std::string& role,
                                     const Row& payload) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = maps_.find(role);
   if (it == maps_.end()) return std::nullopt;
   auto jt = it->second.find(payload);

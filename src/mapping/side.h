@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -47,6 +48,11 @@ class AccessBackend {
 /// FK / condition, JOIN ON condition): "on every call, idT(B) returns a new
 /// unique identifier ... an already generated identifier is reused for the
 /// same data". One memo per generated role (target table / combo).
+///
+/// Individually thread-safe; the logical read-modify-write sequences the
+/// id-generating kernels perform across memo + aux tables are additionally
+/// serialized by the access layer's exclusive latching of those kernels'
+/// routes (Kernel::DeriveMutates).
 class IdMemo {
  public:
   /// Returns the memoized id for (`role`, `payload`), drawing a fresh id
@@ -66,6 +72,7 @@ class IdMemo {
                               const Row& payload) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unordered_map<Row, int64_t, RowHash>> maps_;
 };
 
@@ -123,6 +130,13 @@ class Kernel {
   /// Short stable kernel name ("identity", "column", ...) for EXPLAIN
   /// output and diagnostics.
   virtual const char* name() const = 0;
+
+  /// True when Derive can mutate shared state (id memos, aux id tables,
+  /// the global sequence) — the id-generating kernels assign fresh
+  /// identifiers even on the read path. Plans traversing such a kernel are
+  /// latched exclusively by the access layer; everything else reads under
+  /// shared latches and runs fully in parallel.
+  virtual bool DeriveMutates() const { return false; }
 
   /// Derives the content of the `which`-th data table on side `side` (the
   /// non-physical side) from the physical side. With `key`, restricts the

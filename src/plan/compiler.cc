@@ -9,7 +9,7 @@ namespace plan {
 
 Result<std::optional<PlanCompiler::Route>> PlanCompiler::ResolveRoute(
     TvId tv) const {
-  ++route_walks_;
+  route_walks_.fetch_add(1, std::memory_order_relaxed);
   if (catalog_->IsPhysical(tv)) return std::optional<Route>();
   const TableVersion& info = catalog_->table_version(tv);
   // Case 2 (forwards): one outgoing SMO is materialized; the data is on its
@@ -43,7 +43,7 @@ Result<std::optional<PlanCompiler::Route>> PlanCompiler::ResolveRoute(
 }
 
 Result<SmoContext> PlanCompiler::BuildContext(SmoId id) const {
-  ++context_builds_;
+  context_builds_.fetch_add(1, std::memory_order_relaxed);
   const SmoInstance& inst = catalog_->smo(id);
   SmoContext ctx;
   ctx.smo = inst.smo.get();
@@ -92,6 +92,10 @@ Result<TvPlan> PlanCompiler::CompileShallow(TvId tv) const {
     return shallow;
   }
   INVERDA_ASSIGN_OR_RETURN(PlanStep step, MakeStep(*route));
+  // Conservative: only the first hop is known, so flag the whole plan if
+  // that hop's kernel mutates on Derive (deeper hops are the executor's
+  // problem — shallow resolution runs under the global latch anyway).
+  shallow.derive_mutates = step.kernel->DeriveMutates();
   shallow.steps.push_back(std::move(step));
   return shallow;
 }
@@ -163,6 +167,18 @@ Result<TvPlan> PlanCompiler::Compile(TvId tv) const {
     const std::vector<TvId>& data_side =
         route->side == SmoSide::kSource ? inst.targets : inst.sources;
     frontier.insert(frontier.end(), data_side.begin(), data_side.end());
+  }
+
+  // Reads through id-generating kernels (DECOMPOSE ON FK / condition joins)
+  // upsert id tables and draw sequence values while deriving; the access
+  // layer must latch such plans exclusively even for SELECTs.
+  for (SmoId id : compiled.traversed_smos) {
+    const SmoInstance& inst = catalog_->smo(id);
+    INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*inst.smo));
+    if (kernel->DeriveMutates()) {
+      compiled.derive_mutates = true;
+      break;
+    }
   }
   return compiled;
 }

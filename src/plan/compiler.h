@@ -1,6 +1,7 @@
 #ifndef INVERDA_PLAN_COMPILER_H_
 #define INVERDA_PLAN_COMPILER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -42,9 +43,14 @@ class PlanCompiler {
 
   /// Cumulative catalog walks: per-version route resolutions and SmoContext
   /// assemblies. Monotonic; the plan cache diffs them around compiles so
-  /// its stats prove cache hits perform zero walks.
-  int64_t route_walks() const { return route_walks_; }
-  int64_t context_builds() const { return context_builds_; }
+  /// its stats prove cache hits perform zero walks. Atomic because shallow
+  /// compiles (plan cache disabled) may run from concurrent clients.
+  int64_t route_walks() const {
+    return route_walks_.load(std::memory_order_relaxed);
+  }
+  int64_t context_builds() const {
+    return context_builds_.load(std::memory_order_relaxed);
+  }
 
  private:
   // How an access to a non-physical table version reaches the data:
@@ -60,8 +66,8 @@ class PlanCompiler {
 
   const VersionCatalog* catalog_;
   AccessBackend* backend_;
-  mutable int64_t route_walks_ = 0;
-  mutable int64_t context_builds_ = 0;
+  mutable std::atomic<int64_t> route_walks_{0};
+  mutable std::atomic<int64_t> context_builds_{0};
 };
 
 }  // namespace plan

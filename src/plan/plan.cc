@@ -1,5 +1,6 @@
 #include "plan/plan.h"
 
+#include <mutex>
 #include <utility>
 
 #include "plan/compiler.h"
@@ -9,31 +10,65 @@ namespace plan {
 
 Result<const TvPlan*> PlanCache::Get(TvId tv, uint64_t epoch,
                                      const PlanCompiler& compiler) {
-  if (epoch != epoch_) {
+  // Hot path: the epoch matches and the plan is cached — one atomic load,
+  // a reader latch, and a map lookup. Readers never block each other here.
+  if (epoch_.load(std::memory_order_acquire) == epoch) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = plans_.find(tv);
+    if (it != plans_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (epoch_.load(std::memory_order_relaxed) != epoch) {
     // The materialization epoch moved (evolution, migration, or drop):
     // every cached plan may route differently now.
-    stats_.invalidations += static_cast<int64_t>(plans_.size());
+    invalidations_.fetch_add(static_cast<int64_t>(plans_.size()),
+                             std::memory_order_relaxed);
     plans_.clear();
-    epoch_ = epoch;
+    epoch_.store(epoch, std::memory_order_release);
   }
   auto it = plans_.find(tv);
   if (it != plans_.end()) {
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return &it->second;
   }
   const int64_t walks_before = compiler.route_walks();
   const int64_t builds_before = compiler.context_builds();
   INVERDA_ASSIGN_OR_RETURN(TvPlan compiled, compiler.Compile(tv));
-  ++stats_.compiles;
-  stats_.route_walks += compiler.route_walks() - walks_before;
-  stats_.context_builds += compiler.context_builds() - builds_before;
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  route_walks_.fetch_add(compiler.route_walks() - walks_before,
+                         std::memory_order_relaxed);
+  context_builds_.fetch_add(compiler.context_builds() - builds_before,
+                            std::memory_order_relaxed);
   auto pos = plans_.emplace(tv, std::move(compiled)).first;
   return &pos->second;
 }
 
 void PlanCache::Clear() {
-  stats_.invalidations += static_cast<int64_t>(plans_.size());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  invalidations_.fetch_add(static_cast<int64_t>(plans_.size()),
+                           std::memory_order_relaxed);
   plans_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.compiles = compiles_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.route_walks = route_walks_.load(std::memory_order_relaxed);
+  out.context_builds = context_builds_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PlanCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  compiles_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+  route_walks_.store(0, std::memory_order_relaxed);
+  context_builds_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace plan

@@ -1,9 +1,11 @@
 #ifndef INVERDA_PLAN_PLAN_H_
 #define INVERDA_PLAN_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,13 @@ struct TvPlan {
   /// resolved and the footprint/traversal closure is skipped.
   bool full = true;
 
+  /// True when executing the plan's read path can mutate shared state: an
+  /// SMO on the access paths is id-generating (DECOMPOSE ON FK/condition,
+  /// JOIN ON condition assign fresh ids during Derive). The access layer
+  /// latches such plans exclusively even for reads; all other reads take
+  /// shared latches and run fully in parallel.
+  bool derive_mutates = false;
+
   /// Hops from the version toward physical data, following the first
   /// data-side table version per hop. The executor runs steps[0]; the
   /// kernels reach the remaining chain by recursing through the backend.
@@ -98,9 +107,10 @@ struct TvPlan {
 using ReadPlan = TvPlan;
 using WritePlan = TvPlan;
 
-/// Counters of the plan cache. `route_walks`/`context_builds` only grow
-/// while compiling: zero growth across a window of accesses proves every
-/// access in the window was served without a catalog walk.
+/// Counters of the plan cache (a coherent snapshot; see PlanCache::stats).
+/// `route_walks`/`context_builds` only grow while compiling: zero growth
+/// across a window of accesses proves every access in the window was served
+/// without a catalog walk.
 struct PlanCacheStats {
   int64_t hits = 0;           // plans served without touching the catalog
   int64_t compiles = 0;       // cache misses compiled from the catalog
@@ -113,6 +123,13 @@ struct PlanCacheStats {
 /// materialization epoch: every evolution, migration, or drop bumps the
 /// epoch, so invalidation is one integer compare on the next access
 /// instead of scoped clearing.
+///
+/// Thread-safe. The hot path — an atomic epoch compare plus a map lookup
+/// under a reader latch — never blocks other readers; compiles and epoch
+/// flushes take the writer side. Returned plan pointers stay valid until
+/// the next epoch change, which can only happen under the facade's
+/// exclusive catalog lock (no reader can be in flight then), so readers may
+/// execute a plan without holding any cache lock.
 class PlanCache {
  public:
   /// The cached plan of `tv` under `epoch`, compiling (and caching) on
@@ -124,14 +141,24 @@ class PlanCache {
   /// Drops every cached plan (counted as invalidations).
   void Clear();
 
-  int64_t size() const { return static_cast<int64_t>(plans_.size()); }
-  const PlanCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PlanCacheStats(); }
+  int64_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<int64_t>(plans_.size());
+  }
+
+  /// A coherent snapshot of the counters.
+  PlanCacheStats stats() const;
+  void ResetStats();
 
  private:
+  mutable std::shared_mutex mu_;  // guards plans_ (epoch_ is atomic)
   std::map<TvId, TvPlan> plans_;
-  uint64_t epoch_ = 0;
-  PlanCacheStats stats_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> compiles_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> route_walks_{0};
+  std::atomic<int64_t> context_builds_{0};
 };
 
 }  // namespace plan

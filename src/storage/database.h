@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/latch.h"
 #include "storage/sequence.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -30,6 +31,12 @@ class Database {
   Database& operator=(Database&&) = default;
 
   Sequence& sequence() { return sequence_; }
+
+  /// Per-table reader/writer latches keyed by physical table name, plus the
+  /// global fallback latch. The access layer acquires a sorted latch set
+  /// over an operation's table footprint before touching any data; the
+  /// registry itself is created eagerly so it survives Database moves.
+  LatchRegistry& latches() { return *latches_; }
 
   bool HasTable(const std::string& name) const;
 
@@ -70,6 +77,7 @@ class Database {
  private:
   std::map<std::string, Table> tables_;
   Sequence sequence_;
+  std::unique_ptr<LatchRegistry> latches_ = std::make_unique<LatchRegistry>();
 };
 
 }  // namespace inverda

@@ -1,10 +1,12 @@
 #ifndef INVERDA_STORAGE_TABLE_H_
 #define INVERDA_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "schema/schema.h"
@@ -24,6 +26,27 @@ class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
 
+  // Value semantics over the atomic epoch stamp: copies share their
+  // original's stamp (identical content), moves carry it along.
+  Table(const Table& other)
+      : schema_(other.schema_), rows_(other.rows_), epoch_(other.epoch()) {}
+  Table& operator=(const Table& other) {
+    schema_ = other.schema_;
+    rows_ = other.rows_;
+    epoch_.store(other.epoch(), std::memory_order_relaxed);
+    return *this;
+  }
+  Table(Table&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        rows_(std::move(other.rows_)),
+        epoch_(other.epoch()) {}
+  Table& operator=(Table&& other) noexcept {
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    epoch_.store(other.epoch(), std::memory_order_relaxed);
+    return *this;
+  }
+
   const TableSchema& schema() const { return schema_; }
   void set_schema(TableSchema schema) {
     schema_ = std::move(schema);
@@ -34,8 +57,9 @@ class Table {
   /// (and at construction, so a dropped-and-recreated table never reuses a
   /// stamp). Copies share their original's epoch — the content is
   /// identical. The derived-view cache validates entries in O(1) per
-  /// dependency by comparing stored stamps against current ones.
-  uint64_t epoch() const { return epoch_; }
+  /// dependency by comparing stored stamps against current ones. The stamp
+  /// is atomic so validation may read it without holding the table's latch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   int64_t size() const { return static_cast<int64_t>(rows_.size()); }
   bool empty() const { return rows_.empty(); }
@@ -84,11 +108,11 @@ class Table {
  private:
   /// Draws the next process-wide epoch stamp.
   static uint64_t NextEpoch();
-  void Touch() { epoch_ = NextEpoch(); }
+  void Touch() { epoch_.store(NextEpoch(), std::memory_order_release); }
 
   TableSchema schema_;
   std::map<int64_t, Row> rows_;
-  uint64_t epoch_ = NextEpoch();
+  std::atomic<uint64_t> epoch_{NextEpoch()};
 };
 
 }  // namespace inverda

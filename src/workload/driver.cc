@@ -1,7 +1,10 @@
 #include "workload/driver.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
+#include <utility>
 
 namespace inverda {
 
@@ -59,6 +62,126 @@ Result<double> RunWorkload(Inverda* db, const WorkloadTarget& target,
     keys->pop_back();
   }
   return NowSeconds() - start;
+}
+
+Status ConcurrentResult::first_error() const {
+  for (const ConcurrentClientResult& c : clients) {
+    if (!c.status.ok()) return c.status;
+  }
+  return dba_status;
+}
+
+namespace {
+
+// One client's operation loop: RunWorkload's mix logic with per-kind
+// counting. Runs entirely on the client's thread with private keys/rng;
+// only the Inverda facade is shared.
+void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
+               const ConcurrentOptions& options,
+               ConcurrentClientResult* out) {
+  Random rng(options.seed);
+  std::vector<int64_t> keys = spec.initial_keys;
+  const WorkloadTarget& target = spec.target;
+  auto fail = [out](const Status& s) { out->status = s; };
+  // A legally rejected write (random rows colliding with invisible tuples
+  // or violating a partition condition) when tolerate_rejections is on.
+  auto rejected = [&options, out](const Status& s) {
+    if (!options.tolerate_rejections) return false;
+    if (s.code() != StatusCode::kConstraintViolation &&
+        s.code() != StatusCode::kInvalidArgument) {
+      return false;
+    }
+    ++out->rejections;
+    return true;
+  };
+  for (int i = 0; i < options.ops_per_client; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < spec.mix.reads || keys.empty()) {
+      Result<std::vector<KeyedRow>> rows =
+          db->Select(target.version, target.table);
+      if (!rows.ok()) return fail(rows.status());
+      ++out->reads;
+      continue;
+    }
+    roll -= spec.mix.reads;
+    if (roll < spec.mix.inserts) {
+      Result<int64_t> key =
+          db->Insert(target.version, target.table, target.make_row(&rng));
+      if (key.ok()) {
+        keys.push_back(*key);
+        ++out->inserts;
+      } else if (!rejected(key.status())) {
+        return fail(key.status());
+      }
+      continue;
+    }
+    roll -= spec.mix.inserts;
+    size_t pick = static_cast<size_t>(rng.NextUint64(keys.size()));
+    int64_t key = keys[pick];
+    if (roll < spec.mix.updates) {
+      // Update only if the row is visible through this version's table
+      // (it cannot vanish concurrently: keys are client-private and
+      // migrations preserve content).
+      Result<std::optional<Row>> current =
+          db->Get(target.version, target.table, key);
+      if (!current.ok()) return fail(current.status());
+      if (*current) {
+        Status s = db->Update(target.version, target.table, key,
+                              target.make_row(&rng));
+        if (!s.ok() && !rejected(s)) return fail(s);
+      }
+      ++out->updates;
+      continue;
+    }
+    Status s = db->Delete(target.version, target.table, key);
+    if (!s.ok() && !rejected(s)) return fail(s);
+    keys[pick] = keys.back();
+    keys.pop_back();
+    ++out->deletes;
+  }
+  out->final_keys = std::move(keys);
+}
+
+}  // namespace
+
+ConcurrentResult RunConcurrentWorkload(
+    Inverda* db, const std::vector<ConcurrentClientSpec>& clients,
+    const ConcurrentOptions& options) {
+  ConcurrentResult result;
+  result.clients.resize(clients.size());
+  std::atomic<int> running{static_cast<int>(clients.size())};
+
+  double start = NowSeconds();
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    threads.emplace_back([&, i] {
+      ConcurrentOptions mine = options;
+      mine.seed = options.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+      RunClient(db, clients[i], mine, &result.clients[i]);
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // The DBA thread keeps flipping until every client finished, so the
+  // clients race against a live schema administrator for their whole run.
+  std::thread dba;
+  if (options.dba_action) {
+    dba = std::thread([&] {
+      do {  // at least one action, even if the clients already finished
+        Status s = options.dba_action();
+        ++result.dba_iterations;
+        if (!s.ok()) {
+          result.dba_status = s;
+          return;
+        }
+        std::this_thread::yield();
+      } while (running.load(std::memory_order_acquire) > 0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (dba.joinable()) dba.join();
+  result.seconds = NowSeconds() - start;
+  return result;
 }
 
 }  // namespace inverda

@@ -1,6 +1,8 @@
 #ifndef INVERDA_WORKLOAD_DRIVER_H_
 #define INVERDA_WORKLOAD_DRIVER_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,76 @@ struct WorkloadTarget {
 Result<double> RunWorkload(Inverda* db, const WorkloadTarget& target,
                            const OpMix& mix, int num_ops, Random* rng,
                            std::vector<int64_t>* keys);
+
+/// One client of a concurrent workload: a thread pinned to one
+/// (version, table) target — the paper's co-existing-version scenario,
+/// where different applications stay on different schema versions of the
+/// same data set. Each client owns a private key list (give clients
+/// disjoint `initial_keys`, or none, so point writes never race on the
+/// same key) and a private RNG derived from the run seed and its index.
+struct ConcurrentClientSpec {
+  WorkloadTarget target;
+  OpMix mix = OpMix::Standard();
+  std::vector<int64_t> initial_keys;
+};
+
+/// Options of a concurrent run.
+struct ConcurrentOptions {
+  int ops_per_client = 1000;
+  uint64_t seed = 1;
+  /// Optional DBA loop run on its own thread while the clients work
+  /// (e.g. flipping the materialization back and forth): invoked
+  /// repeatedly until every client finished; a failed status stops the
+  /// loop and is reported in ConcurrentResult::dba_status.
+  std::function<Status()> dba_action;
+  /// When true, writes rejected with kConstraintViolation or
+  /// kInvalidArgument count as ConcurrentClientResult::rejections instead
+  /// of stopping the client — random rows can legally collide with
+  /// invisible tuples or violate partition conditions. Reads always stop
+  /// the client on error.
+  bool tolerate_rejections = false;
+};
+
+/// Per-client outcome: how many operations of each kind completed, and the
+/// first error (a client stops at its first failed operation).
+struct ConcurrentClientResult {
+  int64_t reads = 0;
+  int64_t inserts = 0;
+  int64_t updates = 0;
+  int64_t deletes = 0;
+  int64_t rejections = 0;  // legally rejected writes (see ConcurrentOptions)
+  Status status = Status::OK();
+  std::vector<int64_t> final_keys;  // surviving keys at client exit
+  int64_t ops() const { return reads + inserts + updates + deletes; }
+};
+
+/// Outcome of a concurrent run.
+struct ConcurrentResult {
+  double seconds = 0;
+  std::vector<ConcurrentClientResult> clients;
+  int64_t dba_iterations = 0;
+  Status dba_status = Status::OK();
+
+  int64_t total_ops() const {
+    int64_t total = 0;
+    for (const ConcurrentClientResult& c : clients) total += c.ops();
+    return total;
+  }
+  double throughput() const {
+    return seconds > 0 ? static_cast<double>(total_ops()) / seconds : 0;
+  }
+  /// First client or DBA error, or OK.
+  Status first_error() const;
+};
+
+/// Runs every client on its own thread against the shared `db` (plus the
+/// optional DBA thread) and joins them all: the multi-threaded counterpart
+/// of RunWorkload. Thread-safety of the run rests on the Inverda facade's
+/// DDL/DML lock and the access layer's per-table latches
+/// (docs/concurrency.md).
+ConcurrentResult RunConcurrentWorkload(
+    Inverda* db, const std::vector<ConcurrentClientSpec>& clients,
+    const ConcurrentOptions& options);
 
 /// The Technology Adoption Life Cycle curve used by Figures 9 and 10: the
 /// fraction of the workload on the *new* version at time slice `t` of

@@ -7,6 +7,7 @@
 #include "genealogy_builder.h"
 #include "inverda/export.h"
 #include "inverda/inverda.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
@@ -21,10 +22,12 @@ namespace {
 class AnalyzerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(AnalyzerPropertyTest, LintCleanGenealogiesRoundTrip) {
+  const uint64_t seed = TestSeed(GetParam());
+  INVERDA_TRACE_SEED(seed);
   Inverda db;
-  testutil::GenealogyBuilder builder(&db, GetParam());
+  testutil::GenealogyBuilder builder(&db, seed);
   ASSERT_TRUE(builder.Init().ok());
-  Random rng(GetParam() * 31 + 7);
+  Random rng(seed * 31 + 7);
   for (int step = 0; step < 5; ++step) {
     ASSERT_TRUE(builder.Step().ok());
     for (int w = 0; w < 10; ++w) {
@@ -38,7 +41,7 @@ TEST_P(AnalyzerPropertyTest, LintCleanGenealogiesRoundTrip) {
   ASSERT_TRUE(script.ok()) << script.status().ToString();
   VersionCatalog empty;
   AnalysisReport report = AnalyzeScript(empty, *script);
-  EXPECT_FALSE(report.has_errors()) << "seed " << GetParam() << ":\n"
+  EXPECT_FALSE(report.has_errors()) << "seed " << seed << ":\n"
                                     << FormatReport(report, *script);
   // Every evolution got a round-trip verdict, none of them "unsafe".
   size_t verdicts = 0;
@@ -61,8 +64,7 @@ TEST_P(AnalyzerPropertyTest, LintCleanGenealogiesRoundTrip) {
                          "';")
                   .ok());
   auto after = testutil::Snapshot(&db);
-  EXPECT_EQ("", testutil::DiffSnapshots(before, after))
-      << "seed " << GetParam();
+  EXPECT_EQ("", testutil::DiffSnapshots(before, after)) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerPropertyTest,

@@ -2,6 +2,7 @@
 
 #include "expr/expression.h"
 #include "expr/parser.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
@@ -122,7 +123,9 @@ INSTANTIATE_TEST_SUITE_P(TruthTable, BooleanSweep,
 // --- randomized parse/print round trip ----------------------------------------
 
 TEST(ExpressionFuzzTest, RandomExpressionsRoundTripThroughToString) {
-  Random rng(4242);
+  const uint64_t seed = TestSeed(4242);
+  INVERDA_TRACE_SEED(seed);
+  Random rng(seed);
   TableSchema schema = SweepSchema();
   const char* atoms[] = {"i", "j", "s", "1", "42", "'txt'", "i + j",
                          "i * 2", "j % 3", "s || 'x'"};

@@ -13,13 +13,16 @@
 
 #include "genealogy_builder.h"
 #include "inverda/inverda.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
 namespace {
 
 TEST(PlanPropertyTest, CompiledPlansMatchFreshCompileUnderMutations) {
-  for (uint64_t seed = 1; seed <= 4; ++seed) {
+  for (uint64_t base = 1; base <= 4; ++base) {
+    const uint64_t seed = TestSeed(base);
+    INVERDA_TRACE_SEED(seed);
     Inverda db;
     testutil::GenealogyBuilder builder(&db, seed);
     ASSERT_TRUE(builder.Init().ok());

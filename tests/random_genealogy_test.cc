@@ -5,6 +5,7 @@
 
 #include "genealogy_builder.h"
 #include "inverda/inverda.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
@@ -20,10 +21,12 @@ namespace {
 class RandomGenealogyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomGenealogyTest, ViewsAreInvariantUnderMaterialization) {
+  const uint64_t seed = TestSeed(GetParam());
+  INVERDA_TRACE_SEED(seed);
   Inverda db;
-  testutil::GenealogyBuilder builder(&db, GetParam());
+  testutil::GenealogyBuilder builder(&db, seed);
   ASSERT_TRUE(builder.Init().ok());
-  Random rng(GetParam() * 7 + 1);
+  Random rng(seed * 7 + 1);
   for (int step = 0; step < 5; ++step) {
     ASSERT_TRUE(builder.Step().ok());
 
@@ -49,9 +52,8 @@ TEST_P(RandomGenealogyTest, ViewsAreInvariantUnderMaterialization) {
                                               << checked;
     auto now = testutil::Snapshot(&db);
     std::string diff = testutil::DiffSnapshots(before, now);
-    EXPECT_TRUE(diff.empty()) << "seed " << GetParam()
-                              << ", materialization #" << checked << ": "
-                              << diff;
+    EXPECT_TRUE(diff.empty()) << "seed " << seed << ", materialization #"
+                              << checked << ": " << diff;
     if (!diff.empty()) break;
   }
 }

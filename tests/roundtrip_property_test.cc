@@ -3,6 +3,7 @@
 #include <map>
 
 #include "inverda/inverda.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
@@ -135,7 +136,9 @@ class RoundTripPropertyTest : public ::testing::TestWithParam<SmoCase> {};
 
 TEST_P(RoundTripPropertyTest, RandomWritesThenMaterializationRoundTrip) {
   const SmoCase& c = GetParam();
-  Random rng(2024);
+  const uint64_t seed = TestSeed(2024);
+  INVERDA_TRACE_SEED(seed);
+  Random rng(seed);
   Inverda db;
   ASSERT_TRUE(db.Execute(c.v1_script).ok());
   ASSERT_TRUE(db.Execute(c.v2_script).ok());
@@ -190,7 +193,9 @@ TEST_P(RoundTripPropertyTest, RandomWritesThenMaterializationRoundTrip) {
 
 TEST_P(RoundTripPropertyTest, WritesAreExactlyReflected) {
   const SmoCase& c = GetParam();
-  Random rng(99);
+  const uint64_t seed = TestSeed(99);
+  INVERDA_TRACE_SEED(seed);
+  Random rng(seed);
   Inverda db;
   ASSERT_TRUE(db.Execute(c.v1_script).ok());
   ASSERT_TRUE(db.Execute(c.v2_script).ok());
@@ -237,7 +242,9 @@ TEST(ChainRoundTripTest, ThreeVersionChain) {
                          "ADD COLUMN c INT AS x * 2 INTO R;"
                          "DROP COLUMN t FROM S DEFAULT 'd';")
                   .ok());
-  Random rng(5);
+  const uint64_t chain_seed = TestSeed(5);
+  INVERDA_TRACE_SEED(chain_seed);
+  Random rng(chain_seed);
   for (int i = 0; i < 40; ++i) {
     ASSERT_TRUE(db.Insert("V1", "T",
                           {Value::Int(rng.NextInt64(0, 99)),

@@ -1,0 +1,39 @@
+#ifndef INVERDA_TESTS_TEST_SEED_H_
+#define INVERDA_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace inverda {
+
+/// Seed of a randomized property test: the test's `default_seed` unless the
+/// INVERDA_TEST_SEED environment variable overrides it, so a failing run
+/// can be replayed exactly:
+///
+///   INVERDA_TEST_SEED=1234 ctest -R property --output-on-failure
+///
+/// Pair with INVERDA_TRACE_SEED so every failure message names the seed.
+/// In suites parameterized over a seed range (TEST_P) the override replaces
+/// every case's seed, so a replay runs the failing seed in each slot —
+/// redundant but exact.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("INVERDA_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// True when INVERDA_TEST_SEED is set (tests may tighten/loosen behavior).
+inline bool TestSeedOverridden() {
+  const char* env = std::getenv("INVERDA_TEST_SEED");
+  return env != nullptr && *env != '\0';
+}
+
+}  // namespace inverda
+
+/// Attaches the seed to every assertion failure in the enclosing scope.
+#define INVERDA_TRACE_SEED(seed)                                      \
+  SCOPED_TRACE("seed=" + std::to_string(seed) +                       \
+               " (replay with INVERDA_TEST_SEED=" + std::to_string(seed) + ")")
+
+#endif  // INVERDA_TESTS_TEST_SEED_H_

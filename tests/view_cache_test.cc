@@ -5,6 +5,7 @@
 #include "genealogy_builder.h"
 #include "handwritten/reference_sql.h"
 #include "inverda/inverda.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace inverda {
@@ -165,14 +166,16 @@ TEST_F(ViewCacheTest, UnrelatedLineagesKeepTheirEntries) {
 class CacheStalenessTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CacheStalenessTest, CachedViewsNeverGoStale) {
+  const uint64_t seed = TestSeed(GetParam());
+  INVERDA_TRACE_SEED(seed);
   Inverda db;
-  testutil::GenealogyBuilder builder(&db, GetParam());
+  testutil::GenealogyBuilder builder(&db, seed);
   ASSERT_TRUE(builder.Init().ok());
   for (int step = 0; step < 4; ++step) {
     ASSERT_TRUE(builder.Step().ok());
   }
   db.access().set_cache_enabled(true);
-  Random rng(GetParam() * 31 + 7);
+  Random rng(seed * 31 + 7);
 
   Result<std::vector<std::set<SmoId>>> schemas =
       db.catalog().EnumerateValidMaterializations(/*limit=*/8);
@@ -197,9 +200,8 @@ TEST_P(CacheStalenessTest, CachedViewsNeverGoStale) {
     db.access().InvalidateCache();
     auto cold = testutil::Snapshot(&db);
     std::string diff = testutil::DiffSnapshots(cold, cached);
-    ASSERT_TRUE(diff.empty())
-        << "seed " << GetParam() << ", round " << round
-        << ": cached view went stale: " << diff;
+    ASSERT_TRUE(diff.empty()) << "seed " << seed << ", round " << round
+                              << ": cached view went stale: " << diff;
   }
 }
 

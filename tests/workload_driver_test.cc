@@ -82,6 +82,48 @@ TEST(RunWorkloadTest, WorksAgainstVirtualVersions) {
   EXPECT_LE(todo, tasks);
 }
 
+TEST(RunConcurrentWorkloadTest, ClientsOnCoexistingVersionsAllFinish) {
+  TaskyOptions options;
+  options.num_tasks = 20;
+  TaskyScenario scenario = *std::move(BuildTasky(options));
+
+  std::vector<ConcurrentClientSpec> clients(3);
+  clients[0].target = {"TasKy", "Task",
+                       [](Random* r) { return RandomTaskRow(r, 5); }};
+  clients[0].initial_keys = scenario.task_keys;
+  clients[1].target = {"Do!", "Todo", [](Random* r) {
+                         Row t = RandomTaskRow(r, 5);
+                         return Row{t[0], t[1]};
+                       }};
+  clients[2].target = {"TasKy2", "Task", [](Random*) { return Row{}; }};
+  clients[2].mix = OpMix::ReadOnly();
+
+  ConcurrentOptions copts;
+  copts.ops_per_client = 120;
+  copts.seed = 5;
+  copts.tolerate_rejections = true;
+  int flips = 0;
+  copts.dba_action = [&]() -> Status {
+    ++flips;
+    return scenario.db->Materialize({flips % 2 == 0 ? "TasKy" : "TasKy2"});
+  };
+
+  ConcurrentResult result =
+      RunConcurrentWorkload(scenario.db.get(), clients, copts);
+  ASSERT_TRUE(result.first_error().ok()) << result.first_error().ToString();
+  EXPECT_EQ(result.clients.size(), 3u);
+  EXPECT_GE(result.dba_iterations, 1);
+  EXPECT_GT(result.total_ops(), 0);
+  EXPECT_GT(result.throughput(), 0.0);
+  // The read-only client performed exactly its op budget, all reads.
+  EXPECT_EQ(result.clients[2].reads, copts.ops_per_client);
+  EXPECT_EQ(result.clients[2].ops(), copts.ops_per_client);
+  // Writers' surviving keys are all still visible through their version.
+  for (int64_t key : result.clients[0].final_keys) {
+    EXPECT_TRUE(scenario.db->Get("TasKy", "Task", key)->has_value());
+  }
+}
+
 TEST(TaskyBuilderTest, RespectsOptions) {
   TaskyOptions options;
   options.num_tasks = 7;
