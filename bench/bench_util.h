@@ -9,6 +9,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace inverda {
@@ -69,6 +70,31 @@ inline int ScaledInt(const char* env, int dflt) {
   if (value != nullptr) return std::atoi(value);
   if (QuickMode()) return std::max(1, dflt / 20);
   return dflt;
+}
+
+/// The per-kernel (and per-operation) span aggregates of a metrics
+/// snapshot as one JSON object: every "kernel.*" / "access.*" histogram
+/// with its count, total and mean nanoseconds. Embedded under a
+/// "kernel_spans" key in the benches' --json artifacts so CI uploads a
+/// per-kernel latency breakdown next to the headline numbers.
+inline std::string KernelSpansJson(const obs::MetricsSnapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const obs::HistogramValue& h : snap.histograms) {
+    if (h.name.rfind("kernel.", 0) != 0 && h.name.rfind("access.", 0) != 0) {
+      continue;
+    }
+    if (h.hist.count == 0) continue;
+    char mean[64];
+    std::snprintf(mean, sizeof(mean), "%.1f", h.hist.mean_ns());
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + h.name + "\":{\"count\":" + std::to_string(h.hist.count) +
+           ",\"sum_ns\":" + std::to_string(h.hist.sum_ns) + ",\"mean_ns\":" +
+           mean + "}";
+  }
+  out += "}";
+  return out;
 }
 
 inline void PrintHeader(const char* title) {

@@ -1,8 +1,15 @@
 // Figure 8 reproduction: query execution time of InVerDa's generated delta
 // code versus the handwritten baseline, for reads on TasKy / TasKy2 and 100
 // writes on each, under the initial and the evolved materialization.
+//
+//   fig8_overhead [--quick] [--json <file>]
+//
+// The JSON artifact carries, next to each generated-code cell, the
+// per-kernel span aggregates of that cell's measurement window.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "handwritten/reference_sql.h"
@@ -22,6 +29,10 @@ struct Cell {
   double read_tasky2 = 0;
   double writes_tasky = 0;
   double writes_tasky2 = 0;
+  // Per-kernel span aggregates of the generated-code measurement window
+  // (JSON object; empty for the handwritten baseline, which has no
+  // kernels).
+  std::string kernel_spans = "{}";
 };
 
 Cell MeasureInverda(int tasks, bool evolved) {
@@ -31,6 +42,8 @@ Cell MeasureInverda(int tasks, bool evolved) {
       CheckOk(BuildTasky(options), "build tasky");
   inverda::Inverda& db = *scenario.db;
   if (evolved) CheckOk(db.Materialize({"TasKy2"}), "materialize");
+  db.ResetMetrics();  // spans aggregate over this cell's measurements only
+  db.Metrics().set_timing_enabled(true);
 
   Cell cell;
   int read_reps = 5;
@@ -60,6 +73,7 @@ Cell MeasureInverda(int tasks, bool evolved) {
               "write TasKy2");
     }
   });
+  cell.kernel_spans = inverda::bench::KernelSpansJson(db.Metrics().Snapshot());
   return cell;
 }
 
@@ -107,7 +121,22 @@ void PrintRow(const char* label, const Cell& cell) {
 
 }  // namespace
 
-int main() {
+void PrintJsonCell(std::ofstream& out, const char* key, const Cell& cell) {
+  out << "\"" << key << "\":{\"read_tasky_ms\":" << cell.read_tasky
+      << ",\"read_tasky2_ms\":" << cell.read_tasky2
+      << ",\"writes_tasky_ms\":" << cell.writes_tasky
+      << ",\"writes_tasky2_ms\":" << cell.writes_tasky2
+      << ",\"kernel_spans\":" << cell.kernel_spans << "}";
+}
+
+int main(int argc, char** argv) {
+  inverda::bench::InitBench(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   int tasks = ScaledInt("INVERDA_FIG8_TASKS", 10000);
   inverda::bench::PrintHeader("Figure 8: overhead of generated delta code");
   std::printf("TasKy with %d tasks; QET in ms\n\n", tasks);
@@ -130,5 +159,23 @@ int main() {
   std::printf("\nshape check (reading the materialized version is faster): "
               "%s\n",
               locality ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"fig8_overhead\",\"tasks\":" << tasks << ",";
+    PrintJsonCell(out, "handwritten_initial", hw_initial);
+    out << ",";
+    PrintJsonCell(out, "generated_initial", gen_initial);
+    out << ",";
+    PrintJsonCell(out, "handwritten_evolved", hw_evolved);
+    out << ",";
+    PrintJsonCell(out, "generated_evolved", gen_evolved);
+    out << ",\"locality_shape_check\":" << (locality ? "true" : "false")
+        << "}\n";
+  }
   return 0;
 }

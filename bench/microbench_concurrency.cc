@@ -175,8 +175,14 @@ int main(int argc, char** argv) {
   std::printf("\nstandard 50/20/20/10 mix on mixed versions\n");
   std::printf("%7s  %10s  %9s  %12s  %8s\n", "threads", "ops", "sec",
               "ops/sec", "scaling");
+  db.ResetMetrics();  // kernel spans aggregate over the mixed table only
+  db.Metrics().set_timing_enabled(true);
   std::vector<ThreadResult> mixed =
       ScalingTable(&db, versions, ops, inverda::OpMix::Standard());
+  const std::string kernel_spans =
+      inverda::bench::KernelSpansJson(db.Metrics().Snapshot());
+  const int64_t latch_fine = db.Metrics().value("latch.fine_grained");
+  const int64_t latch_escalations = db.Metrics().value("latch.escalations");
 
   // 4 readers racing a DBA that keeps flipping the materialization: the
   // exclusive catalog lock must never wedge or starve the readers.
@@ -217,6 +223,9 @@ int main(int argc, char** argv) {
     PrintJsonRows(out, mixed);
     out << ",\"dba_churn\":{\"threads\":4,\"ops\":" << churn.ops
         << ",\"ops_per_sec\":" << churn.ops_per_sec << "}"
+        << ",\"kernel_spans\":" << kernel_spans
+        << ",\"latch_fine_grained\":" << latch_fine
+        << ",\"latch_escalations\":" << latch_escalations
         << ",\"read_scaling_1_to_4\":" << scaling4
         << ",\"read_scaling_gt2_at_4\":";
     if (hw >= 4) {

@@ -38,6 +38,9 @@ struct DepthResult {
   double legacy_ns = 0;
   double compiled_ns = 0;
   double speedup = 0;
+  // Per-kernel span aggregates over the timed compiled window (JSON
+  // object, see bench::KernelSpansJson).
+  std::string kernel_spans;
 };
 
 // One lineage: materialized base, then `depth` chained ADD COLUMN
@@ -105,7 +108,11 @@ DepthResult RunDepth(int depth, int reps) {
 
   db.access().set_plan_cache_enabled(true);
   read_all();  // compile + cache the plans once
+  db.ResetMetrics();  // aggregate spans over the timed window only
+  db.Metrics().set_timing_enabled(true);
   result.compiled_ns = TimeMs(reps, read_all) * 1e6 / kRows;
+  result.kernel_spans =
+      inverda::bench::KernelSpansJson(db.Metrics().Snapshot());
 
   result.speedup =
       result.compiled_ns > 0 ? result.legacy_ns / result.compiled_ns : 0;
@@ -156,7 +163,8 @@ int main(int argc, char** argv) {
       out << (i ? "," : "") << "{\"depth\":" << r.depth
           << ",\"legacy_ns\":" << r.legacy_ns
           << ",\"compiled_ns\":" << r.compiled_ns
-          << ",\"speedup\":" << r.speedup << "}";
+          << ",\"speedup\":" << r.speedup
+          << ",\"kernel_spans\":" << r.kernel_spans << "}";
     }
     out << "],\"compiled_faster_at_depth4\":"
         << (faster_at_depth4 ? "true" : "false") << "}\n";

@@ -1,6 +1,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,7 +21,96 @@ struct DepthGuard {
   ~DepthGuard() { --*depth; }
 };
 
+// Copies the step metadata EXPLAIN prints into a derive/propagate span, so
+// a trace is directly comparable to the compiled plan it executed.
+void FillStepSpan(obs::TraceSpan* span, const plan::PlanStep& step) {
+  span->smo = step.smo;
+  span->route =
+      step.route == plan::RouteCase::kForward ? "forward" : "backward";
+  span->side = step.side == SmoSide::kSource ? "source" : "target";
+  span->index = step.index;
+  span->kernel = step.kernel->name();
+  span->smo_text = step.smo_text;
+  for (const auto& [aux, physical_name] : step.ctx.aux_names) {
+    span->aux.emplace_back(aux, physical_name);
+  }
+}
+
 }  // namespace
+
+// --- observability wiring ---------------------------------------------------
+
+AccessLayer::AccessLayer(VersionCatalog* catalog, Database* db,
+                         obs::Observability* obs)
+    : catalog_(catalog), db_(db), obs_(obs), compiler_(catalog, this) {
+  obs::MetricsRegistry& m = obs_->metrics;
+  // Push metrics: pointers cached once, bumped lock-free on the hot path.
+  scan_ns_ = m.histogram("access.scan_ns");
+  find_ns_ = m.histogram("access.find_ns");
+  apply_ns_ = m.histogram("access.apply_ns");
+  latch_ns_ = m.histogram("latch.acquire_ns");
+  latch_fine_ = m.counter("latch.fine_grained");
+  latch_escalations_ = m.counter("latch.escalations");
+  latch_global_ = m.counter("latch.global");
+  // Pull sources: the plan/view caches already keep their own counters —
+  // exporting them through callbacks keeps one source of truth, so the
+  // registry can never drift from the components' own view.
+  m.RegisterSource(
+      "plan_cache",
+      [this] {
+        plan::PlanCacheStats s = plan_cache_.stats();
+        return std::vector<obs::MetricValue>{
+            {"plan_cache.hits", s.hits},
+            {"plan_cache.compiles", s.compiles},
+            {"plan_cache.invalidations", s.invalidations},
+            {"plan_cache.route_walks", s.route_walks},
+            {"plan_cache.context_builds", s.context_builds},
+            {"plan_cache.size", plan_cache_.size()}};
+      },
+      [this] { plan_cache_.ResetStats(); });
+  m.RegisterSource(
+      "view_cache",
+      [this] {
+        return std::vector<obs::MetricValue>{
+            {"view_cache.hits", cache_hits()},
+            {"view_cache.misses", cache_misses()},
+            {"view_cache.invalidations", cache_invalidations()},
+            {"view_cache.size", cache_size()}};
+      },
+      [this] { ResetCacheStats(); });
+  // The compiler's walk counters are monotonic by contract (the plan cache
+  // diffs them around compiles), so this source has no reset hook.
+  m.RegisterSource("plan_compiler", [this] {
+    return std::vector<obs::MetricValue>{
+        {"plan_compiler.route_walks", compiler_.route_walks()},
+        {"plan_compiler.context_builds", compiler_.context_builds()}};
+  });
+}
+
+AccessLayer::KernelMetrics* AccessLayer::MetricsForKernel(
+    const Kernel* kernel) {
+  // Lock-free fast path: kernels are static singletons, so a handful of
+  // pointer compares resolves every kernel after its first access.
+  for (KernelSlot& slot : kernel_slots_) {
+    const Kernel* cur = slot.kernel.load(std::memory_order_acquire);
+    if (cur == kernel) return &slot.metrics;
+    if (cur == nullptr) break;
+  }
+  std::lock_guard<std::mutex> lock(kernel_slots_mu_);
+  for (KernelSlot& slot : kernel_slots_) {
+    const Kernel* cur = slot.kernel.load(std::memory_order_relaxed);
+    if (cur == kernel) return &slot.metrics;
+    if (cur != nullptr) continue;
+    const std::string base = std::string("kernel.") + kernel->name();
+    slot.metrics.derive_ns = obs_->metrics.histogram(base + ".derive_ns");
+    slot.metrics.propagate_ns = obs_->metrics.histogram(base + ".propagate_ns");
+    slot.metrics.derive_rows = obs_->metrics.counter(base + ".derive_rows");
+    // Publish last: readers that see the kernel pointer see wired metrics.
+    slot.kernel.store(kernel, std::memory_order_release);
+    return &slot.metrics;
+  }
+  return nullptr;  // more than kMaxKernels distinct kernels: unmetered
+}
 
 // --- compiled plans ---------------------------------------------------------
 
@@ -58,18 +148,30 @@ Result<int> AccessLayer::PropagationDistance(TvId tv) {
 // --- latching ---------------------------------------------------------------
 
 void AccessLayer::AcquireLatches(TableLatchSet* latches, const plan::TvPlan& p,
-                                 bool write) {
+                                 bool write, bool timed) {
   // Kernel recursion (and migration staging inside the DDL-exclusive
   // facade section) runs under the top-level latch set; re-acquiring here
   // would self-deadlock on exclusive latches.
   if (access_depth_ > 0) return;
+  // Latch instrumentation sits on every operation, so it records only
+  // under the detailed-timing gate (`timed` is the caller's single
+  // hot-flags load, see Observability::hot()).
+  obs::ScopedTimer timer(timed ? latch_ns_ : nullptr);
   const bool exclusive = write || p.derive_mutates;
   if (!p.full) {
     // Shallow plans (plan cache disabled) carry no footprint: fall back to
     // the exclusive whole-database latch — the legacy-resolution
     // concurrency model.
+    if (timed) [[unlikely]] latch_global_->Add(1);
     latches->AcquireGlobal(&db_->latches());
     return;
+  }
+  if (timed) [[unlikely]] {
+    if (p.footprint.size() > TableLatchSet::kEscalationLimit) {
+      latch_escalations_->Add(1);
+    } else {
+      latch_fine_->Add(1);
+    }
   }
   // The footprint lists every physical table any access path of the
   // version can touch, so it covers both the derivation closure of reads
@@ -97,16 +199,19 @@ Result<AccessLayer::DepVec> AccessLayer::FootprintDeps(const plan::TvPlan& p) {
 std::shared_ptr<const Table> AccessLayer::LookupCache(TvId tv) {
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(tv);
-  if (it == cache_.end()) return nullptr;
+  if (it == cache_.end()) {
+    RecordCacheLookupLocked(tv, /*hit=*/false);
+    return nullptr;
+  }
   for (const auto& [name, epoch] : it->second.deps) {
     std::optional<uint64_t> current = db_->TableEpoch(name);
     if (!current || *current != epoch) {
       EraseCacheEntryLocked(tv);
+      RecordCacheLookupLocked(tv, /*hit=*/false);
       return nullptr;
     }
   }
-  cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  ++cache_stats_[tv].hits;
+  RecordCacheLookupLocked(tv, /*hit=*/true);
   return it->second.table;
 }
 
@@ -120,10 +225,18 @@ Status AccessLayer::StoreCache(const plan::TvPlan& p, Table table) {
   return Status::OK();
 }
 
-void AccessLayer::CountCacheMiss(TvId tv) {
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  ++cache_stats_[tv].misses;
+void AccessLayer::RecordCacheLookupLocked(TvId tv, bool hit) {
+  // The single accounting point for view-cache lookups: ScanVersion and
+  // FindVersion used to bump the miss counters through duplicated code
+  // paths; routing both through LookupCache keeps the aggregate and
+  // per-version counters moving together on every path.
+  if (hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    ++cache_stats_[tv].hits;
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    ++cache_stats_[tv].misses;
+  }
 }
 
 void AccessLayer::EraseCacheEntryLocked(TvId tv) {
@@ -209,66 +322,147 @@ void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
 // --- reads ------------------------------------------------------------------
 
 Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
+  // Latency lands in the histogram only at the top level of an access
+  // chain; nested (kernel-recursive) scans are part of the enclosing op.
+  // Timers and per-kernel metrics record only under the detailed-timing
+  // gate — two clock reads per measurement are unaffordable on a
+  // sub-microsecond point get — and both gates arrive in one packed
+  // relaxed load (see Observability::hot()).
+  const uint32_t hot = obs_->hot();
+  const bool timed = (hot & obs::Observability::kTimingBit) != 0;
+  obs::Tracer* tracer =
+      (hot & obs::Observability::kTracingBit) != 0 ? &obs_->tracer : nullptr;
+  obs::ScopedTimer op_timer(timed && access_depth_ == 0 ? scan_ns_ : nullptr);
+  obs::SpanGuard span(tracer, "scan");
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  if (span) [[unlikely]] span->label = p.label;
   TableLatchSet latches;
-  AcquireLatches(&latches, p, /*write=*/false);
+  AcquireLatches(&latches, p, /*write=*/false, timed);
   DepthGuard guard(&access_depth_);
   if (p.physical) {
     INVERDA_ASSIGN_OR_RETURN(const Table* table,
                              db_->GetTableConst(p.data_table));
+    if (span) [[unlikely]] {
+      span->route = "physical";
+      span->note = "data table " + p.data_table;
+      span->rows_out = table->size();
+    }
     table->Scan(fn);
     return Status::OK();
   }
   if (cache_enabled_) {
     if (std::shared_ptr<const Table> cached = LookupCache(tv)) {
+      if (span) [[unlikely]] {
+        span->note = "view-cache hit";
+        span->rows_out = cached->size();
+      }
       cached->Scan(fn);
       return Status::OK();
     }
   }
   Table tmp(*p.schema);
-  INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
+  {
+    const plan::PlanStep& step = p.steps.front();
+    if (hot == 0) [[likely]] {
+      // Fast path: no guard objects at all when every gate is off —
+      // nested kernel recursion multiplies this block's entry cost.
+      INVERDA_RETURN_IF_ERROR(step.Derive(std::nullopt, &tmp));
+    } else {
+      obs::SpanGuard step_span(tracer, "derive");
+      if (step_span) FillStepSpan(step_span.get(), step);
+      KernelMetrics* km = nullptr;
+      if (timed) km = MetricsForKernel(step.kernel);
+      obs::ScopedTimer kernel_timer(km != nullptr ? km->derive_ns : nullptr);
+      INVERDA_RETURN_IF_ERROR(step.Derive(std::nullopt, &tmp));
+      if (km != nullptr) km->derive_rows->Add(tmp.size());
+      if (step_span) step_span->rows_out = tmp.size();
+    }
+  }
+  if (span) [[unlikely]] span->rows_out = tmp.size();
   tmp.Scan(fn);
   if (cache_enabled_) {
-    CountCacheMiss(tv);
     INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
   }
   return Status::OK();
 }
 
 Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
+  const uint32_t hot = obs_->hot();
+  const bool timed = (hot & obs::Observability::kTimingBit) != 0;
+  obs::Tracer* tracer =
+      (hot & obs::Observability::kTracingBit) != 0 ? &obs_->tracer : nullptr;
+  obs::ScopedTimer op_timer(timed && access_depth_ == 0 ? find_ns_ : nullptr);
+  obs::SpanGuard span(tracer, "find");
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  if (span) [[unlikely]] span->label = p.label;
   TableLatchSet latches;
-  AcquireLatches(&latches, p, /*write=*/false);
+  AcquireLatches(&latches, p, /*write=*/false, timed);
   DepthGuard guard(&access_depth_);
   if (p.physical) {
     INVERDA_ASSIGN_OR_RETURN(const Table* table,
                              db_->GetTableConst(p.data_table));
+    if (span) [[unlikely]] {
+      span->route = "physical";
+      span->note = "data table " + p.data_table;
+    }
     const Row* row = table->Find(key);
     if (row == nullptr) return std::optional<Row>();
+    if (span) [[unlikely]] span->rows_out = 1;
     return std::optional<Row>(*row);
   }
   if (cache_enabled_) {
     if (std::shared_ptr<const Table> cached = LookupCache(tv)) {
+      if (span) [[unlikely]] span->note = "view-cache hit";
       const Row* row = cached->Find(key);
       if (row == nullptr) return std::optional<Row>();
+      if (span) [[unlikely]] span->rows_out = 1;
       return std::optional<Row>(*row);
     }
     // Same accounting as ScanVersion's miss path: derive the full view
     // once, store it, and answer this (and subsequent) lookups from it.
-    CountCacheMiss(tv);
     Table tmp(*p.schema);
-    INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(std::nullopt, &tmp));
+    {
+      const plan::PlanStep& step = p.steps.front();
+      if (hot == 0) [[likely]] {
+        INVERDA_RETURN_IF_ERROR(step.Derive(std::nullopt, &tmp));
+      } else {
+        obs::SpanGuard step_span(tracer, "derive");
+        if (step_span) FillStepSpan(step_span.get(), step);
+        KernelMetrics* km = nullptr;
+        if (timed) km = MetricsForKernel(step.kernel);
+        obs::ScopedTimer kernel_timer(km != nullptr ? km->derive_ns : nullptr);
+        INVERDA_RETURN_IF_ERROR(step.Derive(std::nullopt, &tmp));
+        if (km != nullptr) km->derive_rows->Add(tmp.size());
+        if (step_span) step_span->rows_out = tmp.size();
+      }
+    }
     std::optional<Row> found;
     if (const Row* row = tmp.Find(key)) found = *row;
+    if (span) [[unlikely]] span->rows_out = found.has_value() ? 1 : 0;
     INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
     return found;
   }
   Table tmp(*p.schema);
-  INVERDA_RETURN_IF_ERROR(p.steps.front().Derive(key, &tmp));
+  {
+    const plan::PlanStep& step = p.steps.front();
+    if (hot == 0) [[likely]] {
+      INVERDA_RETURN_IF_ERROR(step.Derive(key, &tmp));
+    } else {
+      obs::SpanGuard step_span(tracer, "derive");
+      if (step_span) FillStepSpan(step_span.get(), step);
+      KernelMetrics* km = nullptr;
+      if (timed) km = MetricsForKernel(step.kernel);
+      obs::ScopedTimer kernel_timer(km != nullptr ? km->derive_ns : nullptr);
+      INVERDA_RETURN_IF_ERROR(step.Derive(key, &tmp));
+      if (km != nullptr) km->derive_rows->Add(tmp.size());
+      if (step_span) step_span->rows_out = tmp.size();
+    }
+  }
   const Row* row = tmp.Find(key);
   if (row == nullptr) return std::optional<Row>();
+  if (span) [[unlikely]] span->rows_out = 1;
   return std::optional<Row>(*row);
 }
 
@@ -277,10 +471,18 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   if (writes.empty()) return Status::OK();
   const bool top_level = access_depth_ == 0;
+  const uint32_t hot = obs_->hot();
+  const bool timed = (hot & obs::Observability::kTimingBit) != 0;
+  obs::Tracer* tracer =
+      (hot & obs::Observability::kTracingBit) != 0 ? &obs_->tracer : nullptr;
+  obs::ScopedTimer op_timer(timed && top_level ? apply_ns_ : nullptr);
+  obs::SpanGuard span(tracer, "apply");
+  if (span) [[unlikely]] span->rows_in = static_cast<int64_t>(writes.ops.size());
   INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
   const plan::TvPlan& p = *handle.get();
+  if (span) [[unlikely]] span->label = p.label;
   TableLatchSet latches;
-  AcquireLatches(&latches, p, /*write=*/true);
+  AcquireLatches(&latches, p, /*write=*/true, timed);
   DepthGuard guard(&access_depth_);
   if (top_level) {
     last_trace_.Clear();
@@ -300,6 +502,11 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   last_trace_.AddVersion(tv);
   if (p.physical) {
     last_trace_.AddTable(p.data_table);
+    if (span) [[unlikely]] {
+      span->route = "physical";
+      span->note = "data table " + p.data_table;
+      span->rows_out = static_cast<int64_t>(writes.ops.size());
+    }
     INVERDA_ASSIGN_OR_RETURN(Table * table, db_->GetTable(p.data_table));
     for (const WriteOp& op : writes.ops) {
       switch (op.kind) {
@@ -321,6 +528,15 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
     (void)aux;
     last_trace_.AddTable(physical_name);
   }
+  if (hot == 0) [[likely]] return step.Propagate(writes);
+  obs::SpanGuard step_span(tracer, "propagate");
+  if (step_span) {
+    FillStepSpan(step_span.get(), step);
+    step_span->rows_in = static_cast<int64_t>(writes.ops.size());
+  }
+  KernelMetrics* km = nullptr;
+  if (timed) km = MetricsForKernel(step.kernel);
+  obs::ScopedTimer kernel_timer(km != nullptr ? km->propagate_ns : nullptr);
   return step.Propagate(writes);
 }
 

@@ -9,7 +9,7 @@
 
 namespace inverda {
 
-Inverda::Inverda() : access_(&catalog_, &db_) {}
+Inverda::Inverda() : access_(&catalog_, &db_, &obs_) {}
 
 Status Inverda::Execute(const std::string& bidel_script) {
   INVERDA_ASSIGN_OR_RETURN(std::vector<BidelStatement> statements,

@@ -1,6 +1,7 @@
 #ifndef INVERDA_INVERDA_INVERDA_H_
 #define INVERDA_INVERDA_INVERDA_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -16,6 +17,7 @@
 #include "catalog/catalog.h"
 #include "expr/expression.h"
 #include "mapping/side.h"
+#include "obs/observability.h"
 #include "plan/compiler.h"
 #include "plan/plan.h"
 #include "storage/database.h"
@@ -46,8 +48,10 @@ class Inverda;
 /// set_cache_mode) are not thread-safe; configure before going concurrent.
 class AccessLayer : public AccessBackend {
  public:
-  AccessLayer(VersionCatalog* catalog, Database* db)
-      : catalog_(catalog), db_(db), compiler_(catalog, this) {}
+  /// `obs` is the owning facade's observability bundle: the constructor
+  /// caches counter/histogram pointers for the hot paths and registers the
+  /// plan cache, view cache and compiler as pull-sources of the registry.
+  AccessLayer(VersionCatalog* catalog, Database* db, obs::Observability* obs);
 
   Status ScanVersion(TvId tv, const RowCallback& fn) override;
   Result<std::optional<Row>> FindVersion(TvId tv, int64_t key) override;
@@ -80,6 +84,11 @@ class AccessLayer : public AccessBackend {
   /// threads access). `route_walks`/`context_builds` grow only while
   /// compiling, so flat counters across a window of accesses prove the
   /// window ran without any catalog walks.
+  ///
+  /// Deprecated: these numbers are also exported by the unified registry
+  /// as plan_cache.* (Inverda::Metrics()), and ResetPlanStats is subsumed
+  /// by Inverda::ResetMetrics(). The shims stay for one PR; new code reads
+  /// the registry. See docs/observability.md.
   plan::PlanCacheStats plan_stats() const { return plan_cache_.stats(); }
   void ResetPlanStats() { plan_cache_.ResetStats(); }
   int64_t plan_cache_size() const { return plan_cache_.size(); }
@@ -117,9 +126,17 @@ class AccessLayer : public AccessBackend {
 
   /// Resets the hit/miss/invalidation counters without touching cached
   /// entries, so ablation phases measure independently.
+  ///
+  /// Deprecated: subsumed by Inverda::ResetMetrics(), which resets this
+  /// along with every other surface in one call. Shim stays for one PR.
   void ResetCacheStats();
 
   /// Aggregate cache statistics for the ablation benchmark.
+  ///
+  /// Deprecated: exported by the unified registry as view_cache.hits /
+  /// view_cache.misses / view_cache.invalidations / view_cache.size
+  /// (Inverda::Metrics()). The shims stay for one PR; new code reads the
+  /// registry. See docs/observability.md.
   int64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
@@ -170,7 +187,7 @@ class AccessLayer : public AccessBackend {
   /// cache disabled) have no footprint and fall back to the whole-database
   /// latch.
   void AcquireLatches(TableLatchSet* latches, const plan::TvPlan& p,
-                      bool write);
+                      bool write, bool timed);
 
   /// Dependency fingerprint: physical table name -> dirty epoch at
   /// derivation time (aliased because commas in template ids break the
@@ -193,10 +210,12 @@ class AccessLayer : public AccessBackend {
 
   /// Validated lookup: returns the cached view of `tv` if its fingerprint
   /// still matches, dropping the entry (and counting an invalidation)
-  /// otherwise.
+  /// otherwise. Every lookup is accounted as exactly one hit or one miss
+  /// through RecordCacheLookupLocked — the single accounting point for the
+  /// aggregate and per-version counters.
   std::shared_ptr<const Table> LookupCache(TvId tv);
   Status StoreCache(const plan::TvPlan& p, Table table);
-  void CountCacheMiss(TvId tv);
+  void RecordCacheLookupLocked(TvId tv, bool hit);  // requires cache_mu_
 
   /// Eager scoped invalidation before a write propagates along plan `p`:
   /// drops the entries whose fingerprint intersects the write's possible
@@ -205,8 +224,37 @@ class AccessLayer : public AccessBackend {
   void EraseCacheEntry(TvId tv);
   void EraseCacheEntryLocked(TvId tv);  // requires cache_mu_ held
 
+  /// Per-kernel latency/row metrics, resolved from the kernel's stable
+  /// singleton pointer through a small lock-free slot array (the mutex is
+  /// only taken once per distinct kernel, to register it). Returns nullptr
+  /// past kMaxKernels distinct kernels (such a kernel goes unmetered).
+  struct KernelMetrics {
+    obs::Histogram* derive_ns = nullptr;
+    obs::Histogram* propagate_ns = nullptr;
+    obs::Counter* derive_rows = nullptr;
+  };
+  KernelMetrics* MetricsForKernel(const Kernel* kernel);
+
   VersionCatalog* catalog_;
   Database* db_;
+
+  obs::Observability* obs_;
+  // Hot-path metric pointers, cached once at construction.
+  obs::Histogram* scan_ns_;
+  obs::Histogram* find_ns_;
+  obs::Histogram* apply_ns_;
+  obs::Histogram* latch_ns_;
+  obs::Counter* latch_fine_;
+  obs::Counter* latch_escalations_;
+  obs::Counter* latch_global_;
+
+  static constexpr size_t kMaxKernels = 16;
+  struct KernelSlot {
+    std::atomic<const Kernel*> kernel{nullptr};
+    KernelMetrics metrics;
+  };
+  std::array<KernelSlot, kMaxKernels> kernel_slots_;
+  std::mutex kernel_slots_mu_;  // serializes slot registration only
 
   plan::PlanCompiler compiler_;
   plan::PlanCache plan_cache_;
@@ -315,6 +363,30 @@ class Inverda {
   Database& db() { return db_; }
   AccessLayer& access() { return access_; }
 
+  // --- observability ---------------------------------------------------------
+
+  /// The unified stats surface (docs/observability.md): every component's
+  /// counters and latency histograms — plan cache, view cache, compiler,
+  /// latches, per-kernel timings, tracer — in one registry. Safe to
+  /// snapshot concurrently with client traffic. Replaces the scattered
+  /// per-component accessors (plan_stats / cache_hits / ... on the access
+  /// layer), which remain as deprecated shims for one PR.
+  obs::MetricsRegistry& Metrics() { return obs_.metrics; }
+  const obs::MetricsRegistry& Metrics() const { return obs_.metrics; }
+
+  /// The single reset point: zeroes every push metric and invokes every
+  /// component's reset hook (plan-cache stats, view-cache stats).
+  /// Monotonic sources (compiler walk counters, trace.completed) keep
+  /// their values. Replaces ResetPlanStats() + ResetCacheStats().
+  void ResetMetrics() { obs_.metrics.Reset(); }
+
+  /// Per-operation access tracing (TRACE ON|OFF|LAST in the shell). Off by
+  /// default; toggling is safe while clients run.
+  obs::Tracer& tracer() { return obs_.tracer; }
+  const obs::Tracer& tracer() const { return obs_.tracer; }
+
+  obs::Observability& observability() { return obs_; }
+
   /// The payload schema of `table` in `version`.
   Result<TableSchema> GetSchema(const std::string& version,
                                 const std::string& table);
@@ -344,6 +416,10 @@ class Inverda {
 
   VersionCatalog catalog_;
   Database db_;
+  // Declared before access_: the access layer caches registry pointers and
+  // registers pull-sources in its constructor, and those sources must
+  // outlive it on destruction (members destroy in reverse order).
+  obs::Observability obs_;
   AccessLayer access_;
 };
 

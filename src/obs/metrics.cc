@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace inverda {
+namespace obs {
+
+const std::array<int64_t, Histogram::kNumBuckets - 1>&
+Histogram::BucketBounds() {
+  // Geometric ladder, factor 4: 250ns, 1us, 4us, 16us, 64us, 256us, ~1ms,
+  // ~4ms, ~16ms, ~64ms, ~256ms, ~1s. Everything slower overflows.
+  static const std::array<int64_t, kNumBuckets - 1> kBounds = {
+      250,        1'000,      4'000,       16'000,        64'000,
+      256'000,    1'024'000,  4'096'000,   16'384'000,    65'536'000,
+      262'144'000, 1'048'576'000};
+  return kBounds;
+}
+
+void Histogram::Record(int64_t ns) {
+  const auto& bounds = BucketBounds();
+  int bucket = kNumBuckets - 1;  // overflow unless a bound catches it
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (ns <= bounds[static_cast<size_t>(i)]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum_ns = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+int64_t MetricsSnapshot::value(const std::string& name) const {
+  for (const MetricValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::has(const std::string& name) const {
+  for (const MetricValue& c : counters) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+const Histogram::Snapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  out += "counters:\n";
+  for (const MetricValue& c : counters) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-40s %12lld\n", c.name.c_str(),
+                  static_cast<long long>(c.value));
+    out += line;
+  }
+  out += "histograms (ns):\n";
+  const auto& bounds = Histogram::BucketBounds();
+  for (const HistogramValue& h : histograms) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "  %-40s count=%lld sum=%lld mean=%.0f\n", h.name.c_str(),
+                  static_cast<long long>(h.hist.count),
+                  static_cast<long long>(h.hist.sum_ns), h.hist.mean_ns());
+    out += line;
+    out += "    buckets:";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      int64_t n = h.hist.buckets[static_cast<size_t>(i)];
+      if (n == 0) continue;
+      if (i < Histogram::kNumBuckets - 1) {
+        std::snprintf(line, sizeof(line), " [<=%lld]=%lld",
+                      static_cast<long long>(bounds[static_cast<size_t>(i)]),
+                      static_cast<long long>(n));
+      } else {
+        std::snprintf(line, sizeof(line), " [inf]=%lld",
+                      static_cast<long long>(n));
+      }
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal JSON string escaping (metric names are plain identifiers, but a
+// source may report arbitrary labels).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const MetricValue& c : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(c.name);
+    out += "\":";
+    out += std::to_string(c.value);
+  }
+  out += "},\"histograms\":{";
+  const auto& bounds = Histogram::BucketBounds();
+  first = true;
+  for (const HistogramValue& h : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(h.name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.hist.count);
+    out += ",\"sum_ns\":";
+    out += std::to_string(h.hist.sum_ns);
+    out += ",\"buckets\":[";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i) out += ",";
+      out += "{\"le\":";
+      if (i < Histogram::kNumBuckets - 1) {
+        out += std::to_string(bounds[static_cast<size_t>(i)]);
+      } else {
+        out += "null";
+      }
+      out += ",\"count\":" +
+             std::to_string(h.hist.buckets[static_cast<size_t>(i)]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterSource(const std::string& name,
+                                     SourceFn snapshot_fn, ResetFn reset_fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_[name] = Source{std::move(snapshot_fn), std::move(reset_fn)};
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, source] : sources_) {
+    std::vector<MetricValue> values = source.snapshot();
+    out.counters.insert(out.counters.end(), values.begin(), values.end());
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms.push_back({name, hist->snapshot()});
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    (void)name;
+    counter->Reset();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    (void)name;
+    hist->Reset();
+  }
+  for (const auto& [name, source] : sources_) {
+    (void)name;
+    if (source.reset) source.reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace inverda

@@ -1,0 +1,53 @@
+#ifndef INVERDA_OBS_OBSERVABILITY_H_
+#define INVERDA_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace inverda {
+namespace obs {
+
+/// The per-Inverda observability bundle: one metrics registry (the unified
+/// stats surface behind Inverda::Metrics()/ResetMetrics()) and one tracer
+/// (per-operation span trees, TRACE ON|OFF|LAST in the shell). Constructed
+/// by the facade before the access layer so every component can cache its
+/// counter/histogram pointers at wiring time. See docs/observability.md.
+///
+/// `hot()` packs both runtime gates — tracing and detailed timing — into
+/// one word, so the access layer decides "is any per-operation recording
+/// on" with a single relaxed load instead of one load per gate per site
+/// (the setters mirror their own atomic into the shared word).
+struct Observability {
+  static constexpr uint32_t kTracingBit = 1u << 0;
+  static constexpr uint32_t kTimingBit = 1u << 1;
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  Observability() {
+    metrics.BindHotFlag(&hot_flags_, kTimingBit);
+    tracer.BindHotFlag(&hot_flags_, kTracingBit);
+    metrics.RegisterSource(
+        "tracer",
+        [this] {
+          return std::vector<MetricValue>{
+              {"trace.completed", tracer.completed()},
+              {"trace.enabled", tracer.enabled() ? 1 : 0}};
+        },
+        /*reset_fn=*/nullptr);
+  }
+
+  /// The packed gate word: 0 means no per-operation recording of any kind.
+  uint32_t hot() const {
+    if constexpr (!kObsBuild) return 0;
+    return hot_flags_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint32_t> hot_flags_{0};
+};
+
+}  // namespace obs
+}  // namespace inverda
+
+#endif  // INVERDA_OBS_OBSERVABILITY_H_

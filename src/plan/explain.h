@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/trace.h"
 #include "plan/plan.h"
 
 namespace inverda {
@@ -16,6 +17,13 @@ namespace plan {
 /// PlanCompiler::Compile); used by EXPLAIN in the shell and by
 /// bidel_lint --explain.
 std::string ExplainPlan(const TvPlan& compiled, const std::string& title);
+
+/// Renders a recorded trace (TRACE LAST in the shell) through the same
+/// step formatter as ExplainPlan — a trace reads as the plan it executed,
+/// with an "observed" line of measured timings and row counts appended to
+/// every step. `title` names the operation (usually empty: the trace
+/// carries the version label it ran against).
+std::string RenderTrace(const obs::TraceSpan& root, const std::string& title);
 
 }  // namespace plan
 }  // namespace inverda

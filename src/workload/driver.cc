@@ -82,6 +82,20 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
   Random rng(options.seed);
   std::vector<int64_t> keys = spec.initial_keys;
   const WorkloadTarget& target = spec.target;
+  // Per-op-kind latency as the client observes it (facade entry to return),
+  // shared across clients through the registry's lock-free counters. Null
+  // pointers (a no-op for ScopedTimer) when detailed timing is off, so a
+  // plain throughput run pays no clock reads.
+  obs::MetricsRegistry& metrics = db->Metrics();
+  const bool timed = metrics.timing_enabled();
+  obs::Histogram* read_ns =
+      timed ? metrics.histogram("workload.read_ns") : nullptr;
+  obs::Histogram* insert_ns =
+      timed ? metrics.histogram("workload.insert_ns") : nullptr;
+  obs::Histogram* update_ns =
+      timed ? metrics.histogram("workload.update_ns") : nullptr;
+  obs::Histogram* delete_ns =
+      timed ? metrics.histogram("workload.delete_ns") : nullptr;
   auto fail = [out](const Status& s) { out->status = s; };
   // A legally rejected write (random rows colliding with invisible tuples
   // or violating a partition condition) when tolerate_rejections is on.
@@ -97,6 +111,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
   for (int i = 0; i < options.ops_per_client; ++i) {
     double roll = rng.NextDouble();
     if (roll < spec.mix.reads || keys.empty()) {
+      obs::ScopedTimer timer(read_ns);
       Result<std::vector<KeyedRow>> rows =
           db->Select(target.version, target.table);
       if (!rows.ok()) return fail(rows.status());
@@ -105,6 +120,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
     }
     roll -= spec.mix.reads;
     if (roll < spec.mix.inserts) {
+      obs::ScopedTimer timer(insert_ns);
       Result<int64_t> key =
           db->Insert(target.version, target.table, target.make_row(&rng));
       if (key.ok()) {
@@ -119,6 +135,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
     size_t pick = static_cast<size_t>(rng.NextUint64(keys.size()));
     int64_t key = keys[pick];
     if (roll < spec.mix.updates) {
+      obs::ScopedTimer timer(update_ns);
       // Update only if the row is visible through this version's table
       // (it cannot vanish concurrently: keys are client-private and
       // migrations preserve content).
@@ -133,6 +150,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
       ++out->updates;
       continue;
     }
+    obs::ScopedTimer timer(delete_ns);
     Status s = db->Delete(target.version, target.table, key);
     if (!s.ok() && !rejected(s)) return fail(s);
     keys[pick] = keys.back();

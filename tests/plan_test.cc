@@ -78,7 +78,7 @@ TEST_F(PlanTest, EpochBumpsOnEvolutionMigrationAndDrop) {
 TEST_F(PlanTest, MigrationInvalidatesCachedPlans) {
   const uint64_t epoch_before = (*db_.access().GetPlan(task0_))->epoch;
   EXPECT_TRUE((*db_.access().GetPlan(task0_))->physical);
-  const int64_t compiles_before = db_.access().plan_stats().compiles;
+  const int64_t compiles_before = db_.Metrics().value("plan_cache.compiles");
 
   ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
 
@@ -88,8 +88,8 @@ TEST_F(PlanTest, MigrationInvalidatesCachedPlans) {
   ASSERT_EQ(after->distance(), 1);
   EXPECT_EQ(after->steps[0].route, plan::RouteCase::kForward);
   EXPECT_EQ(after->steps[0].side, SmoSide::kSource);
-  EXPECT_GT(db_.access().plan_stats().invalidations, 0);
-  EXPECT_GT(db_.access().plan_stats().compiles, compiles_before);
+  EXPECT_GT(db_.Metrics().value("plan_cache.invalidations"), 0);
+  EXPECT_GT(db_.Metrics().value("plan_cache.compiles"), compiles_before);
 }
 
 // The tentpole's acceptance criterion: once plans are cached, reads,
@@ -110,16 +110,19 @@ TEST_F(PlanTest, CacheHitsPerformZeroCatalogWalks) {
   };
   run_ops();  // warm every plan the operations (and their recursion) touch
 
-  const plan::PlanCacheStats warm = db_.access().plan_stats();
-  EXPECT_GT(warm.compiles, 0);
-  EXPECT_GT(warm.route_walks, 0);
+  const obs::MetricsSnapshot warm = db_.Metrics().Snapshot();
+  EXPECT_GT(warm.value("plan_cache.compiles"), 0);
+  EXPECT_GT(warm.value("plan_cache.route_walks"), 0);
   for (int i = 0; i < 3; ++i) run_ops();
-  const plan::PlanCacheStats after = db_.access().plan_stats();
+  const obs::MetricsSnapshot after = db_.Metrics().Snapshot();
 
-  EXPECT_EQ(after.compiles, warm.compiles);
-  EXPECT_EQ(after.route_walks, warm.route_walks);
-  EXPECT_EQ(after.context_builds, warm.context_builds);
-  EXPECT_GT(after.hits, warm.hits);
+  EXPECT_EQ(after.value("plan_cache.compiles"),
+            warm.value("plan_cache.compiles"));
+  EXPECT_EQ(after.value("plan_cache.route_walks"),
+            warm.value("plan_cache.route_walks"));
+  EXPECT_EQ(after.value("plan_cache.context_builds"),
+            warm.value("plan_cache.context_builds"));
+  EXPECT_GT(after.value("plan_cache.hits"), warm.value("plan_cache.hits"));
 }
 
 TEST_F(PlanTest, PlanCacheToggleKeepsResults) {
@@ -139,40 +142,41 @@ TEST_F(PlanTest, PlanCacheToggleKeepsResults) {
 }
 
 // Satellite: FindVersion used to neither count a miss nor store on the
-// view-cache miss path, unlike ScanVersion. Through the plan executor both
-// share identical hit/miss/store accounting.
+// view-cache miss path, unlike ScanVersion. Both now go through the single
+// accounting point (RecordCacheLookupLocked), so hit/miss/store counts are
+// identical whichever entry touches the cache first.
 TEST_F(PlanTest, FindAndScanShareViewCacheAccounting) {
   Result<int64_t> key = db_.Insert(
       "TasKy", "Task",
       {Value::String("Cleo"), Value::String("call"), Value::Int(2)});
   ASSERT_TRUE(key.ok());
   db_.access().set_cache_enabled(true);
-  db_.access().ResetCacheStats();
+  db_.ResetMetrics();
 
   // A point lookup on a virtual version misses once and stores the view.
   ASSERT_TRUE(db_.Get("TasKy2", "Task", *key)->has_value());
-  EXPECT_EQ(db_.access().cache_misses(), 1);
-  EXPECT_EQ(db_.access().cache_size(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.size"), 1);
   // Both a second lookup and a full scan now hit the stored entry.
   ASSERT_TRUE(db_.Get("TasKy2", "Task", *key)->has_value());
-  EXPECT_EQ(db_.access().cache_hits(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.hits"), 1);
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_EQ(db_.access().cache_hits(), 2);
-  EXPECT_EQ(db_.access().cache_misses(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.hits"), 2);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 1);
 
   // Symmetric: scan first, then lookups hit.
   db_.access().InvalidateCache();
-  db_.access().ResetCacheStats();
+  db_.ResetMetrics();
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_EQ(db_.access().cache_misses(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 1);
   ASSERT_TRUE(db_.Get("TasKy2", "Task", *key)->has_value());
-  EXPECT_EQ(db_.access().cache_hits(), 1);
-  EXPECT_EQ(db_.access().cache_misses(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.hits"), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 1);
 
   // Physical versions bypass the view cache entirely, in both entries.
   ASSERT_TRUE(db_.Get("TasKy", "Task", *key)->has_value());
   ASSERT_TRUE(db_.Select("TasKy", "Task").ok());
-  EXPECT_EQ(db_.access().cache_misses(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 1);
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Regression test for stat-counter races: the plan-cache, view-cache and
 // compiler counters are atomics (and WriteTrace is thread-local), so
-// hammering reads, writes, stat snapshots and stat resets from several
-// threads at once must be clean under TSan and never produce a torn or
-// negative value. Run via scripts/check.sh --tsan.
+// hammering reads, writes, stat snapshots and stat resets — both through
+// the deprecated per-component shims and through the unified metrics
+// registry — from several threads at once must be clean under TSan and
+// never produce a torn or negative value. Run via scripts/check.sh --tsan.
 
 #include <gtest/gtest.h>
 
@@ -83,16 +84,35 @@ TEST(StatsRaceTest, CountersSurviveConcurrentHammering) {
           break;
         }
         (void)db.access().cache_stats();
+        // The unified registry snapshot pulls every source (plan cache,
+        // view cache, compiler) while they are being updated and reset.
+        obs::MetricsSnapshot snap = db.Metrics().Snapshot();
+        for (const obs::MetricValue& c : snap.counters) {
+          if (c.value < 0) {
+            errors[t] = "negative registry counter " + c.name;
+            failed.store(true);
+            break;
+          }
+        }
+        if (failed.load()) break;
       }
       running.fetch_sub(1, std::memory_order_release);
     });
   }
 
-  // A dedicated thread keeps resetting the stats under the readers' feet.
+  // A dedicated thread keeps resetting the stats under the readers' feet,
+  // alternating the deprecated per-component shims with the unified
+  // registry reset.
   std::thread resetter([&] {
+    bool unified = false;
     while (running.load(std::memory_order_acquire) > 0) {
-      db.access().ResetCacheStats();
-      db.access().ResetPlanStats();
+      if (unified) {
+        db.ResetMetrics();
+      } else {
+        db.access().ResetCacheStats();
+        db.access().ResetPlanStats();
+      }
+      unified = !unified;
       std::this_thread::yield();
     }
   });

@@ -28,11 +28,11 @@ class ViewCacheTest : public ::testing::Test {
 
 TEST_F(ViewCacheTest, RepeatedScansHitTheCache) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  int64_t misses = db_.access().cache_misses();
+  int64_t misses = db_.Metrics().value("view_cache.misses");
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_EQ(db_.access().cache_misses(), misses);
-  EXPECT_GE(db_.access().cache_hits(), 2);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), misses);
+  EXPECT_GE(db_.Metrics().value("view_cache.hits"), 2);
 }
 
 TEST_F(ViewCacheTest, WritesInvalidate) {
@@ -76,11 +76,11 @@ TEST_F(ViewCacheTest, MigrationInvalidates) {
 
 TEST_F(ViewCacheTest, PointLookupsUseCachedScans) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());  // warm
-  int64_t hits = db_.access().cache_hits();
+  int64_t hits = db_.Metrics().value("view_cache.hits");
   Result<std::optional<Row>> row = db_.Get("TasKy2", "Task", key_);
   ASSERT_TRUE(row.ok());
   EXPECT_TRUE(row->has_value());
-  EXPECT_GT(db_.access().cache_hits(), hits);
+  EXPECT_GT(db_.Metrics().value("view_cache.hits"), hits);
 }
 
 TEST_F(ViewCacheTest, DisabledCacheIsBypassed) {
@@ -95,14 +95,14 @@ TEST_F(ViewCacheTest, DisabledCacheIsBypassed) {
 
 TEST_F(ViewCacheTest, ReenablingKeepsEntriesButNeverServesStaleData) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());  // warm
-  EXPECT_EQ(db_.access().cache_size(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.size"), 1);
   // Toggling off and on no longer discards the entry...
   db_.access().set_cache_enabled(false);
   db_.access().set_cache_enabled(true);
-  EXPECT_EQ(db_.access().cache_size(), 1);
-  int64_t hits = db_.access().cache_hits();
+  EXPECT_EQ(db_.Metrics().value("view_cache.size"), 1);
+  int64_t hits = db_.Metrics().value("view_cache.hits");
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_GT(db_.access().cache_hits(), hits);
+  EXPECT_GT(db_.Metrics().value("view_cache.hits"), hits);
   // ...and a write landing while the cache was disabled is caught by the
   // dirty-epoch validation once it is re-enabled.
   db_.access().set_cache_enabled(false);
@@ -114,10 +114,17 @@ TEST_F(ViewCacheTest, ReenablingKeepsEntriesButNeverServesStaleData) {
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 2u);
 }
 
+// Exercises the deprecated per-component shims (cache_hits/ResetCacheStats
+// and friends): they must keep agreeing with the unified registry until
+// their removal PR. Everything else in this file reads the registry.
 TEST_F(ViewCacheTest, ResetCacheStatsKeepsEntries) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
   EXPECT_GT(db_.access().cache_hits() + db_.access().cache_misses(), 0);
+  EXPECT_EQ(db_.access().cache_hits(),
+            db_.Metrics().value("view_cache.hits"));
+  EXPECT_EQ(db_.access().cache_misses(),
+            db_.Metrics().value("view_cache.misses"));
   db_.access().ResetCacheStats();
   EXPECT_EQ(db_.access().cache_hits(), 0);
   EXPECT_EQ(db_.access().cache_misses(), 0);
@@ -149,14 +156,15 @@ TEST_F(ViewCacheTest, UnrelatedLineagesKeepTheirEntries) {
                   .ok());
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());   // warm lineage A
   ASSERT_TRUE(db_.Select("Iso2", "log").ok());      // warm lineage B
-  int64_t invalidations = db_.access().cache_invalidations();
+  int64_t invalidations = db_.Metrics().value("view_cache.invalidations");
   ASSERT_TRUE(
       db_.Insert("Iso", "log", {Value::String("hello")}).ok());
   // Only the Iso lineage's entry may fall.
-  int64_t hits = db_.access().cache_hits();
+  int64_t hits = db_.Metrics().value("view_cache.hits");
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_GT(db_.access().cache_hits(), hits);
-  EXPECT_LE(db_.access().cache_invalidations(), invalidations + 1);
+  EXPECT_GT(db_.Metrics().value("view_cache.hits"), hits);
+  EXPECT_LE(db_.Metrics().value("view_cache.invalidations"),
+            invalidations + 1);
 }
 
 // Randomized staleness property: on a random genealogy under random writes

@@ -8,6 +8,9 @@
 //   bidel_lint < script.bidel            # read the script from stdin
 //   bidel_lint --explain script.bidel    # apply, then print every compiled
 //                                        # access plan (src/plan)
+//   bidel_lint --metrics script.bidel    # apply, scan every version.table
+//                                        # once, then print the unified
+//                                        # metrics registry as JSON
 //
 // Exit status: 0 when the script is clean (warnings and notes allowed),
 // 1 when the analyzer reports at least one error, 2 on usage or I/O
@@ -39,7 +42,10 @@ int Usage() {
                "  --setup <script>  apply <script> first to build the base\n"
                "                    catalog the linted scripts evolve from\n"
                "  --explain         apply the scripts and print the compiled\n"
-               "                    access plan of every version.table\n");
+               "                    access plan of every version.table\n"
+               "  --metrics         apply the scripts, scan every\n"
+               "                    version.table once, and print the\n"
+               "                    metrics registry snapshot as JSON\n");
   return 2;
 }
 
@@ -129,12 +135,56 @@ int RunExplain(const std::vector<std::string>& scripts,
   return 0;
 }
 
+// --metrics: the scripts are applied, every visible version.table is
+// scanned once (so the access/kernel histograms observe each route), and
+// the unified registry is dumped as JSON — the machine-readable companion
+// of the shell's METRICS JSON.
+int RunMetrics(const std::vector<std::string>& scripts,
+               const std::string& setup_path) {
+  Inverda db;
+  std::vector<std::string> all = scripts;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    all.insert(all.begin(), std::move(setup));
+  }
+  for (const std::string& script : all) {
+    Status status = db.Execute(script);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  for (const std::string& version : db.catalog().VersionNamesInOrder()) {
+    Result<const SchemaVersionInfo*> info = db.catalog().FindVersion(version);
+    if (!info.ok()) continue;
+    for (const auto& [table, tv] : (*info)->tables) {
+      (void)tv;
+      Result<std::vector<KeyedRow>> rows = db.Select(version, table);
+      if (!rows.ok()) {
+        std::fprintf(stderr, "bidel_lint: scan of %s.%s failed: %s\n",
+                     version.c_str(), table.c_str(),
+                     rows.status().ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  std::printf("%s\n", db.Metrics().Snapshot().ToJson().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace inverda
 
 int main(int argc, char** argv) {
   bool json = false;
   bool explain = false;
+  bool metrics = false;
   std::string setup_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -143,6 +193,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--setup") {
       if (i + 1 >= argc) return inverda::Usage();
       setup_path = argv[++i];
@@ -170,5 +222,6 @@ int main(int argc, char** argv) {
     }
   }
   if (explain) return inverda::RunExplain(scripts, setup_path);
+  if (metrics) return inverda::RunMetrics(scripts, setup_path);
   return inverda::RunLint(scripts, setup_path, json);
 }

@@ -184,6 +184,8 @@ class Shell {
     if (EqualsIgnoreCase(first, "CHECK")) return Check(rest);
     if (EqualsIgnoreCase(first, "LINT")) return Lint(rest);
     if (EqualsIgnoreCase(first, "EXPLAIN")) return Explain(rest);
+    if (EqualsIgnoreCase(first, "METRICS")) return Metrics(rest);
+    if (EqualsIgnoreCase(first, "TRACE")) return Trace(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
       INVERDA_ASSIGN_OR_RETURN(std::string script, ExportSession(&db_));
       std::printf("%s", script.c_str());
@@ -211,6 +213,8 @@ class Shell {
         "  CHECK <smo>;   -- Section 5 bidirectionality checker\n"
         "  LINT <stmt>;   -- static analysis without applying anything\n"
         "  EXPLAIN <v>.<table>;  -- the compiled access plan (Figure 6)\n"
+        "  METRICS [JSON|RESET]; -- the unified stats registry\n"
+        "  TRACE ON|OFF|LAST [n]|JSON [n];  -- per-operation span traces\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
         "  QUIT;\n");
     return Status::OK();
@@ -242,6 +246,69 @@ class Shell {
                              db_.access().GetPlan(tv));
     std::printf("%s", plan::ExplainPlan(*compiled, target).c_str());
     return Status::OK();
+  }
+
+  Status Metrics(const std::string& what) {
+    if (what.empty()) {
+      std::printf("%s", db_.Metrics().Snapshot().ToText().c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(what, "JSON")) {
+      std::printf("%s\n", db_.Metrics().Snapshot().ToJson().c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(what, "RESET")) {
+      db_.ResetMetrics();
+      std::printf("OK\n");
+      return Status::OK();
+    }
+    return Status::InvalidArgument("METRICS [JSON|RESET]");
+  }
+
+  Status Trace(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string verb;
+    in >> verb;
+    if (EqualsIgnoreCase(verb, "ON")) {
+      if (!obs::kObsBuild) {
+        return Status::InvalidArgument(
+            "tracing unavailable: built with -DINVERDA_OBS=OFF");
+      }
+      db_.tracer().set_enabled(true);
+      // TRACE ON also opens the detailed-timing gate so METRICS shows the
+      // latency histograms and per-kernel timers alongside the spans.
+      db_.Metrics().set_timing_enabled(true);
+      std::printf("OK, tracing on\n");
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "OFF")) {
+      db_.tracer().set_enabled(false);
+      db_.Metrics().set_timing_enabled(false);
+      std::printf("OK, tracing off\n");
+      return Status::OK();
+    }
+    const bool as_json = EqualsIgnoreCase(verb, "JSON");
+    if (EqualsIgnoreCase(verb, "LAST") || as_json) {
+      size_t n = 1;
+      long long parsed;
+      if (in >> parsed) n = parsed > 0 ? static_cast<size_t>(parsed) : 1;
+      auto traces = db_.tracer().Last(n);
+      if (traces.empty()) {
+        std::printf(db_.tracer().enabled()
+                        ? "no completed traces yet\n"
+                        : "no traces recorded (tracing is off; TRACE ON;)\n");
+        return Status::OK();
+      }
+      for (const auto& t : traces) {
+        if (as_json) {
+          std::printf("%s\n", t->ToJson().c_str());
+        } else {
+          std::printf("%s", plan::RenderTrace(*t, "").c_str());
+        }
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument("TRACE ON | OFF | LAST [n] | JSON [n]");
   }
 
   Status Check(const std::string& smo_text) {
