@@ -65,5 +65,28 @@ int main() {
               far_171 / std::max(local_171, 1e-9));
   std::printf("(expected shape: large gains for queries on the far end of "
               "the genealogy)\n");
+
+  // Kernel fusion on the worst cell of the matrix: the far query (the
+  // 171st version under the 1st version's materialization) traverses the
+  // longest chain, so it gains the most from collapsing projection-only
+  // runs into fused steps and scanning columnar (plan/fused.h).
+  CheckOk(db.Materialize({scenario.versions[0]}), "materialize");
+  const std::string& far_version = scenario.versions[170];
+  const std::string& far_table = scenario.page_table[170];
+  auto far_query = [&] {
+    CheckOk(db.Select(far_version, far_table), "far query");
+  };
+  db.access().set_fusion_enabled(false);
+  db.access().set_batch_enabled(false);
+  far_query();  // warm
+  double unfused_ms = TimeMs(3, far_query);
+  db.access().set_fusion_enabled(true);
+  db.access().set_batch_enabled(true);
+  far_query();  // recompile fused plans
+  double fused_ms = TimeMs(3, far_query);
+  std::printf("\nfusion on the far query (%s under %s materialization): "
+              "unfused %.2f ms, fused %.2f ms (%.2fx)\n", far_version.c_str(),
+              scenario.versions[0].c_str(), unfused_ms, fused_ms,
+              unfused_ms / std::max(fused_ms, 1e-9));
   return 0;
 }

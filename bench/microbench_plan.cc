@@ -1,19 +1,24 @@
-// Compiled access plans vs. the legacy per-access route resolution.
+// Compiled access plans vs. the legacy per-access route resolution, and
+// kernel fusion vs. hop-by-hop execution.
 //
 // Builds a single-lineage genealogy of ADD COLUMN evolutions and times
-// point reads at the virtual head for propagation distances 1..16. The
-// "legacy" configuration disables the plan cache, so every access (and
+// point reads at the virtual head for propagation distances 1..16 in three
+// configurations. "legacy" disables the plan cache, so every access (and
 // every recursion level below it) re-resolves its route and re-assembles
 // its SMO context — exactly the per-access work the old AccessLayer did.
-// The "compiled" configuration serves every access from the epoch-pinned
-// plan cache. The derived-view cache is off in both modes so reads really
-// traverse the chain.
+// "unfused" serves every access from the epoch-pinned plan cache but
+// executes hop by hop (fusion and batching off). "fused" additionally
+// collapses the projection-only run into one fused step (plan/fused.h), so
+// a read at depth d performs one inner access plus d column ops instead of
+// d recursive derivations — the curve bends from linear-in-d toward flat.
+// The derived-view cache is off in all modes so reads really traverse the
+// chain.
 //
 //   microbench_plan [--quick] [--json <file>]
 //
-// Exits non-zero when the two configurations disagree on read results;
-// the depth>=4 speedup verdict is printed but not fatal (sanitizer CI
-// runs this binary too, and instrumented timings are not meaningful).
+// Exits non-zero when the configurations disagree on read results; the
+// speedup verdicts are printed but not fatal (sanitizer CI runs this
+// binary too, and instrumented timings are not meaningful).
 
 #include <cstdio>
 #include <fstream>
@@ -36,11 +41,15 @@ constexpr int kRows = 16;
 struct DepthResult {
   int depth = 0;
   double legacy_ns = 0;
-  double compiled_ns = 0;
-  double speedup = 0;
-  // Per-kernel span aggregates over the timed compiled window (JSON
-  // object, see bench::KernelSpansJson).
+  double compiled_ns = 0;  // plan cache on, fusion/batching off
+  double fused_ns = 0;     // plan cache on, fusion + batching on
+  double speedup = 0;        // legacy / compiled
+  double fused_speedup = 0;  // compiled / fused
+  // Per-kernel span aggregates over the timed windows (JSON objects, see
+  // bench::KernelSpansJson). The fused window accounts per *fused* step:
+  // the whole run lands under kernel.fused-column.*.
   std::string kernel_spans;
+  std::string fused_kernel_spans;
 };
 
 // One lineage: materialized base, then `depth` chained ADD COLUMN
@@ -79,22 +88,29 @@ DepthResult RunDepth(int depth, int reps) {
     }
   };
 
-  // Both configurations must see the same rows.
+  // All three configurations must see the same rows.
   db.access().set_plan_cache_enabled(true);
+  std::vector<inverda::KeyedRow> fused_rows =
+      CheckOk(db.Select(head, "tab"), "select fused");
+  db.access().set_fusion_enabled(false);
+  db.access().set_batch_enabled(false);
   std::vector<inverda::KeyedRow> compiled_rows =
       CheckOk(db.Select(head, "tab"), "select compiled");
   db.access().set_plan_cache_enabled(false);
   std::vector<inverda::KeyedRow> legacy_rows =
       CheckOk(db.Select(head, "tab"), "select legacy");
-  if (compiled_rows.size() != legacy_rows.size()) {
-    std::fprintf(stderr, "depth %d: compiled/legacy row counts differ\n",
+  if (compiled_rows.size() != legacy_rows.size() ||
+      fused_rows.size() != legacy_rows.size()) {
+    std::fprintf(stderr, "depth %d: row counts differ across configs\n",
                  depth);
     std::exit(1);
   }
   for (size_t i = 0; i < compiled_rows.size(); ++i) {
     if (compiled_rows[i].key != legacy_rows[i].key ||
-        !inverda::RowsEqual(compiled_rows[i].row, legacy_rows[i].row)) {
-      std::fprintf(stderr, "depth %d: compiled/legacy rows differ\n", depth);
+        !inverda::RowsEqual(compiled_rows[i].row, legacy_rows[i].row) ||
+        fused_rows[i].key != legacy_rows[i].key ||
+        !inverda::RowsEqual(fused_rows[i].row, legacy_rows[i].row)) {
+      std::fprintf(stderr, "depth %d: rows differ across configs\n", depth);
       std::exit(1);
     }
   }
@@ -106,6 +122,7 @@ DepthResult RunDepth(int depth, int reps) {
   read_all();  // warm storage either way
   result.legacy_ns = TimeMs(reps, read_all) * 1e6 / kRows;
 
+  // Hop-by-hop compiled plans (fusion and batching stay off).
   db.access().set_plan_cache_enabled(true);
   read_all();  // compile + cache the plans once
   db.ResetMetrics();  // aggregate spans over the timed window only
@@ -113,9 +130,22 @@ DepthResult RunDepth(int depth, int reps) {
   result.compiled_ns = TimeMs(reps, read_all) * 1e6 / kRows;
   result.kernel_spans =
       inverda::bench::KernelSpansJson(db.Metrics().Snapshot());
+  db.Metrics().set_timing_enabled(false);
+
+  // Fused plans: the projection-only run executes as one composed step.
+  db.access().set_fusion_enabled(true);
+  db.access().set_batch_enabled(true);
+  read_all();  // recompile + cache the fused plans once
+  db.ResetMetrics();
+  db.Metrics().set_timing_enabled(true);
+  result.fused_ns = TimeMs(reps, read_all) * 1e6 / kRows;
+  result.fused_kernel_spans =
+      inverda::bench::KernelSpansJson(db.Metrics().Snapshot());
 
   result.speedup =
       result.compiled_ns > 0 ? result.legacy_ns / result.compiled_ns : 0;
+  result.fused_speedup =
+      result.fused_ns > 0 ? result.compiled_ns / result.fused_ns : 0;
   return result;
 }
 
@@ -131,24 +161,43 @@ int main(int argc, char** argv) {
   }
   const int reps = ScaledInt("INVERDA_PLAN_REPS", 200);
 
-  PrintHeader("microbench_plan: compiled access plans vs legacy resolution");
-  std::printf("%6s  %14s  %14s  %8s\n", "depth", "legacy ns/op",
-              "compiled ns/op", "speedup");
+  PrintHeader(
+      "microbench_plan: legacy resolution vs compiled plans vs fusion");
+  std::printf("%6s  %14s  %14s  %14s  %8s  %8s\n", "depth", "legacy ns/op",
+              "unfused ns/op", "fused ns/op", "plan spd", "fuse spd");
 
   std::vector<DepthResult> results;
   for (int depth : {1, 2, 4, 8, 16}) {
     DepthResult r = RunDepth(depth, reps);
-    std::printf("%6d  %14.0f  %14.0f  %7.2fx\n", r.depth, r.legacy_ns,
-                r.compiled_ns, r.speedup);
+    std::printf("%6d  %14.0f  %14.0f  %14.0f  %7.2fx  %7.2fx\n", r.depth,
+                r.legacy_ns, r.compiled_ns, r.fused_ns, r.speedup,
+                r.fused_speedup);
     results.push_back(r);
   }
 
   bool faster_at_depth4 = true;
+  bool fused_2x_at_depth16 = false;
   for (const DepthResult& r : results) {
     if (r.depth >= 4 && r.speedup <= 1.0) faster_at_depth4 = false;
+    if (r.depth == 16 && r.fused_speedup >= 2.0) fused_2x_at_depth16 = true;
   }
+  // Curve bending: fused cost grows sub-linearly in depth (the whole run
+  // is one inner access + d column ops, not d recursive derivations).
+  const double fused_growth =
+      results.front().fused_ns > 0
+          ? results.back().fused_ns / results.front().fused_ns
+          : 0;
+  const double unfused_growth =
+      results.front().compiled_ns > 0
+          ? results.back().compiled_ns / results.front().compiled_ns
+          : 0;
   std::printf("\nverdict: compiled plans %s than legacy at depth >= 4\n",
               faster_at_depth4 ? "faster" : "NOT faster");
+  std::printf("verdict: fusion %s 2x over unfused at depth 16 (%.2fx)\n",
+              fused_2x_at_depth16 ? ">=" : "NOT >=",
+              results.back().fused_speedup);
+  std::printf("depth 1 -> 16 cost growth: unfused %.1fx, fused %.1fx\n",
+              unfused_growth, fused_growth);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -163,11 +212,18 @@ int main(int argc, char** argv) {
       out << (i ? "," : "") << "{\"depth\":" << r.depth
           << ",\"legacy_ns\":" << r.legacy_ns
           << ",\"compiled_ns\":" << r.compiled_ns
+          << ",\"fused_ns\":" << r.fused_ns
           << ",\"speedup\":" << r.speedup
-          << ",\"kernel_spans\":" << r.kernel_spans << "}";
+          << ",\"fused_speedup\":" << r.fused_speedup
+          << ",\"kernel_spans\":" << r.kernel_spans
+          << ",\"fused_kernel_spans\":" << r.fused_kernel_spans << "}";
     }
     out << "],\"compiled_faster_at_depth4\":"
-        << (faster_at_depth4 ? "true" : "false") << "}\n";
+        << (faster_at_depth4 ? "true" : "false")
+        << ",\"fused_2x_at_depth16\":"
+        << (fused_2x_at_depth16 ? "true" : "false")
+        << ",\"fused_growth_1_to_16\":" << fused_growth
+        << ",\"unfused_growth_1_to_16\":" << unfused_growth << "}\n";
   }
   return 0;
 }

@@ -1,9 +1,27 @@
 #!/usr/bin/env bash
 # Full verification of the repository: configure, build, run the test
 # suite, run every benchmark/experiment binary, and run the examples.
-# Usage: scripts/check.sh [--asan|--tsan]
+# Usage: scripts/check.sh [--asan|--tsan] [--labels <ctest-label-regex>]
+# --labels restricts ctest to tests carrying a matching label (the suite
+# labels every test "unit" or "stress"; see tests/CMakeLists.txt).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+LABELS=""
+ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --labels)
+      LABELS="$2"
+      shift 2
+      ;;
+    *)
+      ARGS+=("$1")
+      shift
+      ;;
+  esac
+done
+set -- "${ARGS[@]:-}"
 
 # Prefer Ninja when it is installed; fall back to the default generator
 # (usually Unix Makefiles) otherwise.
@@ -29,7 +47,11 @@ else
 fi
 
 cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure
+CTEST_ARGS=(--output-on-failure)
+if [[ -n "$LABELS" ]]; then
+  CTEST_ARGS+=(-L "$LABELS")
+fi
+ctest --test-dir "$BUILD" "${CTEST_ARGS[@]}"
 
 echo "== examples =="
 for e in "$BUILD"/examples/example_*; do

@@ -34,6 +34,12 @@ void FillStepSpan(obs::TraceSpan* span, const plan::PlanStep& step) {
   for (const auto& [aux, physical_name] : step.ctx.aux_names) {
     span->aux.emplace_back(aux, physical_name);
   }
+  if (step.is_fused()) {
+    span->fused = static_cast<int>(step.fused.size());
+    for (const plan::PlanStep& sub : step.fused) {
+      span->fused_hops.emplace_back(sub.kernel->name(), sub.smo_text);
+    }
+  }
 }
 
 }  // namespace
@@ -361,6 +367,29 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
       return Status::OK();
     }
   }
+  if (batch_enabled_ && !cache_enabled_) {
+    // Columnar derivation: the chain below runs through the kernels' batch
+    // entry points and the result streams straight to the caller — no
+    // intermediate row-major table. (The view-cache path keeps the table
+    // form because that is what it memoizes.)
+    RowBatch batch;
+    const plan::PlanStep& step = p.steps.front();
+    if (hot == 0) [[likely]] {
+      INVERDA_RETURN_IF_ERROR(step.DeriveBatch(&batch));
+    } else {
+      obs::SpanGuard step_span(tracer, "derive");
+      if (step_span) FillStepSpan(step_span.get(), step);
+      KernelMetrics* km = nullptr;
+      if (timed) km = MetricsForKernel(step.kernel);
+      obs::ScopedTimer kernel_timer(km != nullptr ? km->derive_ns : nullptr);
+      INVERDA_RETURN_IF_ERROR(step.DeriveBatch(&batch));
+      if (km != nullptr) km->derive_rows->Add(batch.selected_count());
+      if (step_span) step_span->rows_out = batch.selected_count();
+    }
+    if (span) [[unlikely]] span->rows_out = batch.selected_count();
+    batch.ForEach(fn);
+    return Status::OK();
+  }
   Table tmp(*p.schema);
   {
     const plan::PlanStep& step = p.steps.front();
@@ -384,6 +413,61 @@ Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
   if (cache_enabled_) {
     INVERDA_RETURN_IF_ERROR(StoreCache(p, std::move(tmp)));
   }
+  return Status::OK();
+}
+
+Status AccessLayer::ScanVersionBatch(TvId tv, RowBatch* out) {
+  // The columnar counterpart of ScanVersion: physical versions fill the
+  // batch straight from the data table, virtual ones derive through the
+  // kernels' batch entry points (PlanStep::DeriveBatch). Kernel recursion
+  // re-enters here, so a batch scan stays columnar down the whole chain.
+  // With batching disabled, the base-class bridge collects rows through
+  // the ordinary ScanVersion — the row-at-a-time baseline.
+  if (!batch_enabled_) return AccessBackend::ScanVersionBatch(tv, out);
+  const uint32_t hot = obs_->hot();
+  const bool timed = (hot & obs::Observability::kTimingBit) != 0;
+  obs::Tracer* tracer =
+      (hot & obs::Observability::kTracingBit) != 0 ? &obs_->tracer : nullptr;
+  obs::ScopedTimer op_timer(timed && access_depth_ == 0 ? scan_ns_ : nullptr);
+  obs::SpanGuard span(tracer, "scan");
+  INVERDA_ASSIGN_OR_RETURN(PlanHandle handle, ResolvePlan(tv));
+  const plan::TvPlan& p = *handle.get();
+  if (span) [[unlikely]] span->label = p.label;
+  TableLatchSet latches;
+  AcquireLatches(&latches, p, /*write=*/false, timed);
+  DepthGuard guard(&access_depth_);
+  if (p.physical) {
+    INVERDA_ASSIGN_OR_RETURN(const Table* table,
+                             db_->GetTableConst(p.data_table));
+    if (span) [[unlikely]] {
+      span->route = "physical";
+      span->note = "data table " + p.data_table;
+      span->rows_out = table->size();
+    }
+    return BatchFromTable(*table, out);
+  }
+  if (cache_enabled_) {
+    if (std::shared_ptr<const Table> cached = LookupCache(tv)) {
+      if (span) [[unlikely]] {
+        span->note = "view-cache hit";
+        span->rows_out = cached->size();
+      }
+      return BatchFromTable(*cached, out);
+    }
+  }
+  const plan::PlanStep& step = p.steps.front();
+  if (hot == 0) [[likely]] {
+    return step.DeriveBatch(out);
+  }
+  obs::SpanGuard step_span(tracer, "derive");
+  if (step_span) FillStepSpan(step_span.get(), step);
+  KernelMetrics* km = nullptr;
+  if (timed) km = MetricsForKernel(step.kernel);
+  obs::ScopedTimer kernel_timer(km != nullptr ? km->derive_ns : nullptr);
+  INVERDA_RETURN_IF_ERROR(step.DeriveBatch(out));
+  if (km != nullptr) km->derive_rows->Add(out->selected_count());
+  if (step_span) step_span->rows_out = out->selected_count();
+  if (span) [[unlikely]] span->rows_out = out->selected_count();
   return Status::OK();
 }
 
@@ -527,6 +611,19 @@ Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
   for (const auto& [aux, physical_name] : step.ctx.aux_names) {
     (void)aux;
     last_trace_.AddTable(physical_name);
+  }
+  if (step.is_fused()) {
+    // A fused step flattens the run's recursion, so the in-run versions and
+    // aux tables the per-hop propagation traverses are recorded here (the
+    // chain below the fusion boundary traces itself as usual).
+    for (size_t i = 0; i < step.fused.size(); ++i) {
+      const plan::PlanStep& sub = step.fused[i];
+      if (i + 1 < step.fused.size()) last_trace_.AddVersion(sub.next);
+      for (const auto& [aux, physical_name] : sub.ctx.aux_names) {
+        (void)aux;
+        last_trace_.AddTable(physical_name);
+      }
+    }
   }
   if (hot == 0) [[likely]] return step.Propagate(writes);
   obs::SpanGuard step_span(tracer, "propagate");

@@ -54,6 +54,7 @@ class AccessLayer : public AccessBackend {
   AccessLayer(VersionCatalog* catalog, Database* db, obs::Observability* obs);
 
   Status ScanVersion(TvId tv, const RowCallback& fn) override;
+  Status ScanVersionBatch(TvId tv, RowBatch* out) override;
   Result<std::optional<Row>> FindVersion(TvId tv, int64_t key) override;
   Status ApplyToVersion(TvId tv, const WriteSet& writes) override;
   Database& db() override { return *db_; }
@@ -79,6 +80,22 @@ class AccessLayer : public AccessBackend {
   /// legacy-resolution baseline.
   void set_plan_cache_enabled(bool enabled) { plan_cache_enabled_ = enabled; }
   bool plan_cache_enabled() const { return plan_cache_enabled_; }
+
+  /// Batch-execution toggle: when enabled (default) full scans derive
+  /// through the kernels' columnar batch entry points; when disabled they
+  /// run row-at-a-time, the unbatched baseline bench/microbench_plan
+  /// measures. Not thread-safe; configure before going concurrent.
+  void set_batch_enabled(bool enabled) { batch_enabled_ = enabled; }
+  bool batch_enabled() const { return batch_enabled_; }
+
+  /// Fusion toggle (plan/fused.h): forwards to the plan compiler and drops
+  /// every cached plan so subsequent compiles reflect the setting. On by
+  /// default; the off state is the hop-by-hop baseline. Not thread-safe.
+  void set_fusion_enabled(bool enabled) {
+    compiler_.set_fusion_enabled(enabled);
+    plan_cache_.Clear();
+  }
+  bool fusion_enabled() const { return compiler_.fusion_enabled(); }
 
   /// Plan-cache statistics (a coherent snapshot, safe to read while other
   /// threads access). `route_walks`/`context_builds` grow only while
@@ -259,6 +276,7 @@ class AccessLayer : public AccessBackend {
   plan::PlanCompiler compiler_;
   plan::PlanCache plan_cache_;
   bool plan_cache_enabled_ = true;
+  bool batch_enabled_ = true;
 
   bool cache_enabled_ = false;
   CacheMode cache_mode_ = CacheMode::kGenealogy;

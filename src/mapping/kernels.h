@@ -10,8 +10,11 @@ namespace inverda {
 class IdentityKernel : public Kernel {
  public:
   const char* name() const override { return "identity"; }
+  bool ProjectionOnly() const override { return true; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
+  Status DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                         RowBatch* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
                    const WriteSet& writes) const override;
 };
@@ -23,8 +26,11 @@ class IdentityKernel : public Kernel {
 class ColumnKernel : public Kernel {
  public:
   const char* name() const override { return "column"; }
+  bool ProjectionOnly() const override { return true; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
+  Status DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                         RowBatch* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
                    Table* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
@@ -41,6 +47,8 @@ class PartitionKernel : public Kernel {
   const char* name() const override { return "partition"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
+  Status DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                         RowBatch* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
                    Table* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
@@ -55,6 +63,8 @@ class VerticalPkKernel : public Kernel {
   const char* name() const override { return "vertical-pk"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
+  Status DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                         RowBatch* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
                    const WriteSet& writes) const override;
 };
@@ -67,6 +77,8 @@ class JoinPkKernel : public Kernel {
   const char* name() const override { return "join-pk"; }
   Status Derive(const SmoContext& ctx, SmoSide side, int which,
                 std::optional<int64_t> key, Table* out) const override;
+  Status DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                         RowBatch* out) const override;
   Status DeriveAux(const SmoContext& ctx, const std::string& aux_short_name,
                    Table* out) const override;
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
@@ -107,6 +119,24 @@ class CondKernel : public Kernel {
   Status Propagate(const SmoContext& ctx, SmoSide side, int which,
                    const WriteSet& writes) const override;
 };
+
+/// Resolved projection geometry of one ADD/DROP COLUMN plan hop, exported
+/// for the plan fusion pass (plan::BuildColumnProgram): whether deriving
+/// the planned side widens or narrows the payload, where column b sits in
+/// the wide payload, and how to obtain b when widening (stored aux value
+/// by key, else the SMO's payload function).
+struct ColumnHopInfo {
+  bool widen = false;   // deriving the planned side inserts column b
+  int b_index = 0;      // position of b in the wide payload
+  std::string aux_b;    // physical B table name (widen only)
+  const Expression* fn = nullptr;              // fallback b computation
+  const TableSchema* narrow_schema = nullptr;  // schema `fn` evaluates on
+};
+
+/// Resolves the projection geometry of a column-mapping step that derives
+/// side `side`. Fails for non-column SMOs or (when widening) when the B aux
+/// table is not physical in the current materialization.
+Result<ColumnHopInfo> ResolveColumnHop(const SmoContext& ctx, SmoSide side);
 
 }  // namespace inverda
 

@@ -25,6 +25,14 @@ Status IdentityKernel::Derive(const SmoContext& ctx, SmoSide side, int which,
   return status;
 }
 
+Status IdentityKernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                       int which, RowBatch* out) const {
+  if (which != 0) return Status::Internal("identity SMO has one table");
+  const TvRef& other = ctx.side(side == SmoSide::kSource ? SmoSide::kTarget
+                                                         : SmoSide::kSource)[0];
+  return ctx.backend->ScanVersionBatch(other.id, out);
+}
+
 Status IdentityKernel::Propagate(const SmoContext& ctx, SmoSide side,
                                  int which, const WriteSet& writes) const {
   if (which != 0) return Status::Internal("identity SMO has one table");
@@ -149,6 +157,39 @@ Status ColumnKernel::Derive(const SmoContext& ctx, SmoSide side, int which,
   return status;
 }
 
+Status ColumnKernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                     int which, RowBatch* out) const {
+  if (which != 0) return Status::Internal("column SMO has one table");
+  INVERDA_ASSIGN_OR_RETURN(ColumnRoles roles, ResolveColumnRoles(ctx));
+
+  if (side != roles.wide_side) {
+    // Narrow from wide: projection is one whole-column erase.
+    INVERDA_RETURN_IF_ERROR(
+        ctx.backend->ScanVersionBatch(roles.wide->id, out));
+    out->RemoveColumn(roles.b_index);
+    return Status::OK();
+  }
+
+  // Wide from narrow: scan the narrow side, then splice in the b column —
+  // stored aux value per key, payload function on aux miss (same rule the
+  // row path applies per tuple).
+  INVERDA_RETURN_IF_ERROR(
+      ctx.backend->ScanVersionBatch(roles.narrow->id, out));
+  INVERDA_ASSIGN_OR_RETURN(Table * b_aux, ctx.Aux("B"));
+  std::vector<Value> b(static_cast<size_t>(out->size()));
+  for (int64_t i = 0; i < out->size(); ++i) {
+    if (!out->selected(i)) continue;
+    if (const Row* stored = b_aux->Find(out->key_at(i))) {
+      b[static_cast<size_t>(i)] = (*stored)[0];
+      continue;
+    }
+    INVERDA_ASSIGN_OR_RETURN(
+        b[static_cast<size_t>(i)],
+        roles.fn->Eval(*roles.narrow->schema, out->RowAt(i)));
+  }
+  return out->InsertColumn(roles.b_index, std::move(b));
+}
+
 Status ColumnKernel::DeriveAux(const SmoContext& ctx,
                                const std::string& aux_short_name,
                                Table* out) const {
@@ -229,6 +270,23 @@ Status ColumnKernel::Propagate(const SmoContext& ctx, SmoSide side, int which,
     }
   }
   return ctx.backend->ApplyToVersion(roles.wide->id, wide_writes);
+}
+
+Result<ColumnHopInfo> ResolveColumnHop(const SmoContext& ctx, SmoSide side) {
+  INVERDA_ASSIGN_OR_RETURN(ColumnRoles roles, ResolveColumnRoles(ctx));
+  ColumnHopInfo info;
+  info.b_index = roles.b_index;
+  info.widen = side == roles.wide_side;
+  if (info.widen) {
+    auto it = ctx.aux_names.find("B");
+    if (it == ctx.aux_names.end()) {
+      return Status::Internal("aux B not physical for " + ctx.smo->ToString());
+    }
+    info.aux_b = it->second;
+    info.fn = roles.fn;
+    info.narrow_schema = roles.narrow->schema;
+  }
+  return info;
 }
 
 }  // namespace inverda

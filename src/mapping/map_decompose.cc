@@ -212,6 +212,45 @@ Status VerticalPkKernel::Derive(const SmoContext& ctx, SmoSide side, int which,
   return Status::OK();
 }
 
+Status VerticalPkKernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                         int which, RowBatch* out) const {
+  INVERDA_ASSIGN_OR_RETURN(VerticalRoles roles,
+                           ResolveVertical(ctx, VerticalMethod::kPk));
+  if (side == roles.combined_side) {
+    // The combined side is a key-merge of two versions; the generic
+    // scratch-table fallback is already its natural shape.
+    return Kernel::DeriveReadBatch(ctx, side, which, out);
+  }
+  bool want_s = (which == 0);
+  if (!want_s && roles.t == nullptr) {
+    return Status::Internal("projection-only DECOMPOSE has no T");
+  }
+  const std::vector<int>& indexes = want_s ? roles.a_indexes : roles.b_indexes;
+  RowBatch combined;
+  // Width set post-scan: the inner chain may pass through width-changing
+  // hops that need the batch width-unset on entry.
+  INVERDA_RETURN_IF_ERROR(
+      ctx.backend->ScanVersionBatch(roles.combined->id, &combined));
+  INVERDA_RETURN_IF_ERROR(
+      combined.SetNumColumns(roles.combined->schema->num_columns()));
+  INVERDA_RETURN_IF_ERROR(out->AssignProjection(std::move(combined), indexes));
+  // Rules 133-134: all-ω parts are invisible on the split side. Computed
+  // column-wise: a row survives if any of its projected cells is non-NULL.
+  std::vector<uint8_t> has_value(static_cast<size_t>(out->size()), 0);
+  for (int c = 0; c < out->num_columns(); ++c) {
+    const std::vector<Value>& col = out->column(c);
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col[i].is_null()) has_value[i] = 1;
+    }
+  }
+  for (int64_t i = 0; i < out->size(); ++i) {
+    if (out->selected(i) && !has_value[static_cast<size_t>(i)]) {
+      out->Deselect(i);
+    }
+  }
+  return Status::OK();
+}
+
 Status VerticalPkKernel::Propagate(const SmoContext& ctx, SmoSide side,
                                    int which, const WriteSet& writes) const {
   INVERDA_ASSIGN_OR_RETURN(VerticalRoles roles,

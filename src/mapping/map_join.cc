@@ -1,4 +1,6 @@
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "mapping/kernels.h"
@@ -117,6 +119,72 @@ Status JoinPkKernel::Derive(const SmoContext& ctx, SmoSide side, int which,
     if (status.ok() && !out->Contains(k)) status = out->Upsert(k, row);
   });
   return status;
+}
+
+Status JoinPkKernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                     int which, RowBatch* out) const {
+  INVERDA_ASSIGN_OR_RETURN(JoinPkRoles roles, ResolveJoinPk(ctx));
+
+  if (side == SmoSide::kTarget) {
+    // The join result: hash-probe the right batch from the left one.
+    if (which != 0) return Status::Internal("join has one target");
+    RowBatch left, right;
+    // Widths set post-scan: the inner chains may pass through
+    // width-changing hops that need the batches width-unset on entry.
+    INVERDA_RETURN_IF_ERROR(
+        ctx.backend->ScanVersionBatch(roles.left->id, &left));
+    INVERDA_RETURN_IF_ERROR(
+        left.SetNumColumns(roles.left->schema->num_columns()));
+    INVERDA_RETURN_IF_ERROR(
+        ctx.backend->ScanVersionBatch(roles.right->id, &right));
+    INVERDA_RETURN_IF_ERROR(
+        right.SetNumColumns(roles.right->schema->num_columns()));
+    std::unordered_map<int64_t, int64_t> right_at;
+    right_at.reserve(static_cast<size_t>(right.size()));
+    for (int64_t i = 0; i < right.size(); ++i) {
+      if (right.selected(i)) right_at.emplace(right.key_at(i), i);
+    }
+    INVERDA_RETURN_IF_ERROR(
+        out->SetNumColumns(roles.joined->schema->num_columns()));
+    out->Reserve(out->size() + std::min(left.size(), right.size()));
+    for (int64_t i = 0; i < left.size(); ++i) {
+      if (!left.selected(i)) continue;
+      auto it = right_at.find(left.key_at(i));
+      if (it == right_at.end()) continue;
+      INVERDA_RETURN_IF_ERROR(out->AppendRow(
+          left.key_at(i), ConcatRows(left.RowAt(i), right.RowAt(it->second))));
+    }
+    return Status::OK();
+  }
+
+  // S or T from the join result: a columnar projection of the joined batch
+  // plus the kept-alive unmatched tuples (rules 180-183).
+  bool want_left = (which == 0);
+  INVERDA_ASSIGN_OR_RETURN(Table * keep,
+                           ctx.Aux(want_left ? "L_plus" : "R_plus"));
+  RowBatch joined;
+  int joined_width = roles.joined->schema->num_columns();
+  INVERDA_RETURN_IF_ERROR(
+      ctx.backend->ScanVersionBatch(roles.joined->id, &joined));
+  INVERDA_RETURN_IF_ERROR(joined.SetNumColumns(joined_width));
+  std::vector<int> indexes;
+  int from = want_left ? 0 : roles.left_width;
+  int to = want_left ? roles.left_width : joined_width;
+  indexes.reserve(static_cast<size_t>(to - from));
+  for (int i = from; i < to; ++i) indexes.push_back(i);
+  std::unordered_set<int64_t> present;
+  present.reserve(static_cast<size_t>(joined.size()));
+  for (int64_t i = 0; i < joined.size(); ++i) {
+    if (joined.selected(i)) present.insert(joined.key_at(i));
+  }
+  INVERDA_RETURN_IF_ERROR(out->AssignProjection(std::move(joined), indexes));
+  Status status = Status::OK();
+  keep->Scan([&](int64_t k, const Row& row) {
+    if (status.ok() && !present.count(k)) status = out->AppendRow(k, row);
+  });
+  INVERDA_RETURN_IF_ERROR(status);
+  out->SortByKey();
+  return Status::OK();
 }
 
 Status JoinPkKernel::DeriveAux(const SmoContext& ctx,

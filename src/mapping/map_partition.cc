@@ -1,5 +1,7 @@
 #include "mapping/kernels.h"
 
+#include <unordered_set>
+
 namespace inverda {
 namespace {
 
@@ -282,6 +284,89 @@ Status PartitionKernel::Derive(const SmoContext& ctx, SmoSide side, int which,
     });
   }
   return status;
+}
+
+Status PartitionKernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                        int which, RowBatch* out) const {
+  INVERDA_ASSIGN_OR_RETURN(PartitionRoles roles, ResolveRoles(ctx));
+
+  if (side == roles.union_side) {
+    // T = R + (S \ R) + T' (rules 18-20): one batch scan of R, then the
+    // leftovers appended and re-sorted.
+    if (which != 0) return Status::Internal("union side has one table");
+    INVERDA_ASSIGN_OR_RETURN(Table * t_prime, ctx.Aux("T_prime"));
+    // Width is set after the scan, not before: the inner chain may pass
+    // through width-changing hops that need the batch width-unset, and the
+    // post-scan call still fixes the width of an empty bridge scan.
+    INVERDA_RETURN_IF_ERROR(ctx.backend->ScanVersionBatch(roles.r->id, out));
+    INVERDA_RETURN_IF_ERROR(
+        out->SetNumColumns(roles.t->schema->num_columns()));
+    std::unordered_set<int64_t> present;
+    present.reserve(static_cast<size_t>(out->size()));
+    for (int64_t i = 0; i < out->size(); ++i) {
+      if (out->selected(i)) present.insert(out->key_at(i));
+    }
+    if (roles.s != nullptr) {
+      RowBatch s;
+      INVERDA_RETURN_IF_ERROR(ctx.backend->ScanVersionBatch(roles.s->id, &s));
+      INVERDA_RETURN_IF_ERROR(
+          s.SetNumColumns(roles.t->schema->num_columns()));
+      for (int64_t i = 0; i < s.size(); ++i) {
+        if (!s.selected(i)) continue;
+        if (!present.insert(s.key_at(i)).second) continue;
+        INVERDA_RETURN_IF_ERROR(out->AppendRow(s.key_at(i), s.RowAt(i)));
+      }
+    }
+    Status status = Status::OK();
+    t_prime->Scan([&](int64_t k, const Row& row) {
+      if (status.ok() && present.insert(k).second) {
+        status = out->AppendRow(k, row);
+      }
+    });
+    INVERDA_RETURN_IF_ERROR(status);
+    out->SortByKey();
+    return Status::OK();
+  }
+
+  // R or S from the union side: one batch scan of T with a per-row
+  // visibility filter on the selection bitmap (no data moves), plus (for S)
+  // the separated twins from S+.
+  bool want_r = (which == 0);
+  if (!want_r && roles.s == nullptr) {
+    return Status::Internal("single-target SPLIT has no S table");
+  }
+  INVERDA_ASSIGN_OR_RETURN(UnionAuxTables aux,
+                           GetUnionAux(ctx, roles.s != nullptr));
+  INVERDA_RETURN_IF_ERROR(ctx.backend->ScanVersionBatch(roles.t->id, out));
+  INVERDA_RETURN_IF_ERROR(out->SetNumColumns(roles.t->schema->num_columns()));
+  for (int64_t i = 0; i < out->size(); ++i) {
+    if (!out->selected(i)) continue;
+    int64_t k = out->key_at(i);
+    if (!want_r && aux.s_plus->Find(k) != nullptr) {
+      // Separated twin: the S+ payload replaces the T row (appended below).
+      out->Deselect(i);
+      continue;
+    }
+    UnionState u;
+    u.t = out->RowAt(i);
+    u.r_star = aux.r_star->Contains(k);
+    if (roles.s != nullptr) {
+      u.r_minus = aux.r_minus->Contains(k);
+      u.s_minus = aux.s_minus->Contains(k);
+      u.s_star = aux.s_star->Contains(k);
+    }
+    INVERDA_ASSIGN_OR_RETURN(KeyState views, DecodePartition(roles, u));
+    if (!(want_r ? views.r : views.s)) out->Deselect(i);
+  }
+  if (!want_r) {
+    Status status = Status::OK();
+    aux.s_plus->Scan([&](int64_t k, const Row& row) {
+      if (status.ok()) status = out->AppendRow(k, row);
+    });
+    INVERDA_RETURN_IF_ERROR(status);
+    out->SortByKey();
+  }
+  return Status::OK();
 }
 
 Status PartitionKernel::DeriveAux(const SmoContext& ctx,

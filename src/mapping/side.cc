@@ -1,6 +1,29 @@
 #include "mapping/side.h"
 
+#include <utility>
+
 namespace inverda {
+
+Status AccessBackend::ScanVersionBatch(TvId tv, RowBatch* out) {
+  // Generic bridge: collect row-at-a-time. AccessLayer overrides this with
+  // the real batch path; the bridge serves capture shims and tests.
+  Status status = Status::OK();
+  INVERDA_RETURN_IF_ERROR(ScanVersion(tv, [&](int64_t key, const Row& row) {
+    if (status.ok()) status = out->AppendRow(key, row);
+  }));
+  return status;
+}
+
+Status Kernel::DeriveReadBatch(const SmoContext& ctx, SmoSide side, int which,
+                               RowBatch* out) const {
+  // Row-at-a-time fallback: derive into a scratch table, then convert. The
+  // per-kernel overrides avoid both the map inserts and the conversion.
+  const TvRef& self = ctx.side(side)[static_cast<size_t>(which)];
+  Table scratch(*self.schema);
+  INVERDA_RETURN_IF_ERROR(Derive(ctx, side, which, std::nullopt, &scratch));
+  INVERDA_RETURN_IF_ERROR(out->SetNumColumns(self.schema->num_columns()));
+  return BatchFromTable(scratch, out);
+}
 
 int64_t IdMemo::GetOrCreate(const std::string& role, const Row& payload,
                             Sequence& seq) {
@@ -65,6 +88,25 @@ Result<RowMap> CollectVersion(AccessBackend* backend, TvId tv) {
   INVERDA_RETURN_IF_ERROR(backend->ScanVersion(
       tv, [&rows](int64_t key, const Row& row) { rows[key] = row; }));
   return rows;
+}
+
+Status BatchFromTable(const Table& table, RowBatch* out) {
+  INVERDA_RETURN_IF_ERROR(
+      out->SetNumColumns(table.schema().num_columns()));
+  out->Reserve(out->size() + table.size());
+  Status status = Status::OK();
+  table.Scan([&](int64_t key, const Row& row) {
+    if (status.ok()) status = out->AppendRow(key, row);
+  });
+  return status;
+}
+
+Status BatchToTable(const RowBatch& batch, Table* out) {
+  for (int64_t i = 0; i < batch.size(); ++i) {
+    if (!batch.selected(i)) continue;
+    INVERDA_RETURN_IF_ERROR(out->Upsert(batch.key_at(i), batch.RowAt(i)));
+  }
+  return Status::OK();
 }
 
 }  // namespace inverda

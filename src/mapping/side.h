@@ -12,6 +12,7 @@
 #include "bidel/smo.h"
 #include "mapping/write_set.h"
 #include "storage/database.h"
+#include "types/row_batch.h"
 #include "util/status.h"
 
 namespace inverda {
@@ -32,6 +33,13 @@ class AccessBackend {
 
   /// Streams all rows of table version `tv`.
   virtual Status ScanVersion(TvId tv, const RowCallback& fn) = 0;
+
+  /// Scans all rows of table version `tv` into a columnar batch. The
+  /// default bridges through ScanVersion row-at-a-time; AccessLayer
+  /// overrides it with the batch execution path (physical tables fill the
+  /// batch directly, virtual versions derive through the kernels' batch
+  /// entry points).
+  virtual Status ScanVersionBatch(TvId tv, RowBatch* out);
 
   /// Looks up one row of table version `tv` by key.
   virtual Result<std::optional<Row>> FindVersion(TvId tv, int64_t key) = 0;
@@ -138,12 +146,27 @@ class Kernel {
   /// shared latches and runs fully in parallel.
   virtual bool DeriveMutates() const { return false; }
 
+  /// True when this kernel is a pure per-row projection over exactly one
+  /// inner table version (identity and column mappings): deriving a row
+  /// never consults other rows, never filters, and never generates ids.
+  /// Such steps are eligible for plan fusion (plan::FuseSteps) — adjacent
+  /// projection-only hops collapse into one composed column program.
+  virtual bool ProjectionOnly() const { return false; }
+
   /// Derives the content of the `which`-th data table on side `side` (the
   /// non-physical side) from the physical side. With `key`, restricts the
   /// derivation to that key (point lookup); rows are appended to `out`
   /// via Upsert.
   virtual Status Derive(const SmoContext& ctx, SmoSide side, int which,
                         std::optional<int64_t> key, Table* out) const = 0;
+
+  /// Batch read entry point: derives the full content of the `which`-th
+  /// table on side `side` into a columnar batch. Kernels whose mapping is
+  /// projection- or filter-shaped override this with whole-column
+  /// execution; the default falls back to row-at-a-time Derive through a
+  /// scratch table, so exotic kernels stay correct without batch code.
+  virtual Status DeriveReadBatch(const SmoContext& ctx, SmoSide side,
+                                 int which, RowBatch* out) const;
 
   /// Derives the content of auxiliary table `aux_short_name` (as it would
   /// be if `aux_side` became the data side). Used by migration when the
@@ -163,6 +186,15 @@ class Kernel {
   /// ctx.backend->ApplyToVersion.
   virtual Status Propagate(const SmoContext& ctx, SmoSide side, int which,
                            const WriteSet& writes) const = 0;
+
+  /// Batch write entry point: propagates a whole WriteSet one hop toward
+  /// the data side. The default delegates to Propagate (which already
+  /// receives the full set); kernels that can transform the set
+  /// column-wise override it.
+  virtual Status PropagateWriteBatch(const SmoContext& ctx, SmoSide side,
+                                     int which, const WriteSet& writes) const {
+    return Propagate(ctx, side, which, writes);
+  }
 };
 
 /// The kernel implementing `kind`, or an error for catalog-only SMOs that
@@ -192,6 +224,11 @@ using RowMap = std::map<int64_t, Row>;
 
 /// Materializes a full table version through the backend into a map.
 Result<RowMap> CollectVersion(AccessBackend* backend, TvId tv);
+
+/// Row-major <-> columnar conversions between Table and RowBatch (kept out
+/// of RowBatch itself so src/types stays independent of storage).
+Status BatchFromTable(const Table& table, RowBatch* out);
+Status BatchToTable(const RowBatch& batch, Table* out);
 
 }  // namespace inverda
 

@@ -58,6 +58,15 @@ std::string TraceSpan::ToJson() const {
   if (!smo_text.empty()) {
     out += ",\"smo_text\":\"" + JsonEscape(smo_text) + "\"";
   }
+  if (fused > 0) {
+    out += ",\"fused\":" + std::to_string(fused) + ",\"fused_hops\":[";
+    for (size_t i = 0; i < fused_hops.size(); ++i) {
+      if (i) out += ",";
+      out += "{\"kernel\":\"" + JsonEscape(fused_hops[i].first) +
+             "\",\"smo_text\":\"" + JsonEscape(fused_hops[i].second) + "\"}";
+    }
+    out += "]";
+  }
   if (!note.empty()) out += ",\"note\":\"" + JsonEscape(note) + "\"";
   out += ",\"rows_in\":" + std::to_string(rows_in) +
          ",\"rows_out\":" + std::to_string(rows_out) +

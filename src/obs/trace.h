@@ -38,6 +38,12 @@ struct TraceSpan {
   std::string smo_text;  // BiDEL text, as EXPLAIN prints it
   std::vector<std::pair<std::string, std::string>> aux;  // short -> physical
 
+  // Fusion (plan/fused.h): number of SMO hops a fused step stands for
+  // (0 on ordinary steps) and the per-hop kernel name + BiDEL text, in
+  // plan order, so RenderTrace prints the same fused[k] block as EXPLAIN.
+  int fused = 0;
+  std::vector<std::pair<std::string, std::string>> fused_hops;
+
   std::string note;  // free-form marker, e.g. "view-cache hit"
 
   int64_t rows_in = 0;   // writes carried into this span

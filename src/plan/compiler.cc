@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "plan/fused.h"
+
 namespace inverda {
 namespace plan {
 
@@ -76,6 +78,11 @@ Result<PlanStep> PlanCompiler::MakeStep(const Route& route) const {
   step.smo_text = inst.smo->ToString();
   INVERDA_ASSIGN_OR_RETURN(step.kernel, KernelForSmo(*inst.smo));
   INVERDA_ASSIGN_OR_RETURN(step.ctx, BuildContext(route.smo));
+  // The data side the step derives from; the chain continues at its first
+  // version (the kernels recurse into the others through the backend).
+  const std::vector<TvId>& data_side =
+      route.side == SmoSide::kSource ? inst.targets : inst.sources;
+  if (!data_side.empty()) step.next = data_side[0];
   return step;
 }
 
@@ -132,6 +139,10 @@ Result<TvPlan> PlanCompiler::Compile(TvId tv) const {
     }
   }
   compiled.physical = compiled.steps.empty();
+
+  // Fusion pass: collapse maximal runs of projection-only hops into single
+  // fused steps (plan/fused.h). distance() still counts SMO hops.
+  if (fusion_enabled()) compiled.steps = FuseSteps(std::move(compiled.steps));
 
   // Dependency footprint and traversed-SMO closure over *all* data-side
   // branches (the chain above follows only the first one).

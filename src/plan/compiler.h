@@ -52,6 +52,16 @@ class PlanCompiler {
     return context_builds_.load(std::memory_order_relaxed);
   }
 
+  /// Toggles the fusion pass on Compile (default on). CompileShallow never
+  /// fuses — the legacy baseline stays hop-by-hop. Callers owning a plan
+  /// cache must clear it when flipping this (AccessLayer does).
+  void set_fusion_enabled(bool enabled) {
+    fusion_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool fusion_enabled() const {
+    return fusion_enabled_.load(std::memory_order_relaxed);
+  }
+
  private:
   // How an access to a non-physical table version reaches the data:
   // forward through an outgoing materialized SMO (Figure 6 case 2) or
@@ -68,6 +78,7 @@ class PlanCompiler {
   AccessBackend* backend_;
   mutable std::atomic<int64_t> route_walks_{0};
   mutable std::atomic<int64_t> context_builds_{0};
+  std::atomic<bool> fusion_enabled_{true};
 };
 
 }  // namespace plan

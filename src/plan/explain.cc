@@ -19,6 +19,10 @@ struct StepView {
   int index = 0;
   std::string kernel;
   std::vector<std::pair<std::string, std::string>> aux;  // short -> physical
+  // Fusion: SMO hops this step stands for (0 = ordinary step) and the
+  // per-hop kernel name + BiDEL text, in plan order.
+  int fused = 0;
+  std::vector<std::pair<std::string, std::string>> fused_hops;
 };
 
 void AppendStep(std::string* out, const StepView& v) {
@@ -27,7 +31,14 @@ void AppendStep(std::string* out, const StepView& v) {
                      : "backward (Figure 6, case 3) via ") +
           v.smo_text + "\n";
   *out += "          side=" + v.side + " index=" + std::to_string(v.index) +
-          " kernel=" + v.kernel + "\n";
+          " kernel=" + v.kernel;
+  if (v.fused > 0) *out += " fused[" + std::to_string(v.fused) + "]";
+  *out += "\n";
+  for (const auto& [hop_kernel, hop_smo] : v.fused_hops) {
+    *out += "          fuses " + hop_kernel + " via " + hop_smo;
+    if (hop_kernel == "identity") *out += " (elided)";
+    *out += "\n";
+  }
   for (const auto& [short_name, physical_name] : v.aux) {
     *out += "          aux " + short_name + " -> " + physical_name + "\n";
   }
@@ -44,6 +55,12 @@ StepView ViewOf(int number, const PlanStep& step) {
   for (const auto& [short_name, physical_name] : step.ctx.aux_names) {
     v.aux.emplace_back(short_name, physical_name);
   }
+  if (step.is_fused()) {
+    v.fused = static_cast<int>(step.fused.size());
+    for (const PlanStep& sub : step.fused) {
+      v.fused_hops.emplace_back(sub.kernel->name(), sub.smo_text);
+    }
+  }
   return v;
 }
 
@@ -56,6 +73,8 @@ StepView ViewOf(int number, const obs::TraceSpan& span) {
   v.index = span.index;
   v.kernel = span.kernel;
   v.aux = span.aux;
+  v.fused = span.fused;
+  v.fused_hops = span.fused_hops;
   return v;
 }
 

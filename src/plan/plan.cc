@@ -4,9 +4,25 @@
 #include <utility>
 
 #include "plan/compiler.h"
+#include "plan/fused.h"
 
 namespace inverda {
 namespace plan {
+
+Status PlanStep::Derive(std::optional<int64_t> key, Table* out) const {
+  if (is_fused()) return FusedDerive(*this, key, out);
+  return kernel->Derive(ctx, side, index, key, out);
+}
+
+Status PlanStep::DeriveBatch(RowBatch* out) const {
+  if (is_fused()) return FusedDeriveBatch(*this, out);
+  return kernel->DeriveReadBatch(ctx, side, index, out);
+}
+
+Status PlanStep::Propagate(const WriteSet& writes) const {
+  if (is_fused()) return FusedPropagate(*this, writes);
+  return kernel->Propagate(ctx, side, index, writes);
+}
 
 Result<const TvPlan*> PlanCache::Get(TvId tv, uint64_t epoch,
                                      const PlanCompiler& compiler) {

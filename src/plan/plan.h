@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -32,6 +33,8 @@ enum class RouteCase {
 /// instance, the side/index the version occupies, the mapping kernel, and
 /// a fully pre-bound SmoContext (TvRefs, physical aux-table names, id
 /// memo, backend). Executing a step performs no catalog lookups.
+struct ColumnProgram;  // plan/fused.h
+
 struct PlanStep {
   SmoId smo = -1;
   RouteCase route = RouteCase::kBackward;
@@ -41,17 +44,37 @@ struct PlanStep {
   SmoContext ctx;
   std::string smo_text;  // BiDEL text of the SMO, for EXPLAIN
 
-  /// Derives the planned version's content into `out` (restricted to `key`
-  /// if given) — the read entry point that skips per-call context assembly.
-  Status Derive(std::optional<int64_t> key, Table* out) const {
-    return kernel->Derive(ctx, side, index, key, out);
+  /// The data-side table version this step derives from (the next hop of
+  /// the chain, or the physical boundary for the last step). For a fused
+  /// step this is the inner boundary version below the whole run.
+  TvId next = -1;
+
+  /// Fusion (plan/fused.h): a fused step replaces a maximal run of
+  /// projection-only hops. `fused` holds the original steps in plan order
+  /// (planned version first), `program` the composed column program that
+  /// executes the whole run in one pass. Empty on ordinary steps.
+  std::vector<PlanStep> fused;
+  std::shared_ptr<const ColumnProgram> program;
+
+  bool is_fused() const { return !fused.empty(); }
+
+  /// SMO hops this step stands for (1 for ordinary steps).
+  int fused_count() const {
+    return is_fused() ? static_cast<int>(fused.size()) : 1;
   }
 
+  /// Derives the planned version's content into `out` (restricted to `key`
+  /// if given) — the read entry point that skips per-call context assembly.
+  /// Fused steps run their composed program off one inner access.
+  Status Derive(std::optional<int64_t> key, Table* out) const;
+
+  /// Batch read: derives the full planned version into a columnar batch,
+  /// through the kernel's batch entry point (or the fused program).
+  Status DeriveBatch(RowBatch* out) const;
+
   /// Propagates `writes` issued against the planned version one hop toward
-  /// the data side.
-  Status Propagate(const WriteSet& writes) const {
-    return kernel->Propagate(ctx, side, index, writes);
-  }
+  /// the data side (for a fused step: through the whole run).
+  Status Propagate(const WriteSet& writes) const;
 };
 
 /// The compiled access plan of one table version under one materialization
@@ -97,8 +120,13 @@ struct TvPlan {
   /// by sqlgen's per-version delta-code generation.
   std::vector<SmoId> traversed_smos;
 
-  /// Propagation distance = number of SMO hops to physical data.
-  int distance() const { return static_cast<int>(steps.size()); }
+  /// Propagation distance = number of SMO hops to physical data. Fusion
+  /// does not change it: a fused step counts the hops it stands for.
+  int distance() const {
+    int hops = 0;
+    for (const PlanStep& step : steps) hops += step.fused_count();
+    return hops;
+  }
 };
 
 /// Reads and writes execute the same compiled chain (a read derives

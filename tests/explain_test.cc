@@ -59,7 +59,9 @@ TEST_F(ExplainTest, BackwardDecomposeFkCarriesIdrAux) {
       "plan for TasKy2.Author (Author-1): distance 2, epoch 4\n"
       "  step 1: backward (Figure 6, case 3) via "
       "RENAME COLUMN author IN Author TO name\n"
-      "          side=target index=0 kernel=identity\n"
+      "          side=target index=0 kernel=fused-column fused[1]\n"
+      "          fuses identity via "
+      "RENAME COLUMN author IN Author TO name (elided)\n"
       "  step 2: backward (Figure 6, case 3) via "
       "DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) "
       "ON FK author\n"

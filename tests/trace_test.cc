@@ -127,8 +127,11 @@ TEST_F(TraceTest, ForwardCaseMatchesCompiledPlan) {
 }
 
 TEST_F(TraceTest, DeepChainRecordsOneSpanPerStep) {
-  // An ADD COLUMN chain at propagation distance 3: the trace must show one
-  // derive span per PlanStep (the TRACE LAST acceptance criterion).
+  // An ADD COLUMN chain at propagation distance 3: projection-only hops
+  // fuse into a single PlanStep, so the trace shows one derive span that
+  // carries all three hops; with fusion disabled the original
+  // one-span-per-hop shape still holds (the TRACE LAST acceptance
+  // criterion either way: spans mirror the executed plan exactly).
   ASSERT_TRUE(db_.Execute("CREATE SCHEMA VERSION D0 WITH "
                           "CREATE TABLE tab(k0 INT);")
                   .ok());
@@ -143,7 +146,9 @@ TEST_F(TraceTest, DeepChainRecordsOneSpanPerStep) {
   ASSERT_TRUE(db_.Insert("D0", "tab", {Value::Int(7)}).ok());
   const TvId d3 = *db_.catalog().ResolveTable("D3", "tab");
   const plan::TvPlan* plan = *db_.access().GetPlan(d3);
-  ASSERT_EQ(plan->distance(), 3);
+  ASSERT_EQ(plan->distance(), 3);  // a fused step still counts its hops
+  ASSERT_EQ(plan->steps.size(), 1u);
+  ASSERT_TRUE(plan->steps[0].is_fused());
 
   db_.tracer().set_enabled(true);
   ASSERT_TRUE(db_.Select("D3", "tab").ok());
@@ -151,11 +156,29 @@ TEST_F(TraceTest, DeepChainRecordsOneSpanPerStep) {
   ASSERT_NE(trace, nullptr);
   std::vector<const obs::TraceSpan*> derives;
   trace->Collect("derive", &derives);
+  ASSERT_EQ(derives.size(), 1u);
+  ExpectSpanMatchesStep(*derives[0], plan->steps[0]);
+  EXPECT_EQ(derives[0]->fused, 3);
+  ASSERT_EQ(derives[0]->fused_hops.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(derives[0]->fused_hops[i].first, "column");
+  }
+
+  // Fusion off: the plan falls back to one step (and one span) per hop.
+  db_.access().set_fusion_enabled(false);
+  const plan::TvPlan* unfused = *db_.access().GetPlan(d3);
+  ASSERT_EQ(unfused->steps.size(), 3u);
+  ASSERT_TRUE(db_.Select("D3", "tab").ok());
+  trace = LastTrace();
+  ASSERT_NE(trace, nullptr);
+  derives.clear();
+  trace->Collect("derive", &derives);
   ASSERT_EQ(derives.size(), 3u);
   for (size_t i = 0; i < derives.size(); ++i) {
     SCOPED_TRACE("step " + std::to_string(i));
-    ExpectSpanMatchesStep(*derives[i], plan->steps[i]);
+    ExpectSpanMatchesStep(*derives[i], unfused->steps[i]);
   }
+  db_.access().set_fusion_enabled(true);
 }
 
 TEST_F(TraceTest, WritePropagationRecordsOneSpanPerHop) {
