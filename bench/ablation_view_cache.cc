@@ -89,7 +89,7 @@ MixedResult RunMixed(inverda::Inverda* db,
   for (const Lineage& l : lineages) {
     CheckOk(db->Select(l.head, kTable), "warm");
   }
-  access.ResetCacheStats();
+  db->ResetMetrics();
   MixedResult result;
   result.ms = TimeMs(1, [&] {
     for (int i = 0; i < ops; ++i) {
@@ -102,9 +102,9 @@ MixedResult RunMixed(inverda::Inverda* db,
       }
     }
   });
-  result.hits = access.cache_hits();
-  result.misses = access.cache_misses();
-  result.invalidations = access.cache_invalidations();
+  result.hits = db->Metrics().value("view_cache.hits");
+  result.misses = db->Metrics().value("view_cache.misses");
+  result.invalidations = db->Metrics().value("view_cache.invalidations");
   return result;
 }
 
@@ -118,9 +118,9 @@ long long MigrationEvictions(inverda::Inverda* db,
   for (const Lineage& l : lineages) {
     CheckOk(db->Select(l.head, kTable), "warm");
   }
-  access.ResetCacheStats();
+  db->ResetMetrics();
   CheckOk(db->Materialize({target}), "materialize");
-  return access.cache_invalidations();
+  return db->Metrics().value("view_cache.invalidations");
 }
 
 }  // namespace

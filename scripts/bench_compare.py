@@ -15,8 +15,10 @@ drops by more than the tolerance. Boolean shape checks emitted by the
 benchmarks (e.g. fused_2x_at_depth16) must hold in at least one fresh run.
 
 --update rewrites the baseline files from the fresh runs (commit the
-result). Baselines are flat metric maps extracted from the bench JSON, so
-adding fields to a benchmark does not invalidate its baseline.
+result). Baselines are flat metric maps extracted from the bench JSON. A
+metric present in a fresh run but absent from the baseline fails the gate
+with a pointer at --update (a stale baseline must not silently exempt new
+metrics), as does a malformed baseline file.
 
 --inject-slowdown N degrades every fresh metric by N percent before
 comparing — the self-test proving the gate actually fails on regressions.
@@ -161,8 +163,30 @@ def main():
             failures.append(f"{bench}: missing baseline {base_path} "
                             "(run with --update to create)")
             continue
-        with open(base_path) as f:
-            baseline = json.load(f)["metrics"]
+        try:
+            with open(base_path) as f:
+                doc = json.load(f)
+            baseline = doc["metrics"]
+            for name, entry in baseline.items():
+                entry["direction"], entry["value"]
+        except (json.JSONDecodeError, KeyError, TypeError) as e:
+            failures.append(
+                f"{bench}: baseline {base_path} is malformed ({e!r}); "
+                "regenerate it with --update")
+            continue
+
+        # A metric the candidate run emits but the baseline lacks means the
+        # baseline predates the benchmark change: fail with a pointer at the
+        # fix instead of silently skipping the new metric.
+        for name in sorted(fresh):
+            if name not in baseline:
+                failures.append(
+                    f"{bench}/{name}: metric present in the fresh run but "
+                    f"missing from baseline {base_path}; re-run "
+                    "scripts/bench_compare.py with --update and commit the "
+                    "refreshed baseline")
+                rows.append((bench, name, None, fresh[name][1], None,
+                             "NO-BASELINE"))
 
         for name, entry in sorted(baseline.items()):
             direction, base = entry["direction"], entry["value"]

@@ -91,6 +91,12 @@ AccessLayer::AccessLayer(VersionCatalog* catalog, Database* db,
         {"plan_compiler.route_walks", compiler_.route_walks()},
         {"plan_compiler.context_builds", compiler_.context_builds()}};
   });
+  // Verify-gate rejections are monotonic too: a rejection means a fused
+  // step failed translation validation and fell back to its unfused hops.
+  m.RegisterSource("plan_verify", [this] {
+    return std::vector<obs::MetricValue>{
+        {"plan_verify.fusion_rejected", compiler_.fusion_rejections()}};
+  });
 }
 
 AccessLayer::KernelMetrics* AccessLayer::MetricsForKernel(

@@ -250,4 +250,12 @@ Result<TableSchema> Inverda::GetSchema(const std::string& version,
   return catalog_.table_version(tv).schema;
 }
 
+Result<verify::VerifySummary> Inverda::VerifyPlans(
+    const verify::VerifyOptions& options) {
+  // Shared: verification only compiles and reads; the exclusive DDL side
+  // keeps the catalog shape stable for the duration.
+  std::shared_lock<std::shared_mutex> dml(catalog_mu_);
+  return verify::VerifyGenealogy(catalog_, access_.compiler(), options);
+}
+
 }  // namespace inverda

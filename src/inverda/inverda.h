@@ -22,6 +22,7 @@
 #include "plan/plan.h"
 #include "storage/database.h"
 #include "util/status.h"
+#include "verify/verifier.h"
 
 namespace inverda {
 
@@ -97,18 +98,32 @@ class AccessLayer : public AccessBackend {
   }
   bool fusion_enabled() const { return compiler_.fusion_enabled(); }
 
-  /// Plan-cache statistics (a coherent snapshot, safe to read while other
-  /// threads access). `route_walks`/`context_builds` grow only while
-  /// compiling, so flat counters across a window of accesses prove the
-  /// window ran without any catalog walks.
-  ///
-  /// Deprecated: these numbers are also exported by the unified registry
-  /// as plan_cache.* (Inverda::Metrics()), and ResetPlanStats is subsumed
-  /// by Inverda::ResetMetrics(). The shims stay for one PR; new code reads
-  /// the registry. See docs/observability.md.
-  plan::PlanCacheStats plan_stats() const { return plan_cache_.stats(); }
-  void ResetPlanStats() { plan_cache_.ResetStats(); }
-  int64_t plan_cache_size() const { return plan_cache_.size(); }
+  /// Post-compile verification gate (verify/verifier.h): forwards to the
+  /// plan compiler and drops every cached plan so subsequent compiles pass
+  /// through the gate. Off by default; rejected fusions are counted in the
+  /// registry as plan_verify.fusion_rejected. Not thread-safe.
+  void set_verify_enabled(bool enabled) {
+    compiler_.set_verify_enabled(enabled);
+    plan_cache_.Clear();
+  }
+  bool verify_enabled() const { return compiler_.verify_enabled(); }
+
+  /// Arms the compiler's intentional fusion miscompile (mutation self-test)
+  /// and drops cached plans so it takes effect immediately. Test-only; not
+  /// thread-safe.
+  void set_fusion_mutation_for_test(plan::FusionMutation mutation) {
+    compiler_.set_fusion_mutation_for_test(mutation);
+    plan_cache_.Clear();
+  }
+
+  /// Diagnostics the verify gate emitted while rejecting fusions (drains).
+  std::vector<Diagnostic> TakeVerifyDiagnostics() {
+    return compiler_.TakeVerifyDiagnostics();
+  }
+
+  /// The plan compiler, for catalog-wide verification (VerifyGenealogy)
+  /// and other read-only consumers.
+  const plan::PlanCompiler& compiler() const { return compiler_; }
 
   /// Optional derived-view cache — the paper's future-work item (4),
   /// "optimized delta code": full scans of virtual table versions are
@@ -140,33 +155,6 @@ class AccessLayer : public AccessBackend {
   /// whose access path can pass through one of them. Called by the
   /// migration operation.
   void InvalidateForMigration(const std::set<SmoId>& flipped);
-
-  /// Resets the hit/miss/invalidation counters without touching cached
-  /// entries, so ablation phases measure independently.
-  ///
-  /// Deprecated: subsumed by Inverda::ResetMetrics(), which resets this
-  /// along with every other surface in one call. Shim stays for one PR.
-  void ResetCacheStats();
-
-  /// Aggregate cache statistics for the ablation benchmark.
-  ///
-  /// Deprecated: exported by the unified registry as view_cache.hits /
-  /// view_cache.misses / view_cache.invalidations / view_cache.size
-  /// (Inverda::Metrics()). The shims stay for one PR; new code reads the
-  /// registry. See docs/observability.md.
-  int64_t cache_hits() const {
-    return cache_hits_.load(std::memory_order_relaxed);
-  }
-  int64_t cache_misses() const {
-    return cache_misses_.load(std::memory_order_relaxed);
-  }
-  int64_t cache_invalidations() const {
-    return cache_invalidations_.load(std::memory_order_relaxed);
-  }
-  int64_t cache_size() const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return static_cast<int64_t>(cache_.size());
-  }
 
   /// Per-table-version cache statistics (returned by value: a snapshot).
   struct VersionCacheStats {
@@ -240,6 +228,25 @@ class AccessLayer : public AccessBackend {
   Status InvalidateForWrite(const plan::TvPlan& p);
   void EraseCacheEntry(TvId tv);
   void EraseCacheEntryLocked(TvId tv);  // requires cache_mu_ held
+
+  /// Internal accounting behind the registry's view_cache pull-source and
+  /// its reset hook. The public surface is Inverda::Metrics() /
+  /// Inverda::ResetMetrics() (docs/observability.md); the per-PR-5
+  /// deprecated public shims are gone.
+  void ResetCacheStats();
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_invalidations() const {
+    return cache_invalidations_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return static_cast<int64_t>(cache_.size());
+  }
 
   /// Per-kernel latency/row metrics, resolved from the kernel's stable
   /// singleton pointer through a small lock-free slot array (the mutex is
@@ -404,6 +411,15 @@ class Inverda {
   const obs::Tracer& tracer() const { return obs_.tracer; }
 
   obs::Observability& observability() { return obs_; }
+
+  /// Statically verifies every compiled plan of the current genealogy
+  /// (verify/verifier.h): GetPut/PutGet round-trip obligations per hop,
+  /// translation validation of fused steps, and the cross-plan lock-order
+  /// analysis. Runs under the shared catalog lock, so it can execute
+  /// concurrently with client traffic; fails only on compile errors —
+  /// verification findings come back as diagnostics in the summary.
+  Result<verify::VerifySummary> VerifyPlans(
+      const verify::VerifyOptions& options = {});
 
   /// The payload schema of `table` in `version`.
   Result<TableSchema> GetSchema(const std::string& version,

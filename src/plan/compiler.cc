@@ -1,10 +1,12 @@
 #include "plan/compiler.h"
 
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "plan/fused.h"
+#include "verify/verifier.h"
 
 namespace inverda {
 namespace plan {
@@ -141,8 +143,15 @@ Result<TvPlan> PlanCompiler::Compile(TvId tv) const {
   compiled.physical = compiled.steps.empty();
 
   // Fusion pass: collapse maximal runs of projection-only hops into single
-  // fused steps (plan/fused.h). distance() still counts SMO hops.
-  if (fusion_enabled()) compiled.steps = FuseSteps(std::move(compiled.steps));
+  // fused steps (plan/fused.h). distance() still counts SMO hops. With the
+  // verify gate on, every fused step is translation-validated before the
+  // plan leaves the compiler; the mutation hook runs in between so the
+  // self-test corrupts exactly what the gate inspects.
+  if (fusion_enabled()) {
+    compiled.steps = FuseSteps(std::move(compiled.steps));
+    ApplyFusionMutation(&compiled);
+    if (verify_enabled()) RejectInvalidFusions(&compiled);
+  }
 
   // Dependency footprint and traversed-SMO closure over *all* data-side
   // branches (the chain above follows only the first one).
@@ -192,6 +201,97 @@ Result<TvPlan> PlanCompiler::Compile(TvId tv) const {
     }
   }
   return compiled;
+}
+
+void PlanCompiler::ApplyFusionMutation(TvPlan* compiled) const {
+  FusionMutation mutation = fusion_mutation_.load(std::memory_order_relaxed);
+  if (mutation == FusionMutation::kNone) return;
+  for (PlanStep& step : compiled->steps) {
+    if (!step.is_fused() || step.program == nullptr) continue;
+    auto corrupted = std::make_shared<ColumnProgram>(*step.program);
+    // Programs without ops (pure identity elision) have no op to corrupt;
+    // skewing the inner width is the equivalent observable miscompile.
+    switch (mutation) {
+      case FusionMutation::kDropOp:
+        if (!corrupted->ops.empty()) {
+          corrupted->ops.pop_back();
+        } else {
+          ++corrupted->inner_width;
+        }
+        break;
+      case FusionMutation::kFlipKind:
+        if (!corrupted->ops.empty()) {
+          ColumnOp& op = corrupted->ops.front();
+          op.kind = op.kind == ColumnOp::Kind::kNarrow
+                        ? ColumnOp::Kind::kWiden
+                        : ColumnOp::Kind::kNarrow;
+        } else {
+          ++corrupted->inner_width;
+        }
+        break;
+      case FusionMutation::kPerturbIndex:
+        if (!corrupted->ops.empty()) {
+          ++corrupted->ops.front().index;
+        } else {
+          ++corrupted->inner_width;
+        }
+        break;
+      case FusionMutation::kWrongAux: {
+        bool applied = false;
+        for (ColumnOp& op : corrupted->ops) {
+          if (op.kind == ColumnOp::Kind::kWiden) {
+            op.aux_table += "_corrupt";
+            applied = true;
+            break;
+          }
+        }
+        if (!applied) {
+          if (!corrupted->ops.empty()) {
+            ++corrupted->ops.front().index;
+          } else {
+            ++corrupted->inner_width;
+          }
+        }
+        break;
+      }
+      case FusionMutation::kNone:
+        break;
+    }
+    step.program = std::move(corrupted);
+    return;  // the self-test corrupts the first fused step only
+  }
+}
+
+void PlanCompiler::RejectInvalidFusions(TvPlan* compiled) const {
+  std::vector<PlanStep> checked;
+  checked.reserve(compiled->steps.size());
+  for (PlanStep& step : compiled->steps) {
+    if (step.is_fused()) {
+      AnalysisReport report =
+          verify::ValidateFusedStep(step, compiled->label);
+      if (report.has_errors()) {
+        fusion_rejections_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(verify_mu_);
+          verify_diagnostics_.insert(verify_diagnostics_.end(),
+                                     report.diagnostics.begin(),
+                                     report.diagnostics.end());
+        }
+        // Graceful fallback: splice the original hops back in place of the
+        // rejected fused step; they carry their own contexts and kernels
+        // and execute exactly as an unfused compile would.
+        for (PlanStep& sub : step.fused) checked.push_back(std::move(sub));
+        continue;
+      }
+    }
+    checked.push_back(std::move(step));
+  }
+  compiled->steps = std::move(checked);
+}
+
+std::vector<Diagnostic> PlanCompiler::TakeVerifyDiagnostics() const {
+  std::lock_guard<std::mutex> lock(verify_mu_);
+  return std::move(verify_diagnostics_);
 }
 
 }  // namespace plan

@@ -3,14 +3,29 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <vector>
 
+#include "analysis/diagnostic.h"
 #include "catalog/catalog.h"
 #include "plan/plan.h"
 #include "util/status.h"
 
 namespace inverda {
 namespace plan {
+
+/// Intentional fusion-miscompile modes for the verifier's mutation
+/// self-test: each corrupts the composed ColumnProgram of the first fused
+/// step of every subsequent Compile in a distinct way, proving the
+/// translation validator — not the runtime tests — catches the bug.
+enum class FusionMutation {
+  kNone,          ///< disarmed (production state)
+  kDropOp,        ///< drop the last composed column op
+  kFlipKind,      ///< flip the first op narrow <-> widen
+  kPerturbIndex,  ///< shift the first op's column index by one
+  kWrongAux,      ///< point the first widen at a non-existent aux table
+};
 
 /// Compiles access plans from the catalog: the one place the genealogy is
 /// walked on behalf of data access. The executor (AccessLayer), the tools
@@ -62,6 +77,35 @@ class PlanCompiler {
     return fusion_enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Opt-in post-compile verification gate (default off): when enabled,
+  /// every fused step of a compiled plan is translation-validated
+  /// (verify::ValidateFusedStep) before the plan leaves the compiler. A
+  /// step whose composed program is not provably equivalent to its unfused
+  /// kernel chain is spliced back into the original hops — graceful
+  /// unfused fallback instead of a silent miscompile — and the diagnostics
+  /// are retained (TakeVerifyDiagnostics). Callers owning a plan cache
+  /// must clear it when flipping this (AccessLayer does).
+  void set_verify_enabled(bool enabled) {
+    verify_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool verify_enabled() const {
+    return verify_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms an intentional fusion miscompile applied to the first fused step
+  /// of every subsequent Compile. kNone disarms. Test-only.
+  void set_fusion_mutation_for_test(FusionMutation mutation) {
+    fusion_mutation_.store(mutation, std::memory_order_relaxed);
+  }
+
+  /// Fused steps the verify gate rejected (unfused fallback taken).
+  int64_t fusion_rejections() const {
+    return fusion_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains the diagnostics emitted while rejecting fusions.
+  std::vector<Diagnostic> TakeVerifyDiagnostics() const;
+
  private:
   // How an access to a non-physical table version reaches the data:
   // forward through an outgoing materialized SMO (Figure 6 case 2) or
@@ -73,12 +117,19 @@ class PlanCompiler {
   };
   Result<std::optional<Route>> ResolveRoute(TvId tv) const;
   Result<PlanStep> MakeStep(const Route& route) const;
+  void ApplyFusionMutation(TvPlan* compiled) const;
+  void RejectInvalidFusions(TvPlan* compiled) const;
 
   const VersionCatalog* catalog_;
   AccessBackend* backend_;
   mutable std::atomic<int64_t> route_walks_{0};
   mutable std::atomic<int64_t> context_builds_{0};
   std::atomic<bool> fusion_enabled_{true};
+  std::atomic<bool> verify_enabled_{false};
+  std::atomic<FusionMutation> fusion_mutation_{FusionMutation::kNone};
+  mutable std::atomic<int64_t> fusion_rejections_{0};
+  mutable std::mutex verify_mu_;
+  mutable std::vector<Diagnostic> verify_diagnostics_;
 };
 
 }  // namespace plan

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "bad_scripts.h"
 #include "bidel/source_span.h"
 #include "catalog/describe.h"
 #include "inverda/inverda.h"
@@ -50,11 +51,7 @@ const Diagnostic* FindRule(const AnalysisReport& report,
   return ::testing::AssertionSuccess();
 }
 
-constexpr const char* kBase =
-    "CREATE SCHEMA VERSION V1 WITH "
-    "CREATE TABLE T(a INT, b TEXT, c INT); "
-    "CREATE TABLE R(x INT, y TEXT); "
-    "CREATE TABLE S(z INT, w TEXT);";
+constexpr const char* kBase = testutil::kBadScriptsBase;
 
 TEST(AnalyzerGoldenTest, ParseError) {
   AnalysisReport report = Lint("CREATE SCHEMA VERSION V WITH NONSENSE foo;");
@@ -319,57 +316,11 @@ TEST(AnalyzerGoldenTest, LaterStatementsSeeEarlierVersions) {
 
 // --- the Evolve gate --------------------------------------------------------
 
-struct BadScript {
-  const char* name;
-  const char* script;
-  StatusCode code;
-};
-
 TEST(AnalyzerGateTest, RejectsBadEvolutions) {
   // Every script evolves the same base and must be rejected with the
-  // documented status code, leaving the catalog untouched.
-  const BadScript kBad[] = {
-      {"dangling-from",
-       "CREATE SCHEMA VERSION Bad FROM Nope WITH DROP TABLE T;",
-       StatusCode::kNotFound},
-      {"unknown-table",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH DROP TABLE Missing;",
-       StatusCode::kNotFound},
-      {"unknown-column",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME COLUMN q IN T TO p;",
-       StatusCode::kNotFound},
-      {"duplicate-version",
-       "CREATE SCHEMA VERSION V1 WITH CREATE TABLE X(a INT);",
-       StatusCode::kAlreadyExists},
-      {"duplicate-table",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME TABLE T INTO R;",
-       StatusCode::kAlreadyExists},
-      {"duplicate-column",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH ADD COLUMN a INT AS 0 INTO T;",
-       StatusCode::kAlreadyExists},
-      {"decompose-fk-collision",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
-       "DECOMPOSE TABLE T INTO A(a, b), B(c) ON FK a;",
-       StatusCode::kAlreadyExists},
-      {"decompose-not-partition",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
-       "DECOMPOSE TABLE T INTO A(a), B(b) ON PK;",
-       StatusCode::kInvalidArgument},
-      {"merge-incompatible",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
-       "MERGE TABLE R (x = 1), T (a = 2) INTO M;",
-       StatusCode::kInvalidArgument},
-      {"default-references-dropped",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
-       "DROP COLUMN c FROM T DEFAULT c + 1;",
-       StatusCode::kInvalidArgument},
-      {"join-condition-constant",
-       "CREATE SCHEMA VERSION Bad FROM V1 WITH "
-       "JOIN TABLE R, S INTO J ON 1 = 1;",
-       StatusCode::kInvalidArgument},
-  };
-
-  for (const BadScript& bad : kBad) {
+  // documented status code, leaving the catalog untouched. The corpus lives
+  // in bad_scripts.h, shared with the plan verifier's golden tests.
+  for (const testutil::BadScript& bad : testutil::kBadScripts) {
     Inverda db;
     ASSERT_TRUE(db.Execute(kBase).ok());
     Status status = db.Execute(bad.script);

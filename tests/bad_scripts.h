@@ -1,0 +1,70 @@
+// The shared bad-evolution corpus: scripts that must be rejected by the
+// analyzer gate with the documented status code, leaving the catalog
+// untouched. Used by analyzer_test (the gate itself) and verifier_test
+// (after each rejection the surviving genealogy must still verify).
+#ifndef INVERDA_TESTS_BAD_SCRIPTS_H_
+#define INVERDA_TESTS_BAD_SCRIPTS_H_
+
+#include "util/status.h"
+
+namespace inverda {
+namespace testutil {
+
+// The base every bad script evolves.
+inline constexpr const char* kBadScriptsBase =
+    "CREATE SCHEMA VERSION V1 WITH "
+    "CREATE TABLE T(a INT, b TEXT, c INT); "
+    "CREATE TABLE R(x INT, y TEXT); "
+    "CREATE TABLE S(z INT, w TEXT);";
+
+struct BadScript {
+  const char* name;
+  const char* script;
+  StatusCode code;
+};
+
+inline constexpr BadScript kBadScripts[] = {
+    {"dangling-from",
+     "CREATE SCHEMA VERSION Bad FROM Nope WITH DROP TABLE T;",
+     StatusCode::kNotFound},
+    {"unknown-table",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH DROP TABLE Missing;",
+     StatusCode::kNotFound},
+    {"unknown-column",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME COLUMN q IN T TO p;",
+     StatusCode::kNotFound},
+    {"duplicate-version",
+     "CREATE SCHEMA VERSION V1 WITH CREATE TABLE X(a INT);",
+     StatusCode::kAlreadyExists},
+    {"duplicate-table",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH RENAME TABLE T INTO R;",
+     StatusCode::kAlreadyExists},
+    {"duplicate-column",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH ADD COLUMN a INT AS 0 INTO T;",
+     StatusCode::kAlreadyExists},
+    {"decompose-fk-collision",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+     "DECOMPOSE TABLE T INTO A(a, b), B(c) ON FK a;",
+     StatusCode::kAlreadyExists},
+    {"decompose-not-partition",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+     "DECOMPOSE TABLE T INTO A(a), B(b) ON PK;",
+     StatusCode::kInvalidArgument},
+    {"merge-incompatible",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+     "MERGE TABLE R (x = 1), T (a = 2) INTO M;",
+     StatusCode::kInvalidArgument},
+    {"default-references-dropped",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+     "DROP COLUMN c FROM T DEFAULT c + 1;",
+     StatusCode::kInvalidArgument},
+    {"join-condition-constant",
+     "CREATE SCHEMA VERSION Bad FROM V1 WITH "
+     "JOIN TABLE R, S INTO J ON 1 = 1;",
+     StatusCode::kInvalidArgument},
+};
+
+}  // namespace testutil
+}  // namespace inverda
+
+#endif  // INVERDA_TESTS_BAD_SCRIPTS_H_

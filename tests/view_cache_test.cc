@@ -114,26 +114,24 @@ TEST_F(ViewCacheTest, ReenablingKeepsEntriesButNeverServesStaleData) {
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 2u);
 }
 
-// Exercises the deprecated per-component shims (cache_hits/ResetCacheStats
-// and friends): they must keep agreeing with the unified registry until
-// their removal PR. Everything else in this file reads the registry.
-TEST_F(ViewCacheTest, ResetCacheStatsKeepsEntries) {
+// The single reset point: Inverda::ResetMetrics() zeroes the view-cache
+// counters through the component's registered reset hook (the pre-registry
+// per-component getters are gone) without discarding cached entries.
+TEST_F(ViewCacheTest, ResetMetricsKeepsEntries) {
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_GT(db_.access().cache_hits() + db_.access().cache_misses(), 0);
-  EXPECT_EQ(db_.access().cache_hits(),
-            db_.Metrics().value("view_cache.hits"));
-  EXPECT_EQ(db_.access().cache_misses(),
-            db_.Metrics().value("view_cache.misses"));
-  db_.access().ResetCacheStats();
-  EXPECT_EQ(db_.access().cache_hits(), 0);
-  EXPECT_EQ(db_.access().cache_misses(), 0);
-  EXPECT_EQ(db_.access().cache_invalidations(), 0);
+  EXPECT_GT(db_.Metrics().value("view_cache.hits") +
+                db_.Metrics().value("view_cache.misses"),
+            0);
+  db_.ResetMetrics();
+  EXPECT_EQ(db_.Metrics().value("view_cache.hits"), 0);
+  EXPECT_EQ(db_.Metrics().value("view_cache.misses"), 0);
+  EXPECT_EQ(db_.Metrics().value("view_cache.invalidations"), 0);
   EXPECT_TRUE(db_.access().cache_stats().empty());
   // Entries survive the reset and keep serving hits.
-  EXPECT_EQ(db_.access().cache_size(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.size"), 1);
   ASSERT_TRUE(db_.Select("TasKy2", "Task").ok());
-  EXPECT_EQ(db_.access().cache_hits(), 1);
+  EXPECT_EQ(db_.Metrics().value("view_cache.hits"), 1);
 }
 
 TEST_F(ViewCacheTest, WriteTraceReportsTouchedTables) {

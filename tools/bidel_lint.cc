@@ -11,6 +11,10 @@
 //   bidel_lint --metrics script.bidel    # apply, scan every version.table
 //                                        # once, then print the unified
 //                                        # metrics registry as JSON
+//   bidel_lint --verify-plans s.bidel    # lint, apply, then statically
+//                                        # verify every compiled plan
+//                                        # (src/verify: round-trip, fusion,
+//                                        # lock order)
 //
 // Exit status: 0 when the script is clean (warnings and notes allowed),
 // 1 when the analyzer reports at least one error, 2 on usage or I/O
@@ -45,7 +49,10 @@ int Usage() {
                "                    access plan of every version.table\n"
                "  --metrics         apply the scripts, scan every\n"
                "                    version.table once, and print the\n"
-               "                    metrics registry snapshot as JSON\n");
+               "                    metrics registry snapshot as JSON\n"
+               "  --verify-plans    lint the scripts, apply them, and run\n"
+               "                    the static plan verifier over every\n"
+               "                    compiled plan (docs/verifier.md)\n");
   return 2;
 }
 
@@ -178,6 +185,59 @@ int RunMetrics(const std::vector<std::string>& scripts,
   return 0;
 }
 
+// --verify-plans: lint first (so the bad-script corpus composes with this
+// mode: an analyzer error still exits 1 without applying anything), then
+// apply the scripts with the compiler's verify gate enabled and run the
+// static verifier over every compiled plan in the genealogy.
+int RunVerifyPlans(const std::vector<std::string>& scripts,
+                   const std::string& setup_path, bool json) {
+  Inverda db;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    Status status = db.Execute(setup);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: setup script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  db.access().set_verify_enabled(true);
+  for (const std::string& script : scripts) {
+    AnalysisReport report = AnalyzeScript(db.catalog(), script);
+    if (report.has_errors()) {
+      if (json) {
+        std::printf("%s\n", ReportToJson(report, script).c_str());
+      } else {
+        std::printf("%s", FormatReport(report, script).c_str());
+      }
+      return 1;
+    }
+    Status status = db.Execute(script);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  Result<verify::VerifySummary> summary = db.VerifyPlans();
+  if (!summary.ok()) {
+    std::fprintf(stderr, "bidel_lint: verification failed to run: %s\n",
+                 summary.status().ToString().c_str());
+    return 2;
+  }
+  if (json) {
+    std::printf("%s\n", verify::VerifySummaryToJson(*summary).c_str());
+  } else {
+    std::printf("%s", verify::FormatVerifySummary(*summary).c_str());
+  }
+  return summary->ok() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace inverda
 
@@ -185,6 +245,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool explain = false;
   bool metrics = false;
+  bool verify_plans = false;
   std::string setup_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -195,6 +256,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--verify-plans") {
+      verify_plans = true;
     } else if (arg == "--setup") {
       if (i + 1 >= argc) return inverda::Usage();
       setup_path = argv[++i];
@@ -223,5 +286,8 @@ int main(int argc, char** argv) {
   }
   if (explain) return inverda::RunExplain(scripts, setup_path);
   if (metrics) return inverda::RunMetrics(scripts, setup_path);
+  if (verify_plans) {
+    return inverda::RunVerifyPlans(scripts, setup_path, json);
+  }
   return inverda::RunLint(scripts, setup_path, json);
 }

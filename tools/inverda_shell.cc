@@ -17,6 +17,7 @@
 //   CHECK <SMO statement>    -- the Section 5 bidirectionality checker
 //   LINT <statement>         -- static analysis without applying anything
 //   EXPLAIN <version>.<table> -- the compiled access plan (Figure 6 cases)
+//   VERIFY [JSON]            -- static plan verifier (docs/verifier.md)
 //   HELP | QUIT
 
 #include <cstdio>
@@ -184,6 +185,7 @@ class Shell {
     if (EqualsIgnoreCase(first, "CHECK")) return Check(rest);
     if (EqualsIgnoreCase(first, "LINT")) return Lint(rest);
     if (EqualsIgnoreCase(first, "EXPLAIN")) return Explain(rest);
+    if (EqualsIgnoreCase(first, "VERIFY")) return Verify(rest);
     if (EqualsIgnoreCase(first, "METRICS")) return Metrics(rest);
     if (EqualsIgnoreCase(first, "TRACE")) return Trace(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
@@ -213,6 +215,8 @@ class Shell {
         "  CHECK <smo>;   -- Section 5 bidirectionality checker\n"
         "  LINT <stmt>;   -- static analysis without applying anything\n"
         "  EXPLAIN <v>.<table>;  -- the compiled access plan (Figure 6)\n"
+        "  VERIFY [JSON];        -- static plan verifier (round-trip, fusion,\n"
+        "                        --   lock order; docs/verifier.md)\n"
         "  METRICS [JSON|RESET]; -- the unified stats registry\n"
         "  TRACE ON|OFF|LAST [n]|JSON [n];  -- per-operation span traces\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
@@ -245,6 +249,19 @@ class Shell {
     INVERDA_ASSIGN_OR_RETURN(const plan::TvPlan* compiled,
                              db_.access().GetPlan(tv));
     std::printf("%s", plan::ExplainPlan(*compiled, target).c_str());
+    return Status::OK();
+  }
+
+  Status Verify(const std::string& what) {
+    if (!what.empty() && !EqualsIgnoreCase(what, "JSON")) {
+      return Status::InvalidArgument("VERIFY [JSON]");
+    }
+    INVERDA_ASSIGN_OR_RETURN(verify::VerifySummary summary, db_.VerifyPlans());
+    if (EqualsIgnoreCase(what, "JSON")) {
+      std::printf("%s\n", verify::VerifySummaryToJson(summary).c_str());
+    } else {
+      std::printf("%s", verify::FormatVerifySummary(summary).c_str());
+    }
     return Status::OK();
   }
 
