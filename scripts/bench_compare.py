@@ -35,7 +35,8 @@ import sys
 # metric name -> "lower" (timings: regression = increase) or "higher"
 # (throughput/speedups: regression = decrease), per benchmark extractor.
 
-GATED_BENCHES = ["microbench_plan", "microbench_concurrency", "fig8_overhead"]
+GATED_BENCHES = ["microbench_plan", "microbench_concurrency", "fig8_overhead",
+                 "microbench_shards"]
 
 
 def extract_microbench_plan(doc):
@@ -76,10 +77,30 @@ def extract_fig8_overhead(doc):
     return metrics, checks
 
 
+def extract_microbench_shards(doc):
+    metrics = {}
+    for row in doc.get("shards", []):
+        s = row["shards"]
+        for field in ("scan_rows_per_sec", "derived_rows_per_sec",
+                      "point_ops_per_sec", "propagate_rows_per_sec"):
+            if field in row:
+                metrics[f"shards{s}.{field}"] = ("higher", row[field])
+    checks = {
+        "results_identical": doc.get("results_identical"),
+        "parallel_paths_engaged": doc.get("parallel_paths_engaged"),
+    }
+    # The speedup verdict is hardware-gated: null (not enough cores) never
+    # fails the gate, mirroring microbench_concurrency's scaling verdict.
+    if doc.get("scan_speedup_gt1_3") is not None:
+        checks["scan_speedup_gt1_3"] = doc.get("scan_speedup_gt1_3")
+    return metrics, checks
+
+
 EXTRACTORS = {
     "microbench_plan": extract_microbench_plan,
     "microbench_concurrency": extract_microbench_concurrency,
     "fig8_overhead": extract_fig8_overhead,
+    "microbench_shards": extract_microbench_shards,
 }
 
 

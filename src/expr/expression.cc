@@ -1,5 +1,6 @@
 #include "expr/expression.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/strings.h"
@@ -46,17 +47,31 @@ class ColumnRefExpr : public Expression {
 
   Result<Value> Eval(const TableSchema& schema, const Row& row) const override {
     // Cache the resolved index per schema identity; expressions are
-    // evaluated row-by-row against one schema in hot loops.
-    if (cached_schema_ != &schema) {
-      std::optional<int> idx = schema.FindColumn(column_);
-      if (!idx) {
-        return Status::NotFound("column " + column_ + " not in " +
-                                schema.name());
+    // evaluated row-by-row against one schema in hot loops, and the same
+    // shared expression may be evaluated from many reader threads at once
+    // (concurrent scans of one compiled plan), so the cache publishes
+    // lock-free: the writer clears the schema, stores the index (release),
+    // then stores the schema (release). A reader that sees its schema and
+    // then a foreign index must — via the acquire on the index load — also
+    // see that writer's earlier schema-clear on the re-read, so a torn
+    // pair is always rejected and recomputed. FindColumn is deterministic
+    // per schema, hence any accepted (schema, index) pair is correct.
+    const TableSchema* s = cached_schema_.load(std::memory_order_acquire);
+    if (s == &schema) {
+      int idx = cached_index_.load(std::memory_order_acquire);
+      if (cached_schema_.load(std::memory_order_relaxed) == s) {
+        return row[static_cast<size_t>(idx)];
       }
-      cached_schema_ = &schema;
-      cached_index_ = *idx;
     }
-    return row[static_cast<size_t>(cached_index_)];
+    std::optional<int> idx = schema.FindColumn(column_);
+    if (!idx) {
+      return Status::NotFound("column " + column_ + " not in " +
+                              schema.name());
+    }
+    cached_schema_.store(nullptr, std::memory_order_relaxed);
+    cached_index_.store(*idx, std::memory_order_release);
+    cached_schema_.store(&schema, std::memory_order_release);
+    return row[static_cast<size_t>(*idx)];
   }
   std::string ToString() const override { return column_; }
   void CollectColumns(std::set<std::string>* out) const override {
@@ -73,8 +88,8 @@ class ColumnRefExpr : public Expression {
 
  private:
   std::string column_;
-  mutable const TableSchema* cached_schema_ = nullptr;
-  mutable int cached_index_ = 0;
+  mutable std::atomic<const TableSchema*> cached_schema_{nullptr};
+  mutable std::atomic<int> cached_index_{0};
 };
 
 const char* CompareOpName(CompareOp op) {

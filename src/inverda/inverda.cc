@@ -9,7 +9,16 @@
 
 namespace inverda {
 
-Inverda::Inverda() : access_(&catalog_, &db_, &obs_) {}
+Inverda::Inverda(int shards)
+    : db_(shards), access_(&catalog_, &db_, &obs_) {}
+
+Status Inverda::Reshard(int shards) {
+  // Exclusive like DDL: re-bucketing moves rows between shard maps, so no
+  // access may be in flight while the partition changes.
+  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  db_.Reshard(shards);
+  return Status::OK();
+}
 
 Status Inverda::Execute(const std::string& bidel_script) {
   INVERDA_ASSIGN_OR_RETURN(std::vector<BidelStatement> statements,
@@ -255,7 +264,11 @@ Result<verify::VerifySummary> Inverda::VerifyPlans(
   // Shared: verification only compiles and reads; the exclusive DDL side
   // keeps the catalog shape stable for the duration.
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
-  return verify::VerifyGenealogy(catalog_, access_.compiler(), options);
+  verify::VerifyOptions opts = options;
+  // The lock-order analysis models the latch granularity the executor
+  // actually uses, so it needs the active shard count.
+  if (opts.shards <= 0) opts.shards = db_.shards();
+  return verify::VerifyGenealogy(catalog_, access_.compiler(), opts);
 }
 
 }  // namespace inverda

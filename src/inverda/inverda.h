@@ -194,6 +194,21 @@ class AccessLayer : public AccessBackend {
   void AcquireLatches(TableLatchSet* latches, const plan::TvPlan& p,
                       bool write, bool timed);
 
+  /// Key-scoped variant for operations on a *physical* single-table plan:
+  /// with a sharded store, latches only the shards `keys` route to, so
+  /// writers hitting different shards of the same data table run in
+  /// parallel. Falls back to AcquireLatches whenever key-scoping does not
+  /// apply (virtual plan, shallow plan, unsharded registry, plans whose
+  /// footprint is wider than the data table).
+  void AcquireLatchesForKeys(TableLatchSet* latches, const plan::TvPlan& p,
+                             const std::vector<int64_t>& keys, bool write,
+                             bool timed);
+
+  /// True when AcquireLatchesForKeys would actually key-scope for plan `p`
+  /// (callers check this before materializing a key vector, so the
+  /// unsharded hot path never allocates).
+  bool KeyScopedEligible(const plan::TvPlan& p) const;
+
   /// Dependency fingerprint: physical table name -> dirty epoch at
   /// derivation time (aliased because commas in template ids break the
   /// ASSIGN_OR_RETURN macro).
@@ -271,6 +286,10 @@ class AccessLayer : public AccessBackend {
   obs::Counter* latch_fine_;
   obs::Counter* latch_escalations_;
   obs::Counter* latch_global_;
+  obs::Counter* latch_key_scoped_;
+  // Shard-parallel executor counters, bumped when a fan-out actually runs.
+  obs::Counter* parallel_scans_;
+  obs::Counter* parallel_applies_;
 
   static constexpr size_t kMaxKernels = 16;
   struct KernelSlot {
@@ -316,7 +335,11 @@ class AccessLayer : public AccessBackend {
 /// thread or during quiesce.
 class Inverda {
  public:
-  Inverda();
+  /// `shards` <= 0 takes the process default (INVERDA_SHARDS, else 1): the
+  /// number of hash-partitioned shards every physical table splits its rows
+  /// into (docs/storage.md). One shard is the pre-sharding engine, bit for
+  /// bit.
+  explicit Inverda(int shards = 0);
 
   Inverda(const Inverda&) = delete;
   Inverda& operator=(const Inverda&) = delete;
@@ -387,6 +410,14 @@ class Inverda {
   VersionCatalog& catalog() { return catalog_; }
   Database& db() { return db_; }
   AccessLayer& access() { return access_; }
+
+  /// The active shard count of the physical store.
+  int shards() const { return db_.shards(); }
+
+  /// Re-partitions every physical table into `shards` shards (clamped to
+  /// [1, kMaxShards]). Takes the DDL-exclusive lock, so it never races
+  /// with data access; content, plans and footprints are unchanged.
+  Status Reshard(int shards);
 
   // --- observability ---------------------------------------------------------
 

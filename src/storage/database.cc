@@ -2,13 +2,28 @@
 
 namespace inverda {
 
+Database::Database(int shards)
+    : shards_(shards <= 0 ? DefaultShardCount() : ClampShardCount(shards)) {
+  latches_->set_shards(shards_);
+}
+
+void Database::Reshard(int shards) {
+  shards_ = ClampShardCount(shards);
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    table.Reshard(shards_);
+  }
+  latches_->set_shards(shards_);
+}
+
 bool Database::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
 }
 
 Status Database::CreateTable(TableSchema schema) {
   const std::string name = schema.name();
-  auto [it, inserted] = tables_.emplace(name, Table(std::move(schema)));
+  auto [it, inserted] =
+      tables_.emplace(name, Table(std::move(schema), shards_));
   (void)it;
   if (!inserted) return Status::AlreadyExists("table " + name);
   return Status::OK();
@@ -75,6 +90,12 @@ Database::SnapshotState Database::Snapshot() const {
 
 void Database::Restore(SnapshotState snapshot) {
   tables_ = std::move(snapshot.tables);
+  // Snapshots may predate a reshard; re-bucket so every resident table
+  // matches the shard count the latch registry advertises.
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    table.Reshard(shards_);
+  }
   sequence_ = Sequence(snapshot.sequence_next);
 }
 

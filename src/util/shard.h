@@ -1,0 +1,53 @@
+#ifndef INVERDA_UTIL_SHARD_H_
+#define INVERDA_UTIL_SHARD_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace inverda {
+
+/// Shard routing for the sharded row stores (docs/storage.md): every
+/// physical table partitions its rows by hash of the InVerDa key `p` into
+/// a fixed number of shards, each an independent hash map behind its own
+/// latch. The functions here are the single source of truth for the
+/// key -> shard mapping and for the process-wide default shard count, so
+/// storage, latching and the executor can never disagree on routing.
+
+/// Hard cap on the shard count: keeps (table, shard) latch footprints
+/// within reason (ThreadSanitizer's deadlock detector tracks at most 64
+/// locks per thread) and bounds per-table memory overhead.
+inline constexpr int kMaxShards = 64;
+
+/// Clamps an arbitrary requested shard count into the supported range.
+inline int ClampShardCount(int shards) {
+  if (shards < 1) return 1;
+  if (shards > kMaxShards) return kMaxShards;
+  return shards;
+}
+
+/// The process-wide default shard count, read once from INVERDA_SHARDS.
+/// Unset (or <= 1) means one shard — the degenerate case that preserves
+/// the pre-sharding engine's behavior bit for bit.
+inline int DefaultShardCount() {
+  static const int shards = [] {
+    const char* env = std::getenv("INVERDA_SHARDS");
+    if (env == nullptr || env[0] == '\0') return 1;
+    return ClampShardCount(std::atoi(env));
+  }();
+  return shards;
+}
+
+/// The shard of key `p` among `shards` shards. Fibonacci hashing spreads
+/// the dense, sequence-drawn keys evenly; with one shard every key maps
+/// to shard 0 (no hashing at all on the degenerate path).
+inline int ShardOf(int64_t key, int shards) {
+  if (shards <= 1) return 0;
+  const uint64_t h =
+      static_cast<uint64_t>(key) * UINT64_C(0x9E3779B97F4A7C15);
+  // The top bits of the product are the well-mixed ones.
+  return static_cast<int>((h >> 33) % static_cast<uint64_t>(shards));
+}
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_SHARD_H_

@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace inverda {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int DefaultPoolThreads() {
+  const char* env = std::getenv("INVERDA_SCAN_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    return std::max(1, std::min(16, std::atoi(env)));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, std::min(16, static_cast<int>(hw)));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 1) return;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::RunJob(Job* job) {
+  for (;;) {
+    const int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->limit) return;
+    (*job->fn)(i);
+    job->done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_ticket_ != seen);
+    });
+    if (stop_) return;
+    seen = job_ticket_;
+    Job* job = job_;
+    ++job->active;
+    lock.unlock();
+    RunJob(job);
+    lock.lock();
+    if (--job->active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  // Inline paths: trivial jobs, a degenerate pool, nested parallelism
+  // (a worker must never block on the queue it drains), or a job already
+  // in flight (one fan-out at a time; a concurrent caller just does its
+  // own work serially instead of queueing).
+  if (n == 1 || workers_.empty() || InWorker()) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.limit = n;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ || job_ != nullptr) {
+      lock.unlock();
+      for (int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    job_ = &job;
+    ++job_ticket_;
+  }
+  work_cv_.notify_all();
+  RunJob(&job);  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.active == 0 &&
+           job.done.load(std::memory_order_acquire) == job.limit;
+  });
+  job_ = nullptr;
+}
+
+namespace {
+
+std::mutex& GlobalPoolMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& GlobalPool() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ScanPool() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMu());
+  std::unique_ptr<ThreadPool>& pool = GlobalPool();
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(DefaultPoolThreads());
+  return *pool;
+}
+
+void ResetScanPoolForTest(int threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMu());
+  GlobalPool() = std::make_unique<ThreadPool>(std::max(1, threads));
+}
+
+}  // namespace inverda

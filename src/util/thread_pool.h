@@ -1,0 +1,81 @@
+#ifndef INVERDA_UTIL_THREAD_POOL_H_
+#define INVERDA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inverda {
+
+/// A small reusable worker pool for shard-parallel storage work (parallel
+/// batch scans and write propagation over sharded tables). Workers are
+/// started once and parked on a condition variable between jobs, so the
+/// per-use cost is a wake-up, not a thread spawn.
+///
+/// The pool executes *pure storage work only*: tasks must not take latches,
+/// must not re-enter the access layer, and must not submit to the pool
+/// again. ParallelFor called from inside a worker (nested parallelism)
+/// runs inline on the calling worker instead of deadlocking on the queue.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. `threads <= 1` creates no workers at all:
+  /// every ParallelFor runs inline on the caller — the degenerate pool
+  /// that makes single-shard builds behave exactly like the unsharded
+  /// engine.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Calls `fn(i)` for every i in [0, n), fanning the indices out over the
+  /// workers (the caller participates too). Blocks until every call
+  /// returned. Runs entirely inline when n <= 1, when the pool has no
+  /// workers, or when called from inside a pool worker. `fn` must be
+  /// thread-safe across distinct indices and must not throw.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// True when the calling thread is a pool worker (nested ParallelFor
+  /// detection; exposed for assertions in callers).
+  static bool InWorker();
+
+ private:
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::atomic<int64_t> next{0};
+    int64_t limit = 0;
+    std::atomic<int64_t> done{0};
+    int active = 0;  // workers inside RunJob; guarded by mu_
+  };
+
+  void WorkerLoop();
+  static void RunJob(Job* job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;  // guarded by mu_; non-null while a job is posted
+  uint64_t job_ticket_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool the storage layer fans shard work out over. Sized
+/// from INVERDA_SCAN_THREADS when set, otherwise from the hardware
+/// concurrency, capped at 16 workers.
+ThreadPool& ScanPool();
+
+/// Replaces the global pool with one of `threads` workers. Not thread-safe
+/// against concurrent ScanPool() users — benchmarks and tests only, called
+/// while no storage work is in flight.
+void ResetScanPoolForTest(int threads);
+
+}  // namespace inverda
+
+#endif  // INVERDA_UTIL_THREAD_POOL_H_

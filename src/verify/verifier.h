@@ -47,6 +47,14 @@ struct VerifyOptions {
   bool roundtrip = true;
   bool fusion = true;
   bool lock_order = true;
+
+  /// Shard count the lock-order analysis models: with more than one shard,
+  /// every whole-table acquisition expands to the (table, shard) latch
+  /// chain TableLatchSet actually takes, and the escalation rule includes
+  /// the total latch budget. <= 1 models the unsharded engine.
+  /// Inverda::VerifyPlans injects the database's active count when left at
+  /// the default.
+  int shards = 0;
 };
 
 /// Proof accounting: what was checked and how obligations were discharged.
@@ -60,6 +68,7 @@ struct ProofStats {
   int lock_sequences = 0;    ///< latch sequences fed to the order analysis
   int lock_tables = 0;       ///< distinct latch names across all sequences
   int lock_escalations = 0;  ///< sequences exempt via global-latch escalation
+  int lock_shards = 1;       ///< shard count the lock analysis modeled
 };
 
 /// The outcome of verifying a genealogy: every diagnostic plus the proof
@@ -103,6 +112,16 @@ struct LockSequence {
 AnalysisReport CheckLockOrder(const std::vector<LockSequence>& sequences,
                               size_t escalation_limit,
                               ProofStats* stats = nullptr);
+
+/// Shard-aware variant: with `shards` > 1 every table in a sequence
+/// expands to the hierarchical latch chain a whole-table reader takes
+/// (`table, table#0, ..., table#S-1` — the maximal fine acquisition), and
+/// a sequence additionally escalates when its total latch count would
+/// exceed TableLatchSet::kShardLatchBudget, mirroring the runtime rule.
+/// `shards` <= 1 behaves exactly like the three-argument form.
+AnalysisReport CheckLockOrder(const std::vector<LockSequence>& sequences,
+                              size_t escalation_limit, int shards,
+                              ProofStats* stats);
 
 /// Verifies every table version of the genealogy under the current
 /// materialization: compiles a fresh full plan per version through

@@ -1,0 +1,181 @@
+// Concurrency stress over the sharded row store: the concurrency_stress
+// scenario (clients pinned to different schema versions, a DBA thread
+// flipping materializations) re-run at shard counts 1, 4, and 16 with the
+// scan pool forced on, so the (table, shard) latch matrix, the
+// shard-parallel batch fill, and the shard-parallel write propagation all
+// race against each other. Run under TSan via scripts/check.sh --tsan —
+// the CI tsan job runs this suite with INVERDA_SHARDS=4 as well, covering
+// the env-default path.
+//
+// Replay a failing run with INVERDA_TEST_SEED=<seed>.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "genealogy_builder.h"
+#include "inverda/inverda.h"
+#include "mapping/side.h"
+#include "test_seed.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/driver.h"
+
+namespace inverda {
+namespace {
+
+std::function<Row(Random*)> RowGenerator(const TableSchema& schema) {
+  std::vector<DataType> types;
+  for (const Column& c : schema.columns()) types.push_back(c.type);
+  return [types](Random* rng) {
+    Row row;
+    for (DataType t : types) {
+      row.push_back(t == DataType::kInt64
+                        ? Value::Int(rng->NextInt64(0, 99))
+                        : Value::String(rng->NextString(3)));
+    }
+    return row;
+  };
+}
+
+std::vector<ConcurrentClientSpec> ClientsPerVersion(Inverda* db,
+                                                    const OpMix& mix,
+                                                    Random* rng) {
+  std::vector<ConcurrentClientSpec> clients;
+  for (const std::string& version : db->catalog().VersionNames()) {
+    const SchemaVersionInfo* info = *db->catalog().FindVersion(version);
+    if (info->tables.empty()) continue;
+    auto it = info->tables.begin();
+    std::advance(it,
+                 static_cast<long>(rng->NextUint64(info->tables.size())));
+    ConcurrentClientSpec spec;
+    spec.target.version = version;
+    spec.target.table = it->first;
+    spec.target.make_row =
+        RowGenerator(db->catalog().table_version(it->second).schema);
+    spec.mix = mix;
+    clients.push_back(std::move(spec));
+  }
+  return clients;
+}
+
+class ShardStressTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Force pool workers even on 1-core CI hosts, and drop the parallel-scan
+  // threshold so the small stress tables take the parallel fill path.
+  void SetUp() override {
+    ResetScanPoolForTest(4);
+    prev_min_rows_ = ParallelScanMinRows();
+    SetParallelScanMinRows(1);
+  }
+  void TearDown() override {
+    SetParallelScanMinRows(prev_min_rows_);
+    ResetScanPoolForTest(0);
+  }
+
+ private:
+  int64_t prev_min_rows_ = 0;
+};
+
+TEST_P(ShardStressTest, MixedClientsSurviveMigrationsAtEveryShardCount) {
+  const int shards = GetParam();
+  const uint64_t seed = TestSeed(41 + static_cast<uint64_t>(shards));
+  INVERDA_TRACE_SEED(seed);
+  Inverda db(shards);
+  ASSERT_EQ(db.shards(), shards);
+
+  testutil::GenealogyBuilder builder(&db, seed);
+  ASSERT_TRUE(builder.Init().ok());
+  for (int step = 0; step < 4; ++step) ASSERT_TRUE(builder.Step().ok());
+  Random rng(seed * 13 + 1);
+  for (int i = 0; i < 40; ++i) {
+    testutil::RandomInsert(&db, &rng, builder.versions());
+  }
+
+  Result<std::vector<std::set<SmoId>>> schemas =
+      db.catalog().EnumerateValidMaterializations(/*limit=*/8);
+  ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
+  ASSERT_GE(schemas->size(), 2u);
+
+  std::atomic<size_t> next_schema{0};
+  ConcurrentOptions options;
+  options.ops_per_client = 200;
+  options.seed = seed;
+  options.tolerate_rejections = true;
+  options.dba_action = [&]() -> Status {
+    size_t i = next_schema.fetch_add(1) % schemas->size();
+    return db.MaterializeSchema((*schemas)[i]);
+  };
+
+  std::vector<ConcurrentClientSpec> clients =
+      ClientsPerVersion(&db, OpMix::Standard(), &rng);
+  ASSERT_GE(clients.size(), 4u);
+
+  ConcurrentResult result = RunConcurrentWorkload(&db, clients, options);
+  EXPECT_TRUE(result.first_error().ok()) << result.first_error().ToString();
+  for (size_t i = 0; i < result.clients.size(); ++i) {
+    const ConcurrentClientResult& c = result.clients[i];
+    EXPECT_TRUE(c.status.ok())
+        << clients[i].target.version << ": " << c.status.ToString();
+    EXPECT_GT(c.reads, 0) << clients[i].target.version;
+  }
+  EXPECT_GT(result.dba_iterations, 0);
+
+  // Quiesce reconciliation, exactly as in concurrency_stress_test: a torn
+  // shard-parallel propagation would leave a view that changes under one
+  // more migration.
+  auto before = testutil::Snapshot(&db);
+  ASSERT_FALSE(before.empty());
+  for (const std::set<SmoId>& m : *schemas) {
+    ASSERT_TRUE(db.MaterializeSchema(m).ok());
+    auto now = testutil::Snapshot(&db);
+    std::string diff = testutil::DiffSnapshots(before, now);
+    ASSERT_TRUE(diff.empty()) << diff;
+  }
+}
+
+// Readers race a DBA that keeps *resharding* the engine — the hostile case
+// for the latch registry's atomic shard count: every acquisition must
+// re-validate its footprint after the global latch (docs/concurrency.md).
+TEST_P(ShardStressTest, ReadersSurviveConcurrentResharding) {
+  const int shards = GetParam();
+  const uint64_t seed = TestSeed(97 + static_cast<uint64_t>(shards));
+  INVERDA_TRACE_SEED(seed);
+  Inverda db(shards);
+  testutil::GenealogyBuilder builder(&db, seed);
+  ASSERT_TRUE(builder.Init().ok());
+  for (int step = 0; step < 3; ++step) ASSERT_TRUE(builder.Step().ok());
+  Random rng(seed * 17 + 5);
+  for (int i = 0; i < 30; ++i) {
+    testutil::RandomInsert(&db, &rng, builder.versions());
+  }
+
+  std::atomic<int> round{0};
+  const int cycle[] = {1, 4, 16, shards};
+  ConcurrentOptions options;
+  options.ops_per_client = 150;
+  options.seed = seed;
+  options.tolerate_rejections = true;
+  options.dba_action = [&]() -> Status {
+    return db.Reshard(cycle[round.fetch_add(1) % 4]);
+  };
+
+  std::vector<ConcurrentClientSpec> clients =
+      ClientsPerVersion(&db, OpMix::Standard(), &rng);
+  ASSERT_GE(clients.size(), 3u);
+
+  ConcurrentResult result = RunConcurrentWorkload(&db, clients, options);
+  EXPECT_TRUE(result.first_error().ok()) << result.first_error().ToString();
+  EXPECT_GT(result.dba_iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardStressTest,
+                         ::testing::Values(1, 4, 16),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace inverda

@@ -23,6 +23,7 @@
 // under --explain, where they are applied so the plans exist.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,6 +34,7 @@
 #include "analysis/diagnostic.h"
 #include "inverda/inverda.h"
 #include "plan/explain.h"
+#include "util/shard.h"
 
 namespace inverda {
 namespace {
@@ -52,7 +54,11 @@ int Usage() {
                "                    metrics registry snapshot as JSON\n"
                "  --verify-plans    lint the scripts, apply them, and run\n"
                "                    the static plan verifier over every\n"
-               "                    compiled plan (docs/verifier.md)\n");
+               "                    compiled plan (docs/verifier.md)\n"
+               "  --shards <n>      partition every physical table into <n>\n"
+               "                    hash shards (default: INVERDA_SHARDS or\n"
+               "                    1; affects latching and the verifier's\n"
+               "                    lock model, never results)\n");
   return 2;
 }
 
@@ -72,8 +78,8 @@ std::string ReadStdin() {
 }
 
 int RunLint(const std::vector<std::string>& scripts,
-            const std::string& setup_path, bool json) {
-  Inverda db;
+            const std::string& setup_path, bool json, int shards) {
+  Inverda db(shards);
   if (!setup_path.empty()) {
     std::string setup;
     if (!ReadFile(setup_path, &setup)) {
@@ -104,8 +110,8 @@ int RunLint(const std::vector<std::string>& scripts,
 // --explain: the scripts are applied, not simulated, and then the compiled
 // access plan of every visible version.table is rendered.
 int RunExplain(const std::vector<std::string>& scripts,
-               const std::string& setup_path) {
-  Inverda db;
+               const std::string& setup_path, int shards) {
+  Inverda db(shards);
   std::vector<std::string> all = scripts;
   if (!setup_path.empty()) {
     std::string setup;
@@ -135,8 +141,9 @@ int RunExplain(const std::vector<std::string>& scripts,
                      compiled.status().ToString().c_str());
         return 2;
       }
-      std::printf("%s\n",
-                  plan::ExplainPlan(**compiled, version + "." + table).c_str());
+      std::printf("%s\n", plan::ExplainPlan(**compiled, version + "." + table,
+                                            db.shards())
+                              .c_str());
     }
   }
   return 0;
@@ -147,8 +154,8 @@ int RunExplain(const std::vector<std::string>& scripts,
 // the unified registry is dumped as JSON — the machine-readable companion
 // of the shell's METRICS JSON.
 int RunMetrics(const std::vector<std::string>& scripts,
-               const std::string& setup_path) {
-  Inverda db;
+               const std::string& setup_path, int shards) {
+  Inverda db(shards);
   std::vector<std::string> all = scripts;
   if (!setup_path.empty()) {
     std::string setup;
@@ -190,8 +197,8 @@ int RunMetrics(const std::vector<std::string>& scripts,
 // apply the scripts with the compiler's verify gate enabled and run the
 // static verifier over every compiled plan in the genealogy.
 int RunVerifyPlans(const std::vector<std::string>& scripts,
-                   const std::string& setup_path, bool json) {
-  Inverda db;
+                   const std::string& setup_path, bool json, int shards) {
+  Inverda db(shards);
   if (!setup_path.empty()) {
     std::string setup;
     if (!ReadFile(setup_path, &setup)) {
@@ -246,6 +253,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool metrics = false;
   bool verify_plans = false;
+  int shards = 0;
   std::string setup_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -261,6 +269,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--setup") {
       if (i + 1 >= argc) return inverda::Usage();
       setup_path = argv[++i];
+    } else if (arg == "--shards") {
+      if (i + 1 >= argc) return inverda::Usage();
+      char* end = nullptr;
+      shards = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || shards < 1 ||
+          shards > inverda::kMaxShards) {
+        return inverda::Usage();
+      }
     } else if (arg == "--help" || arg == "-h") {
       inverda::Usage();
       return 0;
@@ -284,10 +300,10 @@ int main(int argc, char** argv) {
       scripts.push_back(std::move(text));
     }
   }
-  if (explain) return inverda::RunExplain(scripts, setup_path);
-  if (metrics) return inverda::RunMetrics(scripts, setup_path);
+  if (explain) return inverda::RunExplain(scripts, setup_path, shards);
+  if (metrics) return inverda::RunMetrics(scripts, setup_path, shards);
   if (verify_plans) {
-    return inverda::RunVerifyPlans(scripts, setup_path, json);
+    return inverda::RunVerifyPlans(scripts, setup_path, json, shards);
   }
-  return inverda::RunLint(scripts, setup_path, json);
+  return inverda::RunLint(scripts, setup_path, json, shards);
 }
