@@ -36,7 +36,7 @@ import sys
 # (throughput/speedups: regression = decrease), per benchmark extractor.
 
 GATED_BENCHES = ["microbench_plan", "microbench_concurrency", "fig8_overhead",
-                 "microbench_shards"]
+                 "microbench_shards", "microbench_online_migration"]
 
 
 def extract_microbench_plan(doc):
@@ -96,11 +96,27 @@ def extract_microbench_shards(doc):
     return metrics, checks
 
 
+def extract_microbench_online_migration(doc):
+    metrics = {}
+    online = doc.get("online", {})
+    for field in ("ops_per_sec", "copy_rows_per_sec"):
+        if field in online:
+            metrics[f"online.{field}"] = ("higher", online[field])
+    # The latency verdicts are scale-gated: null (quick mode) never fails
+    # the gate, mirroring microbench_shards' speedup verdict.
+    checks = {}
+    for name in ("online_read_p99_lt_stw_stall", "flip_window_bounded"):
+        if doc.get(name) is not None:
+            checks[name] = doc.get(name)
+    return metrics, checks
+
+
 EXTRACTORS = {
     "microbench_plan": extract_microbench_plan,
     "microbench_concurrency": extract_microbench_concurrency,
     "fig8_overhead": extract_fig8_overhead,
     "microbench_shards": extract_microbench_shards,
+    "microbench_online_migration": extract_microbench_online_migration,
 }
 
 

@@ -180,6 +180,19 @@ Result<AccessLayer::PlanHandle> AccessLayer::ResolvePlan(TvId tv) {
   return handle;
 }
 
+Status AccessLayer::PrewarmPlans() {
+  // Compile every table version's plan at the current epoch. Called inside
+  // the migration flip window (exclusive catalog lock held) right after the
+  // epoch bump, so the first post-flip access of every version hits a warm
+  // cache instead of paying compilation inside its own critical path — the
+  // "dual-plan epoch window" collapses to the flip itself.
+  if (!plan_cache_enabled_) return Status::OK();
+  for (TvId tv : catalog_->AllTableVersions()) {
+    INVERDA_RETURN_IF_ERROR(GetPlan(tv).status());
+  }
+  return Status::OK();
+}
+
 Result<int> AccessLayer::PropagationDistance(TvId tv) {
   if (plan_cache_enabled_) {
     INVERDA_ASSIGN_OR_RETURN(const plan::TvPlan* p, GetPlan(tv));
@@ -640,6 +653,24 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
 // --- writes -----------------------------------------------------------------
 
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
+  const bool top_level = access_depth_ == 0;
+  Status status = ApplyToVersionImpl(tv, writes);
+  if (top_level) {
+    // Online-migration capture: notify after the data landed (all latches
+    // released) but while the writer still holds its shared catalog lock,
+    // so the coordinator's final exclusive drain can never miss a capture.
+    // Notified even on failure — a partially applied write set may have
+    // propagated some ops, and re-deriving a clean key is harmless.
+    migrate::WriteObserver* observer =
+        write_observer_.load(std::memory_order_acquire);
+    if (observer != nullptr && !writes.empty()) [[unlikely]] {
+      observer->OnWrite(tv, writes);
+    }
+  }
+  return status;
+}
+
+Status AccessLayer::ApplyToVersionImpl(TvId tv, const WriteSet& writes) {
   if (writes.empty()) return Status::OK();
   const bool top_level = access_depth_ == 0;
   const uint32_t hot = obs_->hot();

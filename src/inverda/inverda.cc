@@ -10,15 +10,36 @@
 namespace inverda {
 
 Inverda::Inverda(int shards)
-    : db_(shards), access_(&catalog_, &db_, &obs_) {}
+    : db_(shards), access_(&catalog_, &db_, &obs_), migrate_(this, &obs_) {}
 
 Status Inverda::Reshard(int shards) {
   // Exclusive like DDL: re-bucketing moves rows between shard maps, so no
   // access may be in flight while the partition changes.
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
   db_.Reshard(shards);
   return Status::OK();
 }
+
+Status Inverda::CheckNoActiveMigration() const {
+  if (migrate_.active()) {
+    return Status::InvalidState(
+        "an online migration is in progress; wait for it or abort it first");
+  }
+  return Status::OK();
+}
+
+Status Inverda::MaterializeOnline(const std::vector<std::string>& targets) {
+  return migrate_.Start(targets);
+}
+
+Status Inverda::MaterializeSchemaOnline(const std::set<SmoId>& m) {
+  return migrate_.StartSchema(m);
+}
+
+Status Inverda::WaitForMigration() { return migrate_.Wait(); }
+
+Status Inverda::AbortMigration() { return migrate_.Abort(); }
 
 Status Inverda::Execute(const std::string& bidel_script) {
   INVERDA_ASSIGN_OR_RETURN(std::vector<BidelStatement> statements,
@@ -62,6 +83,7 @@ Status Inverda::ProvisionSmo(SmoId id) {
 Status Inverda::CreateSchemaVersion(const EvolutionStatement& stmt) {
   // DDL: exclusive — no access may observe a half-registered evolution.
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
   // The static-analysis gate: errors reject the evolution before any
   // catalog mutation or delta-code provisioning; warnings and notes are
   // recorded on the created version (shown by DescribeCatalog).
@@ -95,6 +117,7 @@ Status Inverda::DropSchemaVersion(const std::string& name) {
   // DDL: exclusive — physical tables disappear below any in-flight access
   // otherwise.
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
   access_.InvalidateCache();
   INVERDA_ASSIGN_OR_RETURN(DropResult result, catalog_.DropVersion(name));
   // Physical cleanup: aux tables of removed SMO instances. Removed table

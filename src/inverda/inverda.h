@@ -17,6 +17,7 @@
 #include "catalog/catalog.h"
 #include "expr/expression.h"
 #include "mapping/side.h"
+#include "migrate/coordinator.h"
 #include "obs/observability.h"
 #include "plan/compiler.h"
 #include "plan/plan.h"
@@ -156,6 +157,24 @@ class AccessLayer : public AccessBackend {
   /// migration operation.
   void InvalidateForMigration(const std::set<SmoId>& flipped);
 
+  /// Migration write capture (docs/migration.md): when an observer is
+  /// installed — always under the facade's exclusive DDL lock — every
+  /// top-level ApplyToVersion reports its write set after the data landed,
+  /// while the writer still holds the shared catalog lock. That ordering is
+  /// what makes the coordinator's delta log complete: a backfill derivation
+  /// that read pre-write data either finds the key queued for replay or is
+  /// followed by the key (re)entering the log.
+  void set_write_observer(migrate::WriteObserver* observer) {
+    write_observer_.store(observer, std::memory_order_release);
+  }
+
+  /// Compiles the plan of every live table version under the current
+  /// materialization epoch into the plan cache. The migration flip calls
+  /// this inside its exclusive window (the dual-plan epoch window): the old
+  /// epoch's plans serve until the flip, and the first post-flip access of
+  /// each version hits a warm cache. Returns the first compile error.
+  Status PrewarmPlans();
+
   /// Per-table-version cache statistics (returned by value: a snapshot).
   struct VersionCacheStats {
     int64_t hits = 0;
@@ -183,6 +202,10 @@ class AccessLayer : public AccessBackend {
     std::unique_ptr<plan::TvPlan> owned;
   };
   Result<PlanHandle> ResolvePlan(TvId tv);
+
+  /// The body of ApplyToVersion; the public entry point wraps it with the
+  /// migration write-capture hook so every exit path reports exactly once.
+  Status ApplyToVersionImpl(TvId tv, const WriteSet& writes);
 
   /// Latches the operation's physical footprint at the top level of an
   /// access (a no-op when the calling thread is already inside one — kernel
@@ -314,6 +337,8 @@ class AccessLayer : public AccessBackend {
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> cache_invalidations_{0};
+  // Migration write-capture sink; null outside an active migration.
+  std::atomic<migrate::WriteObserver*> write_observer_{nullptr};
   // Recursion depth of the calling thread across ScanVersion / FindVersion
   // / ApplyToVersion: latches are taken and the write trace collected only
   // at the top level of an access chain.
@@ -367,6 +392,37 @@ class Inverda {
 
   /// Applies an explicit materialization schema (by SMO instance ids).
   Status MaterializeSchema(const std::set<SmoId>& m);
+
+  // --- online migration (docs/migration.md) ----------------------------------
+
+  /// Non-blocking MATERIALIZE: admits a background migration to the same
+  /// targets Materialize accepts and returns immediately. Readers and
+  /// writers of every version keep running while the coordinator backfills
+  /// chunk-by-chunk and replays concurrently captured writes; the commit is
+  /// a brief exclusive epoch flip. While a migration is active all other
+  /// DDL (evolution, drops, blocking MATERIALIZE, Reshard, a second
+  /// MaterializeOnline) is rejected with InvalidState.
+  Status MaterializeOnline(const std::vector<std::string>& targets);
+
+  /// MaterializeOnline for an explicit materialization schema.
+  Status MaterializeSchemaOnline(const std::set<SmoId>& m);
+
+  /// Blocks until no migration is active; returns the terminal status of
+  /// the last migration (OK when none ran or it committed).
+  Status WaitForMigration();
+
+  /// Requests abort of the active migration and waits for the unwind; the
+  /// live database and the plan-cache epoch come back untouched. OK when
+  /// the migration ended aborted or had already committed.
+  Status AbortMigration();
+
+  /// Progress snapshot of the migration coordinator (shell MIGRATIONS).
+  migrate::MigrationStatus MigrationState() const { return migrate_.Snapshot(); }
+
+  /// Fault-injection/pacing hooks for the migration test battery.
+  void set_migration_test_hooks(migrate::TestHooks hooks) {
+    migrate_.set_test_hooks(std::move(hooks));
+  }
 
   // --- data access -----------------------------------------------------------
 
@@ -458,6 +514,7 @@ class Inverda {
 
  private:
   friend class AccessLayer;
+  friend class migrate::MigrationCoordinator;
 
   // Creates the physical tables required by a freshly registered SMO
   // instance (data tables of physically-stored targets + aux tables of the
@@ -475,6 +532,16 @@ class Inverda {
   Status MaterializeLocked(const std::vector<std::string>& targets);
   Status MaterializeSchemaLocked(const std::set<SmoId>& m);
 
+  /// Resolves MATERIALIZE targets ("Version" or "Version.table") to the
+  /// materialization schema they imply (shared by the blocking and online
+  /// paths; requires catalog_mu_).
+  Result<std::set<SmoId>> ResolveMaterializationLocked(
+      const std::vector<std::string>& targets);
+
+  /// InvalidState while an online migration is active; DDL callers check
+  /// this after taking the exclusive lock.
+  Status CheckNoActiveMigration() const;
+
   // The DDL/DML boundary: shared for data access, exclusive for schema
   // evolution, migration, and version drops.
   mutable std::shared_mutex catalog_mu_;
@@ -486,6 +553,9 @@ class Inverda {
   // outlive it on destruction (members destroy in reverse order).
   obs::Observability obs_;
   AccessLayer access_;
+  // Declared last: destroys first, joining any in-flight migration worker
+  // while the catalog, storage and access layer are still alive.
+  migrate::MigrationCoordinator migrate_;
 };
 
 }  // namespace inverda

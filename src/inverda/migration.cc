@@ -22,15 +22,18 @@ Status Inverda::Materialize(const std::vector<std::string>& targets) {
   // access may observe a half-flipped state (clients see the catalog epoch
   // strictly before or strictly after).
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
   return MaterializeLocked(targets);
 }
 
 Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
+  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
   return MaterializeSchemaLocked(m);
 }
 
-Status Inverda::MaterializeLocked(const std::vector<std::string>& targets) {
+Result<std::set<SmoId>> Inverda::ResolveMaterializationLocked(
+    const std::vector<std::string>& targets) {
   // Resolve the targets ("Version" or "Version.table") to table versions.
   std::vector<TvId> tables;
   for (const std::string& target : targets) {
@@ -50,8 +53,12 @@ Status Inverda::MaterializeLocked(const std::vector<std::string>& targets) {
       return Status::InvalidArgument("bad MATERIALIZE target: " + target);
     }
   }
+  return catalog_.MaterializationForTables(tables);
+}
+
+Status Inverda::MaterializeLocked(const std::vector<std::string>& targets) {
   INVERDA_ASSIGN_OR_RETURN(std::set<SmoId> m,
-                           catalog_.MaterializationForTables(tables));
+                           ResolveMaterializationLocked(targets));
   return MaterializeSchemaLocked(m);
 }
 

@@ -68,16 +68,25 @@ Status ConcurrentResult::first_error() const {
   for (const ConcurrentClientResult& c : clients) {
     if (!c.status.ok()) return c.status;
   }
-  return dba_status;
+  if (!dba_status.ok()) return dba_status;
+  return migrate_status;
 }
 
 namespace {
+
+// Shared progress state of the migrate_during phase: clients bump `ops`
+// per completed operation; the migration thread waits on it, then opens
+// the window (1) for the duration of the migration and closes it (2).
+struct MigrationWindow {
+  std::atomic<int64_t> ops{0};
+  std::atomic<int> state{0};  // 0 = waiting, 1 = in flight, 2 = finished
+};
 
 // One client's operation loop: RunWorkload's mix logic with per-kind
 // counting. Runs entirely on the client's thread with private keys/rng;
 // only the Inverda facade is shared.
 void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
-               const ConcurrentOptions& options,
+               const ConcurrentOptions& options, MigrationWindow* window,
                ConcurrentClientResult* out) {
   Random rng(options.seed);
   std::vector<int64_t> keys = spec.initial_keys;
@@ -108,6 +117,14 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
     ++out->rejections;
     return true;
   };
+  auto count = [window, out](int64_t* slot) {
+    ++*slot;
+    if (window == nullptr) return;
+    window->ops.fetch_add(1, std::memory_order_acq_rel);
+    if (window->state.load(std::memory_order_acquire) == 1) {
+      ++out->ops_during_migration;
+    }
+  };
   for (int i = 0; i < options.ops_per_client; ++i) {
     double roll = rng.NextDouble();
     if (roll < spec.mix.reads || keys.empty()) {
@@ -115,7 +132,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
       Result<std::vector<KeyedRow>> rows =
           db->Select(target.version, target.table);
       if (!rows.ok()) return fail(rows.status());
-      ++out->reads;
+      count(&out->reads);
       continue;
     }
     roll -= spec.mix.reads;
@@ -125,7 +142,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
           db->Insert(target.version, target.table, target.make_row(&rng));
       if (key.ok()) {
         keys.push_back(*key);
-        ++out->inserts;
+        count(&out->inserts);
       } else if (!rejected(key.status())) {
         return fail(key.status());
       }
@@ -147,7 +164,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
                               target.make_row(&rng));
         if (!s.ok() && !rejected(s)) return fail(s);
       }
-      ++out->updates;
+      count(&out->updates);
       continue;
     }
     obs::ScopedTimer timer(delete_ns);
@@ -155,7 +172,7 @@ void RunClient(Inverda* db, const ConcurrentClientSpec& spec,
     if (!s.ok() && !rejected(s)) return fail(s);
     keys[pick] = keys.back();
     keys.pop_back();
-    ++out->deletes;
+    count(&out->deletes);
   }
   out->final_keys = std::move(keys);
 }
@@ -168,6 +185,8 @@ ConcurrentResult RunConcurrentWorkload(
   ConcurrentResult result;
   result.clients.resize(clients.size());
   std::atomic<int> running{static_cast<int>(clients.size())};
+  MigrationWindow window;
+  MigrationWindow* window_ptr = options.migrate_during ? &window : nullptr;
 
   double start = NowSeconds();
   std::vector<std::thread> threads;
@@ -176,8 +195,26 @@ ConcurrentResult RunConcurrentWorkload(
     threads.emplace_back([&, i] {
       ConcurrentOptions mine = options;
       mine.seed = options.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
-      RunClient(db, clients[i], mine, &result.clients[i]);
+      RunClient(db, clients[i], mine, window_ptr, &result.clients[i]);
       running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // The one-shot migration thread: wait for the workload to warm up, then
+  // run the migration while the clients keep going. Fires even if the
+  // clients drained early (the test still wants the migration to happen);
+  // pacing the coordinator (TestHooks) is what guarantees overlap.
+  std::thread migrator;
+  if (options.migrate_during) {
+    migrator = std::thread([&] {
+      while (window.ops.load(std::memory_order_acquire) <
+                 options.migrate_after_ops &&
+             running.load(std::memory_order_acquire) > 0) {
+        std::this_thread::yield();
+      }
+      window.state.store(1, std::memory_order_release);
+      result.migrate_status = options.migrate_during();
+      result.migrate_fired = true;
+      window.state.store(2, std::memory_order_release);
     });
   }
   // The DBA thread keeps flipping until every client finished, so the
@@ -198,6 +235,7 @@ ConcurrentResult RunConcurrentWorkload(
   }
   for (std::thread& t : threads) t.join();
   if (dba.joinable()) dba.join();
+  if (migrator.joinable()) migrator.join();
   result.seconds = NowSeconds() - start;
   return result;
 }

@@ -67,6 +67,15 @@ struct ConcurrentOptions {
   /// invisible tuples or violate partition conditions. Reads always stop
   /// the client on error.
   bool tolerate_rejections = false;
+  /// Optional one-shot migration fired mid-workload on its own thread
+  /// (e.g. MaterializeOnline + WaitForMigration). It starts once the
+  /// clients completed `migrate_after_ops` operations in total, runs to
+  /// completion exactly once, and its status lands in
+  /// ConcurrentResult::migrate_status. Operations that complete while it
+  /// is in flight count into ConcurrentClientResult::ops_during_migration
+  /// — the "versions stay live while the floor moves" evidence.
+  std::function<Status()> migrate_during;
+  int migrate_after_ops = 0;
 };
 
 /// Per-client outcome: how many operations of each kind completed, and the
@@ -77,6 +86,9 @@ struct ConcurrentClientResult {
   int64_t updates = 0;
   int64_t deletes = 0;
   int64_t rejections = 0;  // legally rejected writes (see ConcurrentOptions)
+  /// Operations completed while the migrate_during migration was in
+  /// flight (0 when no migration ran or it missed this client's window).
+  int64_t ops_during_migration = 0;
   Status status = Status::OK();
   std::vector<int64_t> final_keys;  // surviving keys at client exit
   int64_t ops() const { return reads + inserts + updates + deletes; }
@@ -88,6 +100,8 @@ struct ConcurrentResult {
   std::vector<ConcurrentClientResult> clients;
   int64_t dba_iterations = 0;
   Status dba_status = Status::OK();
+  bool migrate_fired = false;  // the migrate_during migration ran
+  Status migrate_status = Status::OK();
 
   int64_t total_ops() const {
     int64_t total = 0;

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "genealogy_builder.h"
 #include "handwritten/reference_sql.h"
 #include "inverda/inverda.h"
 
@@ -101,6 +107,198 @@ TEST_F(MigrationFailureTest, RepeatedFailureThenSuccessKeepsStateClean) {
   ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
   EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
   EXPECT_EQ(db_.Select("TasKy2", "Author")->size(), 3u);
+}
+
+// --- online (background) migration fault injection --------------------------
+//
+// MaterializeOnline runs copy/catch-up on a worker thread and commits in a
+// brief exclusive flip. Faults injected at every phase boundary (coordinator
+// TestHooks) must unwind to exactly the pre-migration state: materialization,
+// plan-cache epoch, physical tables, and every version's view.
+
+class OnlineMigrationFailureTest : public MigrationFailureTest {
+ protected:
+  struct StateFingerprint {
+    uint64_t epoch;
+    std::set<SmoId> materialization;
+    size_t physical_tables;
+    std::map<std::string, std::vector<KeyedRow>> views;
+  };
+
+  StateFingerprint Fingerprint() {
+    StateFingerprint fp;
+    fp.epoch = db_.catalog().materialization_epoch();
+    fp.materialization = db_.catalog().CurrentMaterialization();
+    fp.physical_tables = db_.db().TableNames().size();
+    fp.views = testutil::Snapshot(&db_);
+    return fp;
+  }
+
+  void ExpectUnchanged(const StateFingerprint& before, const char* context) {
+    EXPECT_EQ(db_.catalog().materialization_epoch(), before.epoch) << context;
+    EXPECT_EQ(db_.catalog().CurrentMaterialization(), before.materialization)
+        << context;
+    EXPECT_EQ(db_.db().TableNames().size(), before.physical_tables) << context;
+    std::string diff = testutil::DiffSnapshots(before.views,
+                                               testutil::Snapshot(&db_));
+    EXPECT_TRUE(diff.empty()) << context << ": " << diff;
+  }
+};
+
+TEST_F(OnlineMigrationFailureTest, FaultAtEachPhaseRollsBack) {
+  const migrate::Phase boundaries[] = {
+      migrate::Phase::kCopy, migrate::Phase::kCatchUp, migrate::Phase::kFlip};
+  for (migrate::Phase fail_at : boundaries) {
+    StateFingerprint before = Fingerprint();
+    migrate::TestHooks hooks;
+    hooks.on_phase = [fail_at](migrate::Phase phase) {
+      if (phase == fail_at) return Status::Internal("injected fault");
+      return Status::OK();
+    };
+    db_.set_migration_test_hooks(hooks);
+    ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+    Status s = db_.WaitForMigration();
+    EXPECT_FALSE(s.ok()) << "fault at " << migrate::PhaseName(fail_at)
+                         << " was swallowed";
+    EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kFailed);
+    ExpectUnchanged(before, migrate::PhaseName(fail_at));
+    db_.set_migration_test_hooks({});
+  }
+  // The unwind left the engine fully functional: a clean online retry
+  // commits and bumps the epoch exactly once.
+  uint64_t epoch = db_.catalog().materialization_epoch();
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kDone);
+  EXPECT_EQ(db_.catalog().materialization_epoch(), epoch + 1);
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
+}
+
+TEST_F(OnlineMigrationFailureTest, FaultInsideFlipCommitRollsBack) {
+  // before_flip_commit fires inside the exclusive flip section, after the
+  // final drain — the worst possible moment to fail.
+  StateFingerprint before = Fingerprint();
+  migrate::TestHooks hooks;
+  hooks.before_flip_commit = [] {
+    return Status::Internal("injected fault inside flip");
+  };
+  db_.set_migration_test_hooks(hooks);
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_FALSE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kFailed);
+  ExpectUnchanged(before, "before_flip_commit");
+  db_.set_migration_test_hooks({});
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+}
+
+TEST_F(OnlineMigrationFailureTest, CollidingStagingTableRollsBackOnline) {
+  // The same obstruction as the stop-the-world test, hit by the background
+  // path: the commit fails mid-flip and Restore must bring the obstruction
+  // and the old materialization back bit-for-bit.
+  TvId task2 = *db_.catalog().ResolveTable("TasKy2", "Task");
+  std::string doomed_name = db_.catalog().DataTableName(task2);
+  ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed_name, {})).ok());
+  StateFingerprint before = Fingerprint();
+
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_FALSE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kFailed);
+  ExpectUnchanged(before, "staging collision");
+
+  ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+}
+
+TEST_F(OnlineMigrationFailureTest, InvalidTargetsFailSynchronously) {
+  EXPECT_FALSE(db_.MaterializeOnline({"NoSuchVersion"}).ok());
+  EXPECT_FALSE(db_.MaterializeOnline({"TasKy2.NoSuchTable"}).ok());
+  EXPECT_FALSE(db_.MaterializeOnline({"a.b.c"}).ok());
+  EXPECT_FALSE(db_.MigrationState().active);
+  // A bad start never poisons the coordinator for the next migration.
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+}
+
+TEST_F(OnlineMigrationFailureTest, DdlIsRejectedWhileMigrationInFlight) {
+  // Hold the coordinator in catch-up; every DDL entry point must refuse
+  // with InvalidState instead of racing the background copy.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gated = false, release = false;
+  migrate::TestHooks hooks;
+  hooks.on_phase = [&](migrate::Phase phase) {
+    if (phase == migrate::Phase::kCatchUp) {
+      std::unique_lock<std::mutex> lock(mu);
+      gated = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return Status::OK();
+  };
+  db_.set_migration_test_hooks(hooks);
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gated; });
+  }
+
+  auto expect_rejected = [](const Status& s, const char* what) {
+    EXPECT_FALSE(s.ok()) << what << " admitted during migration";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidState) << what;
+  };
+  expect_rejected(db_.Materialize({"Do!"}), "Materialize");
+  expect_rejected(db_.MaterializeOnline({"Do!"}), "second MaterializeOnline");
+  expect_rejected(db_.Execute("CREATE SCHEMA VERSION Late FROM TasKy WITH "
+                              "ADD COLUMN late INT AS 0 INTO Task;"),
+                  "CREATE SCHEMA VERSION");
+  expect_rejected(db_.DropSchemaVersion("Do!"), "DROP SCHEMA VERSION");
+  expect_rejected(db_.Reshard(2), "Reshard");
+  // DML stays admitted: that is the whole point of the online path.
+  EXPECT_TRUE(db_.Insert("TasKy", "Task",
+                         {Value::String("a9"), Value::String("t9"),
+                          Value::Int(2)})
+                  .ok());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 11u);
+  // With the migration done, DDL is admitted again.
+  db_.set_migration_test_hooks({});
+  EXPECT_TRUE(db_.Materialize({"Do!"}).ok());
+}
+
+TEST_F(OnlineMigrationFailureTest, AbortMidCopyRestores) {
+  StateFingerprint before = Fingerprint();
+  migrate::TestHooks hooks;
+  hooks.chunk_keys = 1;
+  hooks.after_chunk = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  db_.set_migration_test_hooks(hooks);
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.AbortMigration().ok());
+  migrate::Phase outcome = db_.MigrationState().phase;
+  if (outcome == migrate::Phase::kAborted) {
+    ExpectUnchanged(before, "abort mid-copy");
+  } else {
+    // The abort can lose the race to a fast commit; then the migration's
+    // full effect (and nothing else) is visible.
+    ASSERT_EQ(outcome, migrate::Phase::kDone);
+    EXPECT_EQ(db_.catalog().materialization_epoch(), before.epoch + 1);
+  }
+  // Either way the coordinator accepts the next migration.
+  db_.set_migration_test_hooks({});
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
 }
 
 }  // namespace

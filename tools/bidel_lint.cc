@@ -15,6 +15,11 @@
 //                                        # verify every compiled plan
 //                                        # (src/verify: round-trip, fusion,
 //                                        # lock order)
+//   bidel_lint --online-materialize <v> s.bidel
+//                                        # apply, then run an online
+//                                        # MATERIALIZE of <v> to completion
+//                                        # and print the migration status
+//                                        # line (docs/migration.md)
 //
 // Exit status: 0 when the script is clean (warnings and notes allowed),
 // 1 when the analyzer reports at least one error, 2 on usage or I/O
@@ -55,6 +60,11 @@ int Usage() {
                "  --verify-plans    lint the scripts, apply them, and run\n"
                "                    the static plan verifier over every\n"
                "                    compiled plan (docs/verifier.md)\n"
+               "  --online-materialize <target>\n"
+               "                    apply the scripts, run an online\n"
+               "                    MATERIALIZE of <target> (\"Version\" or\n"
+               "                    \"Version.table\") to completion, and\n"
+               "                    print the migration status line\n"
                "  --shards <n>      partition every physical table into <n>\n"
                "                    hash shards (default: INVERDA_SHARDS or\n"
                "                    1; affects latching and the verifier's\n"
@@ -245,6 +255,44 @@ int RunVerifyPlans(const std::vector<std::string>& scripts,
   return summary->ok() ? 0 : 1;
 }
 
+// --online-materialize: the scripts are applied, then one online
+// MATERIALIZE of the given target runs to completion — the command-line
+// smoke surface of the migration coordinator. Prints the same status line
+// as the shell's MIGRATIONS command.
+int RunOnlineMaterialize(const std::vector<std::string>& scripts,
+                         const std::string& setup_path,
+                         const std::string& target, int shards) {
+  Inverda db(shards);
+  std::vector<std::string> all = scripts;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    all.insert(all.begin(), std::move(setup));
+  }
+  for (const std::string& script : all) {
+    Status status = db.Execute(script);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  Status status = db.MaterializeOnline({target});
+  if (status.ok()) status = db.WaitForMigration();
+  std::printf("%s\n",
+              migrate::FormatMigrationStatus(db.MigrationState()).c_str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "bidel_lint: online materialize failed: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace inverda
 
@@ -254,6 +302,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool verify_plans = false;
   int shards = 0;
+  std::string online_target;
   std::string setup_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -266,6 +315,9 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--verify-plans") {
       verify_plans = true;
+    } else if (arg == "--online-materialize") {
+      if (i + 1 >= argc) return inverda::Usage();
+      online_target = argv[++i];
     } else if (arg == "--setup") {
       if (i + 1 >= argc) return inverda::Usage();
       setup_path = argv[++i];
@@ -299,6 +351,10 @@ int main(int argc, char** argv) {
       }
       scripts.push_back(std::move(text));
     }
+  }
+  if (!online_target.empty()) {
+    return inverda::RunOnlineMaterialize(scripts, setup_path, online_target,
+                                         shards);
   }
   if (explain) return inverda::RunExplain(scripts, setup_path, shards);
   if (metrics) return inverda::RunMetrics(scripts, setup_path, shards);

@@ -19,6 +19,7 @@
 //   EXPLAIN <version>.<table> -- the compiled access plan (Figure 6 cases)
 //   VERIFY [JSON]            -- static plan verifier (docs/verifier.md)
 //   SHARDS [<n>]             -- show or set the physical shard count
+//   MIGRATIONS [START <targets>|WAIT|ABORT]  -- online MATERIALIZE
 //   HELP | QUIT
 
 #include <cstdio>
@@ -189,6 +190,7 @@ class Shell {
     if (EqualsIgnoreCase(first, "EXPLAIN")) return Explain(rest);
     if (EqualsIgnoreCase(first, "VERIFY")) return Verify(rest);
     if (EqualsIgnoreCase(first, "METRICS")) return Metrics(rest);
+    if (EqualsIgnoreCase(first, "MIGRATIONS")) return Migrations(rest);
     if (EqualsIgnoreCase(first, "SHARDS")) return Shards(rest);
     if (EqualsIgnoreCase(first, "TRACE")) return Trace(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
@@ -221,6 +223,10 @@ class Shell {
         "  VERIFY [JSON];        -- static plan verifier (round-trip, fusion,\n"
         "                        --   lock order; docs/verifier.md)\n"
         "  METRICS [JSON|RESET]; -- the unified stats registry\n"
+        "  MIGRATIONS [START <v>[.<table>] ...|WAIT|ABORT];\n"
+        "                 -- online MATERIALIZE: background copy + brief\n"
+        "                 --   flip (docs/migration.md); no argument shows\n"
+        "                 --   the coordinator status\n"
         "  SHARDS [<n>];  -- show or set the physical store's shard count\n"
         "  TRACE ON|OFF|LAST [n]|JSON [n];  -- per-operation span traces\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
@@ -285,6 +291,43 @@ class Shell {
       return Status::OK();
     }
     return Status::InvalidArgument("METRICS [JSON|RESET]");
+  }
+
+  Status Migrations(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) {
+      std::printf("  %s\n",
+                  migrate::FormatMigrationStatus(db_.MigrationState()).c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "START")) {
+      std::vector<std::string> targets;
+      std::string target;
+      while (in >> target) targets.push_back(target);
+      if (targets.empty()) {
+        return Status::InvalidArgument(
+            "MIGRATIONS START <version>[.<table>] ...");
+      }
+      INVERDA_RETURN_IF_ERROR(db_.MaterializeOnline(targets));
+      std::printf("OK, migration started: %s\n",
+                  migrate::FormatMigrationStatus(db_.MigrationState()).c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "WAIT")) {
+      INVERDA_RETURN_IF_ERROR(db_.WaitForMigration());
+      std::printf("OK, %s\n",
+                  migrate::FormatMigrationStatus(db_.MigrationState()).c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "ABORT")) {
+      INVERDA_RETURN_IF_ERROR(db_.AbortMigration());
+      std::printf("OK, %s\n",
+                  migrate::FormatMigrationStatus(db_.MigrationState()).c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("MIGRATIONS [START <targets>|WAIT|ABORT]");
   }
 
   Status Shards(const std::string& rest) {
