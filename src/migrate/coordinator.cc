@@ -122,6 +122,7 @@ Status MigrationCoordinator::Reap() {
 }
 
 Status MigrationCoordinator::Start(const std::vector<std::string>& targets) {
+  std::lock_guard<std::mutex> admission(start_mu_);
   INVERDA_RETURN_IF_ERROR(Reap());
   std::string label;
   for (const std::string& t : targets) {
@@ -138,6 +139,7 @@ Status MigrationCoordinator::Start(const std::vector<std::string>& targets) {
 }
 
 Status MigrationCoordinator::StartSchema(const std::set<SmoId>& m) {
+  std::lock_guard<std::mutex> admission(start_mu_);
   INVERDA_RETURN_IF_ERROR(Reap());
   std::string label = "schema{";
   for (SmoId id : m) label += std::to_string(id) + " ";
@@ -152,25 +154,33 @@ Status MigrationCoordinator::StartSchema(const std::set<SmoId>& m) {
 
 Status MigrationCoordinator::StartLocked(const std::set<SmoId>& m,
                                          std::string label) {
+  // Re-check under the exclusive catalog lock, like every other DDL path
+  // (start_mu_ already serializes the Start paths; this keeps the invariant
+  // local and covers any future caller).
+  if (active()) {
+    return Status::InvalidState("an online migration is already in progress");
+  }
   VersionCatalog& catalog = owner_->catalog_;
   INVERDA_RETURN_IF_ERROR(catalog.CheckValidMaterialization(m));
 
   std::set<SmoId> old_m = catalog.CurrentMaterialization();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    label_ = label;
-    last_id_ += 1;
-  }
   if (old_m == m) {
     // Nothing to move: record a trivially committed migration.
+    ResetProgress();
     phase_.store(static_cast<int>(Phase::kDone), std::memory_order_release);
-    std::lock_guard<std::mutex> lock(mu_);
-    result_ = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      label_ = std::move(label);
+      last_id_ += 1;
+      result_ = Status::OK();
+    }
+    mig_started_->Add(1);
+    mig_committed_->Add(1);
     return Status::OK();
   }
 
   auto job = std::make_unique<Job>();
-  job->label = std::move(label);
+  job->label = label;
   job->target_m = m;
   for (SmoId id : catalog.AllSmos()) {
     const SmoInstance& inst = catalog.smo(id);
@@ -231,14 +241,15 @@ Status MigrationCoordinator::StartLocked(const std::set<SmoId>& m,
     }
   }
 
-  rows_copied_.store(0);
-  chunks_.store(0);
-  keys_captured_.store(0);
-  keys_drained_.store(0);
-  catchup_rounds_.store(0);
-  refreshes_.store(0);
-  flip_keys_.store(0);
-  flip_ns_.store(0);
+  // Staging succeeded — only now publish the new id/label, so a rejected
+  // admission never pairs a fresh id with the previous migration's
+  // phase/result in Snapshot().
+  ResetProgress();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    label_ = std::move(label);
+    last_id_ += 1;
+  }
   abort_.store(false, std::memory_order_release);
   phase_.store(static_cast<int>(Phase::kCopy), std::memory_order_release);
   job_ = std::move(job);
@@ -247,6 +258,17 @@ Status MigrationCoordinator::StartLocked(const std::set<SmoId>& m,
   active_.store(true, std::memory_order_release);
   mig_started_->Add(1);
   return Status::OK();
+}
+
+void MigrationCoordinator::ResetProgress() {
+  rows_copied_.store(0);
+  chunks_.store(0);
+  keys_captured_.store(0);
+  keys_drained_.store(0);
+  catchup_rounds_.store(0);
+  refreshes_.store(0);
+  flip_keys_.store(0);
+  flip_ns_.store(0);
 }
 
 Status MigrationCoordinator::Wait() {

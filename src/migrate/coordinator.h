@@ -191,12 +191,20 @@ class MigrationCoordinator : public WriteObserver {
 
   using DerivedRows = std::vector<std::pair<int64_t, std::optional<Row>>>;
 
-  /// Stages the job and installs the capture hook. Requires the facade's
-  /// exclusive catalog lock.
+  /// Stages the job and installs the capture hook. Requires start_mu_ and
+  /// the facade's exclusive catalog lock; publishes a new migration id only
+  /// once staging succeeded, so a rejected admission leaves the previous
+  /// migration's snapshot intact.
   Status StartLocked(const std::set<SmoId>& m, std::string label);
 
-  /// Rejects when active; joins the previous worker otherwise.
+  /// Rejects when active; joins the previous worker otherwise. Caller must
+  /// hold start_mu_.
   Status Reap();
+
+  /// Zeroes the per-migration progress counters. Runs at admission (both
+  /// the real and the trivial no-op path) so Snapshot() never pairs a new
+  /// migration id with the previous migration's counters.
+  void ResetProgress();
 
   void Run();  // worker thread body
   Status RunPhases();
@@ -276,6 +284,12 @@ class MigrationCoordinator : public WriteObserver {
   Status result_;
   int64_t last_id_ = 0;
 
+  /// Serializes admission: held across Reap, StartLocked and the worker_
+  /// spawn, so two concurrent Start/StartSchema calls can never both pass
+  /// the active() check (the loser would overwrite job_ under the winner's
+  /// live worker and assign to a still-joinable worker_). Acquired before
+  /// catalog_mu_; never taken by the worker thread.
+  std::mutex start_mu_;
   std::thread worker_;
   TestHooks hooks_;
 };

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "genealogy_builder.h"
 #include "handwritten/reference_sql.h"
@@ -273,6 +275,112 @@ TEST_F(OnlineMigrationFailureTest, DdlIsRejectedWhileMigrationInFlight) {
   // With the migration done, DDL is admitted again.
   db_.set_migration_test_hooks({});
   EXPECT_TRUE(db_.Materialize({"Do!"}).ok());
+}
+
+TEST_F(OnlineMigrationFailureTest, ConcurrentStartsAdmitExactlyOne) {
+  // Admission is serialized by the coordinator's start mutex: when many
+  // threads race MaterializeOnline, exactly one is admitted and every other
+  // gets InvalidState — never a second job overwriting the first's staged
+  // state or a re-assignment of the live worker thread.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gated = false, release = false;
+  migrate::TestHooks hooks;
+  hooks.on_phase = [&](migrate::Phase phase) {
+    if (phase == migrate::Phase::kCatchUp) {
+      std::unique_lock<std::mutex> lock(mu);
+      gated = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return Status::OK();
+  };
+  db_.set_migration_test_hooks(hooks);
+
+  constexpr int kStarters = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> starters;
+  for (int i = 0; i < kStarters; ++i) {
+    starters.emplace_back([&, i] {
+      Status s = db_.MaterializeOnline({i % 2 == 0 ? "TasKy2" : "Do!"});
+      if (s.ok()) {
+        admitted.fetch_add(1);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kInvalidState);
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : starters) t.join();
+  // The winner is gated in catch-up, so it stays active for the whole race:
+  // the counts are deterministic.
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(rejected.load(), kStarters - 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(db_.WaitForMigration().ok());
+  EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kDone);
+  db_.set_migration_test_hooks({});
+  EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
+  EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
+}
+
+TEST_F(OnlineMigrationFailureTest, TrivialNoOpMigrationResetsCounters) {
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.WaitForMigration().ok());
+  migrate::MigrationStatus real = db_.MigrationState();
+  ASSERT_EQ(real.phase, migrate::Phase::kDone);
+  // Progress lands in rows_copied for key-stable components and refreshes
+  // for wholesale-refresh ones; either way the real migration did work.
+  ASSERT_GT(real.rows_copied + real.refreshes, 0);
+
+  // Same target again: the no-op path commits trivially and must not pair
+  // its fresh id with the previous migration's progress counters.
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.WaitForMigration().ok());
+  migrate::MigrationStatus trivial = db_.MigrationState();
+  EXPECT_EQ(trivial.id, real.id + 1);
+  EXPECT_EQ(trivial.phase, migrate::Phase::kDone);
+  EXPECT_FALSE(trivial.active);
+  EXPECT_TRUE(trivial.result.ok());
+  EXPECT_EQ(trivial.rows_copied, 0);
+  EXPECT_EQ(trivial.chunks, 0);
+  EXPECT_EQ(trivial.keys_captured, 0);
+  EXPECT_EQ(trivial.keys_drained, 0);
+  EXPECT_EQ(trivial.refreshes, 0);
+  EXPECT_EQ(trivial.catchup_rounds, 0);
+  EXPECT_EQ(trivial.flip_keys, 0);
+}
+
+TEST_F(OnlineMigrationFailureTest, RejectedAdmissionLeavesSnapshotIntact) {
+  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.WaitForMigration().ok());
+  migrate::MigrationStatus before = db_.MigrationState();
+  ASSERT_EQ(before.phase, migrate::Phase::kDone);
+
+  // An invalid explicit schema fails inside admission, after validation has
+  // begun; the failure must not publish a new id/label over the previous
+  // migration's terminal phase and result.
+  std::set<SmoId> bad;
+  for (SmoId id : db_.catalog().AllSmos()) {
+    SmoKind kind = db_.catalog().smo(id).smo->kind();
+    if (kind == SmoKind::kSplit || kind == SmoKind::kDecompose) {
+      bad.insert(id);
+    }
+  }
+  ASSERT_EQ(bad.size(), 2u);
+  EXPECT_FALSE(db_.MaterializeSchemaOnline(bad).ok());
+
+  migrate::MigrationStatus after = db_.MigrationState();
+  EXPECT_EQ(after.id, before.id);
+  EXPECT_EQ(after.label, before.label);
+  EXPECT_EQ(after.phase, migrate::Phase::kDone);
+  EXPECT_TRUE(after.result.ok());
 }
 
 TEST_F(OnlineMigrationFailureTest, AbortMidCopyRestores) {
