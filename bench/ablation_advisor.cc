@@ -1,0 +1,164 @@
+// Ablation for the paper's future-work item (3), the materialization
+// advisor (src/advisor, docs/advisor.md): does the advisor-chosen schema
+// actually beat the default under the workload it was chosen for?
+//
+// The TasKy genealogy starts on its default materialization (the root
+// TasKy tables physical; Do! and TasKy2 derived). A skewed replay — most
+// reads on TasKy2, a trickle of TasKy writes — is profiled by the engine's
+// own access counters and kernel latency histograms; ADVISE then picks a
+// schema from the observed traffic, the bench applies it through the
+// online-migration path, and replays the same workload again.
+//
+//   default   ops/sec on the root materialization
+//   advised   ops/sec on the advisor-chosen schema
+//
+//   ablation_advisor [--quick] [--json <file>]
+//
+// Gated metrics (scripts/bench_compare.py): default.ops_per_sec and
+// advised.ops_per_sec, plus the verdict advisor_beats_default — the bench
+// fails (exit 1) when the advisor's pick does not win its own workload.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "bench/bench_util.h"
+#include "handwritten/reference_sql.h"
+#include "inverda/inverda.h"
+#include "util/random.h"
+
+using inverda::bench::CheckOk;
+using inverda::bench::InitBench;
+using inverda::bench::KernelSpansJson;
+using inverda::bench::PrintHeader;
+using inverda::bench::ScaledInt;
+using inverda::bench::TimeMs;
+using inverda::MaterializeRequest;
+
+namespace {
+
+// The skewed replay: 70% TasKy2 Task reads, 20% TasKy2 Author reads, 10%
+// TasKy inserts. Deterministic per seed so the before/after runs replay
+// the same operation sequence.
+void Replay(inverda::Inverda* db, int ops, uint64_t seed) {
+  inverda::Random rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    uint64_t pick = rng.NextUint64(10);
+    if (pick < 7) {
+      CheckOk(db->Select("TasKy2", "Task"), "read TasKy2.Task");
+    } else if (pick < 9) {
+      CheckOk(db->Select("TasKy2", "Author"), "read TasKy2.Author");
+    } else {
+      std::string author = "a";
+      author += std::to_string(rng.NextUint64(7));
+      CheckOk(db->Insert("TasKy", "Task",
+                         {inverda::Value::String(author),
+                          inverda::Value::String(rng.NextString(6)),
+                          inverda::Value::Int(1 + rng.NextInt64(0, 2))}),
+              "write TasKy.Task");
+    }
+  }
+}
+
+// Best-of-2 wall time of the replay, as ops/sec.
+double MeasureOpsPerSec(inverda::Inverda* db, int ops, uint64_t seed) {
+  double best_ms = TimeMs(1, [&] { Replay(db, ops, seed); });
+  double second_ms = TimeMs(1, [&] { Replay(db, ops, seed + 1); });
+  if (second_ms < best_ms) best_ms = second_ms;
+  return best_ms > 0 ? 1000.0 * static_cast<double>(ops) / best_ms : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const int rows = ScaledInt("INVERDA_ADVISOR_ROWS", 400);
+  const int ops = ScaledInt("INVERDA_ADVISOR_OPS", 800);
+
+  PrintHeader("Ablation: traffic-driven materialization advisor (ADVISE)");
+  std::printf(
+      "TasKy genealogy, %d rows; %d-op skewed replay (70%% TasKy2.Task "
+      "reads, 20%% TasKy2.Author reads, 10%% TasKy writes)\n\n",
+      rows, ops);
+
+  inverda::Inverda db;
+  for (const std::string& script :
+       {inverda::BidelInitialScript(), inverda::BidelDoScript(),
+        inverda::BidelEvolutionScript()}) {
+    CheckOk(db.Execute(script), "genealogy");
+  }
+  inverda::Random rng(7);
+  for (int i = 0; i < rows; ++i) {
+    std::string author = "a";
+    author += std::to_string(rng.NextUint64(7));
+    CheckOk(db.Insert("TasKy", "Task",
+                      {inverda::Value::String(author),
+                       inverda::Value::String(rng.NextString(6)),
+                       inverda::Value::Int(1 + rng.NextInt64(0, 2))}),
+            "populate");
+  }
+
+  // Warm up under full instrumentation: the replay feeds the per-version
+  // access counters and the per-kernel latency histograms ADVISE mines.
+  db.Metrics().set_timing_enabled(true);
+  Replay(&db, ops / 4 + 1, 13);
+
+  inverda::Result<inverda::advisor::AdviseReport> report = db.Advise();
+  CheckOk(report.status(), "advise");
+  const inverda::advisor::CandidateScore& best = report->best();
+  std::printf("ADVISE (traffic-profiled): %zu candidates; best %s "
+              "(projected improvement %.1f%%)\n\n",
+              report->ranked.size(), best.label.c_str(),
+              100.0 * report->projected_improvement);
+
+  const double default_ops_per_sec = MeasureOpsPerSec(&db, ops, 17);
+
+  CheckOk(db.Materialize(MaterializeRequest::Schema(
+              best.materialization, /*online=*/true, /*wait=*/true)),
+          "apply advised schema");
+
+  const double advised_ops_per_sec = MeasureOpsPerSec(&db, ops, 17);
+
+  const bool advisor_beats_default =
+      advised_ops_per_sec > default_ops_per_sec;
+  const double speedup = default_ops_per_sec > 0
+                             ? advised_ops_per_sec / default_ops_per_sec
+                             : 0.0;
+  std::printf("default (root schema):   %10.0f ops/sec\n",
+              default_ops_per_sec);
+  std::printf("advised (%s): %10.0f ops/sec   (%.2fx)\n", best.label.c_str(),
+              advised_ops_per_sec, speedup);
+  std::printf("\nverdict advisor_beats_default: %s\n",
+              advisor_beats_default ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\n"
+                  "  \"default\": {\"ops_per_sec\": %.1f},\n"
+                  "  \"advised\": {\"ops_per_sec\": %.1f, \"schema\": "
+                  "\"%s\"},\n"
+                  "  \"projected_improvement\": %.4f,\n"
+                  "  \"measured_speedup\": %.3f,\n"
+                  "  \"advisor_beats_default\": %s,\n",
+                  default_ops_per_sec, advised_ops_per_sec,
+                  best.label.c_str(), report->projected_improvement, speedup,
+                  advisor_beats_default ? "true" : "false");
+    out << buffer;
+    out << "  \"kernel_spans\": " << KernelSpansJson(db.Metrics().Snapshot())
+        << "\n}\n";
+  }
+  return advisor_beats_default ? 0 : 1;
+}

@@ -24,6 +24,7 @@ using inverda::bench::CheckOk;
 using inverda::bench::InitBench;
 using inverda::bench::ScaledInt;
 using inverda::bench::TimeMs;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -119,7 +120,7 @@ long long MigrationEvictions(inverda::Inverda* db,
     CheckOk(db->Select(l.head, kTable), "warm");
   }
   db->ResetMetrics();
-  CheckOk(db->Materialize({target}), "materialize");
+  CheckOk(db->Materialize(MaterializeRequest::Targets({target})), "materialize");
   return db->Metrics().value("view_cache.invalidations");
 }
 
@@ -182,11 +183,11 @@ int main(int argc, char** argv) {
   // Migration: flipping one lineage's SMOs must not evict the others.
   db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kClearAll);
   long long evict_all = MigrationEvictions(&db, lineages, lineages[1].head);
-  CheckOk(db.Materialize({lineages[1].base}), "restore");
+  CheckOk(db.Materialize(MaterializeRequest::Targets({lineages[1].base})), "restore");
   db.access().set_cache_mode(inverda::AccessLayer::CacheMode::kGenealogy);
   long long evict_scoped =
       MigrationEvictions(&db, lineages, lineages[1].head);
-  CheckOk(db.Materialize({lineages[1].base}), "restore");
+  CheckOk(db.Materialize(MaterializeRequest::Targets({lineages[1].base})), "restore");
   std::printf(
       "\nMATERIALIZE %s with %d cached heads evicts: clear-all %lld, "
       "genealogy %lld\n",

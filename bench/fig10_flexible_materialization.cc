@@ -13,6 +13,7 @@
 using inverda::Value;
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -22,8 +23,8 @@ std::vector<double> RunCurve(const std::string& strategy, int tasks,
   options.num_tasks = tasks;
   inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
   inverda::Inverda& db = *scenario.db;
-  if (strategy == "do") CheckOk(db.Materialize({"Do!"}), "mat Do!");
-  if (strategy == "tasky2") CheckOk(db.Materialize({"TasKy2"}), "mat TasKy2");
+  if (strategy == "do") CheckOk(db.Materialize(MaterializeRequest::Targets({"Do!"})), "mat Do!");
+  if (strategy == "tasky2") CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy2"})), "mat TasKy2");
 
   inverda::Random rng(29);
   std::vector<int64_t> keys = scenario.task_keys;
@@ -46,19 +47,19 @@ std::vector<double> RunCurve(const std::string& strategy, int tasks,
   double total = 0;
   int flex_stage = 0;  // 0 = Do!, 1 = TasKy, 2 = TasKy2
   if (strategy == "flex") {
-    CheckOk(db.Materialize({"Do!"}), "flex start at Do!");
+    CheckOk(db.Materialize(MaterializeRequest::Targets({"Do!"})), "flex start at Do!");
   }
   for (int slice = 0; slice < slices; ++slice) {
     double new_fraction = inverda::AdoptionFraction(slice, slices);
     if (strategy == "flex") {
       if (flex_stage == 0 && new_fraction > 0.35) {
         total += inverda::bench::TimeMs(1, [&] {
-          CheckOk(db.Materialize({"TasKy"}), "flex -> TasKy");
+          CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy"})), "flex -> TasKy");
         }) / 1000.0;
         flex_stage = 1;
       } else if (flex_stage == 1 && new_fraction > 0.85) {
         total += inverda::bench::TimeMs(1, [&] {
-          CheckOk(db.Materialize({"TasKy2"}), "flex -> TasKy2");
+          CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy2"})), "flex -> TasKy2");
         }) / 1000.0;
         flex_stage = 2;
       }

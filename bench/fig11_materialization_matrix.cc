@@ -14,6 +14,7 @@
 using inverda::Value;
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -30,7 +31,7 @@ double MeasureCell(const std::set<inverda::SmoId>& mat,
   options.num_tasks = tasks;
   inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
   inverda::Inverda& db = *scenario.db;
-  CheckOk(db.MaterializeSchema(mat), "materialize");
+  CheckOk(db.Materialize(MaterializeRequest::Schema(mat)), "materialize");
 
   inverda::Random rng(17);
   std::vector<int64_t> keys = scenario.task_keys;

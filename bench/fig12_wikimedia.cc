@@ -11,6 +11,7 @@
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
 using inverda::bench::TimeMs;
+using inverda::MaterializeRequest;
 
 int main() {
   int pages = ScaledInt("INVERDA_FIG12_PAGES", 400);
@@ -42,7 +43,7 @@ int main() {
     // Re-materialize per row (migrating back between measurements).
     std::printf("%-22s", scenario.versions[static_cast<size_t>(qv)].c_str());
     for (int mv : mat_versions) {
-      CheckOk(db.Materialize({scenario.versions[static_cast<size_t>(mv)]}),
+      CheckOk(db.Materialize(MaterializeRequest::Targets({scenario.versions[static_cast<size_t>(mv)]})),
               "materialize");
       const std::string& version =
           scenario.versions[static_cast<size_t>(qv)];
@@ -70,7 +71,7 @@ int main() {
   // 171st version under the 1st version's materialization) traverses the
   // longest chain, so it gains the most from collapsing projection-only
   // runs into fused steps and scanning columnar (plan/fused.h).
-  CheckOk(db.Materialize({scenario.versions[0]}), "materialize");
+  CheckOk(db.Materialize(MaterializeRequest::Targets({scenario.versions[0]})), "materialize");
   const std::string& far_version = scenario.versions[170];
   const std::string& far_table = scenario.page_table[170];
   auto far_query = [&] {

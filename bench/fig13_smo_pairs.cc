@@ -13,6 +13,7 @@
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
 using inverda::bench::TimeMs;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -31,13 +32,13 @@ Measurement Measure(const std::string& first_kind,
   inverda::Inverda& db = *scenario.db;
   int reps = 5;
   Measurement m;
-  CheckOk(db.Materialize({"v2"}), "mat v2");
+  CheckOk(db.Materialize(MaterializeRequest::Targets({"v2"})), "mat v2");
   CheckOk(db.Select("v2", "R"), "warmup");  // id memos, allocator warmup
   m.local_v2 = TimeMs(reps, [&] { CheckOk(db.Select("v2", "R"), "read"); });
   m.one_smo_b = TimeMs(reps, [&] {
     CheckOk(db.Select("v3", scenario.v3_table), "read");
   });
-  CheckOk(db.Materialize({"v1"}), "mat v1");
+  CheckOk(db.Materialize(MaterializeRequest::Targets({"v1"})), "mat v1");
   CheckOk(db.Select("v2", "R"), "warmup");
   m.one_smo_a = TimeMs(reps, [&] { CheckOk(db.Select("v2", "R"), "read"); });
   m.two_smos = TimeMs(reps, [&] {

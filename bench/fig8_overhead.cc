@@ -21,6 +21,7 @@ using inverda::Value;
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
 using inverda::bench::TimeMs;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -41,7 +42,7 @@ Cell MeasureInverda(int tasks, bool evolved) {
   inverda::TaskyScenario scenario =
       CheckOk(BuildTasky(options), "build tasky");
   inverda::Inverda& db = *scenario.db;
-  if (evolved) CheckOk(db.Materialize({"TasKy2"}), "materialize");
+  if (evolved) CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy2"})), "materialize");
   db.ResetMetrics();  // spans aggregate over this cell's measurements only
   db.Metrics().set_timing_enabled(true);
 

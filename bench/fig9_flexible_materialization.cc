@@ -14,6 +14,7 @@
 using inverda::Value;
 using inverda::bench::CheckOk;
 using inverda::bench::ScaledInt;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -27,7 +28,7 @@ std::vector<double> RunCurve(const std::string& strategy, int tasks,
   options.create_do = false;
   inverda::TaskyScenario scenario = CheckOk(BuildTasky(options), "build");
   inverda::Inverda& db = *scenario.db;
-  if (strategy == "new") CheckOk(db.Materialize({"TasKy2"}), "materialize");
+  if (strategy == "new") CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy2"})), "materialize");
 
   inverda::Random rng(13);
   std::vector<int64_t> keys = scenario.task_keys;
@@ -51,7 +52,7 @@ std::vector<double> RunCurve(const std::string& strategy, int tasks,
     if (strategy == "flex" && !migrated && new_fraction > 0.5) {
       // The DBA's one line; migration cost counts into the total.
       double migration_cost = inverda::bench::TimeMs(1, [&] {
-        CheckOk(db.Materialize({"TasKy2"}), "flex materialize");
+        CheckOk(db.Materialize(MaterializeRequest::Targets({"TasKy2"})), "flex materialize");
       });
       total += migration_cost / 1000.0;
       migrated = true;

@@ -33,6 +33,7 @@ using inverda::bench::CheckOk;
 using inverda::bench::InitBench;
 using inverda::bench::PrintHeader;
 using inverda::bench::ScaledInt;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -191,7 +192,7 @@ int main(int argc, char** argv) {
       "enumerate materializations");
   size_t next = 0;
   auto flip = [&db, &schemas, &next]() -> inverda::Status {
-    return db.MaterializeSchema(schemas[next++ % schemas.size()]);
+    return db.Materialize(MaterializeRequest::Schema(schemas[next++ % schemas.size()]));
   };
   ThreadResult churn = RunThreads(&db, versions, 4, ops,
                                   inverda::OpMix::ReadOnly(), flip);

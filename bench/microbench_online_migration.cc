@@ -40,6 +40,7 @@ using inverda::bench::InitBench;
 using inverda::bench::PrintHeader;
 using inverda::bench::QuickMode;
 using inverda::bench::ScaledInt;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -143,10 +144,10 @@ ScenarioResult RunScenario(int rows, bool online) {
   double begin = NowMs();
   in_migration.store(true, std::memory_order_release);
   if (online) {
-    CheckOk(db.MaterializeOnline({"w3"}), "online start");
+    CheckOk(db.Materialize(MaterializeRequest::Targets({"w3"}, /*online=*/true, /*wait=*/false)), "online start");
     CheckOk(db.WaitForMigration(), "online wait");
   } else {
-    CheckOk(db.Materialize({"w3"}), "stop-the-world materialize");
+    CheckOk(db.Materialize(MaterializeRequest::Targets({"w3"})), "stop-the-world materialize");
   }
   in_migration.store(false, std::memory_order_release);
   r.migration_ms = NowMs() - begin;

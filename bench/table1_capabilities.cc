@@ -11,6 +11,7 @@
 
 using inverda::Value;
 using inverda::bench::CheckOk;
+using inverda::MaterializeRequest;
 
 namespace {
 
@@ -37,11 +38,11 @@ int main() {
       "backward write");
   bool backward_write = db.Get("TasKy", "Task", back_key)->has_value();
   // Forward migration.
-  bool forward_migration = db.Materialize({"TasKy2"}).ok();
+  bool forward_migration = db.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok();
   // Backward query rewriting: data at TasKy2 now, query on TasKy.
   bool backward_read = db.Get("TasKy", "Task", key)->has_value();
   // Backward migration.
-  bool backward_migration = db.Materialize({"TasKy"}).ok();
+  bool backward_migration = db.Materialize(MaterializeRequest::Targets({"TasKy"})).ok();
 
   inverda::bench::PrintHeader(
       "Table 1: capabilities of this implementation (each demonstrated "

@@ -1,12 +1,16 @@
-// The materialization advisor (the paper's future-work item (3)): given a
-// workload distribution over schema versions, enumerate all valid
-// materialization schemas, score them, and apply the best one.
+// The materialization advisor (the paper's future-work item (3)): profile
+// the workload, enumerate all valid materialization schemas, score them,
+// and apply the best one. Phases 1-3 declare the workload shift as explicit
+// weights; the last phase lets the advisor mine the engine's own access
+// counters instead — the traffic-driven mode the shell's ADVISE uses.
 
 #include <cstdio>
 
+#include "advisor/advisor.h"
 #include "handwritten/reference_sql.h"
 #include "inverda/inverda.h"
-#include "workload/advisor.h"
+
+using inverda::MaterializeRequest;
 
 int main() {
   using inverda::Value;
@@ -29,27 +33,35 @@ int main() {
 
   struct Phase {
     const char* label;
-    std::map<std::string, double> weights;
+    std::map<std::string, double> weights;  // empty: profile real traffic
   };
   const Phase phases[] = {
       {"launch day: everyone on TasKy", {{"TasKy", 1.0}}},
       {"Do! catches on", {{"TasKy", 0.5}, {"Do!", 0.5}}},
       {"TasKy2 rollout", {{"TasKy", 0.2}, {"Do!", 0.2}, {"TasKy2", 0.6}}},
-      {"legacy sunset", {{"TasKy2", 1.0}}},
+      {"legacy sunset: advisor profiles the live traffic itself", {}},
   };
 
   for (const Phase& phase : phases) {
     std::printf("== %s ==\n", phase.label);
-    inverda::Result<inverda::AdvisorRecommendation> rec =
-        inverda::RecommendMaterialization(db.catalog(), phase.weights);
-    if (!rec.ok()) {
-      std::fprintf(stderr, "FAILED: %s\n", rec.status().ToString().c_str());
+    if (phase.weights.empty()) {
+      // Simulate the sunset: all remaining traffic hits TasKy2. The access
+      // layer counts per-version ops; Advise() mines them.
+      for (int i = 0; i < 200; ++i) db.Select("TasKy2", "Task");
+    }
+    inverda::advisor::AdviseOptions options;
+    options.version_weights = phase.weights;
+    inverda::Result<inverda::advisor::AdviseReport> report = db.Advise(options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", report.status().ToString().c_str());
       return 1;
     }
-    for (const auto& [label, cost] : rec->candidate_costs) {
-      std::printf("  cost %.2f  %s\n", cost, label.c_str());
+    for (const inverda::advisor::CandidateScore& c : report->ranked) {
+      std::printf("  cost %.2f  %s%s\n", c.total_cost, c.label.c_str(),
+                  c.is_current ? "  (current)" : "");
     }
-    inverda::Status s = db.MaterializeSchema(rec->materialization);
+    inverda::Status s =
+        db.Materialize(MaterializeRequest::Schema(report->best().materialization));
     if (!s.ok()) {
       std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
       return 1;

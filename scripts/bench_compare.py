@@ -36,7 +36,8 @@ import sys
 # (throughput/speedups: regression = decrease), per benchmark extractor.
 
 GATED_BENCHES = ["microbench_plan", "microbench_concurrency", "fig8_overhead",
-                 "microbench_shards", "microbench_online_migration"]
+                 "microbench_shards", "microbench_online_migration",
+                 "ablation_advisor"]
 
 
 def extract_microbench_plan(doc):
@@ -111,12 +112,23 @@ def extract_microbench_online_migration(doc):
     return metrics, checks
 
 
+def extract_ablation_advisor(doc):
+    metrics = {}
+    for mode in ("default", "advised"):
+        if mode in doc and "ops_per_sec" in doc[mode]:
+            metrics[f"{mode}.ops_per_sec"] = ("higher",
+                                              doc[mode]["ops_per_sec"])
+    checks = {"advisor_beats_default": doc.get("advisor_beats_default")}
+    return metrics, checks
+
+
 EXTRACTORS = {
     "microbench_plan": extract_microbench_plan,
     "microbench_concurrency": extract_microbench_concurrency,
     "fig8_overhead": extract_fig8_overhead,
     "microbench_shards": extract_microbench_shards,
     "microbench_online_migration": extract_microbench_online_migration,
+    "ablation_advisor": extract_ablation_advisor,
 }
 
 

@@ -1,0 +1,568 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inverda/inverda.h"
+#include "mapping/side.h"
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace inverda {
+namespace advisor {
+namespace {
+
+std::string Fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+std::string Pct(double fraction) { return Fmt(fraction * 100.0) + "%"; }
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  return Fmt(v, "%.6g");
+}
+
+std::string LabelFor(const VersionCatalog& catalog, const std::set<SmoId>& m) {
+  std::vector<std::string> parts;
+  for (SmoId id : m) {
+    parts.push_back(SmoKindName(catalog.smo(id).smo->kind()) +
+                    std::string("#") + std::to_string(id));
+  }
+  if (parts.empty()) return "{}";
+  return "{" + Join(parts, ", ") + "}";
+}
+
+/// The hypothetical route chain of `tv` under materialization `m`: the
+/// kernel name of every SMO hop between the table version and its data
+/// under that schema (empty when `tv` would be physical). The walk mirrors
+/// the plan compiler's route resolution — CREATE TABLE is always in the
+/// schema, DROP TABLE never — without compiling anything.
+Result<std::vector<std::string>> RouteKernelsUnder(
+    const VersionCatalog& catalog, const std::set<SmoId>& m, TvId tv) {
+  auto in_schema = [&](SmoId id) {
+    const SmoInstance& inst = catalog.smo(id);
+    if (inst.smo->kind() == SmoKind::kCreateTable) return true;
+    if (inst.smo->kind() == SmoKind::kDropTable) return false;
+    return m.count(id) > 0;
+  };
+  std::vector<std::string> kernels;
+  TvId current = tv;
+  while (kernels.size() < 1000) {
+    const TableVersion& info = catalog.table_version(current);
+    bool incoming = in_schema(info.incoming);
+    SmoId forward = -1;
+    for (SmoId out : info.outgoing) {
+      if (in_schema(out)) forward = out;
+    }
+    if (incoming && forward < 0) return kernels;  // physical here
+    const SmoId hop = forward >= 0 ? forward : info.incoming;
+    const SmoInstance& inst = catalog.smo(hop);
+    INVERDA_ASSIGN_OR_RETURN(const Kernel* kernel, KernelForSmo(*inst.smo));
+    kernels.push_back(kernel->name());
+    if (forward >= 0) {
+      if (inst.targets.empty()) return kernels;
+      current = inst.targets[0];
+    } else {
+      if (inst.sources.empty()) return kernels;
+      current = inst.sources[0];
+    }
+  }
+  return Status::Internal("materialization route walk did not terminate");
+}
+
+/// Shared tail of the profiler builders: converts raw per-tv (reads,
+/// writes) counts into a normalized, heaviest-first profile.
+Result<WorkloadProfile> ProfileFromTvCounts(
+    const VersionCatalog& catalog,
+    const std::map<TvId, std::pair<double, double>>& counts,
+    std::string source) {
+  double total = 0.0;
+  for (const auto& [tv, rw] : counts) {
+    (void)tv;
+    if (rw.first < 0.0 || rw.second < 0.0) {
+      return Status::InvalidArgument("advisor: negative workload weight");
+    }
+    total += rw.first + rw.second;
+  }
+  if (counts.empty() || total <= 0.0) {
+    return Status::InvalidArgument(
+        "advisor: empty workload signal (" + source +
+        "): run traffic first or pass explicit version weights");
+  }
+  WorkloadProfile profile;
+  profile.source = std::move(source);
+  for (const auto& [tv, rw] : counts) {
+    ProfileEntry entry;
+    entry.tv = tv;
+    entry.name = catalog.TvLabel(tv);
+    entry.read_weight = rw.first / total;
+    entry.write_weight = rw.second / total;
+    profile.entries.push_back(std::move(entry));
+  }
+  std::stable_sort(profile.entries.begin(), profile.entries.end(),
+                   [](const ProfileEntry& a, const ProfileEntry& b) {
+                     return a.read_weight + a.write_weight >
+                            b.read_weight + b.write_weight;
+                   });
+  return profile;
+}
+
+}  // namespace
+
+// --- cost model -------------------------------------------------------------
+
+CostModel CostModel::Uniform() {
+  CostModel model;
+  model.base_read = 1.0;
+  model.base_write = 1.0;
+  model.observed = false;
+  return model;
+}
+
+CostModel CostModel::FromMetrics(const obs::MetricsSnapshot& snapshot,
+                                 int64_t min_samples) {
+  // Rough relative per-hop magnitudes in nanoseconds, used until a kernel
+  // has enough recorded samples to speak for itself. The id-generating
+  // vertical kernels (fk) and condition evaluation (cond) dominate; pure
+  // column maps are cheap.
+  static const std::map<std::string, double> kDefaults = {
+      {"identity", 150.0},    {"column", 250.0}, {"partition", 700.0},
+      {"vertical-pk", 800.0}, {"join-pk", 800.0}, {"fk", 1600.0},
+      {"cond", 2400.0}};
+  CostModel model;
+  model.observed = true;
+  model.base_read = 400.0;
+  model.base_write = 600.0;
+  for (const auto& [kernel, fallback] : kDefaults) {
+    model.derive_cost[kernel] = fallback;
+    model.propagate_cost[kernel] = fallback;
+    const obs::Histogram::Snapshot* derive =
+        snapshot.histogram("kernel." + kernel + ".derive_ns");
+    if (derive != nullptr && derive->count >= min_samples) {
+      model.derive_cost[kernel] = derive->mean_ns();
+      model.observed_samples += derive->count;
+    }
+    const obs::Histogram::Snapshot* propagate =
+        snapshot.histogram("kernel." + kernel + ".propagate_ns");
+    if (propagate != nullptr && propagate->count >= min_samples) {
+      model.propagate_cost[kernel] = propagate->mean_ns();
+      model.observed_samples += propagate->count;
+    }
+  }
+  return model;
+}
+
+double CostModel::DeriveCost(const std::string& kernel) const {
+  auto it = derive_cost.find(kernel);
+  if (it != derive_cost.end()) return it->second;
+  return observed ? 500.0 : 1.0;
+}
+
+double CostModel::PropagateCost(const std::string& kernel) const {
+  auto it = propagate_cost.find(kernel);
+  if (it != propagate_cost.end()) return it->second;
+  return observed ? 500.0 : 1.0;
+}
+
+// --- profilers --------------------------------------------------------------
+
+Result<std::map<std::string, double>> NormalizeWeights(
+    const std::map<std::string, double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("advisor: empty weight vector");
+  }
+  double total = 0.0;
+  for (const auto& [name, weight] : weights) {
+    if (weight < 0.0) {
+      return Status::InvalidArgument("advisor: negative weight for version '" +
+                                     name + "' (" + Fmt(weight, "%g") + ")");
+    }
+    total += weight;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("advisor: all-zero weight vector");
+  }
+  std::map<std::string, double> normalized;
+  for (const auto& [name, weight] : weights) {
+    normalized[name] = weight / total;
+  }
+  return normalized;
+}
+
+Result<WorkloadProfile> ProfileFromWeights(
+    const VersionCatalog& catalog,
+    const std::map<std::string, double>& version_weights,
+    double read_fraction) {
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    return Status::InvalidArgument("advisor: read_fraction must be in [0, 1]");
+  }
+  auto normalized = NormalizeWeights(version_weights);
+  if (!normalized.ok()) return normalized.status();
+  const std::map<std::string, double>& weights = *normalized;
+  std::map<TvId, std::pair<double, double>> counts;
+  for (const auto& [version, weight] : weights) {
+    INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
+                             catalog.FindVersion(version));
+    if (info->tables.empty()) continue;
+    const double share = weight / static_cast<double>(info->tables.size());
+    for (const auto& [name, tv] : info->tables) {
+      (void)name;
+      counts[tv].first += share * read_fraction;
+      counts[tv].second += share * (1.0 - read_fraction);
+    }
+  }
+  return ProfileFromTvCounts(catalog, counts, "explicit-weights");
+}
+
+Result<WorkloadProfile> ProfileFromCounters(
+    const VersionCatalog& catalog,
+    const std::map<TvId, std::pair<int64_t, int64_t>>& counts) {
+  std::map<TvId, std::pair<double, double>> live;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  for (TvId tv : catalog.AllTableVersions()) {
+    auto it = counts.find(tv);
+    if (it == counts.end()) continue;
+    if (it->second.first == 0 && it->second.second == 0) continue;
+    live[tv] = {static_cast<double>(it->second.first),
+                static_cast<double>(it->second.second)};
+    reads += it->second.first;
+    writes += it->second.second;
+  }
+  INVERDA_ASSIGN_OR_RETURN(WorkloadProfile profile,
+                           ProfileFromTvCounts(catalog, live,
+                                               "access-counters"));
+  profile.observed_reads = reads;
+  profile.observed_writes = writes;
+  return profile;
+}
+
+Result<WorkloadProfile> ProfileFromTrace(const VersionCatalog& catalog,
+                                         const obs::Tracer& tracer) {
+  std::map<std::string, TvId> by_label;
+  for (TvId tv : catalog.AllTableVersions()) {
+    by_label[catalog.TvLabel(tv)] = tv;
+  }
+  std::map<TvId, std::pair<double, double>> counts;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  for (const auto& span : tracer.Last(tracer.capacity())) {
+    auto it = by_label.find(span->label);
+    if (it == by_label.end()) continue;  // dropped since, or unlabeled
+    if (span->name == "scan" || span->name == "find") {
+      counts[it->second].first += 1.0;
+      ++reads;
+    } else if (span->name == "apply") {
+      counts[it->second].second += 1.0;
+      ++writes;
+    }
+  }
+  if (counts.empty()) {
+    return Status::InvalidState(
+        "advisor: trace ring has no usable operations — enable tracing "
+        "(TRACE ON) and run traffic, or use the lifetime window");
+  }
+  INVERDA_ASSIGN_OR_RETURN(WorkloadProfile profile,
+                           ProfileFromTvCounts(catalog, counts, "trace-ring"));
+  profile.observed_reads = reads;
+  profile.observed_writes = writes;
+  return profile;
+}
+
+// --- scoring ----------------------------------------------------------------
+
+Result<AdviseReport> ScoreMaterializations(const VersionCatalog& catalog,
+                                           const WorkloadProfile& profile,
+                                           const CostModel& model,
+                                           int candidate_limit) {
+  if (profile.entries.empty()) {
+    return Status::InvalidArgument("advisor: empty workload profile");
+  }
+  INVERDA_ASSIGN_OR_RETURN(
+      std::vector<std::set<SmoId>> candidates,
+      catalog.EnumerateValidMaterializations(candidate_limit));
+  if (candidates.empty()) {
+    return Status::InvalidState("no valid materialization schema found");
+  }
+  const std::set<SmoId> current = catalog.CurrentMaterialization();
+  bool saw_current = false;
+  for (const std::set<SmoId>& m : candidates) {
+    if (m == current) saw_current = true;
+  }
+  // The current schema is always valid; keep it in the report even when
+  // the enumeration cap clipped it out.
+  if (!saw_current) candidates.push_back(current);
+
+  AdviseReport report;
+  report.profile = profile;
+  report.observed_costs = model.observed;
+  for (const std::set<SmoId>& m : candidates) {
+    CandidateScore score;
+    score.materialization = m;
+    score.label = LabelFor(catalog, m);
+    score.is_current = (m == current);
+    for (const ProfileEntry& entry : profile.entries) {
+      INVERDA_ASSIGN_OR_RETURN(std::vector<std::string> kernels,
+                               RouteKernelsUnder(catalog, m, entry.tv));
+      double read_cost = model.base_read;
+      double write_cost = model.base_write;
+      for (const std::string& kernel : kernels) {
+        read_cost += model.DeriveCost(kernel);
+        write_cost += model.PropagateCost(kernel);
+      }
+      score.read_cost += entry.read_weight * read_cost;
+      score.write_cost += entry.write_weight * write_cost;
+    }
+    score.total_cost = score.read_cost + score.write_cost;
+    report.ranked.push_back(std::move(score));
+  }
+  std::stable_sort(report.ranked.begin(), report.ranked.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     return a.total_cost < b.total_cost;
+                   });
+  for (const CandidateScore& score : report.ranked) {
+    if (score.is_current) report.current_cost = score.total_cost;
+  }
+  for (CandidateScore& score : report.ranked) {
+    score.delta_vs_current =
+        report.current_cost > 0.0
+            ? (score.total_cost - report.current_cost) / report.current_cost
+            : 0.0;
+  }
+  report.projected_improvement =
+      report.current_cost > 0.0
+          ? (report.current_cost - report.best().total_cost) /
+                report.current_cost
+          : 0.0;
+  return report;
+}
+
+const CandidateScore& AdviseReport::current() const {
+  for (const CandidateScore& score : ranked) {
+    if (score.is_current) return score;
+  }
+  return ranked.front();
+}
+
+std::string AdviseReport::ToText() const {
+  std::string out;
+  out += "materialization advisor — workload: " + profile.source;
+  if (profile.observed_reads + profile.observed_writes > 0) {
+    out += " (" + std::to_string(profile.observed_reads) + " reads, " +
+           std::to_string(profile.observed_writes) + " writes)";
+  }
+  out += ", costs: ";
+  out += observed_costs ? "modeled ns/op" : "uniform hops";
+  out += "\n  profile:\n";
+  for (const ProfileEntry& entry : profile.entries) {
+    out += "    " + entry.name + "  reads " + Pct(entry.read_weight) +
+           "  writes " + Pct(entry.write_weight) + "\n";
+  }
+  out += "  candidates (best first):\n";
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const CandidateScore& score = ranked[i];
+    out += (i == 0) ? "   -> " : "      ";
+    out += score.label + "  cost " + Fmt(score.total_cost) + "  delta " +
+           (score.delta_vs_current >= 0 ? "+" : "") +
+           Pct(score.delta_vs_current);
+    if (score.is_current) out += "  (current)";
+    if (i == 0) out += "  (recommended)";
+    out += "\n";
+  }
+  if (best().is_current) {
+    out += "  recommendation: keep the current materialization " +
+           best().label + "\n";
+  } else {
+    out += "  recommendation: MATERIALIZE " + best().label +
+           " — projected improvement " + Pct(projected_improvement) + "\n";
+  }
+  return out;
+}
+
+std::string AdviseReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"source\": \"" + profile.source + "\",\n";
+  out += "  \"observed_costs\": ";
+  out += observed_costs ? "true" : "false";
+  out += ",\n";
+  out += "  \"observed_reads\": " + std::to_string(profile.observed_reads) +
+         ",\n";
+  out += "  \"observed_writes\": " + std::to_string(profile.observed_writes) +
+         ",\n";
+  out += "  \"current_cost\": " + JsonNum(current_cost) + ",\n";
+  out += "  \"projected_improvement\": " + JsonNum(projected_improvement) +
+         ",\n";
+  out += "  \"recommended\": \"" + best().label + "\",\n";
+  out += "  \"profile\": [";
+  for (size_t i = 0; i < profile.entries.size(); ++i) {
+    const ProfileEntry& entry = profile.entries[i];
+    if (i > 0) out += ",";
+    out += "\n    {\"table\": \"" + entry.name +
+           "\", \"read_weight\": " + JsonNum(entry.read_weight) +
+           ", \"write_weight\": " + JsonNum(entry.write_weight) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"candidates\": [";
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const CandidateScore& score = ranked[i];
+    if (i > 0) out += ",";
+    out += "\n    {\"label\": \"" + score.label +
+           "\", \"total_cost\": " + JsonNum(score.total_cost) +
+           ", \"read_cost\": " + JsonNum(score.read_cost) +
+           ", \"write_cost\": " + JsonNum(score.write_cost) +
+           ", \"delta_vs_current\": " + JsonNum(score.delta_vs_current) +
+           ", \"is_current\": " + (score.is_current ? "true" : "false") +
+           ", \"recommended\": " + (i == 0 ? "true" : "false") + "}";
+  }
+  out += "\n  ]\n}";
+  return out;
+}
+
+// --- facade-attached advisor ------------------------------------------------
+
+Advisor::Advisor(Inverda* owner, obs::Observability* obs)
+    : owner_(owner), obs_(obs) {
+  obs::MetricsRegistry& m = obs_->metrics;
+  recommendations_ = m.counter("advisor.recommendations");
+  auto_evaluations_ = m.counter("advisor.auto_evaluations");
+  auto_applied_ = m.counter("advisor.auto_applied");
+  auto_retries_ = m.counter("advisor.auto_retries");
+  advise_ns_ = m.histogram("advisor.advise_ns");
+}
+
+Result<AdviseReport> Advisor::Recommend(const AdviseOptions& options) {
+  obs::ScopedTimer timer(advise_ns_);
+  recommendations_->Add(1);
+  // Shared like DML: scoring only reads the catalog and the obs signals,
+  // so it runs concurrently with client traffic.
+  std::shared_lock<std::shared_mutex> dml(owner_->catalog_mu_);
+  const VersionCatalog& catalog = owner_->catalog_;
+  WorkloadProfile profile;
+  if (!options.version_weights.empty()) {
+    INVERDA_ASSIGN_OR_RETURN(
+        profile, ProfileFromWeights(catalog, options.version_weights,
+                                    options.read_fraction));
+  } else if (options.window == ProfileWindow::kRecent) {
+    INVERDA_ASSIGN_OR_RETURN(profile,
+                             ProfileFromTrace(catalog, obs_->tracer));
+  } else {
+    INVERDA_ASSIGN_OR_RETURN(
+        profile,
+        ProfileFromCounters(catalog, owner_->access_.AccessProfile()));
+  }
+  const CostModel model =
+      options.use_observed_latencies
+          ? CostModel::FromMetrics(obs_->metrics.Snapshot(),
+                                   options.min_kernel_samples)
+          : CostModel::Uniform();
+  return ScoreMaterializations(catalog, profile, model,
+                               options.candidate_limit);
+}
+
+void Advisor::OnOperationFinished() {
+  const int64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (n < next_check_at_.load(std::memory_order_relaxed)) return;
+  (void)TickNow();
+}
+
+Advisor::AutoTickResult Advisor::AutoTick() { return TickNow(); }
+
+Advisor::AutoTickResult Advisor::TickNow() {
+  std::unique_lock<std::mutex> tick(tick_mu_, std::try_to_lock);
+  if (!tick.owns_lock()) {
+    return {AutoAction::kBusy, "another evaluation is in flight"};
+  }
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  auto_evaluations_->Add(1);
+  const int64_t now = ops_.load(std::memory_order_relaxed);
+  const int64_t interval = check_interval_.load(std::memory_order_relaxed);
+  AutoTickResult result;
+  if (owner_->MigrationState().active) {
+    // Retry-after: DDL (and with it a second migration) is rejected while
+    // one is in flight, so push the next evaluation out one interval
+    // instead of burning a tick per operation.
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    auto_retries_->Add(1);
+    next_check_at_.store(now + interval, std::memory_order_relaxed);
+    result = {AutoAction::kRetryLater,
+              "migration in flight; re-check after " +
+                  std::to_string(interval) + " ops"};
+    RecordAction(result);
+    return result;
+  }
+  Result<AdviseReport> report = Recommend();
+  if (!report.ok()) {
+    next_check_at_.store(now + interval, std::memory_order_relaxed);
+    result = {AutoAction::kError, report.status().ToString()};
+    RecordAction(result);
+    return result;
+  }
+  const CandidateScore& best = report->best();
+  const double threshold = threshold_.load(std::memory_order_relaxed);
+  if (best.is_current || report->projected_improvement < threshold) {
+    next_check_at_.store(now + interval, std::memory_order_relaxed);
+    result = {AutoAction::kKeep,
+              "keeping " + report->current().label + " (improvement " +
+                  Pct(report->projected_improvement) + " < threshold " +
+                  Pct(threshold) + ")"};
+    RecordAction(result);
+    return result;
+  }
+  MaterializeRequest request;
+  request.schema = best.materialization;
+  request.online = true;
+  request.wait = false;
+  Status started = owner_->Materialize(request);
+  if (!started.ok()) {
+    // Lost an admission race (concurrent DDL or a migration admitted
+    // between our check and the start): same retry-after handling.
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    auto_retries_->Add(1);
+    next_check_at_.store(now + interval, std::memory_order_relaxed);
+    result = {AutoAction::kRetryLater, started.ToString()};
+    RecordAction(result);
+    return result;
+  }
+  applied_.fetch_add(1, std::memory_order_relaxed);
+  auto_applied_->Add(1);
+  next_check_at_.store(now + cooldown_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  result = {AutoAction::kApplied,
+            "online migration to " + best.label + " started (projected " +
+                Pct(report->projected_improvement) + ")"};
+  RecordAction(result);
+  return result;
+}
+
+void Advisor::RecordAction(const AutoTickResult& result) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  last_action_ = result.detail;
+}
+
+Advisor::AutoStatus Advisor::auto_status() const {
+  AutoStatus status;
+  status.enabled = enabled_.load(std::memory_order_relaxed);
+  status.ops = ops_.load(std::memory_order_relaxed);
+  status.next_check_at = next_check_at_.load(std::memory_order_relaxed);
+  status.evaluations = evaluations_.load(std::memory_order_relaxed);
+  status.applied = applied_.load(std::memory_order_relaxed);
+  status.retries = retries_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  status.last_action = last_action_;
+  return status;
+}
+
+}  // namespace advisor
+}  // namespace inverda

@@ -129,6 +129,38 @@ AccessLayer::AccessLayer(VersionCatalog* catalog, Database* db,
         {"storage.shards", db_->shards()},
         {"storage.scan_threads", ScanPool().threads()}};
   });
+  // Per-version access totals feed the advisor's workload profiler; a reset
+  // via the registry opens a fresh observation window.
+  m.RegisterSource(
+      "access_profile",
+      [this] {
+        int64_t reads = 0, writes = 0;
+        for (const TvAccessSlot& slot : tv_access_) {
+          reads += slot.reads.load(std::memory_order_relaxed);
+          writes += slot.writes.load(std::memory_order_relaxed);
+        }
+        return std::vector<obs::MetricValue>{{"profile.reads", reads},
+                                             {"profile.writes", writes}};
+      },
+      [this] { ResetAccessProfile(); });
+}
+
+std::map<TvId, std::pair<int64_t, int64_t>> AccessLayer::AccessProfile() const {
+  std::map<TvId, std::pair<int64_t, int64_t>> profile;
+  for (int tv = 0; tv < kMaxProfiledTvs; ++tv) {
+    const int64_t reads = tv_access_[tv].reads.load(std::memory_order_relaxed);
+    const int64_t writes =
+        tv_access_[tv].writes.load(std::memory_order_relaxed);
+    if (reads != 0 || writes != 0) profile[tv] = {reads, writes};
+  }
+  return profile;
+}
+
+void AccessLayer::ResetAccessProfile() {
+  for (TvAccessSlot& slot : tv_access_) {
+    slot.reads.store(0, std::memory_order_relaxed);
+    slot.writes.store(0, std::memory_order_relaxed);
+  }
 }
 
 AccessLayer::KernelMetrics* AccessLayer::MetricsForKernel(
@@ -403,6 +435,7 @@ void AccessLayer::InvalidateForMigration(const std::set<SmoId>& flipped) {
 // --- reads ------------------------------------------------------------------
 
 Status AccessLayer::ScanVersion(TvId tv, const RowCallback& fn) {
+  CountAccess(tv, /*write=*/false);
   // Latency lands in the histogram only at the top level of an access
   // chain; nested (kernel-recursive) scans are part of the enclosing op.
   // Timers and per-kernel metrics record only under the detailed-timing
@@ -502,6 +535,7 @@ Status AccessLayer::ScanVersionBatch(TvId tv, RowBatch* out) {
   // With batching disabled, the base-class bridge collects rows through
   // the ordinary ScanVersion — the row-at-a-time baseline.
   if (!batch_enabled_) return AccessBackend::ScanVersionBatch(tv, out);
+  CountAccess(tv, /*write=*/false);
   const uint32_t hot = obs_->hot();
   const bool timed = (hot & obs::Observability::kTimingBit) != 0;
   obs::Tracer* tracer =
@@ -559,6 +593,7 @@ Status AccessLayer::ScanVersionBatch(TvId tv, RowBatch* out) {
 }
 
 Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
+  CountAccess(tv, /*write=*/false);
   const uint32_t hot = obs_->hot();
   const bool timed = (hot & obs::Observability::kTimingBit) != 0;
   obs::Tracer* tracer =
@@ -653,6 +688,7 @@ Result<std::optional<Row>> AccessLayer::FindVersion(TvId tv, int64_t key) {
 // --- writes -----------------------------------------------------------------
 
 Status AccessLayer::ApplyToVersion(TvId tv, const WriteSet& writes) {
+  if (!writes.empty()) CountAccess(tv, /*write=*/true);
   const bool top_level = access_depth_ == 0;
   Status status = ApplyToVersionImpl(tv, writes);
   if (top_level) {

@@ -10,7 +10,10 @@
 namespace inverda {
 
 Inverda::Inverda(int shards)
-    : db_(shards), access_(&catalog_, &db_, &obs_), migrate_(this, &obs_) {}
+    : db_(shards),
+      access_(&catalog_, &db_, &obs_),
+      advisor_(this, &obs_),
+      migrate_(this, &obs_) {}
 
 Status Inverda::Reshard(int shards) {
   // Exclusive like DDL: re-bucketing moves rows between shard maps, so no
@@ -29,14 +32,6 @@ Status Inverda::CheckNoActiveMigration() const {
   return Status::OK();
 }
 
-Status Inverda::MaterializeOnline(const std::vector<std::string>& targets) {
-  return migrate_.Start(targets);
-}
-
-Status Inverda::MaterializeSchemaOnline(const std::set<SmoId>& m) {
-  return migrate_.StartSchema(m);
-}
-
 Status Inverda::WaitForMigration() { return migrate_.Wait(); }
 
 Status Inverda::AbortMigration() { return migrate_.Abort(); }
@@ -50,7 +45,8 @@ Status Inverda::Execute(const std::string& bidel_script) {
     } else if (const auto* drop = std::get_if<DropVersionStatement>(&stmt)) {
       INVERDA_RETURN_IF_ERROR(DropSchemaVersion(drop->version));
     } else if (const auto* mat = std::get_if<MaterializeStatement>(&stmt)) {
-      INVERDA_RETURN_IF_ERROR(Materialize(mat->targets));
+      INVERDA_RETURN_IF_ERROR(
+          Materialize(MaterializeRequest::Targets(mat->targets)));
     }
   }
   return Status::OK();
@@ -150,6 +146,10 @@ Result<TvId> Inverda::Resolve(const std::string& version,
 
 Result<std::vector<KeyedRow>> Inverda::Select(const std::string& version,
                                               const std::string& table) {
+  // Declared before the lock so a triggered auto-materialize runs after the
+  // shared latch is released (the migration admission path takes it
+  // exclusively).
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   std::vector<KeyedRow> rows;
@@ -163,6 +163,7 @@ Result<std::vector<KeyedRow>> Inverda::Select(const std::string& version,
 Result<std::vector<KeyedRow>> Inverda::SelectWhere(
     const std::string& version, const std::string& table,
     const Expression& predicate) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   return SelectWhereLocked(version, table, predicate);
 }
@@ -191,6 +192,7 @@ Result<std::vector<KeyedRow>> Inverda::SelectWhereLocked(
 Result<std::optional<Row>> Inverda::Get(const std::string& version,
                                         const std::string& table,
                                         int64_t key) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   return access_.FindVersion(tv, key);
@@ -198,6 +200,7 @@ Result<std::optional<Row>> Inverda::Get(const std::string& version,
 
 Result<int64_t> Inverda::Insert(const std::string& version,
                                 const std::string& table, Row row) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   const TableSchema& schema = catalog_.table_version(tv).schema;
@@ -220,6 +223,7 @@ Result<int64_t> Inverda::Insert(const std::string& version,
 
 Status Inverda::Update(const std::string& version, const std::string& table,
                        int64_t key, Row row) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   const TableSchema& schema = catalog_.table_version(tv).schema;
@@ -237,6 +241,7 @@ Status Inverda::Update(const std::string& version, const std::string& table,
 
 Status Inverda::Delete(const std::string& version, const std::string& table,
                        int64_t key) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(TvId tv, Resolve(version, table));
   WriteSet ws;
@@ -248,6 +253,7 @@ Result<int64_t> Inverda::UpdateWhere(
     const std::string& version, const std::string& table,
     const Expression& predicate,
     const std::function<Row(const Row&)>& make_row) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
                            SelectWhereLocked(version, table, predicate));
@@ -263,6 +269,7 @@ Result<int64_t> Inverda::UpdateWhere(
 Result<int64_t> Inverda::DeleteWhere(const std::string& version,
                                      const std::string& table,
                                      const Expression& predicate) {
+  advisor::AutoTickGuard auto_tick(&advisor_);
   std::shared_lock<std::shared_mutex> dml(catalog_mu_);
   INVERDA_ASSIGN_OR_RETURN(std::vector<KeyedRow> matches,
                            SelectWhereLocked(version, table, predicate));

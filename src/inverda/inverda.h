@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "catalog/catalog.h"
 #include "expr/expression.h"
 #include "mapping/side.h"
@@ -192,6 +193,15 @@ class AccessLayer : public AccessBackend {
   /// each other's traces.
   const WriteTrace& last_write_trace() const { return last_trace_; }
 
+  /// Per-table-version operation counters — the advisor's lifetime
+  /// workload signal: top-level reads (scan/find) and writes (apply) per
+  /// TvId since startup or the last ResetMetrics. Always on (one relaxed
+  /// fetch_add per top-level operation); table versions beyond
+  /// kMaxProfiledTvs go uncounted. Returns (reads, writes) per TvId,
+  /// zero-count versions omitted.
+  std::map<TvId, std::pair<int64_t, int64_t>> AccessProfile() const;
+  void ResetAccessProfile();
+
  private:
   /// A plan resolved for one operation: a pointer into the plan cache, or
   /// (plan cache disabled) a freshly compiled shallow plan owned by the
@@ -322,6 +332,22 @@ class AccessLayer : public AccessBackend {
   std::array<KernelSlot, kMaxKernels> kernel_slots_;
   std::mutex kernel_slots_mu_;  // serializes slot registration only
 
+  /// Per-version access counters, indexed directly by TvId (ids are small
+  /// and dense — the catalog hands them out sequentially). Lock-free on
+  /// the hot path: one relaxed fetch_add at the top level of an access.
+  static constexpr int kMaxProfiledTvs = 256;
+  struct TvAccessSlot {
+    std::atomic<int64_t> reads{0};
+    std::atomic<int64_t> writes{0};
+  };
+  std::array<TvAccessSlot, kMaxProfiledTvs> tv_access_;
+  void CountAccess(TvId tv, bool write) {
+    if (access_depth_ != 0) return;  // kernel recursion is one client op
+    if (tv < 0 || tv >= kMaxProfiledTvs) return;
+    TvAccessSlot& slot = tv_access_[static_cast<size_t>(tv)];
+    (write ? slot.writes : slot.reads).fetch_add(1, std::memory_order_relaxed);
+  }
+
   plan::PlanCompiler compiler_;
   plan::PlanCache plan_cache_;
   bool plan_cache_enabled_ = true;
@@ -344,6 +370,38 @@ class AccessLayer : public AccessBackend {
   // at the top level of an access chain.
   static thread_local int access_depth_;
   static thread_local WriteTrace last_trace_;
+};
+
+/// One materialization request — the single argument of the unified
+/// Materialize entry point. Exactly one variant must be set: `targets`
+/// (MATERIALIZE syntax, "Version" or "Version.table") or an explicit
+/// materialization `schema` (SMO instance ids). `online` selects the
+/// non-blocking coordinator path (docs/migration.md); `wait` (online only)
+/// additionally blocks until the background migration reaches a terminal
+/// phase and returns its terminal status. The blocking path is inherently
+/// synchronous, so it ignores `wait`.
+struct MaterializeRequest {
+  std::vector<std::string> targets;
+  std::optional<std::set<SmoId>> schema;
+  bool online = false;
+  bool wait = true;
+
+  static MaterializeRequest Targets(std::vector<std::string> t,
+                                    bool online = false, bool wait = true) {
+    MaterializeRequest r;
+    r.targets = std::move(t);
+    r.online = online;
+    r.wait = wait;
+    return r;
+  }
+  static MaterializeRequest Schema(std::set<SmoId> m, bool online = false,
+                                   bool wait = true) {
+    MaterializeRequest r;
+    r.schema = std::move(m);
+    r.online = online;
+    r.wait = wait;
+    return r;
+  }
 };
 
 /// The InVerDa facade: schema evolution (BiDEL), migration (MATERIALIZE),
@@ -384,28 +442,31 @@ class Inverda {
 
   // --- DBA interface ---------------------------------------------------------
 
-  /// The Database Migration Operation: moves the physical data so that the
-  /// listed targets ("Version" or "Version.table") are physically stored,
-  /// migrates data and auxiliary state, and drops stale physical tables.
-  /// All-or-nothing: restores the previous state on failure.
-  Status Materialize(const std::vector<std::string>& targets);
+  /// The Database Migration Operation, unified entry point: moves the
+  /// physical data so the requested targets (or the explicit schema) are
+  /// physically stored, migrates auxiliary state, and drops stale physical
+  /// tables. Blocking by default (exclusive DDL lock, all-or-nothing with
+  /// rollback on failure); `request.online` runs it through the background
+  /// MigrationCoordinator instead — readers and writers keep running while
+  /// the coordinator backfills chunk-by-chunk and replays concurrently
+  /// captured writes, and the commit is a brief exclusive epoch flip.
+  /// While a migration is active all other DDL (evolution, drops, blocking
+  /// MATERIALIZE, Reshard, a second online migration) is rejected with
+  /// InvalidState.
+  Status Materialize(const MaterializeRequest& request);
 
-  /// Applies an explicit materialization schema (by SMO instance ids).
+  /// Deprecated pre-unification spellings; one-PR shims over
+  /// Materialize(MaterializeRequest).
+  [[deprecated("use Materialize(const MaterializeRequest&)")]]
+  Status Materialize(const std::vector<std::string>& targets);
+  [[deprecated("use Materialize(MaterializeRequest::Schema(m))")]]
   Status MaterializeSchema(const std::set<SmoId>& m);
+  [[deprecated("use Materialize(MaterializeRequest::Targets(t, true, false))")]]
+  Status MaterializeOnline(const std::vector<std::string>& targets);
+  [[deprecated("use Materialize(MaterializeRequest::Schema(m, true, false))")]]
+  Status MaterializeSchemaOnline(const std::set<SmoId>& m);
 
   // --- online migration (docs/migration.md) ----------------------------------
-
-  /// Non-blocking MATERIALIZE: admits a background migration to the same
-  /// targets Materialize accepts and returns immediately. Readers and
-  /// writers of every version keep running while the coordinator backfills
-  /// chunk-by-chunk and replays concurrently captured writes; the commit is
-  /// a brief exclusive epoch flip. While a migration is active all other
-  /// DDL (evolution, drops, blocking MATERIALIZE, Reshard, a second
-  /// MaterializeOnline) is rejected with InvalidState.
-  Status MaterializeOnline(const std::vector<std::string>& targets);
-
-  /// MaterializeOnline for an explicit materialization schema.
-  Status MaterializeSchemaOnline(const std::set<SmoId>& m);
 
   /// Blocks until no migration is active; returns the terminal status of
   /// the last migration (OK when none ran or it committed).
@@ -423,6 +484,22 @@ class Inverda {
   void set_migration_test_hooks(migrate::TestHooks hooks) {
     migrate_.set_test_hooks(std::move(hooks));
   }
+
+  // --- materialization advisor (docs/advisor.md) ------------------------------
+
+  /// Profiles the observed workload (or explicit weights), prices every
+  /// valid materialization schema through the cost model, and returns the
+  /// ranked report. Runs under the shared catalog lock, concurrently with
+  /// client traffic.
+  Result<advisor::AdviseReport> Advise(
+      const advisor::AdviseOptions& options = {}) {
+    return advisor_.Recommend(options);
+  }
+
+  /// The advisor subsystem itself: auto-materialize knobs
+  /// (set_auto_materialize_enabled, threshold, cooldown) and AutoTick.
+  advisor::Advisor& advisor() { return advisor_; }
+  const advisor::Advisor& advisor() const { return advisor_; }
 
   // --- data access -----------------------------------------------------------
 
@@ -515,6 +592,7 @@ class Inverda {
  private:
   friend class AccessLayer;
   friend class migrate::MigrationCoordinator;
+  friend class advisor::Advisor;
 
   // Creates the physical tables required by a freshly registered SMO
   // instance (data tables of physically-stored targets + aux tables of the
@@ -553,8 +631,11 @@ class Inverda {
   // outlive it on destruction (members destroy in reverse order).
   obs::Observability obs_;
   AccessLayer access_;
+  // No background thread of its own; evaluations run on whichever client
+  // thread crosses the check interval (after releasing its shared lock).
+  advisor::Advisor advisor_;
   // Declared last: destroys first, joining any in-flight migration worker
-  // while the catalog, storage and access layer are still alive.
+  // while the catalog, storage, access layer and advisor are still alive.
   migrate::MigrationCoordinator migrate_;
 };
 

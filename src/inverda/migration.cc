@@ -17,19 +17,55 @@ struct StagedTable {
 
 }  // namespace
 
-Status Inverda::Materialize(const std::vector<std::string>& targets) {
-  // DDL: exclusive — a migration flips routes and swaps physical tables; no
-  // access may observe a half-flipped state (clients see the catalog epoch
-  // strictly before or strictly after).
+Status Inverda::Materialize(const MaterializeRequest& request) {
+  const bool has_targets = !request.targets.empty();
+  const bool has_schema = request.schema.has_value();
+  if (has_targets && has_schema) {
+    return Status::InvalidArgument(
+        "materialize request: set targets or schema, not both");
+  }
+  if (!has_targets && !has_schema) {
+    return Status::InvalidArgument(
+        "materialize request: set targets or schema");
+  }
+
+  if (request.online) {
+    // The coordinator takes the exclusive catalog lock itself during
+    // admission and the flip; we must hold no locks here.
+    if (has_schema) {
+      INVERDA_RETURN_IF_ERROR(migrate_.StartSchema(*request.schema));
+    } else {
+      INVERDA_RETURN_IF_ERROR(migrate_.Start(request.targets));
+    }
+    if (request.wait) return migrate_.Wait();
+    return Status::OK();
+  }
+
+  // Blocking DDL: exclusive — a migration flips routes and swaps physical
+  // tables; no access may observe a half-flipped state (clients see the
+  // catalog epoch strictly before or strictly after).
   std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
   INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
-  return MaterializeLocked(targets);
+  if (has_schema) return MaterializeSchemaLocked(*request.schema);
+  return MaterializeLocked(request.targets);
+}
+
+Status Inverda::Materialize(const std::vector<std::string>& targets) {
+  return Materialize(MaterializeRequest::Targets(targets));
 }
 
 Status Inverda::MaterializeSchema(const std::set<SmoId>& m) {
-  std::unique_lock<std::shared_mutex> ddl(catalog_mu_);
-  INVERDA_RETURN_IF_ERROR(CheckNoActiveMigration());
-  return MaterializeSchemaLocked(m);
+  return Materialize(MaterializeRequest::Schema(m));
+}
+
+Status Inverda::MaterializeOnline(const std::vector<std::string>& targets) {
+  return Materialize(
+      MaterializeRequest::Targets(targets, /*online=*/true, /*wait=*/false));
+}
+
+Status Inverda::MaterializeSchemaOnline(const std::set<SmoId>& m) {
+  return Materialize(
+      MaterializeRequest::Schema(m, /*online=*/true, /*wait=*/false));
 }
 
 Result<std::set<SmoId>> Inverda::ResolveMaterializationLocked(

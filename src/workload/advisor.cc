@@ -1,89 +1,39 @@
 #include "workload/advisor.h"
 
-#include "util/strings.h"
+#include "advisor/advisor.h"
 
 namespace inverda {
-namespace {
 
-// Propagation distance of table version `tv` under materialization `m`:
-// the number of SMO instances between the table version and its data.
-int DistanceUnder(const VersionCatalog& catalog, const std::set<SmoId>& m,
-                  TvId tv) {
-  auto in_schema = [&](SmoId id) {
-    const SmoInstance& inst = catalog.smo(id);
-    if (inst.smo->kind() == SmoKind::kCreateTable) return true;
-    if (inst.smo->kind() == SmoKind::kDropTable) return false;
-    return m.count(id) > 0;
-  };
-  int distance = 0;
-  TvId current = tv;
-  while (distance < 1000) {
-    const TableVersion& info = catalog.table_version(current);
-    bool incoming = in_schema(info.incoming);
-    SmoId forward = -1;
-    for (SmoId out : info.outgoing) {
-      if (in_schema(out)) forward = out;
-    }
-    if (incoming && forward < 0) return distance;  // physical here
-    ++distance;
-    if (forward >= 0) {
-      const SmoInstance& inst = catalog.smo(forward);
-      if (inst.targets.empty()) return distance;
-      current = inst.targets[0];
-    } else {
-      const SmoInstance& inst = catalog.smo(info.incoming);
-      if (inst.sources.empty()) return distance;
-      current = inst.sources[0];
-    }
-  }
-  return distance;
-}
-
-std::string LabelFor(const VersionCatalog& catalog, const std::set<SmoId>& m) {
-  std::vector<std::string> parts;
-  for (SmoId id : m) {
-    parts.push_back(SmoKindName(catalog.smo(id).smo->kind()) + std::string("#") +
-                    std::to_string(id));
-  }
-  if (parts.empty()) return "{}";
-  return "{" + Join(parts, ", ") + "}";
-}
-
-}  // namespace
-
+// Delegating shim: explicit weights override the profiler, and the uniform
+// cost model (base 1, hop 1) reproduces the legacy 1+distance scoring, so
+// the recommended schema matches what this function always returned. The
+// only visible change is that weights are now validated and normalized, so
+// reported costs are per unit of workload rather than per unit of weight.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 Result<AdvisorRecommendation> RecommendMaterialization(
     const VersionCatalog& catalog,
     const std::map<std::string, double>& version_weights) {
-  INVERDA_ASSIGN_OR_RETURN(std::vector<std::set<SmoId>> candidates,
-                           catalog.EnumerateValidMaterializations());
+  INVERDA_ASSIGN_OR_RETURN(
+      advisor::WorkloadProfile profile,
+      advisor::ProfileFromWeights(catalog, version_weights,
+                                  /*read_fraction=*/1.0));
+  INVERDA_ASSIGN_OR_RETURN(
+      advisor::AdviseReport report,
+      advisor::ScoreMaterializations(catalog, profile,
+                                     advisor::CostModel::Uniform()));
   AdvisorRecommendation best;
-  bool first = true;
-  for (const std::set<SmoId>& m : candidates) {
-    double cost = 0.0;
-    for (const auto& [version, weight] : version_weights) {
-      INVERDA_ASSIGN_OR_RETURN(const SchemaVersionInfo* info,
-                               catalog.FindVersion(version));
-      double distance_sum = 0.0;
-      for (const auto& [name, tv] : info->tables) {
-        (void)name;
-        distance_sum += 1.0 + DistanceUnder(catalog, m, tv);
-      }
-      if (!info->tables.empty()) {
-        cost += weight * distance_sum /
-                static_cast<double>(info->tables.size());
-      }
-    }
-    best.candidate_costs[LabelFor(catalog, m)] = cost;
-    if (first || cost < best.expected_cost) {
-      best.expected_cost = cost;
-      best.materialization = m;
-      first = false;
-    }
-  }
-  if (first) {
-    return Status::InvalidState("no valid materialization schema found");
+  best.materialization = report.best().materialization;
+  best.expected_cost = report.best().total_cost;
+  for (const advisor::CandidateScore& candidate : report.ranked) {
+    best.candidate_costs[candidate.label] = candidate.total_cost;
   }
   return best;
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace inverda

@@ -5,16 +5,16 @@
 #include <set>
 #include <string>
 
-#include "inverda/inverda.h"
+#include "catalog/catalog.h"
 #include "util/status.h"
 
 namespace inverda {
 
-/// A simple materialization advisor — the paper's future-work item of a
-/// self-managing physical table schema (Section 8.2 imagines "an advisor
-/// tool supporting the optimization task"). Given the fraction of accesses
-/// hitting each schema version, it scores every valid materialization
-/// schema by the expected propagation distance and recommends the best.
+/// Legacy advisor surface, superseded by the `advisor::Advisor` subsystem
+/// (src/advisor/advisor.h). That subsystem profiles the live workload,
+/// prices candidates with observed kernel latencies, and can apply the
+/// winner online; this free function only ever scored hand-typed weights
+/// with uniform hop costs. Kept for one PR as a delegating shim.
 struct AdvisorRecommendation {
   std::set<SmoId> materialization;
   double expected_cost = 0.0;
@@ -24,10 +24,12 @@ struct AdvisorRecommendation {
 };
 
 /// `version_weights` maps schema version names to their share of the
-/// workload (need not sum to 1). The cost of a candidate materialization is
-/// the weighted sum over versions of the average propagation distance of
-/// that version's tables (+1 for local access), approximating the per-SMO
-/// overhead the evaluation measures.
+/// workload. Weights are validated (non-empty, non-negative, not all zero)
+/// and normalized to sum to 1 before scoring; the cost of a candidate is
+/// the weighted average propagation distance (+1 for local access).
+[[deprecated(
+    "use advisor::Advisor::Recommend(AdviseOptions) — set "
+    "AdviseOptions::version_weights for explicit weights")]]
 Result<AdvisorRecommendation> RecommendMaterialization(
     const VersionCatalog& catalog,
     const std::map<std::string, double>& version_weights);

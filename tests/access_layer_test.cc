@@ -28,7 +28,7 @@ TEST_F(AccessLayerTest, PropagationDistances) {
 }
 
 TEST_F(AccessLayerTest, DistancesFlipWithMaterialization) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   TvId task0 = *db_.catalog().ResolveTable("TasKy", "Task");
   TvId task1 = *db_.catalog().ResolveTable("TasKy2", "Task");
   TvId todo1 = *db_.catalog().ResolveTable("Do!", "Todo");

@@ -193,7 +193,7 @@ TEST_F(BatchSemanticsTest, MigrationIsAllOrNothingDespiteBatching) {
   TvId t2 = *db_.catalog().ResolveTable("V2", "T");
   std::string doomed = db_.catalog().DataTableName(t2);
   ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed, {})).ok());
-  EXPECT_FALSE(db_.Materialize({"V2"}).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ(db_.Select("V1", "T")->size(), 5u);
   EXPECT_EQ(db_.Select("V2", "T")->size(), 5u);
 }

@@ -83,7 +83,7 @@ TEST_F(DeepChainTest, MaterializeMiddleOfChain) {
         "v0", "T", {Value::Int(i), Value::String("x" + std::to_string(i))}));
   }
   // Move the data to the middle of the chain.
-  ASSERT_TRUE(db_.Materialize({"v6"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"v6"})).ok());
   // Both ends still see everything.
   EXPECT_EQ(db_.Select("v0", "T")->size(), 20u);
   EXPECT_EQ(db_.Select("v12", "T")->size(), 20u);
@@ -131,7 +131,7 @@ TEST_F(DeepChainTest, DropColumnsInChainLoseNothing) {
   EXPECT_EQ(db_.GetSchema("w3", "T")->num_columns(), 1);
   // Migrate the data to the narrowest version; the dropped values must
   // survive in the B aux tables.
-  ASSERT_TRUE(db_.Materialize({"w3"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"w3"})).ok());
   Row full = **db_.Get("v0", "T", key);
   EXPECT_EQ(full[1], Value::String("B"));
   EXPECT_EQ(full[2], Value::String("C"));
@@ -161,10 +161,10 @@ TEST_F(DeepChainTest, BranchingGenealogy) {
   EXPECT_EQ((**db_.Get("branch2", "T", key))[2], Value::Int(12));
   // Only one branch may claim the root's data (condition 56); the other
   // branches keep working through backward propagation.
-  ASSERT_TRUE(db_.Materialize({"branch1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"branch1"})).ok());
   EXPECT_EQ((**db_.Get("branch0", "T", key))[2], Value::Int(6));
   EXPECT_EQ((**db_.Get("root", "T", key))[0], Value::Int(3));
-  EXPECT_FALSE(db_.Materialize({"branch0", "branch1"}).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"branch0", "branch1"})).ok());
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ TEST_F(DescribeTest, DescribeCatalogShowsGenealogy) {
 }
 
 TEST_F(DescribeTest, DescribeReflectsMaterialization) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   std::string dump = DescribeCatalog(db_.catalog());
   EXPECT_NE(dump.find("[materialized]"), std::string::npos);
   Result<std::string> tasky = DescribeVersion(db_.catalog(), "TasKy");

@@ -41,14 +41,14 @@ TEST_F(DropVersionTest, SharedTableVersionsSurvive) {
 }
 
 TEST_F(DropVersionTest, CannotDropVersionHoldingTheData) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   // TasKy2's table versions hold the data now; dropping it would strand
   // the other versions.
   Status s = db_.DropSchemaVersion("TasKy2");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kInvalidState);
   // After migrating away it works.
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   EXPECT_TRUE(db_.DropSchemaVersion("TasKy2").ok());
   EXPECT_TRUE(db_.Get("TasKy", "Task", key_)->has_value());
 }

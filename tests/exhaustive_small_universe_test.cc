@@ -148,12 +148,12 @@ TEST_P(ExhaustiveUniverseTest, EveryDatasetSurvivesRoundTrips) {
 
     auto before = Snapshot(&db);
     std::string diff;
-    ASSERT_TRUE(db.Materialize({"V2"}).ok())
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V2"})).ok())
         << c.name << " dataset #" << loaded_datasets;
     auto mid = Snapshot(&db);
     ASSERT_TRUE(Equal(before, mid, &diff))
         << c.name << " dataset #" << loaded_datasets << ": " << diff;
-    ASSERT_TRUE(db.Materialize({"V1"}).ok());
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V1"})).ok());
     auto after = Snapshot(&db);
     ASSERT_TRUE(Equal(before, after, &diff))
         << c.name << " dataset #" << loaded_datasets << ": " << diff;

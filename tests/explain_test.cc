@@ -72,7 +72,7 @@ TEST_F(ExplainTest, BackwardDecomposeFkCarriesIdrAux) {
 }
 
 TEST_F(ExplainTest, ForwardCaseAfterMigration) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   EXPECT_EQ(
       Explain("TasKy", "Task"),
       "plan for TasKy.Task (Task-0): distance 1, epoch 5\n"

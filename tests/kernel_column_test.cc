@@ -55,7 +55,7 @@ TEST_F(AddColumnTest, SourceUpdateRecomputesOnlyUnpinnedValues) {
 TEST_F(AddColumnTest, MaterializedStateKeepsColumnPhysically) {
   int64_t key = *db_.Insert(
       "V2", "T", {Value::Int(4), Value::String("x"), Value::Int(99)});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ((**db_.Get("V2", "T", key))[2], Value::Int(99));
   // Updating through V1 keeps the stored c value (rule 127).
   ASSERT_TRUE(db_.Update("V1", "T", key,
@@ -114,7 +114,7 @@ TEST_F(DropColumnTest, UpdateThroughNewVersionPreservesDroppedValue) {
 
 TEST_F(DropColumnTest, MaterializedKeepsDroppedValuesInAux) {
   int64_t key = *db_.Insert("V1", "T", {Value::Int(1), Value::String("keep")});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   // The dropped column is still reconstructable in V1 (aux B).
   EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("keep"));
   // Writes through V1 keep maintaining it.
@@ -124,7 +124,7 @@ TEST_F(DropColumnTest, MaterializedKeepsDroppedValuesInAux) {
   EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("changed"));
   EXPECT_EQ((**db_.Get("V2", "T", key))[0], Value::Int(2));
   // And migrating back re-inlines the column.
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_EQ((**db_.Get("V1", "T", key))[1], Value::String("changed"));
 }
 

@@ -112,11 +112,11 @@ TEST_F(JoinCondTest, MaterializedJoinKeepsEverything) {
   size_t joined_before = db_.Select("V2", "Enrolled")->size();
   size_t students_before = db_.Select("V1", "Student")->size();
   size_t courses_before = db_.Select("V1", "Course")->size();
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ(db_.Select("V2", "Enrolled")->size(), joined_before);
   EXPECT_EQ(db_.Select("V1", "Student")->size(), students_before);
   EXPECT_EQ(db_.Select("V1", "Course")->size(), courses_before);
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_EQ(db_.Select("V2", "Enrolled")->size(), joined_before);
   EXPECT_EQ(db_.Select("V1", "Student")->size(), students_before);
 }
@@ -125,7 +125,7 @@ TEST_F(JoinCondTest, SplitSideWritesWhenMaterialized) {
   ASSERT_TRUE(db_.Insert("V1", "Course",
                          {Value::String("Math"), Value::Int(1)})
                   .ok());
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   // Insert a matching student through the (virtual) V1.
   Result<int64_t> ann =
       db_.Insert("V1", "Student", {Value::String("Ann"), Value::Int(1)});
@@ -178,7 +178,7 @@ TEST_F(DecomposeCondTest, RoundTripAfterMigration) {
   size_t dishes = db_.Select("V2", "Dish")->size();
   size_t wines = db_.Select("V2", "Wine")->size();
   size_t pairings = db_.Select("V1", "Pairing")->size();
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ(db_.Select("V2", "Dish")->size(), dishes);
   EXPECT_EQ(db_.Select("V2", "Wine")->size(), wines);
   EXPECT_EQ(db_.Select("V1", "Pairing")->size(), pairings);

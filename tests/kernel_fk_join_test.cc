@@ -88,7 +88,7 @@ TEST_F(OuterFkJoinTest, UpdateThroughJoinRewritesReference) {
 TEST_F(OuterFkJoinTest, MaterializedJoinRoundTrips) {
   int64_t bob = InsertPerson("Bob");  // unreferenced
   size_t flat_before = db_.Select("V2", "Flat")->size();
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ(db_.Select("V2", "Flat")->size(), flat_before);
   EXPECT_EQ(db_.Select("V1", "Task")->size(), 2u);
   EXPECT_EQ(db_.Select("V1", "Person")->size(), 2u);
@@ -97,7 +97,7 @@ TEST_F(OuterFkJoinTest, MaterializedJoinRoundTrips) {
   int64_t key = *db_.Insert("V1", "Task",
                             {Value::String("late"), Value::Int(ann_)});
   EXPECT_EQ((**db_.Get("V2", "Flat", key))[1], Value::String("Ann"));
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_EQ(db_.Select("V1", "Person")->size(), 2u);
 }
 
@@ -127,11 +127,11 @@ TEST_F(InnerFkJoinTest, UnmatchedTuplesHiddenButPreserved) {
   EXPECT_FALSE(db_.Get("V2", "Flat", orphan)->has_value());
   EXPECT_FALSE(db_.Get("V2", "Flat", lonely)->has_value());
   // Nothing is lost across a migration to the inner join.
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ(db_.Select("V1", "Task")->size(), 2u);
   EXPECT_EQ(db_.Select("V1", "Person")->size(), 2u);
   EXPECT_EQ(db_.Select("V2", "Flat")->size(), 1u);
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_EQ(db_.Select("V1", "Task")->size(), 2u);
   EXPECT_EQ(db_.Select("V1", "Person")->size(), 2u);
 }
@@ -140,7 +140,7 @@ TEST_F(InnerFkJoinTest, DeletingPersonUnmatchesItsTasks) {
   int64_t ann = *db_.Insert("V1", "Person", {Value::String("Ann")});
   int64_t task = *db_.Insert("V1", "Task",
                              {Value::String("t"), Value::Int(ann)});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   ASSERT_TRUE(db_.Delete("V1", "Person", ann).ok());
   // The joined row disappears; the task survives as unmatched.
   EXPECT_FALSE(db_.Get("V2", "Flat", task)->has_value());

@@ -98,7 +98,7 @@ TEST_F(SplitTest, SemanticsSurviveMaterialization) {
           .ok());
   int64_t lost = Insert(6, "lost-twin");
   ASSERT_TRUE(db_.Delete("V2", "R", lost).ok());
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ((**db_.Get("V2", "R", mid))[1], Value::String("original"));
   EXPECT_EQ((**db_.Get("V2", "S", mid))[1], Value::String("s-edit"));
   EXPECT_FALSE(db_.Get("V2", "R", lost)->has_value());
@@ -163,10 +163,10 @@ TEST_F(MergeTest, UpdateMovingAcrossConditions) {
 TEST_F(MergeTest, MergedWritesSurviveMaterialization) {
   int64_t a = *db_.Insert("V1", "A", {Value::Int(1), Value::String("a")});
   int64_t m = *db_.Insert("V2", "M", {Value::Int(15), Value::String("m")});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_TRUE(db_.Get("V2", "M", a)->has_value());
   EXPECT_TRUE(db_.Get("V1", "B", m)->has_value());
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_TRUE(db_.Get("V2", "M", m)->has_value());
   EXPECT_TRUE(db_.Get("V1", "A", a)->has_value());
 }

@@ -66,7 +66,7 @@ TEST_F(DecomposePkTest, WorksMaterialized) {
   int64_t key = *db_.Insert("V1", "P",
                             {Value::String("Ann"), Value::String("Main St"),
                              Value::String("Berlin")});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_EQ((**db_.Get("V1", "P", key))[0], Value::String("Ann"));
   int64_t key2 = *db_.Insert("V1", "P",
                              {Value::String("Ben"), Value::Null(),
@@ -99,7 +99,7 @@ TEST_F(JoinPkTest, InnerJoinHidesUnmatched) {
 TEST_F(JoinPkTest, UnmatchedSurviveMaterialization) {
   int64_t both = *db_.Insert("V2", "J", {Value::String("x"), Value::Int(1)});
   int64_t left_only = *db_.Insert("V1", "L", {Value::String("lonely")});
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   EXPECT_TRUE(db_.Get("V1", "L", left_only)->has_value());
   EXPECT_TRUE(db_.Get("V2", "J", both)->has_value());
   EXPECT_FALSE(db_.Get("V2", "J", left_only)->has_value());
@@ -107,13 +107,13 @@ TEST_F(JoinPkTest, UnmatchedSurviveMaterialization) {
   ASSERT_TRUE(db_.Delete("V1", "L", both).ok());
   EXPECT_FALSE(db_.Get("V2", "J", both)->has_value());
   EXPECT_TRUE(db_.Get("V1", "R", both)->has_value());
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_TRUE(db_.Get("V1", "R", both)->has_value());
   EXPECT_FALSE(db_.Get("V1", "L", both)->has_value());
 }
 
 TEST_F(JoinPkTest, LatePartnerCompletesTheJoin) {
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   int64_t key = *db_.Insert("V1", "L", {Value::String("early")});
   EXPECT_FALSE(db_.Get("V2", "J", key)->has_value());
   // Insert the partner with the same key through the R table version.
@@ -177,7 +177,7 @@ TEST_F(FkTest, UpdateThroughReferencedSideFansOut) {
 }
 
 TEST_F(FkTest, MaterializedInsertReusesExistingReference) {
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   int64_t b1 = *db_.Insert(
       "V1", "Book", {Value::String("A"), Value::String("Springer")});
   int64_t b2 = *db_.Insert(
@@ -187,14 +187,14 @@ TEST_F(FkTest, MaterializedInsertReusesExistingReference) {
 }
 
 TEST_F(FkTest, UnreferencedPublisherVisibleAsOmegaRow) {
-  ASSERT_TRUE(db_.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   int64_t pub = *db_.Insert("V2", "Publisher", {Value::String("NoBooks")});
   // The old version shows the publisher as an ω-padded row (rule 149).
   Row row = **db_.Get("V1", "Book", pub);
   EXPECT_TRUE(row[0].is_null());
   EXPECT_EQ(row[1], Value::String("NoBooks"));
   // Migrating back and forth preserves it.
-  ASSERT_TRUE(db_.Materialize({"V1"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"V1"})).ok());
   EXPECT_TRUE(db_.Get("V2", "Publisher", pub)->has_value());
 }
 

@@ -91,7 +91,7 @@ TEST_P(MaterializationPropertyTest, InvariantsHold) {
     EXPECT_EQ(*recovered, m) << c.name;
 
     // (I2) every table version reaches the data under this schema.
-    ASSERT_TRUE(db.MaterializeSchema(m).ok()) << c.name;
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok()) << c.name;
     for (TvId tv : catalog.AllTableVersions()) {
       Result<int> distance = db.access().PropagationDistance(tv);
       ASSERT_TRUE(distance.ok())

@@ -45,7 +45,7 @@ TEST_F(MigrationFailureTest, CollidingStagingTableRollsBack) {
   std::set<SmoId> old_m = db_.catalog().CurrentMaterialization();
   size_t tables_before = db_.db().TableNames().size();
 
-  Status s = db_.Materialize({"TasKy2"});
+  Status s = db_.Materialize(MaterializeRequest::Targets({"TasKy2"}));
   EXPECT_FALSE(s.ok());
 
   // Everything rolled back: states, physical tables, views. (Id
@@ -60,16 +60,16 @@ TEST_F(MigrationFailureTest, CollidingStagingTableRollsBack) {
 
   // After removing the obstruction the migration succeeds.
   ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
-  EXPECT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  EXPECT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
 }
 
 TEST_F(MigrationFailureTest, InvalidTargetsFailCleanly) {
   int64_t rows_before = db_.db().TotalRows();
-  EXPECT_FALSE(db_.Materialize({"NoSuchVersion"}).ok());
-  EXPECT_FALSE(db_.Materialize({"TasKy2.NoSuchTable"}).ok());
-  EXPECT_FALSE(db_.Materialize({"Do!", "TasKy2"}).ok());  // condition (56)
-  EXPECT_FALSE(db_.Materialize({"a.b.c"}).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"NoSuchVersion"})).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"TasKy2.NoSuchTable"})).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"Do!", "TasKy2"})).ok());  // condition (56)
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"a.b.c"})).ok());
   EXPECT_EQ(db_.db().TotalRows(), rows_before);
   EXPECT_EQ(db_.Select("Do!", "Todo")->size(),
             static_cast<size_t>(
@@ -90,7 +90,7 @@ TEST_F(MigrationFailureTest, ExplicitInvalidSchemaIsRejected) {
     }
   }
   ASSERT_EQ(bad.size(), 2u);
-  Status s = db_.MaterializeSchema(bad);
+  Status s = db_.Materialize(MaterializeRequest::Schema(bad));
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   // Views unaffected.
@@ -102,11 +102,11 @@ TEST_F(MigrationFailureTest, RepeatedFailureThenSuccessKeepsStateClean) {
   std::string doomed_name = db_.catalog().DataTableName(todo);
   ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed_name, {})).ok());
   for (int i = 0; i < 3; ++i) {
-    EXPECT_FALSE(db_.Materialize({"Do!"}).ok());
+    EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
   }
   ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
-  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
   EXPECT_EQ(db_.Select("TasKy2", "Author")->size(), 3u);
 }
@@ -158,7 +158,7 @@ TEST_F(OnlineMigrationFailureTest, FaultAtEachPhaseRollsBack) {
       return Status::OK();
     };
     db_.set_migration_test_hooks(hooks);
-    ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+    ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
     Status s = db_.WaitForMigration();
     EXPECT_FALSE(s.ok()) << "fault at " << migrate::PhaseName(fail_at)
                          << " was swallowed";
@@ -169,7 +169,7 @@ TEST_F(OnlineMigrationFailureTest, FaultAtEachPhaseRollsBack) {
   // The unwind left the engine fully functional: a clean online retry
   // commits and bumps the epoch exactly once.
   uint64_t epoch = db_.catalog().materialization_epoch();
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(db_.WaitForMigration().ok());
   EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kDone);
   EXPECT_EQ(db_.catalog().materialization_epoch(), epoch + 1);
@@ -186,12 +186,12 @@ TEST_F(OnlineMigrationFailureTest, FaultInsideFlipCommitRollsBack) {
     return Status::Internal("injected fault inside flip");
   };
   db_.set_migration_test_hooks(hooks);
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_FALSE(db_.WaitForMigration().ok());
   EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kFailed);
   ExpectUnchanged(before, "before_flip_commit");
   db_.set_migration_test_hooks({});
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_TRUE(db_.WaitForMigration().ok());
 }
 
@@ -204,24 +204,24 @@ TEST_F(OnlineMigrationFailureTest, CollidingStagingTableRollsBackOnline) {
   ASSERT_TRUE(db_.db().CreateTable(TableSchema(doomed_name, {})).ok());
   StateFingerprint before = Fingerprint();
 
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_FALSE(db_.WaitForMigration().ok());
   EXPECT_EQ(db_.MigrationState().phase, migrate::Phase::kFailed);
   ExpectUnchanged(before, "staging collision");
 
   ASSERT_TRUE(db_.db().DropTable(doomed_name).ok());
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_TRUE(db_.WaitForMigration().ok());
   EXPECT_EQ(db_.Select("TasKy", "Task")->size(), 10u);
 }
 
 TEST_F(OnlineMigrationFailureTest, InvalidTargetsFailSynchronously) {
-  EXPECT_FALSE(db_.MaterializeOnline({"NoSuchVersion"}).ok());
-  EXPECT_FALSE(db_.MaterializeOnline({"TasKy2.NoSuchTable"}).ok());
-  EXPECT_FALSE(db_.MaterializeOnline({"a.b.c"}).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"NoSuchVersion"}, /*online=*/true, /*wait=*/false)).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"TasKy2.NoSuchTable"}, /*online=*/true, /*wait=*/false)).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"a.b.c"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_FALSE(db_.MigrationState().active);
   // A bad start never poisons the coordinator for the next migration.
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_TRUE(db_.WaitForMigration().ok());
 }
 
@@ -242,7 +242,7 @@ TEST_F(OnlineMigrationFailureTest, DdlIsRejectedWhileMigrationInFlight) {
     return Status::OK();
   };
   db_.set_migration_test_hooks(hooks);
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return gated; });
@@ -252,8 +252,8 @@ TEST_F(OnlineMigrationFailureTest, DdlIsRejectedWhileMigrationInFlight) {
     EXPECT_FALSE(s.ok()) << what << " admitted during migration";
     EXPECT_EQ(s.code(), StatusCode::kInvalidState) << what;
   };
-  expect_rejected(db_.Materialize({"Do!"}), "Materialize");
-  expect_rejected(db_.MaterializeOnline({"Do!"}), "second MaterializeOnline");
+  expect_rejected(db_.Materialize(MaterializeRequest::Targets({"Do!"})), "Materialize");
+  expect_rejected(db_.Materialize(MaterializeRequest::Targets({"Do!"}, /*online=*/true, /*wait=*/false)), "second MaterializeOnline");
   expect_rejected(db_.Execute("CREATE SCHEMA VERSION Late FROM TasKy WITH "
                               "ADD COLUMN late INT AS 0 INTO Task;"),
                   "CREATE SCHEMA VERSION");
@@ -274,7 +274,7 @@ TEST_F(OnlineMigrationFailureTest, DdlIsRejectedWhileMigrationInFlight) {
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 11u);
   // With the migration done, DDL is admitted again.
   db_.set_migration_test_hooks({});
-  EXPECT_TRUE(db_.Materialize({"Do!"}).ok());
+  EXPECT_TRUE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
 }
 
 TEST_F(OnlineMigrationFailureTest, ConcurrentStartsAdmitExactlyOne) {
@@ -303,7 +303,7 @@ TEST_F(OnlineMigrationFailureTest, ConcurrentStartsAdmitExactlyOne) {
   std::vector<std::thread> starters;
   for (int i = 0; i < kStarters; ++i) {
     starters.emplace_back([&, i] {
-      Status s = db_.MaterializeOnline({i % 2 == 0 ? "TasKy2" : "Do!"});
+      Status s = db_.Materialize(MaterializeRequest::Targets({i % 2 == 0 ? "TasKy2" : "Do!"}, /*online=*/true, /*wait=*/false));
       if (s.ok()) {
         admitted.fetch_add(1);
       } else {
@@ -331,7 +331,7 @@ TEST_F(OnlineMigrationFailureTest, ConcurrentStartsAdmitExactlyOne) {
 }
 
 TEST_F(OnlineMigrationFailureTest, TrivialNoOpMigrationResetsCounters) {
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(db_.WaitForMigration().ok());
   migrate::MigrationStatus real = db_.MigrationState();
   ASSERT_EQ(real.phase, migrate::Phase::kDone);
@@ -341,7 +341,7 @@ TEST_F(OnlineMigrationFailureTest, TrivialNoOpMigrationResetsCounters) {
 
   // Same target again: the no-op path commits trivially and must not pair
   // its fresh id with the previous migration's progress counters.
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(db_.WaitForMigration().ok());
   migrate::MigrationStatus trivial = db_.MigrationState();
   EXPECT_EQ(trivial.id, real.id + 1);
@@ -358,7 +358,7 @@ TEST_F(OnlineMigrationFailureTest, TrivialNoOpMigrationResetsCounters) {
 }
 
 TEST_F(OnlineMigrationFailureTest, RejectedAdmissionLeavesSnapshotIntact) {
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(db_.WaitForMigration().ok());
   migrate::MigrationStatus before = db_.MigrationState();
   ASSERT_EQ(before.phase, migrate::Phase::kDone);
@@ -374,7 +374,7 @@ TEST_F(OnlineMigrationFailureTest, RejectedAdmissionLeavesSnapshotIntact) {
     }
   }
   ASSERT_EQ(bad.size(), 2u);
-  EXPECT_FALSE(db_.MaterializeSchemaOnline(bad).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Schema(bad, /*online=*/true, /*wait=*/false)).ok());
 
   migrate::MigrationStatus after = db_.MigrationState();
   EXPECT_EQ(after.id, before.id);
@@ -391,7 +391,7 @@ TEST_F(OnlineMigrationFailureTest, AbortMidCopyRestores) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   };
   db_.set_migration_test_hooks(hooks);
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(db_.AbortMigration().ok());
   migrate::Phase outcome = db_.MigrationState().phase;
   if (outcome == migrate::Phase::kAborted) {
@@ -404,7 +404,7 @@ TEST_F(OnlineMigrationFailureTest, AbortMidCopyRestores) {
   }
   // Either way the coordinator accepts the next migration.
   db_.set_migration_test_hooks({});
-  ASSERT_TRUE(db_.MaterializeOnline({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"}, /*online=*/true, /*wait=*/false)).ok());
   EXPECT_TRUE(db_.WaitForMigration().ok());
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), 10u);
 }

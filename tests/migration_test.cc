@@ -81,16 +81,16 @@ TEST_F(MigrationTest, MaterializeTasky2PreservesEveryVersion) {
 
 TEST_F(MigrationTest, MaterializeDoPreservesEveryVersion) {
   auto before = SnapshotAllVersions(&db_);
-  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
   auto after = SnapshotAllVersions(&db_);
   ExpectSnapshotsEqual(before, after);
 }
 
 TEST_F(MigrationTest, RoundTripThroughAllMaterializations) {
   auto before = SnapshotAllVersions(&db_);
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
-  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   auto after = SnapshotAllVersions(&db_);
   ExpectSnapshotsEqual(before, after);
 }
@@ -116,20 +116,20 @@ TEST_F(MigrationTest, WritesWorkAfterMigration) {
 }
 
 TEST_F(MigrationTest, TargetedTableMaterialization) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2.Task", "TasKy2.Author"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2.Task", "TasKy2.Author"})).ok());
   TvId author = *db_.catalog().ResolveTable("TasKy2", "Author");
   EXPECT_TRUE(db_.catalog().IsPhysical(author));
 }
 
 TEST_F(MigrationTest, ConflictingTargetsFail) {
   // Do! and TasKy2 claim the same source table version.
-  EXPECT_FALSE(db_.Materialize({"Do!", "TasKy2"}).ok());
+  EXPECT_FALSE(db_.Materialize(MaterializeRequest::Targets({"Do!", "TasKy2"})).ok());
 }
 
 TEST_F(MigrationTest, MaterializeIsIdempotent) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   auto before = SnapshotAllVersions(&db_);
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   auto after = SnapshotAllVersions(&db_);
   ExpectSnapshotsEqual(before, after);
 }
@@ -141,18 +141,18 @@ TEST_F(MigrationTest, TwinsAndAuxStateSurviveMigration) {
                          {Value::String("Ann"), Value::String("Edited")})
                   .ok());
   auto before = SnapshotAllVersions(&db_);
-  ASSERT_TRUE(db_.Materialize({"Do!"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"Do!"})).ok());
   auto mid = SnapshotAllVersions(&db_);
   ExpectSnapshotsEqual(before, mid);
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   auto after = SnapshotAllVersions(&db_);
   ExpectSnapshotsEqual(before, after);
 }
 
 TEST_F(MigrationTest, StalePhysicalTablesAreDropped) {
   size_t tables_initial = db_.db().TableNames().size();
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   // Back to the initial materialization: the same set of physical tables.
   EXPECT_EQ(db_.db().TableNames().size(), tables_initial);
 }

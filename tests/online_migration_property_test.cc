@@ -141,7 +141,7 @@ TEST(OnlineMigrationPropertyTest, OnlineEqualsStopTheWorld) {
     a.set_migration_test_hooks(hooks);
 
     const std::string target = versions.back();
-    ASSERT_TRUE(a.MaterializeOnline({target}).ok());
+    ASSERT_TRUE(a.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false)).ok());
     LockstepDml(&a, &b, &rng, versions, 40, &keys);
     {
       std::lock_guard<std::mutex> lock(gate_mu);
@@ -157,7 +157,7 @@ TEST(OnlineMigrationPropertyTest, OnlineEqualsStopTheWorld) {
     EXPECT_GT(a.MigrationState().keys_captured, 0)
         << "the interleaved DML never hit the delta log";
 
-    ASSERT_TRUE(b.Materialize({target}).ok());
+    ASSERT_TRUE(b.Materialize(MaterializeRequest::Targets({target})).ok());
     ExpectTwinsEqual(&a, &b, "online vs stop-the-world, seed " +
                                  std::to_string(seed));
     // And the twins keep agreeing on post-migration traffic.
@@ -194,7 +194,7 @@ TEST(OnlineMigrationPropertyTest, FaultAtEachPhaseBoundaryLeavesTwinEqual) {
     a.set_migration_test_hooks(hooks);
 
     const std::string target = versions.back();
-    ASSERT_TRUE(a.MaterializeOnline({target}).ok());
+    ASSERT_TRUE(a.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false)).ok());
     Status failed = a.WaitForMigration();
     ASSERT_FALSE(failed.ok()) << "fault at " << migrate::PhaseName(fail_at)
                               << " was swallowed";
@@ -213,9 +213,9 @@ TEST(OnlineMigrationPropertyTest, FaultAtEachPhaseBoundaryLeavesTwinEqual) {
     LockstepDml(&a, &b, &rng, versions, 10, &keys);
     if (::testing::Test::HasFatalFailure()) return;
     a.set_migration_test_hooks({});
-    ASSERT_TRUE(a.MaterializeOnline({target}).ok());
+    ASSERT_TRUE(a.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false)).ok());
     ASSERT_TRUE(a.WaitForMigration().ok());
-    ASSERT_TRUE(b.Materialize({target}).ok());
+    ASSERT_TRUE(b.Materialize(MaterializeRequest::Targets({target})).ok());
     ExpectTwinsEqual(&a, &b, std::string("retry after fault at ") +
                                  migrate::PhaseName(fail_at));
   }
@@ -254,7 +254,7 @@ TEST(OnlineMigrationPropertyTest, AbortRequestRestoresOrCommitsAtomically) {
   a.set_migration_test_hooks(hooks);
 
   const std::string target = versions.back();
-  ASSERT_TRUE(a.MaterializeOnline({target}).ok());
+  ASSERT_TRUE(a.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false)).ok());
   {
     std::unique_lock<std::mutex> lock(gate_mu);
     gate_cv.wait(lock, [&] { return reached_flip; });
@@ -279,16 +279,16 @@ TEST(OnlineMigrationPropertyTest, AbortRequestRestoresOrCommitsAtomically) {
     ExpectTwinsEqual(&a, &b, "after abort");
   } else {
     ASSERT_EQ(outcome, migrate::Phase::kDone);
-    ASSERT_TRUE(b.Materialize({target}).ok());
+    ASSERT_TRUE(b.Materialize(MaterializeRequest::Targets({target})).ok());
     ExpectTwinsEqual(&a, &b, "abort raced commit");
   }
 
   // Either way the coordinator is reusable and the twins converge.
   a.set_migration_test_hooks({});
-  ASSERT_TRUE(a.MaterializeOnline({target}).ok());
+  ASSERT_TRUE(a.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false)).ok());
   ASSERT_TRUE(a.WaitForMigration().ok());
   if (outcome == migrate::Phase::kAborted) {
-    ASSERT_TRUE(b.Materialize({target}).ok());
+    ASSERT_TRUE(b.Materialize(MaterializeRequest::Targets({target})).ok());
   }
   ExpectTwinsEqual(&a, &b, "final convergence");
 }

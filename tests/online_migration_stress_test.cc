@@ -126,7 +126,7 @@ TEST(OnlineMigrationStressTest, ZeroLostWritesDuringOnlineMaterialize) {
   options.seed = seed;
   options.migrate_after_ops = 50;
   options.migrate_during = [&]() -> Status {
-    INVERDA_RETURN_IF_ERROR(db.MaterializeOnline({"w3"}));
+    INVERDA_RETURN_IF_ERROR(db.Materialize(MaterializeRequest::Targets({"w3"}, /*online=*/true, /*wait=*/false)));
     return db.WaitForMigration();
   };
 
@@ -225,7 +225,7 @@ TEST(OnlineMigrationStressTest, RandomGenealogyStaysConsistentUnderTraffic) {
   options.tolerate_rejections = true;
   options.migrate_after_ops = 50;
   options.migrate_during = [&]() -> Status {
-    INVERDA_RETURN_IF_ERROR(db.MaterializeSchemaOnline(*target));
+    INVERDA_RETURN_IF_ERROR(db.Materialize(MaterializeRequest::Schema(*target, /*online=*/true, /*wait=*/false)));
     return db.WaitForMigration();
   };
 
@@ -246,7 +246,7 @@ TEST(OnlineMigrationStressTest, RandomGenealogyStaysConsistentUnderTraffic) {
   auto before = testutil::Snapshot(&db);
   ASSERT_FALSE(before.empty());
   for (const std::set<SmoId>& m : *schemas) {
-    ASSERT_TRUE(db.MaterializeSchema(m).ok());
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok());
     auto now = testutil::Snapshot(&db);
     std::string diff = testutil::DiffSnapshots(before, now);
     ASSERT_TRUE(diff.empty()) << diff;

@@ -44,7 +44,7 @@ TEST(PlanPropertyTest, CompiledPlansMatchFreshCompileUnderMutations) {
         ASSERT_TRUE(builder.Step().ok()) << "seed " << seed;
       } else if (action < 6) {  // migrate to a random live version
         const std::string& v = versions[rng.NextUint64(versions.size())];
-        Status s = db.Materialize({v});
+        Status s = db.Materialize(MaterializeRequest::Targets({v}));
         ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
       } else if (versions.size() >= 3) {  // drop a non-head version
         const std::string& v =
@@ -124,8 +124,8 @@ TEST(PlanPropertyTest, FusedBatchPathsMatchRowAtATimeUnfused) {
         const std::string& v =
             versions[fused_rng.NextUint64(versions.size())];
         plain_rng.NextUint64(versions.size());  // keep the rngs in lockstep
-        ASSERT_TRUE(fused_db.Materialize({v}).ok()) << "seed " << seed;
-        ASSERT_TRUE(plain_db.Materialize({v}).ok()) << "seed " << seed;
+        ASSERT_TRUE(fused_db.Materialize(MaterializeRequest::Targets({v})).ok()) << "seed " << seed;
+        ASSERT_TRUE(plain_db.Materialize(MaterializeRequest::Targets({v})).ok()) << "seed " << seed;
       }
 
       auto fused_snap = testutil::Snapshot(&fused_db);

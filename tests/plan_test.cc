@@ -68,7 +68,7 @@ TEST_F(PlanTest, EpochBumpsOnEvolutionMigrationAndDrop) {
                   .ok());
   const uint64_t e1 = db_.catalog().materialization_epoch();
   EXPECT_GT(e1, e0);
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   const uint64_t e2 = db_.catalog().materialization_epoch();
   EXPECT_GT(e2, e1);
   ASSERT_TRUE(db_.Execute("DROP SCHEMA VERSION E;").ok());
@@ -80,7 +80,7 @@ TEST_F(PlanTest, MigrationInvalidatesCachedPlans) {
   EXPECT_TRUE((*db_.access().GetPlan(task0_))->physical);
   const int64_t compiles_before = db_.Metrics().value("plan_cache.compiles");
 
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
 
   const plan::TvPlan* after = *db_.access().GetPlan(task0_);
   EXPECT_GT(after->epoch, epoch_before);

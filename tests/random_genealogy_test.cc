@@ -48,7 +48,7 @@ TEST_P(RandomGenealogyTest, ViewsAreInvariantUnderMaterialization) {
   int checked = 0;
   for (const std::set<SmoId>& m : *schemas) {
     if (checked++ > 8) break;  // keep runtime bounded
-    ASSERT_TRUE(db.MaterializeSchema(m).ok()) << "materialization #"
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok()) << "materialization #"
                                               << checked;
     auto now = testutil::Snapshot(&db);
     std::string diff = testutil::DiffSnapshots(before, now);

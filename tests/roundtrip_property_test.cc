@@ -183,10 +183,10 @@ TEST_P(RoundTripPropertyTest, RandomWritesThenMaterializationRoundTrip) {
   // (Equations 26/27 extended over the whole genealogy).
   auto before = Snapshot(&db);
   std::string diff;
-  ASSERT_TRUE(db.Materialize({"V2"}).ok()) << c.name;
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V2"})).ok()) << c.name;
   auto mid = Snapshot(&db);
   EXPECT_TRUE(SnapshotsEqual(before, mid, &diff)) << c.name << ": " << diff;
-  ASSERT_TRUE(db.Materialize({"V1"}).ok()) << c.name;
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V1"})).ok()) << c.name;
   auto after = Snapshot(&db);
   EXPECT_TRUE(SnapshotsEqual(before, after, &diff)) << c.name << ": " << diff;
 }
@@ -202,7 +202,7 @@ TEST_P(RoundTripPropertyTest, WritesAreExactlyReflected) {
 
   for (bool materialized : {false, true}) {
     if (materialized) {
-      ASSERT_TRUE(db.Materialize({"V2"}).ok());
+      ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V2"})).ok());
     }
     for (const auto& [version, table] : c.write_targets) {
       TableSchema schema = *db.GetSchema(version, table);
@@ -260,7 +260,7 @@ TEST(ChainRoundTripTest, ThreeVersionChain) {
   auto before = Snapshot(&db);
   std::string diff;
   for (const char* target : {"V2", "V3", "V1", "V3", "V2", "V1"}) {
-    ASSERT_TRUE(db.Materialize({target}).ok()) << target;
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({target})).ok()) << target;
     auto now = Snapshot(&db);
     EXPECT_TRUE(SnapshotsEqual(before, now, &diff))
         << "after MATERIALIZE " << target << ": " << diff;

@@ -127,8 +127,8 @@ TEST_P(ShardPropertyTest, SingleVsMultiShardLockstep) {
       single.catalog().EnumerateValidMaterializations(/*limit=*/6);
   ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
   for (const std::set<SmoId>& m : *schemas) {
-    ASSERT_TRUE(single.MaterializeSchema(m).ok());
-    ASSERT_TRUE(sharded.MaterializeSchema(m).ok());
+    ASSERT_TRUE(single.Materialize(MaterializeRequest::Schema(m)).ok());
+    ASSERT_TRUE(sharded.Materialize(MaterializeRequest::Schema(m)).ok());
     auto va = testutil::Snapshot(&single);
     auto vb = testutil::Snapshot(&sharded);
     std::string diff = testutil::DiffSnapshots(va, vb);

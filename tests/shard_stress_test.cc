@@ -108,7 +108,7 @@ TEST_P(ShardStressTest, MixedClientsSurviveMigrationsAtEveryShardCount) {
   options.tolerate_rejections = true;
   options.dba_action = [&]() -> Status {
     size_t i = next_schema.fetch_add(1) % schemas->size();
-    return db.MaterializeSchema((*schemas)[i]);
+    return db.Materialize(MaterializeRequest::Schema((*schemas)[i]));
   };
 
   std::vector<ConcurrentClientSpec> clients =
@@ -131,7 +131,7 @@ TEST_P(ShardStressTest, MixedClientsSurviveMigrationsAtEveryShardCount) {
   auto before = testutil::Snapshot(&db);
   ASSERT_FALSE(before.empty());
   for (const std::set<SmoId>& m : *schemas) {
-    ASSERT_TRUE(db.MaterializeSchema(m).ok());
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok());
     auto now = testutil::Snapshot(&db);
     std::string diff = testutil::DiffSnapshots(before, now);
     ASSERT_TRUE(diff.empty()) << diff;

@@ -21,7 +21,7 @@ TEST_P(SmoPairTest, BuildsAndReadsUnderAllMaterializations) {
   size_t v1_count = db.Select("v1", scenario->v1_table)->size();
 
   for (const char* target : {"v2", "v3", "v1"}) {
-    ASSERT_TRUE(db.Materialize({target}).ok())
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({target})).ok())
         << GetParam() << " materialize " << target;
     EXPECT_EQ(db.Select("v2", "R")->size(), 50u)
         << GetParam() << " under " << target;
@@ -47,9 +47,9 @@ TEST_P(SecondSmoPairTest, SplitFirstThenEverySecond) {
                              << scenario.status().ToString();
   Inverda& db = *scenario->db;
   size_t v3_count = db.Select("v3", scenario->v3_table)->size();
-  ASSERT_TRUE(db.Materialize({"v3"}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"v3"})).ok());
   EXPECT_EQ(db.Select("v3", scenario->v3_table)->size(), v3_count);
-  ASSERT_TRUE(db.Materialize({"v1"}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"v1"})).ok());
   EXPECT_EQ(db.Select("v3", scenario->v3_table)->size(), v3_count);
 }
 

@@ -90,7 +90,7 @@ TEST(SnapshotConsistencyTest, ConcurrentReadersSeeOnlyTheOneSnapshot) {
   std::thread dba([&] {
     size_t next = 0;
     while (running.load(std::memory_order_acquire) > 0) {
-      Status s = db.MaterializeSchema((*schemas)[next++ % schemas->size()]);
+      Status s = db.Materialize(MaterializeRequest::Schema((*schemas)[next++ % schemas->size()]));
       if (!s.ok()) {
         dba_error = "DBA: " + s.ToString();
         mismatch.store(true);
@@ -143,7 +143,7 @@ TEST_P(EpochResolveTest, CachedReadsEqualFreshCompileAcrossEpochBumps) {
 
     // Bump the epoch (materialization flip) and mutate some data.
     const std::set<SmoId>& m = (*schemas)[rng.NextUint64(schemas->size())];
-    ASSERT_TRUE(db.MaterializeSchema(m).ok());
+    ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok());
     for (int w = 0; w < 3; ++w) {
       testutil::RandomInsert(&db, &rng, builder.versions());
     }

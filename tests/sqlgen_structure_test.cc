@@ -123,7 +123,7 @@ TEST(SqlgenDirectionTest, ViewsFollowTheData) {
   }
   std::string before = *GenerateDeltaCode(db.catalog(), add_id);
   EXPECT_NE(before.find("Materialization: source side"), std::string::npos);
-  ASSERT_TRUE(db.Materialize({"V2"}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"V2"})).ok());
   std::string after = *GenerateDeltaCode(db.catalog(), add_id);
   EXPECT_NE(after.find("Materialization: target side"), std::string::npos);
   EXPECT_NE(before, after);

@@ -104,7 +104,7 @@ TEST_F(TraceTest, BackwardChainMatchesCompiledPlan) {
 }
 
 TEST_F(TraceTest, ForwardCaseMatchesCompiledPlan) {
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   const TvId task = *db_.catalog().ResolveTable("TasKy", "Task");
   const plan::TvPlan* plan = *db_.access().GetPlan(task);
   ASSERT_FALSE(plan->physical);

@@ -56,8 +56,8 @@ TEST_P(VerifierPropertyTest, StaticVerdictAgreesWithTheLockstepOracle) {
       const std::string& v =
           versions[verified_rng.NextUint64(versions.size())];
       plain_rng.NextUint64(versions.size());  // keep the rngs in lockstep
-      ASSERT_TRUE(verified_db.Materialize({v}).ok()) << "seed " << seed;
-      ASSERT_TRUE(plain_db.Materialize({v}).ok()) << "seed " << seed;
+      ASSERT_TRUE(verified_db.Materialize(MaterializeRequest::Targets({v})).ok()) << "seed " << seed;
+      ASSERT_TRUE(plain_db.Materialize(MaterializeRequest::Targets({v})).ok()) << "seed " << seed;
     }
 
     // The static verdict: every compiled plan proves round-trip, fusion

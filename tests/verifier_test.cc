@@ -82,12 +82,12 @@ TEST(VerifierGoldenTest, TaskyGenealogyVerifiesUnderEveryMaterialization) {
 
   // Migrating forth and back re-provisions different aux tables; the proof
   // must go through under every materialized state.
-  ASSERT_TRUE(db.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   summary = db.VerifyPlans();
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
   EXPECT_TRUE(summary->report.diagnostics.empty())
       << verify::FormatVerifySummary(*summary);
-  ASSERT_TRUE(db.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   summary = db.VerifyPlans();
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
   EXPECT_TRUE(summary->report.diagnostics.empty())

@@ -67,10 +67,10 @@ TEST_F(ViewCacheTest, UpdatesAndDeletesInvalidate) {
 
 TEST_F(ViewCacheTest, MigrationInvalidates) {
   size_t tasky2 = db_.Select("TasKy2", "Task")->size();
-  ASSERT_TRUE(db_.Materialize({"TasKy2"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy2"})).ok());
   EXPECT_EQ(db_.Select("TasKy2", "Task")->size(), tasky2);
   EXPECT_EQ(db_.Select("TasKy", "Task")->size(), tasky2);
-  ASSERT_TRUE(db_.Materialize({"TasKy"}).ok());
+  ASSERT_TRUE(db_.Materialize(MaterializeRequest::Targets({"TasKy"})).ok());
   EXPECT_EQ(db_.Select("Do!", "Todo")->size(), 1u);
 }
 
@@ -195,7 +195,7 @@ TEST_P(CacheStalenessTest, CachedViewsNeverGoStale) {
     if (round % 4 == 3 && schemas->size() > 1) {
       const std::set<SmoId>& m =
           (*schemas)[rng.NextUint64(schemas->size())];
-      ASSERT_TRUE(db.MaterializeSchema(m).ok());
+      ASSERT_TRUE(db.Materialize(MaterializeRequest::Schema(m)).ok());
     } else {
       for (int w = 0; w < 3; ++w) {
         testutil::RandomInsert(&db, &rng, builder.versions());

@@ -32,7 +32,7 @@ TEST(WikimediaMigrationTest, DataSurvivesMaterializationHops) {
 
   // Hop the materialization across the history.
   for (int target : {170, 0, 108}) {
-    Status s = db.Materialize({scenario.versions[static_cast<size_t>(target)]});
+    Status s = db.Materialize(MaterializeRequest::Targets({scenario.versions[static_cast<size_t>(target)]}));
     ASSERT_TRUE(s.ok()) << "materialize index " << target << ": "
                         << s.ToString();
     EXPECT_EQ(page_count(0), 30u) << "after materializing " << target;
@@ -58,9 +58,9 @@ TEST(WikimediaMigrationTest, PayloadValuesSurviveRoundTrip) {
   const std::string& v30 = scenario.versions[30];
   const std::string& table = scenario.page_table[30];
   std::vector<KeyedRow> before = *db.Select(v30, table);
-  ASSERT_TRUE(db.Materialize({scenario.versions.back()}).ok());
-  ASSERT_TRUE(db.Materialize({scenario.versions.front()}).ok());
-  ASSERT_TRUE(db.Materialize({v30}).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({scenario.versions.back()})).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({scenario.versions.front()})).ok());
+  ASSERT_TRUE(db.Materialize(MaterializeRequest::Targets({v30})).ok());
   std::vector<KeyedRow> after = *db.Select(v30, table);
   ASSERT_EQ(before.size(), after.size());
   for (size_t i = 0; i < before.size(); ++i) {

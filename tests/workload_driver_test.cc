@@ -105,7 +105,7 @@ TEST(RunConcurrentWorkloadTest, ClientsOnCoexistingVersionsAllFinish) {
   int flips = 0;
   copts.dba_action = [&]() -> Status {
     ++flips;
-    return scenario.db->Materialize({flips % 2 == 0 ? "TasKy" : "TasKy2"});
+    return scenario.db->Materialize(MaterializeRequest::Targets({flips % 2 == 0 ? "TasKy" : "TasKy2"}));
   };
 
   ConcurrentResult result =

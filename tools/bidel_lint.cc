@@ -20,6 +20,11 @@
 //                                        # MATERIALIZE of <v> to completion
 //                                        # and print the migration status
 //                                        # line (docs/migration.md)
+//   bidel_lint --advise script.bidel     # apply, then rank every valid
+//                                        # materialization schema for a
+//                                        # uniform workload over all
+//                                        # versions (docs/advisor.md);
+//                                        # composes with --json
 //
 // Exit status: 0 when the script is clean (warnings and notes allowed),
 // 1 when the analyzer reports at least one error, 2 on usage or I/O
@@ -60,6 +65,10 @@ int Usage() {
                "  --verify-plans    lint the scripts, apply them, and run\n"
                "                    the static plan verifier over every\n"
                "                    compiled plan (docs/verifier.md)\n"
+               "  --advise          apply the scripts and print the ranked\n"
+               "                    materialization-advisor report for a\n"
+               "                    uniform workload over every version\n"
+               "                    (docs/advisor.md; composes with --json)\n"
                "  --online-materialize <target>\n"
                "                    apply the scripts, run an online\n"
                "                    MATERIALIZE of <target> (\"Version\" or\n"
@@ -281,7 +290,7 @@ int RunOnlineMaterialize(const std::vector<std::string>& scripts,
       return 2;
     }
   }
-  Status status = db.MaterializeOnline({target});
+  Status status = db.Materialize(MaterializeRequest::Targets({target}, /*online=*/true, /*wait=*/false));
   if (status.ok()) status = db.WaitForMigration();
   std::printf("%s\n",
               migrate::FormatMigrationStatus(db.MigrationState()).c_str());
@@ -289,6 +298,49 @@ int RunOnlineMaterialize(const std::vector<std::string>& scripts,
     std::fprintf(stderr, "bidel_lint: online materialize failed: %s\n",
                  status.ToString().c_str());
     return 2;
+  }
+  return 0;
+}
+
+// --advise: the scripts are applied, then the materialization advisor
+// ranks every valid candidate schema. There is no live traffic to profile
+// in a one-shot tool run, so the workload is declared instead: a uniform
+// weight on every schema version (the neutral prior).
+int RunAdvise(const std::vector<std::string>& scripts,
+              const std::string& setup_path, bool json, int shards) {
+  Inverda db(shards);
+  std::vector<std::string> all = scripts;
+  if (!setup_path.empty()) {
+    std::string setup;
+    if (!ReadFile(setup_path, &setup)) {
+      std::fprintf(stderr, "bidel_lint: cannot read setup script %s\n",
+                   setup_path.c_str());
+      return 2;
+    }
+    all.insert(all.begin(), std::move(setup));
+  }
+  for (const std::string& script : all) {
+    Status status = db.Execute(script);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bidel_lint: script failed: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+  advisor::AdviseOptions options;
+  for (const std::string& version : db.catalog().VersionNames()) {
+    options.version_weights[version] = 1.0;
+  }
+  Result<advisor::AdviseReport> report = db.Advise(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bidel_lint: advise failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  if (json) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("%s", report->ToText().c_str());
   }
   return 0;
 }
@@ -301,6 +353,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool metrics = false;
   bool verify_plans = false;
+  bool advise = false;
   int shards = 0;
   std::string online_target;
   std::string setup_path;
@@ -315,6 +368,8 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--verify-plans") {
       verify_plans = true;
+    } else if (arg == "--advise") {
+      advise = true;
     } else if (arg == "--online-materialize") {
       if (i + 1 >= argc) return inverda::Usage();
       online_target = argv[++i];
@@ -356,6 +411,7 @@ int main(int argc, char** argv) {
     return inverda::RunOnlineMaterialize(scripts, setup_path, online_target,
                                          shards);
   }
+  if (advise) return inverda::RunAdvise(scripts, setup_path, json, shards);
   if (explain) return inverda::RunExplain(scripts, setup_path, shards);
   if (metrics) return inverda::RunMetrics(scripts, setup_path, shards);
   if (verify_plans) {

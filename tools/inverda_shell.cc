@@ -20,6 +20,7 @@
 //   VERIFY [JSON]            -- static plan verifier (docs/verifier.md)
 //   SHARDS [<n>]             -- show or set the physical shard count
 //   MIGRATIONS [START <targets>|WAIT|ABORT]  -- online MATERIALIZE
+//   ADVISE [APPLY|JSON|AUTO [ON|OFF]]  -- materialization advisor
 //   HELP | QUIT
 
 #include <cstdio>
@@ -191,6 +192,7 @@ class Shell {
     if (EqualsIgnoreCase(first, "VERIFY")) return Verify(rest);
     if (EqualsIgnoreCase(first, "METRICS")) return Metrics(rest);
     if (EqualsIgnoreCase(first, "MIGRATIONS")) return Migrations(rest);
+    if (EqualsIgnoreCase(first, "ADVISE")) return Advise(rest);
     if (EqualsIgnoreCase(first, "SHARDS")) return Shards(rest);
     if (EqualsIgnoreCase(first, "TRACE")) return Trace(rest);
     if (EqualsIgnoreCase(first, "EXPORT")) {
@@ -227,6 +229,12 @@ class Shell {
         "                 -- online MATERIALIZE: background copy + brief\n"
         "                 --   flip (docs/migration.md); no argument shows\n"
         "                 --   the coordinator status\n"
+        "  ADVISE [APPLY|JSON|AUTO [ON|OFF]];\n"
+        "                 -- traffic-driven materialization advisor: rank\n"
+        "                 --   every valid candidate against the observed\n"
+        "                 --   workload (docs/advisor.md); APPLY runs the\n"
+        "                 --   winner via online migration; AUTO toggles\n"
+        "                 --   auto-materialize (no argument shows status)\n"
         "  SHARDS [<n>];  -- show or set the physical store's shard count\n"
         "  TRACE ON|OFF|LAST [n]|JSON [n];  -- per-operation span traces\n"
         "  EXPORT;        -- replayable genealogy + root data script\n"
@@ -310,7 +318,7 @@ class Shell {
         return Status::InvalidArgument(
             "MIGRATIONS START <version>[.<table>] ...");
       }
-      INVERDA_RETURN_IF_ERROR(db_.MaterializeOnline(targets));
+      INVERDA_RETURN_IF_ERROR(db_.Materialize(MaterializeRequest::Targets(targets, /*online=*/true, /*wait=*/false)));
       std::printf("OK, migration started: %s\n",
                   migrate::FormatMigrationStatus(db_.MigrationState()).c_str());
       return Status::OK();
@@ -328,6 +336,63 @@ class Shell {
       return Status::OK();
     }
     return Status::InvalidArgument("MIGRATIONS [START <targets>|WAIT|ABORT]");
+  }
+
+  Status Advise(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string verb;
+    in >> verb;
+    if (verb.empty() || EqualsIgnoreCase(verb, "JSON")) {
+      INVERDA_ASSIGN_OR_RETURN(advisor::AdviseReport report, db_.Advise());
+      if (EqualsIgnoreCase(verb, "JSON")) {
+        std::printf("%s\n", report.ToJson().c_str());
+      } else {
+        std::printf("%s", report.ToText().c_str());
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "APPLY")) {
+      INVERDA_ASSIGN_OR_RETURN(advisor::AdviseReport report, db_.Advise());
+      std::printf("%s", report.ToText().c_str());
+      const advisor::CandidateScore& best = report.best();
+      if (best.is_current) {
+        std::printf("OK, already on the recommended materialization\n");
+        return Status::OK();
+      }
+      // Online so concurrent clients keep committing during the copy; wait
+      // so the prompt returns only after the flip.
+      INVERDA_RETURN_IF_ERROR(db_.Materialize(MaterializeRequest::Schema(
+          best.materialization, /*online=*/true, /*wait=*/true)));
+      std::printf("OK, materialized %s via online migration\n",
+                  best.label.c_str());
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(verb, "AUTO")) {
+      std::string mode;
+      in >> mode;
+      if (EqualsIgnoreCase(mode, "ON") || EqualsIgnoreCase(mode, "OFF")) {
+        db_.advisor().set_auto_materialize_enabled(EqualsIgnoreCase(mode, "ON"));
+        std::printf("OK\n");
+        return Status::OK();
+      }
+      if (!mode.empty()) {
+        return Status::InvalidArgument("ADVISE AUTO [ON|OFF]");
+      }
+      advisor::Advisor::AutoStatus status = db_.advisor().auto_status();
+      std::printf(
+          "  auto-materialize: %s\n"
+          "  ops observed: %lld (next check at %lld)\n"
+          "  evaluations: %lld, applied: %lld, retries: %lld\n"
+          "  last action: %s\n",
+          status.enabled ? "on" : "off", static_cast<long long>(status.ops),
+          static_cast<long long>(status.next_check_at),
+          static_cast<long long>(status.evaluations),
+          static_cast<long long>(status.applied),
+          static_cast<long long>(status.retries),
+          status.last_action.empty() ? "(none)" : status.last_action.c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("ADVISE [APPLY|JSON|AUTO [ON|OFF]]");
   }
 
   Status Shards(const std::string& rest) {
